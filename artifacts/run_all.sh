@@ -1,0 +1,14 @@
+#!/bin/bash
+cd /root/repo
+B=./target/release
+echo "=== table2 default ===" 
+$B/table2 > artifacts/table2_default.txt 2>artifacts/table2_default.log
+echo "=== fig6 ==="
+$B/fig6 21 > artifacts/fig6.txt 2>artifacts/fig6.log
+echo "=== table1 default ==="
+$B/table1 > artifacts/table1_default.txt 2>artifacts/table1_default.log
+echo "=== fig9 default ==="
+$B/fig9 > artifacts/fig9_default.txt 2>artifacts/fig9_default.log
+echo "=== table3 default ==="
+$B/table3 > artifacts/table3_default.txt 2>artifacts/table3_default.log
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,4 @@
+#!/bin/bash
+cd /root/repo
+./target/release/table3 > artifacts/table3_default.txt 2>artifacts/table3_default.log
+echo TABLE3_DONE >> artifacts/run_all.log

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the optimization substrate: SQP major
+//! iterations, the projected-gradient ablation, NMMSO generations, and the
+//! dense box-QP reference solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurfill_optim::qp::{solve_box_qp, SymMatrix};
+use neurfill_optim::testfns::{gaussian_peaks, neg_sphere};
+use neurfill_optim::{
+    maximize_projected_gradient, Bounds, Nmmso, NmmsoConfig, ProjGradConfig, SqpConfig, SqpSolver,
+};
+use rand::SeedableRng;
+
+fn bench_sqp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sqp_maximize");
+    group.sample_size(10);
+    for &dim in &[100usize, 1000] {
+        let obj = neg_sphere(dim);
+        let bounds = Bounds::new(vec![-1.0; dim], vec![1.0; dim]);
+        let solver = SqpSolver::new(SqpConfig { max_iterations: 25, ..SqpConfig::default() });
+        let x0 = vec![0.5; dim];
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| solver.maximize(std::hint::black_box(&obj), &bounds, &x0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_projected_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projected_gradient_ablation");
+    group.sample_size(10);
+    let dim = 1000;
+    let obj = neg_sphere(dim);
+    let bounds = Bounds::new(vec![-1.0; dim], vec![1.0; dim]);
+    let cfg = ProjGradConfig { max_iterations: 25, ..ProjGradConfig::default() };
+    let x0 = vec![0.5; dim];
+    group.bench_function("dim1000", |b| {
+        b.iter(|| maximize_projected_gradient(std::hint::black_box(&obj), &bounds, &x0, &cfg));
+    });
+    group.finish();
+}
+
+fn bench_nmmso(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nmmso_search");
+    group.sample_size(10);
+    let obj = gaussian_peaks(
+        2,
+        vec![
+            (vec![0.2, 0.2], 1.0, 0.12),
+            (vec![0.8, 0.8], 0.9, 0.12),
+            (vec![0.2, 0.8], 0.8, 0.12),
+        ],
+    );
+    let bounds = Bounds::new(vec![0.0; 2], vec![1.0; 2]);
+    group.bench_function("budget500", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            Nmmso::new(NmmsoConfig { max_evaluations: 500, ..NmmsoConfig::default() })
+                .maximize(std::hint::black_box(&obj), &bounds, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+fn bench_box_qp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_box_qp");
+    group.sample_size(10);
+    for &n in &[20usize, 60] {
+        let mut b = SymMatrix::identity(n);
+        for i in 0..n {
+            b.set(i, i, 2.0 + (i % 3) as f64);
+            if i + 1 < n {
+                b.set(i, i + 1, 0.5);
+            }
+        }
+        let g: Vec<f64> = (0..n).map(|i| ((i % 7) as f64 - 3.0) * 0.3).collect();
+        let lo = vec![-0.5; n];
+        let hi = vec![0.5; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| solve_box_qp(std::hint::black_box(&b), &g, &lo, &hi, 100));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sqp, bench_projected_gradient, bench_nmmso, bench_box_qp);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the full-chip CMP simulator — the
+//! denominator of Table I. Covers the pad kernel, the contact solve, a
+//! full-chip simulation, and the per-perturbation cost of numerical
+//! gradients (whose O(dim) scaling is the paper's motivation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurfill_cmpsim::{contact, CmpSimulator, LayerInput, PadKernel, ProcessParams};
+use neurfill_layout::{DesignKind, DesignSpec};
+
+fn bench_pad_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pad_kernel");
+    group.sample_size(20);
+    for &n in &[32usize, 64] {
+        let kernel = PadKernel::exponential(1.5, 4);
+        let field: Vec<f64> = (0..n * n).map(|i| (i % 17) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| kernel.apply(std::hint::black_box(&field), n, n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_contact_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contact_solve");
+    group.sample_size(20);
+    let params = ProcessParams::default();
+    for &n in &[1024usize, 4096] {
+        let heights: Vec<f64> = (0..n).map(|i| 500.0 + (i % 29) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| contact::solve_reference_plane(std::hint::black_box(&heights), &params));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_chip_simulation");
+    group.sample_size(10);
+    for &n in &[16usize, 32] {
+        let layout = DesignSpec::new(DesignKind::CmpTest, n, n, 1).generate();
+        let sim = CmpSimulator::new(ProcessParams::default()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n * n * 3), &layout, |b, layout| {
+            b.iter(|| sim.simulate(std::hint::black_box(layout)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_layer_simulation");
+    group.sample_size(10);
+    let layout = DesignSpec::new(DesignKind::Fpga, 32, 32, 1).generate();
+    let input = LayerInput::from_layout(&layout, 0);
+    let sim = CmpSimulator::new(ProcessParams::default()).unwrap();
+    group.bench_function("32x32", |b| {
+        b.iter(|| sim.simulate_layer(std::hint::black_box(&input)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pad_kernel,
+    bench_contact_solve,
+    bench_full_simulation,
+    bench_single_layer
+);
+criterion_main!(benches);

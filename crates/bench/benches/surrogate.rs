@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the CMP neural network — the numerator of
+//! Table I: UNet forward propagation (objective evaluation) and the full
+//! forward+backward pass (gradient calculation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neurfill::extraction::{ExtractionConfig, NUM_CHANNELS};
+use neurfill::{Alphas, CmpNeuralNetwork, CmpNnConfig, Coefficients, FillObjective, HeightNorm};
+use neurfill_layout::{DesignKind, DesignSpec, Layout};
+use neurfill_nn::{Module, UNet, UNetConfig};
+use neurfill_optim::Objective;
+use neurfill_tensor::{NdArray, Tensor};
+use rand::SeedableRng;
+
+fn network() -> CmpNeuralNetwork {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let unet = UNet::new(
+        UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 8, depth: 2 },
+        &mut rng,
+    );
+    CmpNeuralNetwork::new(unet, HeightNorm::default(), ExtractionConfig::default(), CmpNnConfig::default())
+}
+
+fn coeffs(layout: &Layout) -> Coefficients {
+    let slack: f64 = layout.slack_vector().iter().sum();
+    Coefficients {
+        alphas: Alphas::default(),
+        beta_sigma: 500.0,
+        beta_sigma_star: 5000.0,
+        beta_ol: 10.0,
+        beta_ov: slack,
+        beta_fa: slack,
+        beta_fs_mb: 30.0,
+        beta_time_s: 60.0,
+        beta_mem_gb: 8.0,
+    }
+}
+
+fn bench_unet_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unet_forward");
+    group.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let unet = UNet::new(
+        UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 8, depth: 2 },
+        &mut rng,
+    );
+    unet.set_training(false);
+    let x = Tensor::constant(NdArray::from_fn(&[1, NUM_CHANNELS, 32, 32], |i| (i % 13) as f32 * 0.05));
+    group.bench_function("32x32", |b| {
+        b.iter(|| unet.forward(std::hint::black_box(&x)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_objective_evaluation(c: &mut Criterion) {
+    // Table I row 1: objective evaluation by forward propagation.
+    let mut group = c.benchmark_group("table1_objective_evaluation_nn");
+    group.sample_size(10);
+    let net = network();
+    let layout = DesignSpec::new(DesignKind::CmpTest, 32, 32, 1).generate();
+    let cfs = coeffs(&layout);
+    let obj = FillObjective::new(&net, &layout, &cfs);
+    let x: Vec<f64> = layout.slack_vector().iter().map(|s| 0.3 * s).collect();
+    group.bench_function("forward_32x32x3", |b| {
+        b.iter(|| obj.value(std::hint::black_box(&x)));
+    });
+    group.finish();
+}
+
+fn bench_gradient_calculation(c: &mut Criterion) {
+    // Table I row 2: gradient calculation by backward propagation.
+    let mut group = c.benchmark_group("table1_gradient_calculation_nn");
+    group.sample_size(10);
+    let net = network();
+    let layout = DesignSpec::new(DesignKind::CmpTest, 32, 32, 1).generate();
+    let cfs = coeffs(&layout);
+    let obj = FillObjective::new(&net, &layout, &cfs);
+    let x: Vec<f64> = layout.slack_vector().iter().map(|s| 0.3 * s).collect();
+    group.bench_function("backward_32x32x3", |b| {
+        b.iter(|| obj.value_and_gradient(std::hint::black_box(&x)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_unet_forward,
+    bench_objective_evaluation,
+    bench_gradient_calculation
+);
+criterion_main!(benches);

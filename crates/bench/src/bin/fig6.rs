@@ -1,0 +1,113 @@
+//! Fig. 6: the quality-score topography of a layout with two fillable
+//! windows — the multi-modality motivation for NMMSO.
+//!
+//! Builds a 3-layer layout in which exactly two windows have slack, sweeps
+//! their fill amounts `(x1, x2)` on a grid, evaluates the quality score
+//! with the *golden* simulator, prints the surface as CSV, and reports the
+//! grid-local maxima NMMSO should locate.
+//!
+//! Usage: `fig6 [grid-steps]` (default 21)
+
+use neurfill::pd::pd_score;
+use neurfill::{Coefficients, PlanarityMetrics};
+use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_layout::{apply_fill, DummySpec, FillPlan, Grid, Layout, WindowId, WindowPattern};
+
+/// A small layout whose only fillable windows are two chosen cells;
+/// everything else has zero slack so the problem is exactly 2-D.
+fn two_window_layout() -> (Layout, usize, usize) {
+    let rows = 8;
+    let cols = 8;
+    let mk_layer = |densities: &dyn Fn(usize, usize) -> f64| {
+        Grid::from_fn(rows, cols, |r, c| {
+            let mut w = WindowPattern::from_line_model(densities(r, c), 0.2, 10_000.0, 0.8);
+            w.slack = 0.0;
+            w
+        })
+    };
+    // Checkerboard-ish contrast gives the surface structure.
+    let base = |r: usize, c: usize| 0.25 + 0.5 * (((r / 2 + c / 2) % 2) as f64);
+    let mut layers = vec![
+        mk_layer(&base),
+        mk_layer(&|r, c| 0.9 - base(r, c)),
+        mk_layer(&|r, c| base(c, r)),
+    ];
+    // Free the two decision windows on layer 1.
+    let free = [(2usize, 2usize), (5usize, 5usize)];
+    for &(r, c) in &free {
+        let w = layers[1].get_mut(r, c);
+        w.density = 0.15;
+        w.slack = 10_000.0 * (1.0 - w.density) * 0.8;
+    }
+    let layout = Layout::new("fig6", 100.0, layers, 1.0);
+    let id1 = layout.flat_index(WindowId { layer: 1, row: free[0].0, col: free[0].1 });
+    let id2 = layout.flat_index(WindowId { layer: 1, row: free[1].0, col: free[1].1 });
+    (layout, id1, id2)
+}
+
+fn main() {
+    let steps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(21);
+    let (layout, k1, k2) = two_window_layout();
+    let sim = CmpSimulator::new(ProcessParams::fast()).expect("valid params");
+    let coeffs = Coefficients::calibrate(&layout, &sim.simulate(&layout), 60.0);
+    let dummy = DummySpec::default();
+    let s1 = layout.slack_vector()[k1];
+    let s2 = layout.slack_vector()[k2];
+
+    let quality = |x1: f64, x2: f64| -> f64 {
+        let mut plan = FillPlan::zeros(&layout);
+        plan.as_mut_slice()[k1] = x1;
+        plan.as_mut_slice()[k2] = x2;
+        let filled = apply_fill(&layout, &plan, &dummy);
+        let m = PlanarityMetrics::from_profile(&sim.simulate(&filled));
+        let a = &coeffs.alphas;
+        let planarity = a.sigma * (1.0 - m.sigma / coeffs.beta_sigma)
+            + a.sigma_star * (1.0 - m.sigma_star / coeffs.beta_sigma_star)
+            + a.ol * (1.0 - m.ol / coeffs.beta_ol);
+        planarity + pd_score(&layout, &plan, &coeffs).score
+    };
+
+    eprintln!("[fig6] sweeping {steps}x{steps} grid over two fillable windows...");
+    let mut surface = vec![0.0; steps * steps];
+    println!("# Fig. 6 — quality score S_qual(x1, x2) of a layout with two fillable windows");
+    println!("# CSV: x1_um2, x2_um2, quality");
+    for i in 0..steps {
+        for j in 0..steps {
+            let x1 = s1 * i as f64 / (steps - 1) as f64;
+            let x2 = s2 * j as f64 / (steps - 1) as f64;
+            let q = quality(x1, x2);
+            surface[i * steps + j] = q;
+            println!("{x1:.1}, {x2:.1}, {q:.6}");
+        }
+    }
+
+    // Grid-local maxima (4-neighbourhood): the peak regions of Fig. 6.
+    let mut peaks = Vec::new();
+    for i in 0..steps {
+        for j in 0..steps {
+            let v = surface[i * steps + j];
+            let mut is_peak = true;
+            for (di, dj) in [(-1i32, 0i32), (1, 0), (0, -1), (0, 1)] {
+                let (ni, nj) = (i as i32 + di, j as i32 + dj);
+                if ni >= 0 && nj >= 0 && (ni as usize) < steps && (nj as usize) < steps
+                    && surface[ni as usize * steps + nj as usize] > v {
+                        is_peak = false;
+                        break;
+                    }
+            }
+            if is_peak {
+                peaks.push((i, j, v));
+            }
+        }
+    }
+    peaks.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    println!("# local maxima on the grid (the red peak regions of Fig. 6):");
+    for (i, j, v) in &peaks {
+        println!(
+            "# peak at x1 = {:.0}, x2 = {:.0}, quality = {v:.6}",
+            s1 * *i as f64 / (steps - 1) as f64,
+            s2 * *j as f64 / (steps - 1) as f64,
+        );
+    }
+    println!("# {} local optimum region(s) found; the paper's Fig. 6 shows 4.", peaks.len());
+}

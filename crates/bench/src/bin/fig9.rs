@@ -1,0 +1,69 @@
+//! Fig. 9: distribution of the per-window average relative error of the
+//! pre-trained UNet against the full-chip CMP simulator, plus the
+//! extension-ability experiment (train on two designs, test on the third).
+//!
+//! Usage: `fig9 [smoke|default|large]`
+
+use neurfill::surrogate::{evaluate_surrogate, train_surrogate};
+use neurfill_bench::harness::{surrogate_config, Scale};
+use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_layout::datagen::{DataGenConfig, TrainingLayoutGenerator};
+use neurfill_layout::benchmark_designs;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_arg(std::env::args().nth(1).as_deref());
+    let grid = scale.grid();
+    let designs = benchmark_designs(grid, grid, 7);
+    let sim = CmpSimulator::new(ProcessParams::default()).expect("valid params");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+
+    // --- Main accuracy experiment: train on all three designs. ---
+    eprintln!("[fig9] training surrogate on all three designs ({scale:?})...");
+    let cfg = surrogate_config(scale, 21);
+    let trained = train_surrogate(&designs, &sim, &cfg, &mut rng).expect("training succeeds");
+
+    let n_eval = match scale {
+        Scale::Smoke => 4,
+        Scale::Default => 12,
+        Scale::Large => 25,
+    };
+    let mut gen = TrainingLayoutGenerator::new(
+        designs.clone(),
+        DataGenConfig { rows: grid, cols: grid, seed: 777, ..DataGenConfig::default() },
+    );
+    let eval_layouts = gen.generate(n_eval);
+    let report = evaluate_surrogate(&trained.network, &sim, &eval_layouts).expect("evaluation");
+
+    println!("Fig. 9 — Average relative error distribution of height in windows");
+    println!("(test set: {n_eval} layouts of {grid}x{grid} windows x 3 layers)");
+    println!("mean relative error:        {:.3}%", report.mean_relative_error * 100.0);
+    println!("max per-window error:       {:.3}%", report.max_window_error * 100.0);
+    println!("windows below 1.3% error:   {:.1}%", report.fraction_below(0.013) * 100.0);
+    println!("\nhistogram (per-window average relative error):");
+    let max_edge = (report.max_window_error * 1.05).max(1e-4);
+    for (edge, count) in report.histogram(12, max_edge) {
+        let bar = "#".repeat((count * 60 / report.per_window_error.len().max(1)).min(60));
+        println!("  <= {:>6.3}% : {count:>6} {bar}", edge * 100.0);
+    }
+
+    // --- Extension ability: train on designs A+B, test on C (paper §IV-F). ---
+    eprintln!("[fig9] extension-ability experiment (train A+B, test C)...");
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(22);
+    let train_sources = vec![designs[0].clone(), designs[1].clone()];
+    let trained_ab = train_surrogate(&train_sources, &sim, &cfg, &mut rng2).expect("training");
+    let mut gen_c = TrainingLayoutGenerator::new(
+        vec![designs[2].clone()],
+        DataGenConfig { rows: grid, cols: grid, seed: 778, ..DataGenConfig::default() },
+    );
+    let eval_c = gen_c.generate(n_eval.max(3));
+    let ext = evaluate_surrogate(&trained_ab.network, &sim, &eval_c).expect("evaluation");
+    println!("\nExtension ability (train on A+B, test on layouts assembled from C):");
+    println!("mean relative error:        {:.3}%", ext.mean_relative_error * 100.0);
+    println!("\nPaper reference: 0.6% mean error, 1.77% max window error, 90% of windows");
+    println!("below 1.3%; 2.7% on the extension set. Shape check: extension error is");
+    println!(
+        "{:.1}x the in-distribution error (paper: 2.7/0.6 = 4.5x).",
+        ext.mean_relative_error / report.mean_relative_error.max(1e-12)
+    );
+}

@@ -1,0 +1,113 @@
+//! Table I: runtime comparison for objective evaluation and gradient
+//! calculation — full-chip simulator (1 core, projected 64 cores) vs the
+//! CMP neural network (forward / backward propagation).
+//!
+//! Usage: `table1 [smoke|default|large]`
+
+use neurfill::{FillObjective, PlanarityMetrics};
+use neurfill_bench::costmodel::{speedup, ParallelModel};
+use neurfill_bench::harness::{prepare, Scale};
+use neurfill_cmpsim::FiniteDifference;
+use neurfill_layout::{apply_fill, DummySpec, FillPlan};
+use neurfill_optim::Objective;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_arg(std::env::args().nth(1).as_deref());
+    eprintln!("[table1] preparing experiment at {scale:?} scale...");
+    let exp = prepare(scale, 7);
+    let layout = &exp.designs[0];
+    let dim = layout.num_windows();
+    let coeffs = exp.coefficients(layout);
+    eprintln!(
+        "[table1] design A: {}x{}x{} windows (dim = {dim}), surrogate trained in {:.1}s",
+        layout.num_layers(),
+        layout.rows(),
+        layout.cols(),
+        exp.train_seconds
+    );
+
+    let x: Vec<f64> = layout.slack_vector().iter().map(|s| 0.3 * s).collect();
+    let plan = FillPlan::from_vec(layout, x.clone());
+    let dummy = DummySpec::default();
+
+    // --- Objective evaluation: full-chip simulator (single invocation). ---
+    let reps = 5;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let filled = apply_fill(layout, &plan, &dummy);
+        let profile = exp.sim.simulate(&filled);
+        std::hint::black_box(PlanarityMetrics::from_profile(&profile));
+    }
+    let sim_eval_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+    // --- Objective evaluation: CMP neural network forward pass. ---
+    let objective = FillObjective::new(&exp.surrogate.network, layout, &coeffs);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(objective.value(&x));
+    }
+    let nn_eval_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+    // --- Gradient: numerical (dim + 1 simulator invocations). ---
+    // Measure a slice of the perturbations and extrapolate; running the
+    // full 10k-dimensional gradient at paper scale takes hours, which is
+    // exactly the point of Table I.
+    let probe = 24.min(dim);
+    let t0 = Instant::now();
+    let fd = FiniteDifference::new(50.0, 1);
+    let _ = fd.gradient(&x[..probe], &|xs: &[f64]| {
+        let mut full = x.clone();
+        full[..probe].copy_from_slice(xs);
+        let filled = apply_fill(layout, &FillPlan::from_vec(layout, full), &dummy);
+        let m = PlanarityMetrics::from_profile(&exp.sim.simulate(&filled));
+        m.sigma
+    });
+    let per_eval = t0.elapsed().as_secs_f64() / (probe + 1) as f64;
+    let numgrad_1c_s = per_eval * FiniteDifference::forward_evaluations(dim) as f64;
+    let xeon = ParallelModel::paper_xeon();
+    let numgrad_64c_s = xeon.project(numgrad_1c_s);
+
+    // --- Gradient: CMP neural network backward propagation. ---
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(objective.value_and_gradient(&x));
+    }
+    let nn_grad_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+    println!("\nTable I — Runtime Comparisons for Objective Evaluation and Gradient Calculation");
+    println!("(problem dimension L·N·M = {dim}; numerical-gradient times extrapolated from {probe} probes)");
+    println!(
+        "{:<22} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "Operation", "Simulator (1c)", "Simulator (64c)", "CMP NN", "vs 64c", "vs 1c"
+    );
+    println!(
+        "{:<22} {:>13.3}s {:>13.3}s {:>13.4}s {:>13.0}x {:>13.0}x",
+        "Objective Evaluation",
+        sim_eval_s,
+        sim_eval_s, // one simulation does not parallelize (cf. paper: 4.7s on both)
+        nn_eval_s,
+        speedup(sim_eval_s, nn_eval_s),
+        speedup(sim_eval_s, nn_eval_s)
+    );
+    println!(
+        "{:<22} {:>13.1}s {:>13.1}s {:>13.4}s {:>13.0}x {:>13.0}x",
+        "Gradient Calculation",
+        numgrad_1c_s,
+        numgrad_64c_s,
+        nn_grad_s,
+        speedup(numgrad_64c_s, nn_grad_s),
+        speedup(numgrad_1c_s, nn_grad_s)
+    );
+    println!(
+        "\nNote: this reproduction runs the NN on the same single core as the simulator, so"
+    );
+    println!("the like-for-like hardware comparison is the `vs 1c` column; the paper compares");
+    println!("a K80 GPU against a 64-core Xeon and reports the `vs 64c` analogue.");
+    println!(
+        "\nPaper reference (100x100 windows, K80 GPU vs 64c Xeon): 188x evaluation, 8134x gradient."
+    );
+    println!(
+        "Shape check: NN gradient speedup grows ~linearly with dimension (numerical gradient is O(dim) simulations, backward is O(1) forwards)."
+    );
+}

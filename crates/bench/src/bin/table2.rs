@@ -1,0 +1,54 @@
+//! Table II: score-function coefficients of the three layout designs.
+//!
+//! The α row is the paper's (identical across designs); the βs are
+//! calibrated against the unfilled golden simulation at the chosen
+//! experiment scale (see DESIGN.md §5 for the calibration rule).
+//!
+//! Usage: `table2 [smoke|default|large]`
+
+use neurfill::Coefficients;
+use neurfill_bench::harness::Scale;
+use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_layout::benchmark_designs;
+
+fn main() {
+    let scale = Scale::from_arg(std::env::args().nth(1).as_deref());
+    let grid = scale.grid();
+    let designs = benchmark_designs(grid, grid, 7);
+    let sim = CmpSimulator::new(ProcessParams::default()).expect("valid params");
+
+    println!("Table II — Score Function Coefficients of Three Layout Designs ({grid}x{grid} windows)");
+    println!(
+        "{:<3} {:>3} {:>9} {:>6} {:>12} {:>6} {:>12} {:>6} {:>10} {:>6} {:>10} {:>6} {:>8} {:>6} {:>9} {:>6} {:>7} {:>6} {:>5}",
+        "", "#L", "FileSize", "a_ov", "b_ov", "a_fa", "b_fa", "a_s", "b_s", "a_s*", "b_s*",
+        "a_ol", "b_ol", "a_fs", "b_fs", "a_t", "b_t", "a_m", "b_m"
+    );
+    for layout in &designs {
+        let c = Coefficients::calibrate(layout, &sim.simulate(layout), scale.beta_time_s());
+        let a = &c.alphas;
+        println!(
+            "{:<3} {:>3} {:>8.1}M {:>6.2} {:>12.0} {:>6.2} {:>12.0} {:>6.2} {:>10.1} {:>6.2} {:>10.0} {:>6.2} {:>8.2} {:>6.2} {:>8.1}M {:>6.2} {:>6.0}s {:>6.2} {:>4.0}G",
+            layout.name(),
+            layout.num_layers(),
+            layout.file_size_mb(),
+            a.ov,
+            c.beta_ov,
+            a.fa,
+            c.beta_fa,
+            a.sigma,
+            c.beta_sigma,
+            a.sigma_star,
+            c.beta_sigma_star,
+            a.ol,
+            c.beta_ol,
+            a.fs,
+            c.beta_fs_mb,
+            a.time,
+            c.beta_time_s,
+            a.mem,
+            c.beta_mem_gb,
+        );
+    }
+    println!("\nPaper reference row (Design A): a_ov 0.15, b_ov 2400724, a_fa 0.05, a_s 0.2 b_s 209, a_s* 0.2 b_s* 78132, a_ol 0.15 b_ol 7.1, a_fs 0.05 b_fs 32.8M, a_t 0.15 b_t 20min, a_m 0.05 b_m 8G.");
+    println!("The α column is reproduced exactly; βs are benchmark-related and calibrated to this reproduction's scale.");
+}

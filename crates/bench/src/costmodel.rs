@@ -1,0 +1,75 @@
+//! Analytic cost model for the Table I platform argument.
+//!
+//! The paper compares a 64-core Xeon (8.12 TFLOPS fp32) against a Tesla
+//! K80 (8.74 TFLOPS fp32) and argues the platforms are equivalent, so the
+//! measured speedups are algorithmic. This reproduction runs on however
+//! many cores the host has; the model below converts measured 1-thread
+//! times into the paper's 64-core baseline and reports both.
+
+/// Thread-scaling model for the parallel numerical-gradient baseline.
+///
+/// Finite differences are embarrassingly parallel over perturbations, so
+/// an ideal 64-core run divides the 1-core time by `efficiency × cores`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelModel {
+    /// Number of cores of the modelled machine.
+    pub cores: usize,
+    /// Parallel efficiency in `(0, 1]` (the paper's own numbers imply
+    /// ~0.98: 34100 s / 64 ≈ 533 s vs the reported 545 s).
+    pub efficiency: f64,
+}
+
+impl ParallelModel {
+    /// The paper's 64-core Xeon baseline.
+    #[must_use]
+    pub fn paper_xeon() -> Self {
+        Self { cores: 64, efficiency: 0.98 }
+    }
+
+    /// Projects a measured 1-core time onto this machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `seconds_1c` is negative.
+    #[must_use]
+    pub fn project(&self, seconds_1c: f64) -> f64 {
+        debug_assert!(seconds_1c >= 0.0);
+        seconds_1c / (self.cores as f64 * self.efficiency)
+    }
+}
+
+/// Speedup of `fast` over `slow` (the Table I ratio columns).
+///
+/// # Panics
+///
+/// Panics in debug builds when `fast_s` is not positive.
+#[must_use]
+pub fn speedup(slow_s: f64, fast_s: f64) -> f64 {
+    debug_assert!(fast_s > 0.0);
+    slow_s / fast_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_consistency_check() {
+        // 34100 s on 1 core → ~545 s on 64 cores at the implied efficiency.
+        let m = ParallelModel::paper_xeon();
+        let projected = m.project(34_100.0);
+        assert!((projected - 545.0).abs() < 15.0, "{projected}");
+    }
+
+    #[test]
+    fn paper_speedups_reproduce_from_reported_times() {
+        assert!((speedup(4.7, 0.025) - 188.0).abs() < 1.0);
+        assert!((speedup(545.0, 0.067) - 8134.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn projection_scales_linearly() {
+        let m = ParallelModel { cores: 8, efficiency: 1.0 };
+        assert!((m.project(80.0) - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,11 @@
+//! # neurfill-bench
+//!
+//! Shared experiment harness for the NeurFill reproduction: common setup
+//! (designs, simulator, surrogate training at experiment scale) used by
+//! the table/figure binaries and the criterion benches. See DESIGN.md for
+//! the per-experiment index.
+
+#![warn(missing_docs)]
+
+pub mod costmodel;
+pub mod harness;

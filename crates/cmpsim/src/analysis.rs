@@ -1,0 +1,175 @@
+//! Post-CMP profile analysis: summaries, histograms and hotspot
+//! extraction — the reporting layer a full-chip CMP signoff tool provides
+//! on top of the raw dishing/erosion/height maps.
+
+use crate::profile::{ChipProfile, LayerProfile};
+
+/// Summary statistics of one layer's post-CMP surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerSummary {
+    /// Mean height (nm).
+    pub mean_height: f64,
+    /// Height standard deviation (nm).
+    pub height_std: f64,
+    /// Peak-to-valley range (nm).
+    pub height_range: f64,
+    /// Mean dishing (nm).
+    pub mean_dishing: f64,
+    /// Maximum dishing (nm).
+    pub max_dishing: f64,
+    /// Mean erosion (nm).
+    pub mean_erosion: f64,
+    /// Maximum erosion (nm).
+    pub max_erosion: f64,
+}
+
+/// Summarizes one layer.
+#[must_use]
+pub fn summarize_layer(layer: &LayerProfile) -> LayerSummary {
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let max = |v: &[f64]| v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    LayerSummary {
+        mean_height: layer.mean_height(),
+        height_std: layer.height_variance().sqrt(),
+        height_range: layer.height_range(),
+        mean_dishing: mean(layer.dishing()),
+        max_dishing: max(layer.dishing()),
+        mean_erosion: mean(layer.erosion()),
+        max_erosion: max(layer.erosion()),
+    }
+}
+
+/// Summarizes every layer of a chip profile.
+#[must_use]
+pub fn summarize(profile: &ChipProfile) -> Vec<LayerSummary> {
+    profile.iter().map(summarize_layer).collect()
+}
+
+/// One hotspot: a window whose height deviates most from the layer mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hotspot {
+    /// Layer index.
+    pub layer: usize,
+    /// Window row.
+    pub row: usize,
+    /// Window column.
+    pub col: usize,
+    /// Signed deviation from the layer mean height (nm).
+    pub deviation: f64,
+}
+
+/// Extracts the `count` windows with the largest |height − layer mean|
+/// across the whole chip, sorted by decreasing magnitude — the windows a
+/// signoff flow would flag for review.
+#[must_use]
+pub fn hotspots(profile: &ChipProfile, count: usize) -> Vec<Hotspot> {
+    let mut all = Vec::new();
+    for (l, layer) in profile.iter().enumerate() {
+        let mean = layer.mean_height();
+        for r in 0..layer.rows() {
+            for c in 0..layer.cols() {
+                all.push(Hotspot { layer: l, row: r, col: c, deviation: layer.height(r, c) - mean });
+            }
+        }
+    }
+    all.sort_by(|a, b| {
+        b.deviation
+            .abs()
+            .partial_cmp(&a.deviation.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    all.truncate(count);
+    all
+}
+
+/// Height histogram over all layers: `bins` equal-width bins spanning the
+/// observed range. Returns `(bin upper edge in nm, count)`.
+///
+/// # Panics
+///
+/// Panics when `bins` is zero.
+#[must_use]
+pub fn height_histogram(profile: &ChipProfile, bins: usize) -> Vec<(f64, usize)> {
+    assert!(bins > 0, "need at least one bin");
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for layer in profile {
+        for &h in layer.heights() {
+            lo = lo.min(h);
+            hi = hi.max(h);
+        }
+    }
+    let width = ((hi - lo) / bins as f64).max(1e-12);
+    let mut counts = vec![0usize; bins];
+    for layer in profile {
+        for &h in layer.heights() {
+            let b = (((h - lo) / width) as usize).min(bins - 1);
+            counts[b] += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (lo + (i + 1) as f64 * width, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::LayerProfile;
+
+    fn profile() -> ChipProfile {
+        let heights = vec![10.0, 12.0, 14.0, 20.0];
+        let dishing = vec![1.0, 2.0, 3.0, 4.0];
+        let erosion = vec![0.0, 0.5, 1.0, 1.5];
+        ChipProfile::new(vec![LayerProfile::new(2, 2, heights, dishing, erosion)])
+    }
+
+    #[test]
+    fn layer_summary_values() {
+        let s = summarize(&profile());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].mean_height, 14.0);
+        assert_eq!(s[0].height_range, 10.0);
+        assert_eq!(s[0].mean_dishing, 2.5);
+        assert_eq!(s[0].max_dishing, 4.0);
+        assert_eq!(s[0].max_erosion, 1.5);
+    }
+
+    #[test]
+    fn hotspots_sorted_by_magnitude() {
+        let h = hotspots(&profile(), 2);
+        assert_eq!(h.len(), 2);
+        // The 20.0 window deviates +6 from mean 14; the 10.0 window −4.
+        assert_eq!((h[0].row, h[0].col), (1, 1));
+        assert!((h[0].deviation - 6.0).abs() < 1e-12);
+        assert!((h[1].deviation + 4.0).abs() < 1e-12);
+        // Requesting more hotspots than windows returns all of them.
+        assert_eq!(hotspots(&profile(), 100).len(), 4);
+    }
+
+    #[test]
+    fn histogram_covers_all_windows() {
+        let hist = height_histogram(&profile(), 5);
+        assert_eq!(hist.len(), 5);
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 4);
+        // Upper edge of the last bin reaches the max height.
+        assert!((hist.last().unwrap().0 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_profile_has_single_occupied_bin() {
+        let flat = ChipProfile::new(vec![LayerProfile::new(
+            2,
+            2,
+            vec![5.0; 4],
+            vec![0.0; 4],
+            vec![0.0; 4],
+        )]);
+        let hist = height_histogram(&flat, 3);
+        let occupied: usize = hist.iter().filter(|(_, c)| *c > 0).count();
+        assert_eq!(occupied, 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Process calibration: fitting simulator parameters to reference
+//! measurements.
+//!
+//! The paper's simulator is "calibrated under a 45 nm process of a
+//! foundry, and the accuracy is matched with the CMP Predictor" — i.e.
+//! its parameters were fit against measured post-CMP profiles. This module
+//! provides that fitting step for this reproduction's simulator: given
+//! `(pattern, measured heights)` pairs, it tunes selected process
+//! parameters by cyclic coordinate descent with golden-section line
+//! searches (derivative-free, robust for a handful of parameters).
+
+use crate::params::ProcessParams;
+use crate::simulator::{CmpSimulator, LayerInput};
+
+/// One reference measurement: a layer pattern and its measured post-CMP
+/// average-height map (nm, row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// The extracted layer pattern.
+    pub input: LayerInput,
+    /// Measured heights (nm), `rows × cols` row-major.
+    pub heights: Vec<f64>,
+}
+
+/// Which parameters the fit may adjust, with their search ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationSpec {
+    /// Range for `removal_per_step` (nm).
+    pub removal_per_step: Option<(f64, f64)>,
+    /// Range for `dishing_coefficient`.
+    pub dishing_coefficient: Option<(f64, f64)>,
+    /// Range for `character_length` (windows).
+    pub character_length: Option<(f64, f64)>,
+    /// Range for `critical_step` (nm).
+    pub critical_step: Option<(f64, f64)>,
+    /// Coordinate-descent sweeps over the enabled parameters.
+    pub sweeps: usize,
+    /// Golden-section iterations per line search.
+    pub line_search_iterations: usize,
+}
+
+impl Default for CalibrationSpec {
+    fn default() -> Self {
+        Self {
+            removal_per_step: Some((2.0, 20.0)),
+            dishing_coefficient: Some((0.0, 1.5)),
+            character_length: Some((0.5, 4.0)),
+            critical_step: None,
+            sweeps: 3,
+            line_search_iterations: 18,
+        }
+    }
+}
+
+/// Result of a calibration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationResult {
+    /// The fitted parameters.
+    pub params: ProcessParams,
+    /// Final root-mean-square height error (nm).
+    pub rmse_nm: f64,
+    /// Simulator invocations spent.
+    pub simulations: usize,
+}
+
+fn rmse(params: &ProcessParams, data: &[Measurement]) -> Option<f64> {
+    let sim = CmpSimulator::new(params.clone()).ok()?;
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for m in data {
+        let profile = sim.simulate_layer(&m.input);
+        for (p, t) in profile.heights().iter().zip(&m.heights) {
+            acc += (p - t) * (p - t);
+            n += 1;
+        }
+    }
+    Some((acc / n.max(1) as f64).sqrt())
+}
+
+/// Golden-section minimization of `f` over `[lo, hi]`.
+fn golden_section(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    iterations: usize,
+) -> (f64, f64) {
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..iterations {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = f(d);
+        }
+    }
+    if fc < fd {
+        (c, fc)
+    } else {
+        (d, fd)
+    }
+}
+
+/// Fits the enabled parameters of `start` against `data`.
+///
+/// # Panics
+///
+/// Panics when `data` is empty, a measurement's height map disagrees with
+/// its pattern dimensions, or `start` is invalid.
+#[must_use]
+pub fn calibrate(start: &ProcessParams, data: &[Measurement], spec: &CalibrationSpec) -> CalibrationResult {
+    assert!(!data.is_empty(), "need at least one measurement");
+    for m in data {
+        assert_eq!(m.heights.len(), m.input.rows * m.input.cols, "measurement size mismatch");
+    }
+    start.validate().expect("valid starting parameters");
+
+    let mut params = start.clone();
+    let mut simulations = 0usize;
+    let mut best = rmse(&params, data).expect("valid start");
+    simulations += data.len();
+
+    type Field = (
+        fn(&ProcessParams) -> f64,
+        fn(&mut ProcessParams, f64),
+        Option<(f64, f64)>,
+    );
+    let fields: [Field; 4] = [
+        (|p| p.removal_per_step, |p, v| p.removal_per_step = v, spec.removal_per_step),
+        (|p| p.dishing_coefficient, |p, v| p.dishing_coefficient = v, spec.dishing_coefficient),
+        (|p| p.character_length, |p, v| p.character_length = v, spec.character_length),
+        (|p| p.critical_step, |p, v| p.critical_step = v, spec.critical_step),
+    ];
+
+    for _ in 0..spec.sweeps {
+        for (_get, set, range) in &fields {
+            let Some((lo, hi)) = range else { continue };
+            let mut evals = 0usize;
+            let (v, f) = golden_section(
+                |x| {
+                    let mut trial = params.clone();
+                    set(&mut trial, x);
+                    evals += 1;
+                    rmse(&trial, data).unwrap_or(f64::INFINITY)
+                },
+                *lo,
+                *hi,
+                spec.line_search_iterations,
+            );
+            simulations += evals * data.len();
+            if f < best {
+                best = f;
+                set(&mut params, v);
+            }
+        }
+    }
+
+    CalibrationResult { params, rmse_nm: best, simulations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_data(true_params: &ProcessParams) -> Vec<Measurement> {
+        let sim = CmpSimulator::new(true_params.clone()).unwrap();
+        let mut data = Vec::new();
+        for seed in 0..3u64 {
+            let rows = 8;
+            let cols = 8;
+            let density: Vec<f64> = (0..rows * cols)
+                .map(|i| 0.2 + 0.6 * (((i as u64).wrapping_mul(2654435761 + seed) % 100) as f64 / 100.0))
+                .collect();
+            let input = LayerInput {
+                rows,
+                cols,
+                perimeter: density.iter().map(|d| 2.0 * 10_000.0 * d / 0.2).collect(),
+                avg_width: (0..rows * cols).map(|i| 0.1 + 0.05 * (i % 7) as f64).collect(),
+                density,
+            };
+            let heights = sim.simulate_layer(&input).heights().to_vec();
+            data.push(Measurement { input, heights });
+        }
+        data
+    }
+
+    #[test]
+    fn self_calibration_recovers_removal_rate() {
+        let truth = ProcessParams { steps: 20, kernel_radius: 2, ..ProcessParams::default() };
+        let data = reference_data(&truth);
+        // Start with a wrong removal rate and let the fit recover it.
+        let start = ProcessParams { removal_per_step: 12.0, ..truth.clone() };
+        let spec = CalibrationSpec {
+            removal_per_step: Some((2.0, 20.0)),
+            dishing_coefficient: None,
+            character_length: None,
+            critical_step: None,
+            sweeps: 1,
+            line_search_iterations: 25,
+        };
+        let result = calibrate(&start, &data, &spec);
+        assert!(
+            (result.params.removal_per_step - truth.removal_per_step).abs() < 0.1,
+            "fitted {} vs true {}",
+            result.params.removal_per_step,
+            truth.removal_per_step
+        );
+        assert!(result.rmse_nm < 0.5, "rmse {}", result.rmse_nm);
+    }
+
+    #[test]
+    fn calibration_never_worsens_rmse() {
+        let truth = ProcessParams { steps: 15, kernel_radius: 2, ..ProcessParams::default() };
+        let data = reference_data(&truth);
+        let start = ProcessParams {
+            removal_per_step: 5.0,
+            dishing_coefficient: 1.0,
+            ..truth.clone()
+        };
+        let before = rmse(&start, &data).unwrap();
+        let spec = CalibrationSpec {
+            sweeps: 1,
+            line_search_iterations: 10,
+            character_length: None,
+            ..CalibrationSpec::default()
+        };
+        let result = calibrate(&start, &data, &spec);
+        assert!(result.rmse_nm <= before + 1e-12, "{} > {before}", result.rmse_nm);
+        assert!(result.simulations > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measurement")]
+    fn empty_data_panics() {
+        let _ = calibrate(&ProcessParams::default(), &[], &CalibrationSpec::default());
+    }
+
+    #[test]
+    fn golden_section_finds_parabola_minimum() {
+        let (x, f) = golden_section(|v| (v - 3.0) * (v - 3.0) + 1.0, 0.0, 10.0, 40);
+        assert!((x - 3.0).abs() < 1e-4);
+        assert!((f - 1.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,112 @@
+//! Contact-mechanics pressure solve (paper §II-A step 2).
+//!
+//! The rough pad is modelled as a bed of asperities: the contact pressure
+//! on a window whose (smoothed) envelope height is `z` is
+//! `p(z) = k · max(0, z − z_ref)^e`, and the pad reference plane `z_ref`
+//! floats so that the mean window pressure balances the applied pressure.
+//! `z_ref` is found by bisection (the force balance is strictly monotone).
+
+use crate::params::ProcessParams;
+
+/// Solves for the pad reference plane `z_ref` so that
+/// `mean_i k·⟨z_i − z_ref⟩^e = applied_pressure`.
+///
+/// Returns `z_ref`. The heights are the *smoothed* envelope heights.
+///
+/// # Panics
+///
+/// Panics when `heights` is empty.
+#[must_use]
+pub fn solve_reference_plane(heights: &[f64], params: &ProcessParams) -> f64 {
+    assert!(!heights.is_empty(), "need at least one window");
+    let k = params.contact_stiffness();
+    let e = params.contact_exponent;
+    let target = params.applied_pressure;
+    let zmax = heights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let zmin = heights.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean_force = |z_ref: f64| -> f64 {
+        heights.iter().map(|&z| k * (z - z_ref).max(0.0).powf(e)).sum::<f64>() / heights.len() as f64
+    };
+    // Bracket: at z_ref = zmax force is 0 < target; lower bound far enough
+    // below zmin that force exceeds target.
+    let mut hi = zmax;
+    let mut lo = zmin - params.reference_penetration;
+    while mean_force(lo) < target {
+        lo -= params.reference_penetration.max(1.0);
+        if zmax - lo > 1e7 {
+            break; // degenerate inputs; bisection below still converges
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if mean_force(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-9 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Per-window contact pressures for the given (smoothed) envelope heights
+/// and solved reference plane.
+#[must_use]
+pub fn window_pressures(heights: &[f64], z_ref: f64, params: &ProcessParams) -> Vec<f64> {
+    let k = params.contact_stiffness();
+    let e = params.contact_exponent;
+    heights.iter().map(|&z| k * (z - z_ref).max(0.0).powf(e)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_chip_carries_applied_pressure_uniformly() {
+        let p = ProcessParams::default();
+        let heights = vec![500.0; 64];
+        let z_ref = solve_reference_plane(&heights, &p);
+        let pressures = window_pressures(&heights, z_ref, &p);
+        for q in &pressures {
+            assert!((q - p.applied_pressure).abs() < 1e-6, "{q}");
+        }
+        // Penetration equals the reference penetration by construction.
+        assert!((500.0 - z_ref - p.reference_penetration).abs() < 1e-6);
+    }
+
+    #[test]
+    fn high_windows_carry_more_pressure() {
+        let p = ProcessParams::default();
+        let mut heights = vec![500.0; 64];
+        heights[0] = 520.0;
+        let z_ref = solve_reference_plane(&heights, &p);
+        let q = window_pressures(&heights, z_ref, &p);
+        assert!(q[0] > q[1]);
+        // Force balance holds.
+        let mean: f64 = q.iter().sum::<f64>() / q.len() as f64;
+        assert!((mean - p.applied_pressure).abs() < 1e-6);
+    }
+
+    #[test]
+    fn very_low_windows_lose_contact() {
+        let p = ProcessParams::default();
+        let mut heights = vec![500.0; 16];
+        heights[3] = 300.0; // far below everything
+        let z_ref = solve_reference_plane(&heights, &p);
+        let q = window_pressures(&heights, z_ref, &p);
+        assert_eq!(q[3], 0.0);
+    }
+
+    #[test]
+    fn mean_pressure_is_conserved_for_rough_chips() {
+        let p = ProcessParams::default();
+        let heights: Vec<f64> = (0..100).map(|i| 480.0 + (i % 13) as f64 * 3.0).collect();
+        let z_ref = solve_reference_plane(&heights, &p);
+        let q = window_pressures(&heights, z_ref, &p);
+        let mean: f64 = q.iter().sum::<f64>() / q.len() as f64;
+        assert!((mean - p.applied_pressure).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,109 @@
+//! The density-step-height (DSH) removal-rate model (paper §II-A step 3,
+//! after Cai's MIT pattern-dependency model [17]).
+//!
+//! While the local step height `s` exceeds the critical contact height
+//! `h_c`, the pad only touches up areas, which therefore carry the whole
+//! window pressure amplified by the inverse effective density. Once
+//! `s < h_c`, the pad progressively contacts down areas and the pressure is
+//! shared linearly in `s/h_c`.
+
+use crate::params::ProcessParams;
+
+/// Up/down-area pressures of one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PressureSplit {
+    /// Pressure carried by up areas (over metal).
+    pub up: f64,
+    /// Pressure carried by down areas (over trenches/spaces).
+    pub down: f64,
+}
+
+/// Splits a window pressure between up and down areas according to the DSH
+/// model.
+///
+/// `effective_density` is the kernel-averaged density at the window; the
+/// split clamps it to `params.min_effective_density` to keep `P/ρ_eff`
+/// bounded.
+#[must_use]
+pub fn split_pressure(
+    pressure: f64,
+    effective_density: f64,
+    step: f64,
+    params: &ProcessParams,
+) -> PressureSplit {
+    let rho = effective_density.clamp(params.min_effective_density, 1.0);
+    if step >= params.critical_step {
+        // Pad rides on up areas only.
+        PressureSplit { up: pressure / rho, down: 0.0 }
+    } else {
+        // Linear contact sharing: φ = s/h_c fraction still up-area-only.
+        let phi = (step / params.critical_step).clamp(0.0, 1.0);
+        let denom = rho + (1.0 - rho) * (1.0 - phi);
+        let up = pressure / denom;
+        PressureSplit { up, down: up * (1.0 - phi) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ProcessParams {
+        ProcessParams::default()
+    }
+
+    #[test]
+    fn large_step_concentrates_pressure_on_up_areas() {
+        let p = params();
+        let s = split_pressure(1.0, 0.5, 100.0, &p);
+        assert!((s.up - 2.0).abs() < 1e-12);
+        assert_eq!(s.down, 0.0);
+    }
+
+    #[test]
+    fn zero_step_equalizes_pressures() {
+        let p = params();
+        let s = split_pressure(1.0, 0.5, 0.0, &p);
+        assert!((s.up - 1.0).abs() < 1e-12);
+        assert!((s.down - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_is_continuous_at_critical_step() {
+        let p = params();
+        let just_below = split_pressure(1.0, 0.4, p.critical_step - 1e-9, &p);
+        let at = split_pressure(1.0, 0.4, p.critical_step, &p);
+        assert!((just_below.up - at.up).abs() < 1e-6);
+        assert!(just_below.down < 1e-6);
+    }
+
+    #[test]
+    fn lower_density_amplifies_up_pressure() {
+        let p = params();
+        let lo = split_pressure(1.0, 0.2, 100.0, &p);
+        let hi = split_pressure(1.0, 0.8, 100.0, &p);
+        assert!(lo.up > hi.up);
+    }
+
+    #[test]
+    fn density_is_clamped() {
+        let p = params();
+        let s = split_pressure(1.0, 0.0, 100.0, &p);
+        assert!(s.up.is_finite());
+        assert!((s.up - 1.0 / p.min_effective_density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_convergence_property() {
+        // With pressure shared, up areas always erode at least as fast as
+        // down areas, so steps shrink monotonically.
+        let p = params();
+        for &step in &[0.0, 5.0, 15.0, 29.0, 30.0, 60.0] {
+            for &rho in &[0.1, 0.4, 0.9] {
+                let s = split_pressure(1.0, rho, step, &p);
+                assert!(s.up >= s.down, "step {step} rho {rho}: {s:?}");
+                assert!(s.down >= 0.0);
+            }
+        }
+    }
+}

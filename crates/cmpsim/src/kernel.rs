@@ -1,0 +1,142 @@
+//! The pad-deformation weighting kernel.
+//!
+//! The rough polishing pad averages topography and pattern density over a
+//! neighbourhood set by its character length (paper §III-B: 20–100 µm),
+//! which is what makes the CMP model *local* and therefore learnable by a
+//! convolutional network. The kernel is an exponentially decaying radial
+//! weight, truncated at a configurable radius and renormalized at chip
+//! edges.
+
+/// A truncated radial exponential kernel over window grids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PadKernel {
+    radius: usize,
+    weights: Vec<f64>, // (2r+1)² window of weights
+}
+
+impl PadKernel {
+    /// Builds a kernel `w(d) = exp(−d / character_length)` truncated at
+    /// `radius` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `character_length` is not positive.
+    #[must_use]
+    pub fn exponential(character_length: f64, radius: usize) -> Self {
+        assert!(character_length > 0.0, "character length must be positive");
+        let size = 2 * radius + 1;
+        let mut weights = vec![0.0; size * size];
+        for dy in 0..size {
+            for dx in 0..size {
+                let y = dy as f64 - radius as f64;
+                let x = dx as f64 - radius as f64;
+                let d = (x * x + y * y).sqrt();
+                weights[dy * size + dx] = (-d / character_length).exp();
+            }
+        }
+        Self { radius, weights }
+    }
+
+    /// Kernel truncation radius in windows.
+    #[must_use]
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Applies the kernel to a row-major `rows × cols` field with
+    /// edge renormalization (weights falling outside the chip are dropped
+    /// and the remainder rescaled, so a constant field stays constant).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `field.len() != rows * cols`.
+    #[must_use]
+    pub fn apply(&self, field: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+        assert_eq!(field.len(), rows * cols, "field length mismatch");
+        let r = self.radius as isize;
+        let size = 2 * self.radius + 1;
+        let mut out = vec![0.0; rows * cols];
+        for i in 0..rows as isize {
+            for j in 0..cols as isize {
+                let mut acc = 0.0;
+                let mut wsum = 0.0;
+                for dy in -r..=r {
+                    let y = i + dy;
+                    if y < 0 || y >= rows as isize {
+                        continue;
+                    }
+                    let wrow = ((dy + r) as usize) * size;
+                    let frow = y as usize * cols;
+                    for dx in -r..=r {
+                        let x = j + dx;
+                        if x < 0 || x >= cols as isize {
+                            continue;
+                        }
+                        let w = self.weights[wrow + (dx + r) as usize];
+                        acc += w * field[frow + x as usize];
+                        wsum += w;
+                    }
+                }
+                out[(i as usize) * cols + j as usize] = acc / wsum;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_field_is_preserved() {
+        let k = PadKernel::exponential(1.5, 3);
+        let field = vec![0.42; 8 * 8];
+        let out = k.apply(&field, 8, 8);
+        assert!(out.iter().all(|v| (v - 0.42).abs() < 1e-12));
+    }
+
+    #[test]
+    fn smoothing_reduces_contrast() {
+        let k = PadKernel::exponential(1.5, 3);
+        let mut field = vec![0.0; 9 * 9];
+        field[4 * 9 + 4] = 1.0;
+        let out = k.apply(&field, 9, 9);
+        let peak = out[4 * 9 + 4];
+        assert!(peak < 1.0 && peak > 0.0);
+        // Neighbours received some of the mass.
+        assert!(out[4 * 9 + 5] > 0.0);
+        // Monotone decay away from the impulse.
+        assert!(out[4 * 9 + 5] > out[4 * 9 + 7]);
+    }
+
+    #[test]
+    fn kernel_is_isotropic() {
+        let k = PadKernel::exponential(2.0, 3);
+        let mut field = vec![0.0; 11 * 11];
+        field[5 * 11 + 5] = 1.0;
+        let out = k.apply(&field, 11, 11);
+        assert!((out[5 * 11 + 7] - out[7 * 11 + 5]).abs() < 1e-12);
+        assert!((out[5 * 11 + 3] - out[5 * 11 + 7]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_renormalization_keeps_mean_sane() {
+        // A constant field must stay constant even at corners.
+        let k = PadKernel::exponential(1.0, 2);
+        let field = vec![1.0; 4 * 4];
+        let out = k.apply(&field, 4, 4);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_character_length_smooths_more() {
+        let short = PadKernel::exponential(0.5, 4);
+        let long = PadKernel::exponential(3.0, 4);
+        let mut field = vec![0.0; 9 * 9];
+        field[4 * 9 + 4] = 1.0;
+        let ps = short.apply(&field, 9, 9)[4 * 9 + 4];
+        let pl = long.apply(&field, 9, 9)[4 * 9 + 4];
+        assert!(ps > pl, "short {ps} vs long {pl}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Process parameters of the full-chip CMP simulator.
+
+use std::fmt;
+
+/// Physical/process parameters of the simulator (paper §II-A, Fig. 2).
+///
+/// Lengths are in nm unless noted; lateral window distances are in window
+/// units. Defaults approximate a 45 nm oxide/copper CMP step and are the
+/// values the reproduction's experiments are calibrated against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessParams {
+    /// Initial oxide height over metal (up areas), nm.
+    pub initial_height: f64,
+    /// Initial step height between up and down areas (trench replication),
+    /// nm.
+    pub initial_step: f64,
+    /// Nominal applied pad pressure (normalized units; the contact solver
+    /// balances window contact forces against this).
+    pub applied_pressure: f64,
+    /// Pad asperity contact exponent (Greenwood–Williamson-like, ~1.5).
+    pub contact_exponent: f64,
+    /// Penetration (nm) at which a flat chip carries exactly the applied
+    /// pressure; sets the contact stiffness.
+    pub reference_penetration: f64,
+    /// Pad deformation character length in *window units* (paper §III-B:
+    /// 20–100 µm character length; with 100 µm windows this is O(1)).
+    pub character_length: f64,
+    /// Kernel truncation radius in windows.
+    pub kernel_radius: usize,
+    /// Critical step height of the DSH model (nm): below this the pad
+    /// touches down areas too.
+    pub critical_step: f64,
+    /// Blanket removal per time step at unit pressure (nm).
+    pub removal_per_step: f64,
+    /// Number of unit polish-time iterations (paper: iterate until the
+    /// total polish time is reached).
+    pub steps: usize,
+    /// Minimum effective density used in the pressure split (guards the
+    /// division in `P/ρ_eff`).
+    pub min_effective_density: f64,
+    /// Dishing enhancement vs feature width: down-area pressure is scaled
+    /// by `1 + c·w/(w + w_ref)`.
+    pub dishing_coefficient: f64,
+    /// Reference feature width (µm) of the dishing law.
+    pub dishing_reference_width: f64,
+    /// Erosion enhancement vs copper perimeter: up-area pressure is scaled
+    /// by `1 + c·perimeter/perimeter_scale`.
+    pub erosion_coefficient: f64,
+    /// Perimeter normalization (µm per window) of the erosion law.
+    pub perimeter_scale: f64,
+}
+
+impl Default for ProcessParams {
+    fn default() -> Self {
+        Self {
+            initial_height: 800.0,
+            initial_step: 120.0,
+            applied_pressure: 1.0,
+            contact_exponent: 1.5,
+            reference_penetration: 20.0,
+            character_length: 1.5,
+            kernel_radius: 4,
+            critical_step: 60.0,
+            removal_per_step: 8.0,
+            steps: 50,
+            min_effective_density: 0.05,
+            dishing_coefficient: 0.5,
+            dishing_reference_width: 1.0,
+            erosion_coefficient: 0.015,
+            perimeter_scale: 200_000.0,
+        }
+    }
+}
+
+impl ProcessParams {
+    /// A faster, coarser parameter set for unit tests and CI-scale runs.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self { steps: 20, kernel_radius: 2, ..Self::default() }
+    }
+
+    /// Contact stiffness `k` such that penetration
+    /// `reference_penetration` produces `applied_pressure`.
+    #[must_use]
+    pub fn contact_stiffness(&self) -> f64 {
+        self.applied_pressure / self.reference_penetration.powf(self.contact_exponent)
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial_height <= 0.0 {
+            return Err("initial_height must be positive".into());
+        }
+        if self.initial_step < 0.0 {
+            return Err("initial_step must be non-negative".into());
+        }
+        if self.initial_step >= self.initial_height {
+            return Err("initial_step must be below initial_height".into());
+        }
+        if self.applied_pressure <= 0.0 {
+            return Err("applied_pressure must be positive".into());
+        }
+        if self.contact_exponent <= 0.0 {
+            return Err("contact_exponent must be positive".into());
+        }
+        if self.reference_penetration <= 0.0 {
+            return Err("reference_penetration must be positive".into());
+        }
+        if self.character_length <= 0.0 {
+            return Err("character_length must be positive".into());
+        }
+        if self.critical_step <= 0.0 {
+            return Err("critical_step must be positive".into());
+        }
+        if self.removal_per_step <= 0.0 {
+            return Err("removal_per_step must be positive".into());
+        }
+        if self.steps == 0 {
+            return Err("steps must be at least 1".into());
+        }
+        if !(0.0..1.0).contains(&self.min_effective_density) || self.min_effective_density == 0.0 {
+            return Err("min_effective_density must be in (0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Wrapper whose `Display` prints the parameters as a table (for
+/// experiment logs).
+#[derive(Debug)]
+pub struct ParamsDisplay<'a>(pub &'a ProcessParams);
+
+impl fmt::Display for ParamsDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.0;
+        writeln!(f, "initial_height      {:>10.1} nm", p.initial_height)?;
+        writeln!(f, "initial_step        {:>10.1} nm", p.initial_step)?;
+        writeln!(f, "critical_step       {:>10.1} nm", p.critical_step)?;
+        writeln!(f, "character_length    {:>10.2} windows", p.character_length)?;
+        writeln!(f, "removal_per_step    {:>10.2} nm", p.removal_per_step)?;
+        write!(f, "steps               {:>10}", p.steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_validate() {
+        assert!(ProcessParams::default().validate().is_ok());
+        assert!(ProcessParams::fast().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let bad = ProcessParams { steps: 0, ..ProcessParams::default() };
+        assert!(bad.validate().is_err());
+        let bad = ProcessParams { initial_step: 900.0, ..ProcessParams::default() };
+        assert!(bad.validate().is_err());
+        let bad = ProcessParams { min_effective_density: 0.0, ..ProcessParams::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn contact_stiffness_reproduces_reference_point() {
+        let p = ProcessParams::default();
+        let k = p.contact_stiffness();
+        let f = k * p.reference_penetration.powf(p.contact_exponent);
+        assert!((f - p.applied_pressure).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let p = ProcessParams::default();
+        let s = format!("{}", ParamsDisplay(&p));
+        assert!(s.contains("initial_height"));
+    }
+}

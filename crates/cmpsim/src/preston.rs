@@ -1,0 +1,92 @@
+//! The Preston equation (paper §II-A step 4, after Cook [18]): material
+//! removal per unit time is proportional to pressure × relative velocity,
+//! `dH/dt = −K_p · P · V`.
+//!
+//! The simulator folds `K_p·V·Δt` into one `removal_per_step` constant;
+//! this module exposes the law explicitly for calibration and analysis
+//! code that works in physical units.
+
+/// Preston-law constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrestonLaw {
+    /// Preston coefficient `K_p` (nm per (pressure·µm) of sliding).
+    pub coefficient: f64,
+    /// Relative pad velocity `V` (µm per time step).
+    pub velocity: f64,
+}
+
+impl PrestonLaw {
+    /// Creates a law from its two constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when either constant is negative.
+    #[must_use]
+    pub fn new(coefficient: f64, velocity: f64) -> Self {
+        debug_assert!(coefficient >= 0.0 && velocity >= 0.0);
+        Self { coefficient, velocity }
+    }
+
+    /// The law whose per-step removal at unit pressure equals
+    /// `removal_per_step` — the form the simulator uses internally.
+    #[must_use]
+    pub fn from_removal_per_step(removal_per_step: f64) -> Self {
+        Self { coefficient: removal_per_step, velocity: 1.0 }
+    }
+
+    /// Removal (nm) over `dt` time steps at `pressure`.
+    #[must_use]
+    pub fn removal(&self, pressure: f64, dt: f64) -> f64 {
+        self.coefficient * self.velocity * pressure * dt
+    }
+
+    /// Time steps needed to remove `amount` nm at `pressure`.
+    ///
+    /// Returns infinity when the pressure (or the law) is zero.
+    #[must_use]
+    pub fn time_to_remove(&self, amount: f64, pressure: f64) -> f64 {
+        let rate = self.coefficient * self.velocity * pressure;
+        if rate > 0.0 {
+            amount / rate
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn removal_is_linear_in_each_factor() {
+        let law = PrestonLaw::new(2.0, 3.0);
+        assert_eq!(law.removal(1.0, 1.0), 6.0);
+        assert_eq!(law.removal(2.0, 1.0), 12.0);
+        assert_eq!(law.removal(1.0, 2.0), 12.0);
+    }
+
+    #[test]
+    fn time_inverts_removal() {
+        let law = PrestonLaw::from_removal_per_step(8.0);
+        let t = law.time_to_remove(400.0, 1.0);
+        assert_eq!(t, 50.0);
+        assert_eq!(law.removal(1.0, t), 400.0);
+        assert_eq!(law.time_to_remove(1.0, 0.0), f64::INFINITY);
+    }
+
+    proptest! {
+        #[test]
+        fn removal_time_roundtrip(
+            k in 0.1f64..20.0,
+            v in 0.1f64..5.0,
+            p in 0.1f64..4.0,
+            amount in 0.1f64..1000.0,
+        ) {
+            let law = PrestonLaw::new(k, v);
+            let t = law.time_to_remove(amount, p);
+            prop_assert!((law.removal(p, t) - amount).abs() < 1e-9 * amount.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Post-CMP surface profiles: average height, dishing and erosion maps.
+
+/// Post-CMP result of one layer: per-window average surface height plus the
+/// dishing and erosion maps a full-chip CMP simulator reports (paper
+/// §II-A).
+///
+/// All values are in nm; heights are absolute surface heights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerProfile {
+    rows: usize,
+    cols: usize,
+    avg_height: Vec<f64>,
+    dishing: Vec<f64>,
+    erosion: Vec<f64>,
+}
+
+impl LayerProfile {
+    /// Creates a profile from row-major maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when map lengths disagree with `rows · cols`.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, avg_height: Vec<f64>, dishing: Vec<f64>, erosion: Vec<f64>) -> Self {
+        assert_eq!(avg_height.len(), rows * cols);
+        assert_eq!(dishing.len(), rows * cols);
+        assert_eq!(erosion.len(), rows * cols);
+        Self { rows, cols, avg_height, dishing, erosion }
+    }
+
+    /// Number of window rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of window columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major average-height map (nm).
+    #[must_use]
+    pub fn heights(&self) -> &[f64] {
+        &self.avg_height
+    }
+
+    /// Row-major dishing map (final step height, nm).
+    #[must_use]
+    pub fn dishing(&self) -> &[f64] {
+        &self.dishing
+    }
+
+    /// Row-major erosion map (up-area recess vs the highest window, nm).
+    #[must_use]
+    pub fn erosion(&self) -> &[f64] {
+        &self.erosion
+    }
+
+    /// Height of window `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn height(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols);
+        self.avg_height[row * self.cols + col]
+    }
+
+    /// Mean height.
+    #[must_use]
+    pub fn mean_height(&self) -> f64 {
+        self.avg_height.iter().sum::<f64>() / self.avg_height.len().max(1) as f64
+    }
+
+    /// Peak-to-valley height range `ΔH` (nm).
+    #[must_use]
+    pub fn height_range(&self) -> f64 {
+        let max = self.avg_height.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = self.avg_height.iter().cloned().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+
+    /// Population variance of heights (nm²).
+    #[must_use]
+    pub fn height_variance(&self) -> f64 {
+        let m = self.mean_height();
+        self.avg_height.iter().map(|h| (h - m) * (h - m)).sum::<f64>()
+            / self.avg_height.len().max(1) as f64
+    }
+}
+
+/// Post-CMP result of a whole chip: one [`LayerProfile`] per layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipProfile {
+    layers: Vec<LayerProfile>,
+}
+
+impl ChipProfile {
+    /// Creates a chip profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layers` is empty.
+    #[must_use]
+    pub fn new(layers: Vec<LayerProfile>) -> Self {
+        assert!(!layers.is_empty());
+        Self { layers }
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// One layer's profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range.
+    #[must_use]
+    pub fn layer(&self, layer: usize) -> &LayerProfile {
+        &self.layers[layer]
+    }
+
+    /// Iterator over layer profiles.
+    pub fn iter(&self) -> std::slice::Iter<'_, LayerProfile> {
+        self.layers.iter()
+    }
+
+    /// Worst peak-to-valley range across layers — the `ΔH` column of the
+    /// paper's Table III (reported there in Å).
+    #[must_use]
+    pub fn max_height_range(&self) -> f64 {
+        self.layers.iter().map(LayerProfile::height_range).fold(0.0, f64::max)
+    }
+}
+
+impl<'a> IntoIterator for &'a ChipProfile {
+    type Item = &'a LayerProfile;
+    type IntoIter = std::slice::Iter<'a, LayerProfile>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.layers.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> LayerProfile {
+        LayerProfile::new(2, 2, vec![10.0, 12.0, 14.0, 12.0], vec![1.0; 4], vec![0.5; 4])
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let p = profile();
+        assert_eq!(p.mean_height(), 12.0);
+        assert_eq!(p.height_range(), 4.0);
+        assert!((p.height_variance() - 2.0).abs() < 1e-12);
+        assert_eq!(p.height(1, 0), 14.0);
+    }
+
+    #[test]
+    fn chip_profile_max_range() {
+        let a = profile();
+        let b = LayerProfile::new(2, 2, vec![0.0, 10.0, 0.0, 0.0], vec![0.0; 4], vec![0.0; 4]);
+        let chip = ChipProfile::new(vec![a, b]);
+        assert_eq!(chip.max_height_range(), 10.0);
+        assert_eq!(chip.num_layers(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_chip_profile_panics() {
+        let _ = ChipProfile::new(vec![]);
+    }
+}

@@ -1,0 +1,11 @@
+//! The compared methods of the paper's evaluation: rule-based Lin [10] and
+//! Tao [11], and the model-based Cai [12] whose numerical-gradient cost
+//! motivates NeurFill.
+
+mod cai;
+mod lin;
+mod tao;
+
+pub use cai::{cai_fill, CaiConfig, CaiOutcome};
+pub use lin::lin_fill;
+pub use tao::{tao_fill, TaoConfig, TaoOutcome};

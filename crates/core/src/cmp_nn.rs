@@ -1,0 +1,424 @@
+//! The CMP neural network (paper §IV-A, Fig. 4): extraction layer +
+//! pre-trained UNet + objective layers.
+//!
+//! Forward propagation evaluates the planarity score `S_plan` (Eq. 5b via
+//! the toolkit expressions of Eq. 10); one backward propagation yields
+//! `∇S_plan` with respect to every fill amount through the chain rule of
+//! Eq. 11 — replacing the thousands of simulator invocations a numerical
+//! gradient would need.
+
+use crate::extraction::{extract_layer_arrays, extract_layer_tensor, ExtractionConfig, NUM_CHANNELS};
+use crate::score::{Coefficients, PlanarityMetrics, NM_TO_ANGSTROM};
+use neurfill_cmpsim::{ChipProfile, LayerProfile};
+use neurfill_layout::Layout;
+use neurfill_nn::{Module, UNet};
+use neurfill_tensor::{NdArray, Result, Tensor, TensorError};
+
+/// Affine normalization between UNet output units and simulator nm:
+/// `H_nm = output · scale_nm + offset_nm`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeightNorm {
+    /// Additive offset (nm) — typically the mean post-CMP height.
+    pub offset_nm: f64,
+    /// Multiplicative scale (nm) — typically the height standard deviation.
+    pub scale_nm: f64,
+}
+
+impl Default for HeightNorm {
+    fn default() -> Self {
+        Self { offset_nm: 400.0, scale_nm: 20.0 }
+    }
+}
+
+/// Hyper-parameters of the objective layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmpNnConfig {
+    /// Sharpness `η` (per Å) of the sigmoid/softplus relaxation of the
+    /// outlier metric (Eq. 10c).
+    pub eta: f64,
+}
+
+impl Default for CmpNnConfig {
+    fn default() -> Self {
+        Self { eta: 0.5 }
+    }
+}
+
+/// Result of one forward+backward pass of the CMP neural network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanarityEval {
+    /// The planarity score `S_plan` (unclamped slopes; see module docs).
+    pub score: f64,
+    /// `∇S_plan` w.r.t. the flat fill vector.
+    pub gradient: Vec<f64>,
+    /// Hard (non-relaxed) planarity metrics of the *predicted* profile.
+    pub metrics: PlanarityMetrics,
+}
+
+/// Extraction layer + pre-trained UNet + objective layers.
+#[derive(Debug)]
+pub struct CmpNeuralNetwork {
+    unet: UNet,
+    height_norm: HeightNorm,
+    extraction: ExtractionConfig,
+    config: CmpNnConfig,
+}
+
+impl CmpNeuralNetwork {
+    /// Assembles the network around a (pre-trained) UNet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the UNet was not built for [`NUM_CHANNELS`] input
+    /// channels and one output channel.
+    #[must_use]
+    pub fn new(
+        unet: UNet,
+        height_norm: HeightNorm,
+        extraction: ExtractionConfig,
+        config: CmpNnConfig,
+    ) -> Self {
+        assert_eq!(unet.config().in_channels, NUM_CHANNELS, "UNet must take the extraction channels");
+        assert_eq!(unet.config().out_channels, 1, "UNet must emit one height plane");
+        unet.set_training(false);
+        Self { unet, height_norm, extraction, config }
+    }
+
+    /// The wrapped UNet.
+    #[must_use]
+    pub fn unet(&self) -> &UNet {
+        &self.unet
+    }
+
+    /// The height normalization in use.
+    #[must_use]
+    pub fn height_norm(&self) -> HeightNorm {
+        self.height_norm
+    }
+
+    /// The extraction configuration in use.
+    #[must_use]
+    pub fn extraction(&self) -> &ExtractionConfig {
+        &self.extraction
+    }
+
+    /// Checks that a layout is compatible with the UNet geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the window grid is not divisible by the UNet's
+    /// down-sampling factor.
+    pub fn check_layout(&self, layout: &Layout) -> Result<()> {
+        let div = 1usize << self.unet.config().depth;
+        if !layout.rows().is_multiple_of(div) || !layout.cols().is_multiple_of(div) {
+            return Err(TensorError::InvalidArgument(format!(
+                "layout {}x{} not divisible by UNet factor {div}",
+                layout.rows(),
+                layout.cols()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Predicts the post-CMP heights (nm, row-major) of one layer of an
+    /// already-filled layout — the surrogate counterpart of
+    /// `CmpSimulator::simulate_layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on geometry mismatch.
+    pub fn predict_layer_heights(&self, layout: &Layout, layer: usize) -> Result<Vec<f64>> {
+        self.check_layout(layout)?;
+        let (rows, cols) = (layout.rows(), layout.cols());
+        let planes = extract_layer_arrays(layout, layer, &self.extraction);
+        let input = Tensor::constant(planes.reshape(&[1, NUM_CHANNELS, rows, cols])?);
+        let out = self.unet.forward(&input)?;
+        Ok(out
+            .value()
+            .as_slice()
+            .iter()
+            .map(|v| f64::from(*v) * self.height_norm.scale_nm + self.height_norm.offset_nm)
+            .collect())
+    }
+
+    /// Predicts a whole-chip profile (heights only; the dishing/erosion
+    /// planes of the surrogate are zero — the filling objectives never read
+    /// them).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on geometry mismatch.
+    pub fn predict_profile(&self, layout: &Layout) -> Result<ChipProfile> {
+        let (rows, cols) = (layout.rows(), layout.cols());
+        let mut layers = Vec::with_capacity(layout.num_layers());
+        for l in 0..layout.num_layers() {
+            let h = self.predict_layer_heights(layout, l)?;
+            let zeros = vec![0.0; rows * cols];
+            layers.push(LayerProfile::new(rows, cols, h, zeros.clone(), zeros));
+        }
+        Ok(ChipProfile::new(layers))
+    }
+
+    /// Forward+backward pass: evaluates `S_plan(x)` and `∇S_plan(x)` for a
+    /// fill vector over the *base* layout (Eq. 10–11).
+    ///
+    /// The score uses the unclamped slopes `1 − t/β` so gradients keep
+    /// pointing toward the scoring region even when a metric is beyond its
+    /// β; the returned [`PlanarityEval::metrics`] are the hard values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on geometry mismatch or when `x` has the wrong
+    /// length.
+    pub fn planarity(&self, layout: &Layout, x: &[f64], coeffs: &Coefficients) -> Result<PlanarityEval> {
+        self.planarity_impl(layout, x, coeffs, true)
+    }
+
+    /// Forward-only variant of [`CmpNeuralNetwork::planarity`]: evaluates
+    /// `S_plan(x)` without building gradients (used by the derivative-free
+    /// NMMSO search and the PKB linear search).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on geometry mismatch or when `x` has the wrong
+    /// length.
+    pub fn planarity_score(&self, layout: &Layout, x: &[f64], coeffs: &Coefficients) -> Result<f64> {
+        Ok(self.planarity_impl(layout, x, coeffs, false)?.score)
+    }
+
+    fn planarity_impl(
+        &self,
+        layout: &Layout,
+        x: &[f64],
+        coeffs: &Coefficients,
+        with_grad: bool,
+    ) -> Result<PlanarityEval> {
+        self.check_layout(layout)?;
+        if x.len() != layout.num_windows() {
+            return Err(TensorError::LengthMismatch {
+                expected: layout.num_windows(),
+                actual: x.len(),
+            });
+        }
+        let (rows, cols) = (layout.rows(), layout.cols());
+        let per_layer = rows * cols;
+        // The objective layers work on *offset-free* heights (Å relative to
+        // the nominal post-CMP level): σ, σ* and the 3-sigma outlier
+        // threshold are shift-invariant, and subtracting the ~kÅ offset
+        // before the f32 graph avoids catastrophic cancellation that would
+        // otherwise drown the gradients in rounding noise.
+        let ang = (self.height_norm.scale_nm * NM_TO_ANGSTROM) as f32;
+        let offset_ang = self.height_norm.offset_nm * NM_TO_ANGSTROM;
+        let eta = self.config.eta as f32;
+
+        let mut x_tensors = Vec::with_capacity(layout.num_layers());
+        let mut sigma_total: Option<Tensor> = None;
+        let mut sstar_total: Option<Tensor> = None;
+        let mut ol_total: Option<Tensor> = None;
+        let mut height_profiles = Vec::with_capacity(layout.num_layers());
+
+        for l in 0..layout.num_layers() {
+            let slice = &x[l * per_layer..(l + 1) * per_layer];
+            let data: Vec<f32> = slice.iter().map(|v| *v as f32).collect();
+            let arr = NdArray::from_vec(data, &[1, 1, rows, cols])?;
+            let x_l = if with_grad { Tensor::parameter(arr) } else { Tensor::constant(arr) };
+            let planes = extract_layer_tensor(layout, l, &x_l, &self.extraction)?;
+            let h_raw = self.unet.forward(&planes)?;
+            // Offset-free heights in Å, as an [N, M] map.
+            let h = h_raw.reshape(&[rows, cols])?.scale(ang);
+            height_profiles.push(h.value());
+
+            // Eq. 10a: σ_l = VAR(H).
+            let sigma_l = h.var();
+            // Eq. 10b: σ*_l = SUM(ABS(H − column means)).
+            let col_mean = h.mean_axis(0, true)?;
+            let sstar_l = h.sub(&col_mean)?.abs().sum();
+            // Eq. 10c with a smooth hinge: ol_l = Σ softplus(η·z)/η where
+            // z = H − (mean + 3·std).
+            let mean = h.mean();
+            let std = sigma_l.clamp_min(1e-12).sqrt();
+            let threshold = mean.add(&std.scale(3.0))?;
+            let z = h.sub(&threshold)?;
+            let ol_l = z.scale(eta).softplus().sum().scale(1.0 / eta);
+
+            sigma_total = Some(match sigma_total {
+                Some(t) => t.add(&sigma_l)?,
+                None => sigma_l,
+            });
+            sstar_total = Some(match sstar_total {
+                Some(t) => t.add(&sstar_l)?,
+                None => sstar_l,
+            });
+            ol_total = Some(match ol_total {
+                Some(t) => t.add(&ol_l)?,
+                None => ol_l,
+            });
+            x_tensors.push(x_l);
+        }
+
+        let sigma = sigma_total.expect("at least one layer");
+        let sstar = sstar_total.expect("at least one layer");
+        let ol = ol_total.expect("at least one layer");
+
+        // Merging layer (Eq. 5b) with unclamped slopes:
+        // S_plan = α_σ(1 − σ/β_σ) + α_σ*(1 − σ*/β_σ*) + α_ol(1 − ol/β_ol).
+        let a = &coeffs.alphas;
+        let s_plan = sigma
+            .scale(-(a.sigma / coeffs.beta_sigma) as f32)
+            .add(&sstar.scale(-(a.sigma_star / coeffs.beta_sigma_star) as f32))?
+            .add(&ol.scale(-(a.ol / coeffs.beta_ol) as f32))?
+            .add_scalar((a.sigma + a.sigma_star + a.ol) as f32);
+
+        let mut gradient = Vec::new();
+        if with_grad {
+            s_plan.backward()?;
+            gradient.reserve(x.len());
+            for x_l in &x_tensors {
+                let g = x_l.grad().unwrap_or_else(|| NdArray::zeros(&[1, 1, rows, cols]));
+                gradient.extend(g.as_slice().iter().map(|v| f64::from(*v)));
+            }
+        }
+
+        // Hard metrics from the predicted height maps.
+        let layers: Vec<LayerProfile> = height_profiles
+            .into_iter()
+            .map(|h| {
+                let nm: Vec<f64> = h
+                    .as_slice()
+                    .iter()
+                    .map(|v| (f64::from(*v) + offset_ang) / NM_TO_ANGSTROM)
+                    .collect();
+                let zeros = vec![0.0; rows * cols];
+                LayerProfile::new(rows, cols, nm, zeros.clone(), zeros)
+            })
+            .collect();
+        let metrics = PlanarityMetrics::from_profile(&ChipProfile::new(layers));
+
+        Ok(PlanarityEval { score: f64::from(s_plan.item()), gradient, metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::Alphas;
+    use neurfill_layout::{DesignKind, DesignSpec};
+    use neurfill_nn::UNetConfig;
+    use rand::SeedableRng;
+
+    fn network() -> CmpNeuralNetwork {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let unet = UNet::new(
+            UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 4, depth: 2 },
+            &mut rng,
+        );
+        CmpNeuralNetwork::new(
+            unet,
+            HeightNorm::default(),
+            ExtractionConfig::default(),
+            CmpNnConfig::default(),
+        )
+    }
+
+    fn coeffs() -> Coefficients {
+        Coefficients {
+            alphas: Alphas::default(),
+            beta_sigma: 100.0,
+            beta_sigma_star: 1000.0,
+            beta_ol: 10.0,
+            beta_ov: 1e6,
+            beta_fa: 1e6,
+            beta_fs_mb: 30.0,
+            beta_time_s: 60.0,
+            beta_mem_gb: 8.0,
+        }
+    }
+
+    fn layout() -> Layout {
+        DesignSpec::new(DesignKind::CmpTest, 8, 8, 5).generate()
+    }
+
+    #[test]
+    fn planarity_returns_full_gradient() {
+        let net = network();
+        let l = layout();
+        let x = vec![0.0; l.num_windows()];
+        let eval = net.planarity(&l, &x, &coeffs()).unwrap();
+        assert_eq!(eval.gradient.len(), l.num_windows());
+        assert!(eval.score.is_finite());
+        assert!(eval.gradient.iter().any(|g| *g != 0.0));
+        assert!(eval.metrics.sigma >= 0.0);
+    }
+
+    #[test]
+    fn planarity_gradient_matches_directional_finite_difference() {
+        // Per-coordinate finite differences are unreliable here: the f32
+        // network's ReLU/max-pool kinks make pointwise slopes noisy. A
+        // directional derivative along a dense direction averages over
+        // kinks and must agree with ∇S_plan·d.
+        let net = network();
+        let l = layout();
+        let c = coeffs();
+        let n = l.num_windows();
+        let x = vec![100.0; n];
+        let eval = net.planarity(&l, &x, &c).unwrap();
+        let dir: Vec<f64> = (0..n).map(|i| 0.5 + ((i * 7919) % 13) as f64 / 13.0).collect();
+        let directional: f64 = eval.gradient.iter().zip(&dir).map(|(g, d)| g * d).sum();
+        // ε must stay below the ReLU/max-pool kink spacing (µm² units).
+        let eps = 0.25;
+        let xp: Vec<f64> = x.iter().zip(&dir).map(|(v, d)| v + eps * d).collect();
+        let xm: Vec<f64> = x.iter().zip(&dir).map(|(v, d)| v - eps * d).collect();
+        let fp = net.planarity(&l, &xp, &c).unwrap().score;
+        let fm = net.planarity(&l, &xm, &c).unwrap().score;
+        let fd = (fp - fm) / (2.0 * eps);
+        assert!(
+            (fd - directional).abs() < 0.35 * (1e-5 + fd.abs()),
+            "directional fd={fd:e} analytic={directional:e}"
+        );
+    }
+
+    #[test]
+    fn predict_profile_has_layout_dims() {
+        let net = network();
+        let l = layout();
+        let p = net.predict_profile(&l).unwrap();
+        assert_eq!(p.num_layers(), 3);
+        assert_eq!(p.layer(0).rows(), 8);
+    }
+
+    #[test]
+    fn rejects_incompatible_layout() {
+        let net = network();
+        let l = DesignSpec::new(DesignKind::CmpTest, 6, 6, 5).generate(); // 6 % 4 != 0
+        assert!(net.check_layout(&l).is_err());
+        assert!(net.predict_profile(&l).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_x_length() {
+        let net = network();
+        let l = layout();
+        assert!(net.planarity(&l, &[0.0; 3], &coeffs()).is_err());
+    }
+
+    #[test]
+    fn score_only_path_matches_full_eval() {
+        let net = network();
+        let l = layout();
+        let x = vec![25.0; l.num_windows()];
+        let full = net.planarity(&l, &x, &coeffs()).unwrap();
+        let fast = net.planarity_score(&l, &x, &coeffs()).unwrap();
+        assert_eq!(full.score, fast);
+    }
+
+    #[test]
+    fn planarity_is_deterministic() {
+        let net = network();
+        let l = layout();
+        let x = vec![50.0; l.num_windows()];
+        let a = net.planarity(&l, &x, &coeffs()).unwrap();
+        let b = net.planarity(&l, &x, &coeffs()).unwrap();
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.gradient, b.gradient);
+    }
+}

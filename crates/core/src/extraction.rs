@@ -1,0 +1,212 @@
+//! The extraction layer (paper §IV-A, Fig. 4): maps a layout and a fill
+//! vector `x` to the layout-parameter matrix `L` consumed by the UNet,
+//! *differentiably* in `x`.
+//!
+//! Pattern-related parameters are updated from `x` exactly as
+//! [`neurfill_layout::apply_fill`] updates the layout, so the surrogate
+//! sees identical inputs at training time (extracted from filled layouts)
+//! and at optimization time (computed from the base layout plus `x`):
+//!
+//! | channel | content | dependence on `x` |
+//! |---------|---------|-------------------|
+//! | 0 | metal density | `ρ + x/area` (linear) |
+//! | 1 | copper perimeter (scaled) | `(per + 4x/edge)/scale` (linear) |
+//! | 2 | average feature width (scaled) | `(w·m + edge·x)/(m + x)` (rational) |
+//! | 3 | remaining slack fraction | `(slack − x)/area` (linear) |
+
+use neurfill_layout::{DummySpec, Layout};
+use neurfill_tensor::{NdArray, Result, Tensor};
+
+/// Number of layout-parameter channels.
+pub const NUM_CHANNELS: usize = 4;
+
+/// Normalization and dummy-geometry constants of the extraction layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionConfig {
+    /// Divisor bringing per-window perimeter (µm) to O(1).
+    pub perimeter_scale: f64,
+    /// Divisor bringing feature width (µm) to O(1).
+    pub width_scale: f64,
+    /// Dummy geometry (must match the insertion step).
+    pub dummy: DummySpec,
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        Self { perimeter_scale: 100_000.0, width_scale: 2.0, dummy: DummySpec::default() }
+    }
+}
+
+/// Extracts the `[C, N, M]` parameter planes of one layer of an
+/// already-filled layout (training-time path; no autodiff).
+///
+/// # Panics
+///
+/// Panics when `layer` is out of range.
+#[must_use]
+pub fn extract_layer_arrays(layout: &Layout, layer: usize, cfg: &ExtractionConfig) -> NdArray {
+    let g = layout.layer(layer);
+    let (rows, cols) = (g.rows(), g.cols());
+    let area = layout.window_area();
+    let mut data = Vec::with_capacity(NUM_CHANNELS * rows * cols);
+    data.extend(g.iter().map(|w| w.density as f32));
+    data.extend(g.iter().map(|w| (w.perimeter / cfg.perimeter_scale) as f32));
+    data.extend(g.iter().map(|w| (w.avg_width / cfg.width_scale) as f32));
+    data.extend(g.iter().map(|w| (w.slack / area) as f32));
+    NdArray::from_vec(data, &[NUM_CHANNELS, rows, cols]).expect("sized from dims")
+}
+
+/// Builds the differentiable `[1, C, N, M]` parameter tensor of one layer
+/// from the *base* (unfilled) layout and the fill tensor `x_layer` of shape
+/// `[1, 1, N, M]` (µm² per window).
+///
+/// Gradients flow from the result back into `x_layer`; this is the
+/// `∂L/∂x` edge of the paper's Eq. 11.
+///
+/// # Errors
+///
+/// Returns an error when `x_layer` has the wrong shape.
+///
+/// # Panics
+///
+/// Panics when `layer` is out of range.
+pub fn extract_layer_tensor(
+    layout: &Layout,
+    layer: usize,
+    x_layer: &Tensor,
+    cfg: &ExtractionConfig,
+) -> Result<Tensor> {
+    let g = layout.layer(layer);
+    let (rows, cols) = (g.rows(), g.cols());
+    if x_layer.shape() != [1, 1, rows, cols] {
+        return Err(neurfill_tensor::TensorError::ShapeMismatch {
+            lhs: x_layer.shape(),
+            rhs: vec![1, 1, rows, cols],
+            op: "extract_layer_tensor",
+        });
+    }
+    let area = layout.window_area() as f32;
+    let plane = |f: &dyn Fn(&neurfill_layout::WindowPattern) -> f32| -> Tensor {
+        let data: Vec<f32> = g.iter().map(f).collect();
+        Tensor::constant(NdArray::from_vec(data, &[1, 1, rows, cols]).expect("sized"))
+    };
+
+    // Channel 0: density = ρ + x/area.
+    let density = plane(&|w| w.density as f32).add(&x_layer.scale(1.0 / area))?;
+
+    // Channel 1: perimeter = (per + 4x/edge)/scale.
+    let per_scale = cfg.perimeter_scale as f32;
+    let edge = cfg.dummy.edge_um as f32;
+    let perimeter = plane(&|w| (w.perimeter / cfg.perimeter_scale) as f32)
+        .add(&x_layer.scale(4.0 / (edge * per_scale)))?;
+
+    // Channel 2: width = (w·m + edge·x)/(m + x)/width_scale, m = ρ·area.
+    let metal = plane(&|w| (w.density as f32) * area);
+    let w_metal = plane(&|w| (w.avg_width as f32) * (w.density as f32) * area);
+    let numerator = w_metal.add(&x_layer.scale(edge))?;
+    let denominator = metal.add(x_layer)?.clamp_min(1e-3);
+    let width = numerator.div(&denominator)?.scale(1.0 / cfg.width_scale as f32);
+
+    // Channel 3: slack fraction = (slack − x)/area.
+    let slack = plane(&|w| (w.slack / layout.window_area()) as f32)
+        .sub(&x_layer.scale(1.0 / area))?;
+
+    Tensor::concat(&[density, perimeter, width, slack], 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurfill_layout::{apply_fill, DesignKind, DesignSpec, FillPlan};
+
+    fn layout() -> Layout {
+        DesignSpec::new(DesignKind::Fpga, 6, 6, 3).generate()
+    }
+
+    fn x_tensor(layout: &Layout, plan: &FillPlan, layer: usize) -> Tensor {
+        let (rows, cols) = (layout.rows(), layout.cols());
+        let start = layer * rows * cols;
+        let data: Vec<f32> =
+            plan.as_slice()[start..start + rows * cols].iter().map(|v| *v as f32).collect();
+        Tensor::parameter(NdArray::from_vec(data, &[1, 1, rows, cols]).unwrap())
+    }
+
+    #[test]
+    fn zero_fill_tensor_matches_array_extraction() {
+        let l = layout();
+        let cfg = ExtractionConfig::default();
+        let plan = FillPlan::zeros(&l);
+        for layer in 0..l.num_layers() {
+            let arrays = extract_layer_arrays(&l, layer, &cfg);
+            let tensor = extract_layer_tensor(&l, layer, &x_tensor(&l, &plan, layer), &cfg).unwrap();
+            let t = tensor.value().reshape(&[NUM_CHANNELS, 6, 6]).unwrap();
+            for (a, b) in arrays.as_slice().iter().zip(t.as_slice()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn filled_tensor_matches_array_extraction_of_filled_layout() {
+        let l = layout();
+        let cfg = ExtractionConfig::default();
+        let mut plan = FillPlan::zeros(&l);
+        for (i, (x, s)) in plan.as_mut_slice().iter_mut().zip(l.slack_vector()).enumerate() {
+            *x = (i % 5) as f64 / 5.0 * s;
+        }
+        let filled = apply_fill(&l, &plan, &cfg.dummy);
+        for layer in 0..l.num_layers() {
+            let arrays = extract_layer_arrays(&filled, layer, &cfg);
+            let tensor = extract_layer_tensor(&l, layer, &x_tensor(&l, &plan, layer), &cfg).unwrap();
+            let t = tensor.value().reshape(&[NUM_CHANNELS, 6, 6]).unwrap();
+            for (k, (a, b)) in arrays.as_slice().iter().zip(t.as_slice()).enumerate() {
+                assert!((a - b).abs() < 2e-4, "channel element {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_is_differentiable_in_x() {
+        let l = layout();
+        let cfg = ExtractionConfig::default();
+        let plan = FillPlan::zeros(&l);
+        let x = x_tensor(&l, &plan, 0);
+        let out = extract_layer_tensor(&l, 0, &x, &cfg).unwrap();
+        out.sum().backward().unwrap();
+        let g = x.grad().expect("gradient flows to x");
+        // Density (1/area) + perimeter (4/(edge·scale)) + width + slack
+        // (−1/area) sensitivities all contribute.
+        assert!(g.as_slice().iter().all(|v| v.is_finite()));
+        assert!(g.as_slice().iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn density_sensitivity_is_one_over_area() {
+        let l = layout();
+        let cfg = ExtractionConfig::default();
+        let plan = FillPlan::zeros(&l);
+        let x = x_tensor(&l, &plan, 0);
+        let out = extract_layer_tensor(&l, 0, &x, &cfg).unwrap();
+        // Sum only the density channel.
+        let channels = out.reshape(&[NUM_CHANNELS, 36]).unwrap();
+        let mask = {
+            let mut m = vec![0.0f32; NUM_CHANNELS * 36];
+            m[..36].fill(1.0);
+            Tensor::constant(NdArray::from_vec(m, &[NUM_CHANNELS, 36]).unwrap())
+        };
+        channels.mul(&mask).unwrap().sum().backward().unwrap();
+        let g = x.grad().unwrap();
+        let expect = 1.0 / l.window_area() as f32;
+        for v in g.as_slice() {
+            assert!((v - expect).abs() < 1e-9, "{v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_x_shape() {
+        let l = layout();
+        let cfg = ExtractionConfig::default();
+        let x = Tensor::constant(NdArray::zeros(&[1, 1, 3, 3]));
+        assert!(extract_layer_tensor(&l, 0, &x, &cfg).is_err());
+    }
+}

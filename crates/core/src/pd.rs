@@ -1,0 +1,305 @@
+//! Performance-degradation estimation (paper §IV-B, Eq. 12–17).
+//!
+//! The parasitic-capacitance proxy has two parts: the total fill amount
+//! `fa` (Eq. 4) and the overlay area `ov` estimated by four-type region
+//! insertion (Fig. 5): dummies fill the slack types in priority order
+//! 1 → 4, dummy-to-wire overlay counts type-2/3 once and type-4 twice
+//! (Eq. 13), and dummy-to-dummy overlay between adjacent layers is the
+//! excess of both layers' type-1 fills over the non-overlapping slack
+//! (Eq. 14). Both metrics and their gradients are analytic — no simulator
+//! involvement.
+
+use crate::score::{score_fn, Coefficients};
+use neurfill_layout::{non_overlap_slack, slack_types, FillPlan, Layout, WindowId};
+
+/// Overlay/fill metrics of a plan plus their analytic gradient machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdEstimate {
+    /// Total overlay area `ov` (µm²), Eq. 15.
+    pub overlay: f64,
+    /// Dummy-to-wire part `ov^{d-w}`, Eq. 13.
+    pub overlay_dw: f64,
+    /// Dummy-to-dummy part `Σ ov^{d-d}`, Eq. 14.
+    pub overlay_dd: f64,
+    /// Total fill amount `fa` (µm²), Eq. 4.
+    pub fill_amount: f64,
+    /// Per-window type split of the fill, flat order (for insertion and
+    /// file-size estimation).
+    pub type_split: Vec<[f64; 4]>,
+}
+
+/// Computes the four-type insertion estimate for a plan.
+///
+/// # Panics
+///
+/// Panics when the plan length disagrees with the layout.
+#[must_use]
+pub fn estimate(layout: &Layout, plan: &FillPlan) -> PdEstimate {
+    let n = layout.num_windows();
+    assert_eq!(plan.as_slice().len(), n, "plan length mismatch");
+    let mut type_split = vec![[0.0; 4]; n];
+    let mut overlay_dw = 0.0;
+    for id in layout.window_ids() {
+        let k = layout.flat_index(id);
+        let st = slack_types(layout, id);
+        let split = st.fill_by_priority(plan.amount(k));
+        overlay_dw += split[1] + split[2] + 2.0 * split[3];
+        type_split[k] = split;
+    }
+    let mut overlay_dd = 0.0;
+    for layer in 0..layout.num_layers().saturating_sub(1) {
+        for row in 0..layout.rows() {
+            for col in 0..layout.cols() {
+                let k_lo = layout.flat_index(WindowId { layer, row, col });
+                let k_hi = layout.flat_index(WindowId { layer: layer + 1, row, col });
+                let s_star = non_overlap_slack(layout, layer, row, col);
+                overlay_dd += (type_split[k_lo][0] + type_split[k_hi][0] - s_star).max(0.0);
+            }
+        }
+    }
+    PdEstimate {
+        overlay: overlay_dw + overlay_dd,
+        overlay_dw,
+        overlay_dd,
+        fill_amount: plan.total(),
+        type_split,
+    }
+}
+
+/// Analytic gradient of the overlay area w.r.t. each window's fill amount
+/// (Eq. 16): 0 while type-1 fills of the adjacent layers fit in the
+/// non-overlap slack, 2 once type-4 regions are being filled, 1 otherwise.
+#[must_use]
+pub fn overlay_gradient(layout: &Layout, est: &PdEstimate) -> Vec<f64> {
+    let n = layout.num_windows();
+    let mut grad = vec![0.0; n];
+    for id in layout.window_ids() {
+        let k = layout.flat_index(id);
+        let split = est.type_split[k];
+        let g = if split[3] > 0.0 {
+            2.0
+        } else {
+            // Check the dummy-to-dummy condition against the upper layer.
+            let dd_active = if id.layer + 1 < layout.num_layers() {
+                let up = layout.flat_index(WindowId { layer: id.layer + 1, ..id });
+                let s_star = non_overlap_slack(layout, id.layer, id.row, id.col);
+                split[0] + est.type_split[up][0] >= s_star
+            } else {
+                false
+            };
+            let in_wire_types = split[1] > 0.0 || split[2] > 0.0;
+            if dd_active || in_wire_types {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        grad[k] = g;
+    }
+    grad
+}
+
+/// The performance-degradation score `S_PD` (Eq. 5c) and its analytic
+/// gradient (Eq. 17).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdScore {
+    /// `S_PD = α_ov·f_ov + α_fa·f_fa`.
+    pub score: f64,
+    /// `∇S_PD` in flat window order.
+    pub gradient: Vec<f64>,
+    /// The underlying estimate.
+    pub estimate: PdEstimate,
+}
+
+/// Evaluates `S_PD` and `∇S_PD` for a plan.
+///
+/// When either score saturates at zero (metric beyond β), its gradient
+/// contribution is kept (the paper's Eq. 17 uses the unclamped slope) so
+/// the optimizer is still pushed back toward the feasible scoring region.
+///
+/// # Panics
+///
+/// Panics when the plan length disagrees with the layout.
+#[must_use]
+pub fn pd_score(layout: &Layout, plan: &FillPlan, coeffs: &Coefficients) -> PdScore {
+    let est = estimate(layout, plan);
+    let a = &coeffs.alphas;
+    let score = a.ov * score_fn(est.overlay, coeffs.beta_ov)
+        + a.fa * score_fn(est.fill_amount, coeffs.beta_fa);
+    // Eq. 17: ∇S_PD = −(α_fa/β_fa)·∇fa − (α_ov/β_ov)·∇ov, with ∇fa = 1.
+    let ov_grad = overlay_gradient(layout, &est);
+    let gradient = ov_grad
+        .iter()
+        .map(|g| -(a.fa / coeffs.beta_fa) - (a.ov / coeffs.beta_ov) * g)
+        .collect();
+    PdScore { score, gradient, estimate: est }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::Alphas;
+    use neurfill_layout::{DesignKind, DesignSpec, Grid, WindowPattern};
+
+    fn coeffs_for(layout: &Layout) -> Coefficients {
+        let slack: f64 = layout.slack_vector().iter().sum();
+        Coefficients {
+            alphas: Alphas::default(),
+            beta_sigma: 1.0,
+            beta_sigma_star: 1.0,
+            beta_ol: 1.0,
+            beta_ov: slack,
+            beta_fa: slack,
+            beta_fs_mb: 1.0,
+            beta_time_s: 60.0,
+            beta_mem_gb: 8.0,
+        }
+    }
+
+    fn stack(d0: f64, d1: f64, d2: f64) -> Layout {
+        let mk = |d: f64| Grid::filled(1, 1, WindowPattern::from_line_model(d, 0.2, 10_000.0, 1.0));
+        Layout::new("s", 100.0, vec![mk(d0), mk(d1), mk(d2)], 1.0)
+    }
+
+    #[test]
+    fn empty_plan_has_no_overlay() {
+        let l = stack(0.3, 0.5, 0.7);
+        let est = estimate(&l, &FillPlan::zeros(&l));
+        assert_eq!(est.overlay, 0.0);
+        assert_eq!(est.fill_amount, 0.0);
+    }
+
+    #[test]
+    fn type1_fill_below_capacity_has_no_dw_overlay() {
+        let l = stack(0.3, 0.5, 0.7);
+        let mut p = FillPlan::zeros(&l);
+        // Fill a small amount on the middle layer: goes into type 1 first.
+        let id = WindowId { layer: 1, row: 0, col: 0 };
+        let st = slack_types(&l, id);
+        p.as_mut_slice()[l.flat_index(id)] = 0.5 * st.areas[0];
+        let est = estimate(&l, &p);
+        assert_eq!(est.overlay_dw, 0.0);
+    }
+
+    #[test]
+    fn spill_into_wire_types_creates_dw_overlay() {
+        let l = stack(0.3, 0.5, 0.7);
+        let id = WindowId { layer: 1, row: 0, col: 0 };
+        let st = slack_types(&l, id);
+        let mut p = FillPlan::zeros(&l);
+        // Fill past type 1 into type 2 by 10 µm².
+        p.as_mut_slice()[l.flat_index(id)] = st.areas[0] + 10.0;
+        let est = estimate(&l, &p);
+        assert!((est.overlay_dw - 10.0).abs() < 1e-9, "{est:?}");
+    }
+
+    #[test]
+    fn type4_counts_twice() {
+        let l = stack(0.3, 0.5, 0.7);
+        let id = WindowId { layer: 1, row: 0, col: 0 };
+        let st = slack_types(&l, id);
+        let mut p = FillPlan::zeros(&l);
+        let into_t4 = 5.0;
+        p.as_mut_slice()[l.flat_index(id)] =
+            st.areas[0] + st.areas[1] + st.areas[2] + into_t4;
+        let est = estimate(&l, &p);
+        let expect = st.areas[1] + st.areas[2] + 2.0 * into_t4;
+        assert!((est.overlay_dw - expect).abs() < 1e-9, "{est:?}");
+    }
+
+    #[test]
+    fn dummy_to_dummy_overlay_when_both_layers_fill_type1() {
+        // Three empty layers: everything is type 1 everywhere.
+        let l = stack(0.0, 0.0, 0.0);
+        let k0 = l.flat_index(WindowId { layer: 0, row: 0, col: 0 });
+        let k1 = l.flat_index(WindowId { layer: 1, row: 0, col: 0 });
+        let s_star = non_overlap_slack(&l, 0, 0, 0); // 10000 µm²
+        let mut p = FillPlan::zeros(&l);
+        p.as_mut_slice()[k0] = 0.7 * s_star;
+        p.as_mut_slice()[k1] = 0.7 * s_star;
+        let est = estimate(&l, &p);
+        assert!((est.overlay_dd - 0.4 * s_star).abs() < 1e-6, "{est:?}");
+    }
+
+    #[test]
+    fn gradient_matches_eq16_regimes() {
+        let l = stack(0.3, 0.5, 0.7);
+        let id = WindowId { layer: 1, row: 0, col: 0 };
+        let k = l.flat_index(id);
+        let st = slack_types(&l, id);
+
+        // Regime 1: small type-1 fill ⇒ gradient 0.
+        let mut p = FillPlan::zeros(&l);
+        p.as_mut_slice()[k] = 0.1 * st.areas[0];
+        let g = overlay_gradient(&l, &estimate(&l, &p));
+        assert_eq!(g[k], 0.0);
+
+        // Regime 2: filling type-4 ⇒ gradient 2.
+        let mut p = FillPlan::zeros(&l);
+        p.as_mut_slice()[k] = st.areas[0] + st.areas[1] + st.areas[2] + 1.0;
+        let g = overlay_gradient(&l, &estimate(&l, &p));
+        assert_eq!(g[k], 2.0);
+
+        // Regime 3: filling type-2 ⇒ gradient 1.
+        let mut p = FillPlan::zeros(&l);
+        p.as_mut_slice()[k] = st.areas[0] + 1.0;
+        let g = overlay_gradient(&l, &estimate(&l, &p));
+        assert_eq!(g[k], 1.0);
+    }
+
+    #[test]
+    fn pd_score_decreases_with_fill() {
+        let layout = DesignSpec::new(DesignKind::CmpTest, 6, 6, 0).generate();
+        let coeffs = coeffs_for(&layout);
+        let empty = pd_score(&layout, &FillPlan::zeros(&layout), &coeffs);
+        let mut p = FillPlan::zeros(&layout);
+        for (x, s) in p.as_mut_slice().iter_mut().zip(layout.slack_vector()) {
+            *x = 0.8 * s;
+        }
+        let filled = pd_score(&layout, &p, &coeffs);
+        assert!(empty.score > filled.score);
+        // Full score for the empty plan: α_ov + α_fa.
+        assert!((empty.score - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pd_gradient_is_never_positive() {
+        // More fill can only hurt the PD score.
+        let layout = DesignSpec::new(DesignKind::Fpga, 5, 5, 1).generate();
+        let coeffs = coeffs_for(&layout);
+        let mut p = FillPlan::zeros(&layout);
+        for (i, (x, s)) in p.as_mut_slice().iter_mut().zip(layout.slack_vector()).enumerate() {
+            *x = (i % 7) as f64 / 7.0 * s;
+        }
+        let ps = pd_score(&layout, &p, &coeffs);
+        assert!(ps.gradient.iter().all(|g| *g <= 0.0));
+    }
+
+    #[test]
+    fn pd_gradient_matches_finite_difference_away_from_kinks() {
+        let layout = DesignSpec::new(DesignKind::RiscV, 4, 4, 2).generate();
+        let coeffs = coeffs_for(&layout);
+        let slack = layout.slack_vector();
+        // Mid-range fill keeps us inside one linear regime per window.
+        let mut p = FillPlan::zeros(&layout);
+        for (x, s) in p.as_mut_slice().iter_mut().zip(&slack) {
+            *x = 0.45 * s;
+        }
+        let ps = pd_score(&layout, &p, &coeffs);
+        let eps = 1e-4;
+        for k in [0usize, 7, 20, 40] {
+            let mut plus = p.clone();
+            plus.as_mut_slice()[k] += eps;
+            let mut minus = p.clone();
+            minus.as_mut_slice()[k] -= eps;
+            let fp = pd_score(&layout, &plus, &coeffs).score;
+            let fm = pd_score(&layout, &minus, &coeffs).score;
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - ps.gradient[k]).abs() < 1e-6 + 0.2 * fd.abs(),
+                "k={k} fd={fd} analytic={}",
+                ps.gradient[k]
+            );
+        }
+    }
+}

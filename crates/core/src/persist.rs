@@ -1,0 +1,196 @@
+//! Persistence of a trained CMP neural network: UNet weights plus the
+//! height normalization and extraction configuration it was trained with,
+//! in one self-contained text bundle.
+//!
+//! A surrogate is only meaningful together with its normalization
+//! constants — loading weights with a different [`HeightNorm`] silently
+//! mis-scales every prediction — so the bundle keeps them inseparable.
+
+use crate::cmp_nn::{CmpNeuralNetwork, CmpNnConfig, HeightNorm};
+use crate::extraction::{ExtractionConfig, NUM_CHANNELS};
+use neurfill_layout::DummySpec;
+use neurfill_nn::{serialize, Module, UNet, UNetConfig};
+use rand::SeedableRng;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+const MAGIC: &str = "neurfill-surrogate v1";
+
+/// Writes a trained network bundle to `w`.
+///
+/// A `&mut` reference can be passed for `w` (see `std::io::Write`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save_network<W: Write>(network: &CmpNeuralNetwork, mut w: W) -> io::Result<()> {
+    writeln!(w, "{MAGIC}")?;
+    let cfg = network.unet().config();
+    writeln!(
+        w,
+        "unet {} {} {} {}",
+        cfg.in_channels, cfg.out_channels, cfg.base_channels, cfg.depth
+    )?;
+    let norm = network.height_norm();
+    writeln!(w, "height_norm {} {}", norm.offset_nm, norm.scale_nm)?;
+    let ex = network.extraction();
+    writeln!(
+        w,
+        "extraction {} {} {} {}",
+        ex.perimeter_scale, ex.width_scale, ex.dummy.edge_um, ex.dummy.bytes_per_dummy
+    )?;
+    serialize::save_parameters(network.unet(), w)
+}
+
+/// Reads a bundle written by [`save_network`].
+///
+/// A `&mut` reference can be passed for `r` (see `std::io::Read`).
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any format violation or architecture mismatch.
+pub fn load_network<R: Read>(r: R) -> io::Result<CmpNeuralNetwork> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut reader = BufReader::new(r);
+    let mut line = String::new();
+
+    let mut next_line = |reader: &mut BufReader<R>| -> io::Result<String> {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "unexpected end of bundle"));
+        }
+        Ok(line.trim_end().to_string())
+    };
+
+    if next_line(&mut reader)? != MAGIC {
+        return Err(bad("not a neurfill surrogate bundle".into()));
+    }
+    let unet_line = next_line(&mut reader)?;
+    let parts: Vec<usize> = unet_line
+        .strip_prefix("unet ")
+        .ok_or_else(|| bad(format!("bad unet line: {unet_line:?}")))?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| bad(format!("bad unet field {t:?}: {e}"))))
+        .collect::<io::Result<_>>()?;
+    let [in_c, out_c, base, depth] = parts[..] else {
+        return Err(bad("unet line needs 4 fields".into()));
+    };
+    if in_c != NUM_CHANNELS {
+        return Err(bad(format!(
+            "bundle has {in_c} input channels; this build extracts {NUM_CHANNELS}"
+        )));
+    }
+    let norm_line = next_line(&mut reader)?;
+    let nums: Vec<f64> = norm_line
+        .strip_prefix("height_norm ")
+        .ok_or_else(|| bad(format!("bad height_norm line: {norm_line:?}")))?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| bad(format!("bad norm field {t:?}: {e}"))))
+        .collect::<io::Result<_>>()?;
+    let [offset_nm, scale_nm] = nums[..] else {
+        return Err(bad("height_norm needs 2 fields".into()));
+    };
+    let ex_line = next_line(&mut reader)?;
+    let exs: Vec<f64> = ex_line
+        .strip_prefix("extraction ")
+        .ok_or_else(|| bad(format!("bad extraction line: {ex_line:?}")))?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| bad(format!("bad extraction field {t:?}: {e}"))))
+        .collect::<io::Result<_>>()?;
+    let [perimeter_scale, width_scale, edge_um, bytes_per_dummy] = exs[..] else {
+        return Err(bad("extraction needs 4 fields".into()));
+    };
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let unet = UNet::new(
+        UNetConfig { in_channels: in_c, out_channels: out_c, base_channels: base, depth },
+        &mut rng,
+    );
+    serialize::load_parameters(&unet, reader)?;
+    unet.set_training(false);
+    Ok(CmpNeuralNetwork::new(
+        unet,
+        HeightNorm { offset_nm, scale_nm },
+        ExtractionConfig {
+            perimeter_scale,
+            width_scale,
+            dummy: DummySpec { edge_um, bytes_per_dummy },
+        },
+        CmpNnConfig::default(),
+    ))
+}
+
+/// Saves a network bundle to a file path.
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn save_to_file(network: &CmpNeuralNetwork, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    save_network(network, io::BufWriter::new(f))
+}
+
+/// Loads a network bundle from a file path.
+///
+/// # Errors
+///
+/// Propagates file-system and format errors.
+pub fn load_from_file(path: impl AsRef<Path>) -> io::Result<CmpNeuralNetwork> {
+    load_network(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurfill_layout::{DesignKind, DesignSpec};
+
+    fn network() -> CmpNeuralNetwork {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let unet = UNet::new(
+            UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 4, depth: 2 },
+            &mut rng,
+        );
+        CmpNeuralNetwork::new(
+            unet,
+            HeightNorm { offset_nm: 123.0, scale_nm: 4.5 },
+            ExtractionConfig { perimeter_scale: 77_000.0, ..ExtractionConfig::default() },
+            CmpNnConfig::default(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_and_config() {
+        let net = network();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let back = load_network(buf.as_slice()).unwrap();
+        assert_eq!(back.height_norm().offset_nm, 123.0);
+        assert_eq!(back.height_norm().scale_nm, 4.5);
+        assert_eq!(back.extraction().perimeter_scale, 77_000.0);
+
+        let layout = DesignSpec::new(DesignKind::CmpTest, 8, 8, 1).generate();
+        let a = net.predict_layer_heights(&layout, 0).unwrap();
+        let b = back.predict_layer_heights(&layout, 0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(load_network(b"nope".as_slice()).is_err());
+        let net = network();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let cut = &buf[..buf.len() / 3];
+        assert!(load_network(cut).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let net = network();
+        let path = std::env::temp_dir().join("neurfill_persist_test.bundle");
+        save_to_file(&net, &path).unwrap();
+        let back = load_from_file(&path).unwrap();
+        assert_eq!(back.unet().num_parameters(), net.unet().num_parameters());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,198 @@
+//! Prior-knowledge-based (PKB) starting-point generation (paper §IV-C,
+//! Eq. 18): rule-based target-density planning followed by a linear search
+//! over the target density, scored by a caller-supplied quality function
+//! (the CMP neural network in NeurFill).
+
+use neurfill_layout::{FillPlan, Layout};
+
+/// PKB search settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PkbConfig {
+    /// Number of target-density samples in the linear search.
+    pub search_steps: usize,
+}
+
+impl Default for PkbConfig {
+    fn default() -> Self {
+        Self { search_steps: 12 }
+    }
+}
+
+/// Builds the trivial maximum-uniformity plan of Eq. 18 for per-layer
+/// target densities `td`.
+///
+/// # Panics
+///
+/// Panics when `td.len()` differs from the layer count.
+#[must_use]
+pub fn plan_for_target_density(layout: &Layout, td: &[f64]) -> FillPlan {
+    assert_eq!(td.len(), layout.num_layers(), "one target density per layer");
+    let area = layout.window_area();
+    let mut plan = FillPlan::zeros(layout);
+    for id in layout.window_ids() {
+        let w = layout.window(id);
+        let target = td[id.layer];
+        // Eq. 18: fill toward the target, bounded by slack.
+        let x = if target <= w.density {
+            0.0
+        } else {
+            ((target - w.density) * area).min(w.slack)
+        };
+        plan.as_mut_slice()[layout.flat_index(id)] = x;
+    }
+    plan
+}
+
+/// The per-layer density range the linear search sweeps: from the layer's
+/// mean density (no-op end) to the maximum density any window can reach.
+#[must_use]
+pub fn target_density_range(layout: &Layout, layer: usize) -> (f64, f64) {
+    let area = layout.window_area();
+    let lo = layout.mean_density(layer);
+    let hi = layout
+        .layer(layer)
+        .iter()
+        .map(|w| w.density + w.slack / area)
+        .fold(0.0f64, f64::max);
+    (lo, hi.max(lo))
+}
+
+/// Result of the PKB linear search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PkbResult {
+    /// The best plan found.
+    pub plan: FillPlan,
+    /// Quality of the best plan (per the supplied evaluator).
+    pub quality: f64,
+    /// Target densities of the best plan.
+    pub target_density: Vec<f64>,
+    /// Number of quality evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Linear search of the target layer density (paper: "a linear search of
+/// target layer density is performed, and the solution with the best
+/// quality is chosen as the starting point").
+///
+/// The search sweeps a shared fraction `t ∈ [0, 1]` of each layer's
+/// density range; `evaluate` scores a candidate plan (higher is better).
+///
+/// # Panics
+///
+/// Panics when `config.search_steps` is zero.
+#[must_use]
+pub fn pkb_starting_point(
+    layout: &Layout,
+    config: &PkbConfig,
+    mut evaluate: impl FnMut(&FillPlan) -> f64,
+) -> PkbResult {
+    assert!(config.search_steps > 0, "need at least one search step");
+    let ranges: Vec<(f64, f64)> =
+        (0..layout.num_layers()).map(|l| target_density_range(layout, l)).collect();
+    let mut best: Option<PkbResult> = None;
+    let mut evaluations = 0;
+    // The scan includes t = 0 (the empty plan), so the chosen starting
+    // point is never worse than doing nothing.
+    for k in 0..=config.search_steps {
+        let t = k as f64 / config.search_steps as f64;
+        let td: Vec<f64> = ranges.iter().map(|(lo, hi)| lo + t * (hi - lo)).collect();
+        let plan = plan_for_target_density(layout, &td);
+        let quality = evaluate(&plan);
+        evaluations += 1;
+        let better = best.as_ref().is_none_or(|b| quality > b.quality);
+        if better {
+            best = Some(PkbResult { plan, quality, target_density: td, evaluations });
+        }
+    }
+    let mut result = best.expect("at least one step");
+    result.evaluations = evaluations;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurfill_layout::{DesignKind, DesignSpec};
+
+    fn layout() -> Layout {
+        DesignSpec::new(DesignKind::CmpTest, 8, 8, 4).generate()
+    }
+
+    #[test]
+    fn eq18_respects_all_three_cases() {
+        let l = layout();
+        let area = l.window_area();
+        // Pick a mid-range target on layer 0.
+        let (lo, hi) = target_density_range(&l, 0);
+        let td = vec![(lo + hi) / 2.0, 0.0, 0.0];
+        let plan = plan_for_target_density(&l, &td);
+        for id in l.window_ids() {
+            let w = l.window(id);
+            let x = plan.amount_at(&l, id);
+            if id.layer != 0 {
+                assert_eq!(x, 0.0, "layers with td below density stay empty");
+                continue;
+            }
+            if td[0] < w.density {
+                assert_eq!(x, 0.0);
+            } else if td[0] > w.density + w.slack / area {
+                assert!((x - w.slack).abs() < 1e-9);
+            } else {
+                assert!((x - (td[0] - w.density) * area).abs() < 1e-9);
+            }
+        }
+        assert!(plan.is_feasible(&l, 1e-9));
+    }
+
+    #[test]
+    fn higher_target_density_never_fills_less() {
+        let l = layout();
+        let (lo, hi) = target_density_range(&l, 0);
+        let low = plan_for_target_density(&l, &[lo + 0.2 * (hi - lo); 3]);
+        let high = plan_for_target_density(&l, &[lo + 0.9 * (hi - lo); 3]);
+        assert!(high.total() > low.total());
+    }
+
+    #[test]
+    fn full_target_achieves_uniform_density_where_slack_allows() {
+        let l = layout();
+        let (_, hi) = target_density_range(&l, 0);
+        let plan = plan_for_target_density(&l, &[hi; 3]);
+        let filled = neurfill_layout::apply_fill(&l, &plan, &neurfill_layout::DummySpec::default());
+        // Windows with enough slack reach the target exactly.
+        let area = l.window_area();
+        for id in l.window_ids().filter(|id| id.layer == 0) {
+            let orig = l.window(id);
+            if orig.density + orig.slack / area >= hi {
+                let new = filled.window(id);
+                assert!((new.density - hi).abs() < 1e-6, "{} vs {hi}", new.density);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_search_picks_best_candidate() {
+        let l = layout();
+        // Quality = negative |total fill − 30000|: prefers ~30000 µm².
+        let result = pkb_starting_point(&l, &PkbConfig { search_steps: 16 }, |p| {
+            -(p.total() - 30_000.0).abs()
+        });
+        assert_eq!(result.evaluations, 17); // t = 0 included
+        // Verify no other scanned candidate beats the winner.
+        let ranges: Vec<(f64, f64)> = (0..3).map(|ly| target_density_range(&l, ly)).collect();
+        for k in 0..=16 {
+            let t = k as f64 / 16.0;
+            let td: Vec<f64> = ranges.iter().map(|(lo, hi)| lo + t * (hi - lo)).collect();
+            let candidate = plan_for_target_density(&l, &td);
+            assert!(-(candidate.total() - 30_000.0).abs() <= result.quality + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pkb_plans_are_feasible() {
+        let l = layout();
+        let result = pkb_starting_point(&l, &PkbConfig::default(), |p| -p.total());
+        assert!(result.plan.is_feasible(&l, 1e-9));
+        assert_eq!(result.target_density.len(), 3);
+    }
+}

@@ -1,0 +1,387 @@
+//! Filling-quality metrics and scores (paper §II-B, Eq. 1–6; Table II/III).
+//!
+//! Heights are scored in Å (the simulator reports nm; 1 nm = 10 Å) to match
+//! the paper's units.
+//!
+//! ## Metric definitions
+//!
+//! * height variance `σ` — Eq. 1: sum over layers of the per-layer
+//!   population variance of window heights.
+//! * line deviation `σ*` — Eq. 2: sum over layers of `Σ|H_{l,i,j} − H̄_{l,j}|`
+//!   where `H̄_{l,j}` is the column mean.
+//! * outliers `ol` — Eq. 3 with the conventional reading of its threshold:
+//!   material protruding beyond three standard deviations above the layer
+//!   mean, `Σ max(0, H − (H̄_l + 3·std_l))`. (The paper's literal
+//!   `H − 3·σ_l` mixes units of Å and Å²; the 3-sigma-outlier reading is
+//!   the ICCAD-2014 contest metric the paper modifies.)
+//!
+//! ## Score aggregation (reverse-engineered from Table III)
+//!
+//! `Overall = Σ_k α_k·f_k` over all eight metrics with `Σα = 1`, and
+//! `Quality = Σ α_k·f_k / 0.8` over the six quality metrics
+//! {ov, fa, σ, σ*, ol, fs}. This reproduces the published rows, e.g.
+//! Tao/Design A: quality `0.512/0.8 = 0.640` and overall
+//! `0.512 + 0.15·0.968 + 0.05·0.756 = 0.695`.
+
+use neurfill_cmpsim::ChipProfile;
+
+/// Conversion from simulator nm to scoring Å.
+pub const NM_TO_ANGSTROM: f64 = 10.0;
+
+/// The generalized score function `f(t) = max(0, 1 − t/β)` (Eq. 6).
+///
+/// # Panics
+///
+/// Panics in debug builds when `beta` is not positive.
+#[must_use]
+pub fn score_fn(t: f64, beta: f64) -> f64 {
+    debug_assert!(beta > 0.0, "score β must be positive");
+    (1.0 - t / beta).max(0.0)
+}
+
+/// The α weights of Eq. 5 / Table II (identical across the three designs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alphas {
+    /// Overlay weight `α_ov`.
+    pub ov: f64,
+    /// Fill-amount weight `α_fa`.
+    pub fa: f64,
+    /// Height-variance weight `α_σ`.
+    pub sigma: f64,
+    /// Line-deviation weight `α_σ*`.
+    pub sigma_star: f64,
+    /// Outlier weight `α_ol`.
+    pub ol: f64,
+    /// File-size weight `α_fs`.
+    pub fs: f64,
+    /// Runtime weight `α_t`.
+    pub time: f64,
+    /// Memory weight `α_m`.
+    pub mem: f64,
+}
+
+impl Default for Alphas {
+    fn default() -> Self {
+        // Table II: identical α row for designs A, B and C.
+        Self { ov: 0.15, fa: 0.05, sigma: 0.2, sigma_star: 0.2, ol: 0.15, fs: 0.05, time: 0.15, mem: 0.05 }
+    }
+}
+
+impl Alphas {
+    /// Sum of the six quality-metric weights (0.8 in the paper).
+    #[must_use]
+    pub fn quality_weight(&self) -> f64 {
+        self.ov + self.fa + self.sigma + self.sigma_star + self.ol + self.fs
+    }
+}
+
+/// Benchmark-related score coefficients: the αs and βs of Eq. 5/6.
+///
+/// The βs are benchmark-related (Table II); [`Coefficients::calibrate`]
+/// derives them from the *unfilled* layout the way the contest metrics do —
+/// so that a method that changes nothing scores 0 on the planarity metrics
+/// and a method that perfectly planarizes scores 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coefficients {
+    /// The α weights.
+    pub alphas: Alphas,
+    /// β for height variance (Å²).
+    pub beta_sigma: f64,
+    /// β for line deviation (Å).
+    pub beta_sigma_star: f64,
+    /// β for outliers (Å).
+    pub beta_ol: f64,
+    /// β for overlay area (µm²).
+    pub beta_ov: f64,
+    /// β for fill amount (µm²).
+    pub beta_fa: f64,
+    /// β for *added* file size (MB).
+    pub beta_fs_mb: f64,
+    /// β for runtime (seconds). The paper uses 20 min at full chip scale;
+    /// calibration scales this to the experiment size.
+    pub beta_time_s: f64,
+    /// β for memory (GB); 8 GB in the paper.
+    pub beta_mem_gb: f64,
+}
+
+impl Coefficients {
+    /// Calibrates the βs against the unfilled layout: planarity βs are the
+    /// unfilled metric values, overlay/fill βs are the total slack, the
+    /// file-size β is twice the input size (as in Table II), and the
+    /// runtime β is supplied by the caller (scale-dependent).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the unfilled profile has zero variance everywhere
+    /// (degenerate calibration target).
+    #[must_use]
+    pub fn calibrate(
+        layout: &neurfill_layout::Layout,
+        unfilled: &ChipProfile,
+        beta_time_s: f64,
+    ) -> Self {
+        let m = PlanarityMetrics::from_profile(unfilled);
+        assert!(m.sigma > 0.0, "unfilled layout is already perfectly flat");
+        let total_slack: f64 = layout.slack_vector().iter().sum();
+        Self {
+            alphas: Alphas::default(),
+            beta_sigma: m.sigma,
+            beta_sigma_star: m.sigma_star,
+            // When the unfilled layout has no outlier mass, fall back to a
+            // budget proportional to the layout's line-deviation scale so
+            // the outlier term stays a soft guard rather than a stiff
+            // penalty dominating every gradient.
+            beta_ol: if m.ol > 0.0 { m.ol } else { (0.01 * m.sigma_star).max(1.0) },
+            beta_ov: total_slack.max(1.0),
+            beta_fa: total_slack.max(1.0),
+            beta_fs_mb: 2.0 * layout.file_size_mb().max(0.5),
+            beta_time_s,
+            beta_mem_gb: 8.0,
+        }
+    }
+}
+
+/// The three planarity metrics of Eq. 1–3, in Å.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanarityMetrics {
+    /// Height variance `σ` (Å²), Eq. 1.
+    pub sigma: f64,
+    /// Line deviation `σ*` (Å), Eq. 2.
+    pub sigma_star: f64,
+    /// Outliers `ol` (Å), Eq. 3 (3-sigma protrusion reading).
+    pub ol: f64,
+    /// Peak-to-valley height range `ΔH` (Å) — the Table III column.
+    pub delta_h: f64,
+}
+
+impl PlanarityMetrics {
+    /// Computes the metrics from a simulated (or surrogate-predicted)
+    /// chip profile.
+    #[must_use]
+    pub fn from_profile(profile: &ChipProfile) -> Self {
+        let mut sigma = 0.0;
+        let mut sigma_star = 0.0;
+        let mut ol = 0.0;
+        for layer in profile {
+            let (rows, cols) = (layer.rows(), layer.cols());
+            let h: Vec<f64> = layer.heights().iter().map(|v| v * NM_TO_ANGSTROM).collect();
+            let n = (rows * cols) as f64;
+            let mean = h.iter().sum::<f64>() / n;
+            let var = h.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            sigma += var;
+            // Column means.
+            let mut col_mean = vec![0.0; cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    col_mean[c] += h[r * cols + c];
+                }
+            }
+            for cm in &mut col_mean {
+                *cm /= rows as f64;
+            }
+            for r in 0..rows {
+                for c in 0..cols {
+                    sigma_star += (h[r * cols + c] - col_mean[c]).abs();
+                }
+            }
+            let std = var.sqrt();
+            let threshold = mean + 3.0 * std;
+            ol += h.iter().map(|v| (v - threshold).max(0.0)).sum::<f64>();
+        }
+        Self {
+            sigma,
+            sigma_star,
+            ol,
+            delta_h: profile.max_height_range() * NM_TO_ANGSTROM,
+        }
+    }
+}
+
+/// All eight per-metric scores of one Table III row.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScoreBreakdown {
+    /// `f_ov` — the "Performance" column of Table III.
+    pub ov: f64,
+    /// `f_fa`.
+    pub fa: f64,
+    /// `f_σ` — the "Variation" column.
+    pub sigma: f64,
+    /// `f_σ*` — the "Line Deviation" column.
+    pub sigma_star: f64,
+    /// `f_ol` — the "Outliers" column.
+    pub ol: f64,
+    /// `f_fs` — the "File Size" column.
+    pub fs: f64,
+    /// `f_t` — the "Runtime" column.
+    pub time: f64,
+    /// `f_m` — the "Memory" column.
+    pub mem: f64,
+}
+
+impl ScoreBreakdown {
+    /// Computes the breakdown from raw metric values.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_metrics(
+        coeffs: &Coefficients,
+        planarity: &PlanarityMetrics,
+        overlay: f64,
+        fill_amount: f64,
+        added_file_mb: f64,
+        runtime_s: f64,
+        memory_gb: f64,
+    ) -> Self {
+        Self {
+            ov: score_fn(overlay, coeffs.beta_ov),
+            fa: score_fn(fill_amount, coeffs.beta_fa),
+            sigma: score_fn(planarity.sigma, coeffs.beta_sigma),
+            sigma_star: score_fn(planarity.sigma_star, coeffs.beta_sigma_star),
+            ol: score_fn(planarity.ol, coeffs.beta_ol),
+            fs: score_fn(added_file_mb, coeffs.beta_fs_mb),
+            time: score_fn(runtime_s, coeffs.beta_time_s),
+            mem: score_fn(memory_gb, coeffs.beta_mem_gb),
+        }
+    }
+
+    /// The quality score `S_qual` normalized by the quality weight
+    /// (the "Quality" column of Table III).
+    #[must_use]
+    pub fn quality(&self, alphas: &Alphas) -> f64 {
+        (alphas.ov * self.ov
+            + alphas.fa * self.fa
+            + alphas.sigma * self.sigma
+            + alphas.sigma_star * self.sigma_star
+            + alphas.ol * self.ol
+            + alphas.fs * self.fs)
+            / alphas.quality_weight()
+    }
+
+    /// The overall score (the "Overall" column of Table III).
+    #[must_use]
+    pub fn overall(&self, alphas: &Alphas) -> f64 {
+        alphas.ov * self.ov
+            + alphas.fa * self.fa
+            + alphas.sigma * self.sigma
+            + alphas.sigma_star * self.sigma_star
+            + alphas.ol * self.ol
+            + alphas.fs * self.fs
+            + alphas.time * self.time
+            + alphas.mem * self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurfill_cmpsim::LayerProfile;
+
+    #[test]
+    fn score_fn_clamps_at_zero() {
+        assert_eq!(score_fn(0.0, 10.0), 1.0);
+        assert_eq!(score_fn(5.0, 10.0), 0.5);
+        assert_eq!(score_fn(20.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn alphas_sum_to_one() {
+        let a = Alphas::default();
+        let total = a.ov + a.fa + a.sigma + a.sigma_star + a.ol + a.fs + a.time + a.mem;
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((a.quality_weight() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_iii_row_reproduction_tao_design_a() {
+        // Published per-metric scores of Tao [11] on Design A.
+        let b = ScoreBreakdown {
+            ov: 1.0,
+            fa: 1.0,
+            sigma: 0.142,
+            sigma_star: 0.425,
+            ol: 1.0,
+            fs: 0.970,
+            time: 0.968,
+            mem: 0.756,
+        };
+        let a = Alphas::default();
+        assert!((b.quality(&a) - 0.640).abs() < 0.005, "quality {}", b.quality(&a));
+        assert!((b.overall(&a) - 0.695).abs() < 0.005, "overall {}", b.overall(&a));
+    }
+
+    #[test]
+    fn table_iii_row_reproduction_lin_design_a() {
+        // Lin [10] / Design A with f_fa = 0 (massive fill).
+        let b = ScoreBreakdown {
+            ov: 0.0,
+            fa: 0.0,
+            sigma: 0.145,
+            sigma_star: 0.445,
+            ol: 1.0,
+            fs: 0.967,
+            time: 1.0,
+            mem: 0.756,
+        };
+        let a = Alphas::default();
+        assert!((b.quality(&a) - 0.395).abs() < 0.005, "quality {}", b.quality(&a));
+        assert!((b.overall(&a) - 0.504).abs() < 0.005, "overall {}", b.overall(&a));
+    }
+
+    fn profile_from(heights_nm: Vec<f64>, rows: usize, cols: usize) -> ChipProfile {
+        let n = rows * cols;
+        ChipProfile::new(vec![LayerProfile::new(rows, cols, heights_nm, vec![0.0; n], vec![0.0; n])])
+    }
+
+    #[test]
+    fn planarity_metrics_of_flat_profile_are_zero() {
+        let p = profile_from(vec![40.0; 16], 4, 4);
+        let m = PlanarityMetrics::from_profile(&p);
+        assert_eq!(m.sigma, 0.0);
+        assert_eq!(m.sigma_star, 0.0);
+        assert_eq!(m.ol, 0.0);
+        assert_eq!(m.delta_h, 0.0);
+    }
+
+    #[test]
+    fn planarity_metrics_known_values() {
+        // 2x2 layer with heights 1,1,3,3 nm = 10,10,30,30 Å.
+        let p = profile_from(vec![1.0, 1.0, 3.0, 3.0], 2, 2);
+        let m = PlanarityMetrics::from_profile(&p);
+        // mean 20, var = 100 Å².
+        assert!((m.sigma - 100.0).abs() < 1e-9);
+        // column means are 20 each ⇒ σ* = 4 · 10 = 40 Å.
+        assert!((m.sigma_star - 40.0).abs() < 1e-9);
+        assert_eq!(m.delta_h, 20.0);
+        // No window exceeds mean + 3 std = 50.
+        assert_eq!(m.ol, 0.0);
+    }
+
+    #[test]
+    fn outlier_metric_catches_protrusion() {
+        // One spike well above the 3-sigma band of the rest.
+        let mut h = vec![10.0; 100];
+        h[37] = 11.0; // baseline noise keeps std > 0
+        h[12] = 30.0; // big protrusion
+        let p = profile_from(h, 10, 10);
+        let m = PlanarityMetrics::from_profile(&p);
+        assert!(m.ol > 0.0, "{m:?}");
+    }
+
+    #[test]
+    fn calibration_scores_unfilled_layout_at_zero_planarity() {
+        use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+        use neurfill_layout::{DesignKind, DesignSpec};
+        let layout = DesignSpec::new(DesignKind::CmpTest, 12, 12, 1).generate();
+        let sim = CmpSimulator::new(ProcessParams::fast()).unwrap();
+        let unfilled = sim.simulate(&layout);
+        let coeffs = Coefficients::calibrate(&layout, &unfilled, 60.0);
+        let m = PlanarityMetrics::from_profile(&unfilled);
+        let b = ScoreBreakdown::from_metrics(&coeffs, &m, 0.0, 0.0, 0.0, 0.0, 0.0);
+        // Unfilled planarity metrics sit exactly at their βs ⇒ score 0.
+        assert!(b.sigma.abs() < 1e-9);
+        assert!(b.sigma_star.abs() < 1e-9);
+        // Doing nothing costs nothing on the resource metrics.
+        assert_eq!(b.ov, 1.0);
+        assert_eq!(b.fa, 1.0);
+        assert_eq!(b.fs, 1.0);
+    }
+}

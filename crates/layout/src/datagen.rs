@@ -1,0 +1,232 @@
+//! Two-step random training-data generation (paper §IV-F, Fig. 8).
+//!
+//! Step 1 assembles new layouts by randomly re-sampling window *column
+//! stacks* (all `L` layers at one grid position, keeping the vertical
+//! structure that the slack-type decomposition needs) from a pool of source
+//! layouts. Step 2 inserts random dummies with no design-rule violation
+//! (i.e. within each window's slack).
+
+use crate::fill::{apply_fill, DummySpec, FillPlan};
+use crate::layout::{Layout, WindowId};
+use crate::window::WindowPattern;
+use crate::Grid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the two-step random procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataGenConfig {
+    /// Rows of the generated layouts (the UNet's fixed input height).
+    pub rows: usize,
+    /// Columns of the generated layouts.
+    pub cols: usize,
+    /// Probability that a window receives random dummies in step 2.
+    pub fill_probability: f64,
+    /// Dummy geometry used in step 2.
+    pub dummy: DummySpec,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DataGenConfig {
+    fn default() -> Self {
+        Self { rows: 32, cols: 32, fill_probability: 0.5, dummy: DummySpec::default(), seed: 0 }
+    }
+}
+
+/// Generates training layouts from source layouts using the two-step
+/// random procedure.
+#[derive(Debug)]
+pub struct TrainingLayoutGenerator {
+    sources: Vec<Layout>,
+    config: DataGenConfig,
+    rng: StdRng,
+}
+
+impl TrainingLayoutGenerator {
+    /// Creates a generator over a pool of source layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sources` is empty or the sources disagree in layer
+    /// count or window size.
+    #[must_use]
+    pub fn new(sources: Vec<Layout>, config: DataGenConfig) -> Self {
+        assert!(!sources.is_empty(), "need at least one source layout");
+        let l = sources[0].num_layers();
+        let w = sources[0].window_um();
+        for s in &sources {
+            assert_eq!(s.num_layers(), l, "source layer counts disagree");
+            assert!((s.window_um() - w).abs() < 1e-9, "source window sizes disagree");
+        }
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self { sources, config, rng }
+    }
+
+    /// Step 1: assembles one layout by sampling window stacks from the
+    /// sources.
+    pub fn assemble(&mut self) -> Layout {
+        let l = self.sources[0].num_layers();
+        let (rows, cols) = (self.config.rows, self.config.cols);
+        // Sample a source + position for every target cell.
+        let mut picks = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            let s = self.rng.gen_range(0..self.sources.len());
+            let src = &self.sources[s];
+            let r = self.rng.gen_range(0..src.rows());
+            let c = self.rng.gen_range(0..src.cols());
+            picks.push((s, r, c));
+        }
+        let layers: Vec<Grid<WindowPattern>> = (0..l)
+            .map(|layer| {
+                Grid::from_fn(rows, cols, |r, c| {
+                    let (s, sr, sc) = picks[r * cols + c];
+                    *self.sources[s].window(WindowId { layer, row: sr, col: sc })
+                })
+            })
+            .collect();
+        Layout::new("assembled", self.sources[0].window_um(), layers, 0.0)
+    }
+
+    /// Step 2: inserts random dummies (within slack) into `layout`,
+    /// returning the filled layout and the plan used.
+    ///
+    /// Two fill styles alternate, so training covers both the spatially
+    /// white fills of random exploration *and* the spatially structured
+    /// fills the SQP optimizer actually visits (the paper's stated goal:
+    /// "training instances that are close to the layouts neural networks
+    /// may process in the filling optimization"):
+    ///
+    /// * *white*: each window independently receives a uniform random
+    ///   fraction of its slack;
+    /// * *structured*: all windows of a layer fill toward a shared random
+    ///   target density (the Eq. 18 family that PKB/SQP trajectories
+    ///   resemble), plus per-window jitter.
+    pub fn randomize_fill(&mut self, layout: &Layout) -> (Layout, FillPlan) {
+        let mut plan = FillPlan::zeros(layout);
+        let slack = layout.slack_vector();
+        if self.rng.gen_bool(0.5) {
+            // White fill with a random global amplitude, so sparse and
+            // dense random fills (and the unfilled layout itself) all
+            // appear in training.
+            let amplitude: f64 = self.rng.gen_range(0.0..=1.0);
+            for (a, s) in plan.as_mut_slice().iter_mut().zip(slack) {
+                if s > 0.0 && self.rng.gen_bool(self.config.fill_probability) {
+                    *a = self.rng.gen_range(0.0..=amplitude * s);
+                }
+            }
+        } else {
+            // Structured (target-density) fill with jitter. The target
+            // range starts at the layer's minimum density, so the low end
+            // produces (near-)empty plans.
+            let area = layout.window_area();
+            let td: Vec<f64> = (0..layout.num_layers())
+                .map(|l| {
+                    let lo = layout
+                        .layer(l)
+                        .iter()
+                        .map(|w| w.density)
+                        .fold(f64::INFINITY, f64::min);
+                    let hi = layout
+                        .layer(l)
+                        .iter()
+                        .map(|w| w.density + w.slack / area)
+                        .fold(lo, f64::max);
+                    self.rng.gen_range(lo..=hi)
+                })
+                .collect();
+            for id in layout.window_ids() {
+                let w = layout.window(id);
+                let target = td[id.layer];
+                let base = if target <= w.density {
+                    0.0
+                } else {
+                    ((target - w.density) * area).min(w.slack)
+                };
+                let jitter = self.rng.gen_range(0.8..=1.2);
+                plan.as_mut_slice()[layout.flat_index(id)] = (base * jitter).min(w.slack);
+            }
+        }
+        (apply_fill(layout, &plan, &self.config.dummy), plan)
+    }
+
+    /// Runs both steps `n` times, producing `n` randomly filled layouts.
+    pub fn generate(&mut self, n: usize) -> Vec<Layout> {
+        (0..n)
+            .map(|_| {
+                let base = self.assemble();
+                self.randomize_fill(&base).0
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{benchmark_designs, DesignKind, DesignSpec};
+
+    fn generator() -> TrainingLayoutGenerator {
+        let sources = benchmark_designs(12, 12, 3);
+        TrainingLayoutGenerator::new(
+            sources,
+            DataGenConfig { rows: 8, cols: 8, fill_probability: 0.6, ..DataGenConfig::default() },
+        )
+    }
+
+    #[test]
+    fn assembled_layout_has_requested_dims() {
+        let mut g = generator();
+        let l = g.assemble();
+        assert_eq!((l.rows(), l.cols(), l.num_layers()), (8, 8, 3));
+        assert!(l.is_valid());
+    }
+
+    #[test]
+    fn assembled_windows_come_from_sources() {
+        let mut g = generator();
+        let l = g.assemble();
+        // Every window density must appear somewhere in a source layer.
+        let mut source_densities: Vec<f64> = Vec::new();
+        for s in benchmark_designs(12, 12, 3) {
+            for layer in 0..3 {
+                source_densities.extend(s.density_map(layer));
+            }
+        }
+        for layer in 0..3 {
+            for d in l.density_map(layer) {
+                assert!(
+                    source_densities.iter().any(|&sd| (sd - d).abs() < 1e-12),
+                    "density {d} not found in sources"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_fill_is_design_rule_clean() {
+        let mut g = generator();
+        let base = g.assemble();
+        let (filled, plan) = g.randomize_fill(&base);
+        assert!(plan.is_feasible(&base, 1e-9));
+        assert!(filled.is_valid());
+        assert!(plan.total() > 0.0, "with p=0.6 some window should fill");
+    }
+
+    #[test]
+    fn generate_is_deterministic_under_seed() {
+        let sources = vec![DesignSpec::new(DesignKind::CmpTest, 10, 10, 1).generate()];
+        let cfg = DataGenConfig { rows: 6, cols: 6, seed: 9, ..DataGenConfig::default() };
+        let a = TrainingLayoutGenerator::new(sources.clone(), cfg.clone()).generate(3);
+        let b = TrainingLayoutGenerator::new(sources, cfg).generate(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_produces_distinct_instances() {
+        let mut g = generator();
+        let batch = g.generate(4);
+        assert_eq!(batch.len(), 4);
+        assert_ne!(batch[0], batch[1]);
+    }
+}

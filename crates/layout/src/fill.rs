@@ -1,0 +1,254 @@
+//! Fill plans: the decision vector `x` of dummy-fill synthesis and its
+//! application to a layout.
+
+use crate::layout::{Layout, WindowId};
+
+/// Geometry of the square dummy features inserted by filling insertion.
+///
+/// Filling synthesis only decides *areas*; the dummy geometry is needed to
+/// update perimeter/width after filling (the DSH-consistent parameter
+/// update of the extraction layer) and to estimate output file size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DummySpec {
+    /// Edge length of one square dummy (µm).
+    pub edge_um: f64,
+    /// Approximate GDS bytes per dummy rectangle.
+    pub bytes_per_dummy: f64,
+}
+
+impl DummySpec {
+    /// Creates a dummy spec with the given edge length and the typical
+    /// GDSII record size per rectangle.
+    #[must_use]
+    pub fn new(edge_um: f64) -> Self {
+        Self { edge_um, bytes_per_dummy: 44.0 }
+    }
+
+    /// Number of dummies needed for a fill area (µm²).
+    #[must_use]
+    pub fn count_for_area(&self, area: f64) -> f64 {
+        area / (self.edge_um * self.edge_um)
+    }
+
+    /// Added copper perimeter for a fill area: `4·edge·count = 4·area/edge`.
+    #[must_use]
+    pub fn perimeter_for_area(&self, area: f64) -> f64 {
+        4.0 * area / self.edge_um
+    }
+}
+
+impl Default for DummySpec {
+    fn default() -> Self {
+        Self::new(2.0)
+    }
+}
+
+/// The fill-amount vector `x` (µm² per window, flat `L·N·M` order; Eq. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FillPlan {
+    amounts: Vec<f64>,
+}
+
+impl FillPlan {
+    /// An all-zero plan for `layout`.
+    #[must_use]
+    pub fn zeros(layout: &Layout) -> Self {
+        Self { amounts: vec![0.0; layout.num_windows()] }
+    }
+
+    /// Wraps a raw vector as a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amounts.len()` disagrees with the layout.
+    #[must_use]
+    pub fn from_vec(layout: &Layout, amounts: Vec<f64>) -> Self {
+        assert_eq!(amounts.len(), layout.num_windows(), "fill plan length mismatch");
+        Self { amounts }
+    }
+
+    /// Fill amount of the window at flat index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    #[must_use]
+    pub fn amount(&self, k: usize) -> f64 {
+        self.amounts[k]
+    }
+
+    /// Fill amount of window `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range for `layout`.
+    #[must_use]
+    pub fn amount_at(&self, layout: &Layout, id: WindowId) -> f64 {
+        self.amounts[layout.flat_index(id)]
+    }
+
+    /// Flat view of the amounts.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.amounts
+    }
+
+    /// Mutable flat view of the amounts.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.amounts
+    }
+
+    /// Total fill amount `fa` (Eq. 4).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.amounts.iter().sum()
+    }
+
+    /// Clamps every amount into `[0, slack]` for `layout` (feasibility
+    /// projection for Eq. 5d).
+    pub fn clamp_to_slack(&mut self, layout: &Layout) {
+        for (a, s) in self.amounts.iter_mut().zip(layout.slack_vector()) {
+            *a = a.clamp(0.0, s);
+        }
+    }
+
+    /// Whether every amount satisfies `0 ≤ x ≤ slack` within `tol`.
+    #[must_use]
+    pub fn is_feasible(&self, layout: &Layout, tol: f64) -> bool {
+        self.amounts
+            .iter()
+            .zip(layout.slack_vector())
+            .all(|(&a, s)| a >= -tol && a <= s + tol)
+    }
+
+    /// Total number of dummy shapes this plan inserts.
+    #[must_use]
+    pub fn dummy_count(&self, spec: &DummySpec) -> f64 {
+        spec.count_for_area(self.total())
+    }
+
+    /// Estimated output file size in MB: input size plus dummy records.
+    #[must_use]
+    pub fn output_file_size_mb(&self, layout: &Layout, spec: &DummySpec) -> f64 {
+        layout.file_size_mb() + self.dummy_count(spec) * spec.bytes_per_dummy / 1.0e6
+    }
+}
+
+/// Applies a fill plan to a layout, producing the post-fill layout whose
+/// pattern parameters reflect the inserted dummies: density rises by
+/// `x/area`, perimeter by the dummy perimeter, the average width mixes in
+/// the dummy edge, and slack shrinks by `x`.
+///
+/// # Panics
+///
+/// Panics when the plan length disagrees with the layout.
+#[must_use]
+pub fn apply_fill(layout: &Layout, plan: &FillPlan, spec: &DummySpec) -> Layout {
+    assert_eq!(plan.as_slice().len(), layout.num_windows(), "fill plan length mismatch");
+    let area = layout.window_area();
+    let mut out = layout.clone();
+    for id in layout.window_ids() {
+        let x = plan.amount_at(layout, id).clamp(0.0, layout.window(id).slack);
+        if x <= 0.0 {
+            continue;
+        }
+        let w = out.layer_mut(id.layer).get_mut(id.row, id.col);
+        let old_metal = w.density * area;
+        let new_metal = old_metal + x;
+        // Width: area-weighted mix of existing features and dummies.
+        w.avg_width = if new_metal > 0.0 {
+            (w.avg_width * old_metal + spec.edge_um * x) / new_metal
+        } else {
+            w.avg_width
+        };
+        w.density = (new_metal / area).min(1.0);
+        w.perimeter += spec.perimeter_for_area(x);
+        w.slack = (w.slack - x).max(0.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::window::WindowPattern;
+
+    fn layout() -> Layout {
+        let g = Grid::filled(2, 2, WindowPattern::from_line_model(0.3, 0.2, 10_000.0, 0.8));
+        Layout::new("f", 100.0, vec![g.clone(), g], 1.0)
+    }
+
+    #[test]
+    fn zeros_plan_is_feasible_and_empty() {
+        let l = layout();
+        let p = FillPlan::zeros(&l);
+        assert_eq!(p.total(), 0.0);
+        assert!(p.is_feasible(&l, 0.0));
+        assert_eq!(apply_fill(&l, &p, &DummySpec::default()), l);
+    }
+
+    #[test]
+    fn apply_updates_density_perimeter_slack() {
+        let l = layout();
+        let mut p = FillPlan::zeros(&l);
+        p.as_mut_slice()[0] = 1000.0; // 1000 µm² of dummies in window 0
+        let spec = DummySpec::new(2.0);
+        let filled = apply_fill(&l, &p, &spec);
+        let w0 = filled.window(WindowId { layer: 0, row: 0, col: 0 });
+        let orig = l.window(WindowId { layer: 0, row: 0, col: 0 });
+        assert!((w0.density - (orig.density + 0.1)).abs() < 1e-9);
+        assert!((w0.perimeter - (orig.perimeter + 2000.0)).abs() < 1e-6);
+        assert!((w0.slack - (orig.slack - 1000.0)).abs() < 1e-9);
+        // Other windows untouched.
+        let w1 = filled.window(WindowId { layer: 0, row: 0, col: 1 });
+        assert_eq!(w1, l.window(WindowId { layer: 0, row: 0, col: 1 }));
+        assert!(filled.is_valid());
+    }
+
+    #[test]
+    fn apply_clamps_to_slack() {
+        let l = layout();
+        let mut p = FillPlan::zeros(&l);
+        p.as_mut_slice()[0] = 1e9;
+        let filled = apply_fill(&l, &p, &DummySpec::default());
+        let w0 = filled.window(WindowId { layer: 0, row: 0, col: 0 });
+        assert!(w0.density <= 1.0);
+        assert!(w0.slack.abs() < 1e-9);
+        assert!(filled.is_valid());
+    }
+
+    #[test]
+    fn clamp_to_slack_projects() {
+        let l = layout();
+        let mut p = FillPlan::zeros(&l);
+        p.as_mut_slice()[0] = -5.0;
+        p.as_mut_slice()[1] = 1e9;
+        assert!(!p.is_feasible(&l, 0.0));
+        p.clamp_to_slack(&l);
+        assert!(p.is_feasible(&l, 0.0));
+        assert_eq!(p.amount(0), 0.0);
+        assert_eq!(p.amount(1), l.window(l.window_id(1)).slack);
+    }
+
+    #[test]
+    fn file_size_grows_with_fill() {
+        let l = layout();
+        let mut p = FillPlan::zeros(&l);
+        let spec = DummySpec::new(2.0);
+        assert_eq!(p.output_file_size_mb(&l, &spec), 1.0);
+        p.as_mut_slice()[0] = 4000.0; // 1000 dummies
+        assert!((p.dummy_count(&spec) - 1000.0).abs() < 1e-9);
+        assert!(p.output_file_size_mb(&l, &spec) > 1.0);
+    }
+
+    #[test]
+    fn width_mixes_toward_dummy_edge() {
+        let l = layout();
+        let mut p = FillPlan::zeros(&l);
+        p.as_mut_slice()[0] = 2000.0;
+        let filled = apply_fill(&l, &p, &DummySpec::new(2.0));
+        let w0 = filled.window(WindowId { layer: 0, row: 0, col: 0 });
+        assert!(w0.avg_width > 0.2 && w0.avg_width < 2.0);
+    }
+}

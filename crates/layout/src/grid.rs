@@ -1,0 +1,186 @@
+//! A dense row-major 2-D grid, the container for per-window data.
+
+use std::fmt;
+
+/// A dense `rows × cols` grid stored row-major.
+///
+/// # Examples
+///
+/// ```
+/// use neurfill_layout::Grid;
+/// let mut g = Grid::filled(2, 3, 0.0f64);
+/// *g.get_mut(1, 2) = 7.0;
+/// assert_eq!(*g.get(1, 2), 7.0);
+/// assert_eq!(g.iter().filter(|&&v| v == 7.0).count(), 1);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Grid<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for Grid<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Grid({}x{})", self.rows, self.cols)
+    }
+}
+
+impl<T: Clone> Grid<T> {
+    /// Creates a grid with every cell set to `value`.
+    #[must_use]
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+}
+
+impl<T> Grid<T> {
+    /// Creates a grid by evaluating `f(row, col)` for every cell.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a grid from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "grid data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the grid has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major offset of `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn offset(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "grid index ({row},{col}) out of bounds");
+        row * self.cols + col
+    }
+
+    /// Borrow of the cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> &T {
+        &self.data[self.offset(row, col)]
+    }
+
+    /// Mutable borrow of the cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get_mut(&mut self, row: usize, col: usize) -> &mut T {
+        let off = self.offset(row, col);
+        &mut self.data[off]
+    }
+
+    /// Row-major iterator over cells.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Row-major mutable iterator over cells.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    /// Row-major flat view.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Maps each cell to a new grid of the same dimensions.
+    #[must_use]
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Grid<U> {
+        Grid { rows: self.rows, cols: self.cols, data: self.data.iter().map(f).collect() }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Grid<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let g = Grid::from_fn(2, 3, |r, c| r * 10 + c);
+        assert_eq!(g.as_slice(), &[0, 1, 2, 10, 11, 12]);
+        assert_eq!(*g.get(1, 2), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let g = Grid::filled(2, 2, 0);
+        let _ = g.get(2, 0);
+    }
+
+    #[test]
+    fn map_preserves_dimensions() {
+        let g = Grid::from_fn(3, 4, |r, c| (r + c) as f64);
+        let doubled = g.map(|v| v * 2.0);
+        assert_eq!(doubled.rows(), 3);
+        assert_eq!(doubled.cols(), 4);
+        assert_eq!(*doubled.get(2, 3), 10.0);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let g = Grid::from_vec(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(g.offset(1, 1), 3);
+        assert_eq!(g.iter().sum::<i32>(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_wrong_length_panics() {
+        let _ = Grid::from_vec(2, 2, vec![1, 2, 3]);
+    }
+}

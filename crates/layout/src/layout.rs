@@ -1,0 +1,310 @@
+//! The multi-layer grid layout model (the GDS stand-in of this
+//! reproduction) and flat indexing of the `L × N × M` fill variables.
+
+use crate::grid::Grid;
+use crate::window::WindowPattern;
+
+/// Identifies one window `W_{l,i,j}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WindowId {
+    /// Layer index `l` (0-based).
+    pub layer: usize,
+    /// Row index `i` (0-based).
+    pub row: usize,
+    /// Column index `j` (0-based).
+    pub col: usize,
+}
+
+/// A multi-layer layout divided into uniform filling windows.
+///
+/// This plays the role of the extracted GDS layouts of the paper: each
+/// window carries the pattern parameters the CMP simulator and the
+/// extraction layer need (density, perimeter, width, slack).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    name: String,
+    window_um: f64,
+    layers: Vec<Grid<WindowPattern>>,
+    file_size_mb: f64,
+}
+
+impl Layout {
+    /// Creates a layout from per-layer window grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layers` is empty, grids disagree in dimensions, or
+    /// `window_um` is not positive.
+    #[must_use]
+    pub fn new(name: impl Into<String>, window_um: f64, layers: Vec<Grid<WindowPattern>>, file_size_mb: f64) -> Self {
+        assert!(!layers.is_empty(), "layout needs at least one layer");
+        assert!(window_um > 0.0, "window size must be positive");
+        let (r, c) = (layers[0].rows(), layers[0].cols());
+        assert!(r > 0 && c > 0, "layout grids must be non-empty");
+        for l in &layers {
+            assert_eq!((l.rows(), l.cols()), (r, c), "layer dimensions disagree");
+        }
+        Self { name: name.into(), window_um, layers, file_size_mb }
+    }
+
+    /// Design name (e.g. `"A"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Window edge length in µm (100 µm in the paper).
+    #[must_use]
+    pub fn window_um(&self) -> f64 {
+        self.window_um
+    }
+
+    /// Window area in µm².
+    #[must_use]
+    pub fn window_area(&self) -> f64 {
+        self.window_um * self.window_um
+    }
+
+    /// Number of layers `L`.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of window rows `N`.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.layers[0].rows()
+    }
+
+    /// Number of window columns `M`.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.layers[0].cols()
+    }
+
+    /// Total number of windows `L · N · M` — the dimensionality of the fill
+    /// problem.
+    #[must_use]
+    pub fn num_windows(&self) -> usize {
+        self.num_layers() * self.rows() * self.cols()
+    }
+
+    /// Nominal input file size in MB (used by the file-size score).
+    #[must_use]
+    pub fn file_size_mb(&self) -> f64 {
+        self.file_size_mb
+    }
+
+    /// The grid of one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range.
+    #[must_use]
+    pub fn layer(&self, layer: usize) -> &Grid<WindowPattern> {
+        &self.layers[layer]
+    }
+
+    /// Mutable grid of one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range.
+    pub fn layer_mut(&mut self, layer: usize) -> &mut Grid<WindowPattern> {
+        &mut self.layers[layer]
+    }
+
+    /// The window at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    #[must_use]
+    pub fn window(&self, id: WindowId) -> &WindowPattern {
+        self.layers[id.layer].get(id.row, id.col)
+    }
+
+    /// Flat offset of `id` in the order `l·(N·M) + i·M + j` used by the fill
+    /// vector `x` (paper Eq. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    #[must_use]
+    pub fn flat_index(&self, id: WindowId) -> usize {
+        assert!(id.layer < self.num_layers(), "layer out of range");
+        id.layer * self.rows() * self.cols() + self.layers[id.layer].offset(id.row, id.col)
+    }
+
+    /// Inverse of [`Layout::flat_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flat` is out of range.
+    #[must_use]
+    pub fn window_id(&self, flat: usize) -> WindowId {
+        assert!(flat < self.num_windows(), "flat index out of range");
+        let per_layer = self.rows() * self.cols();
+        let layer = flat / per_layer;
+        let rem = flat % per_layer;
+        WindowId { layer, row: rem / self.cols(), col: rem % self.cols() }
+    }
+
+    /// Iterates over all window ids in flat order.
+    pub fn window_ids(&self) -> impl Iterator<Item = WindowId> + '_ {
+        let (l, r, c) = (self.num_layers(), self.rows(), self.cols());
+        (0..l).flat_map(move |layer| {
+            (0..r).flat_map(move |row| (0..c).map(move |col| WindowId { layer, row, col }))
+        })
+    }
+
+    /// Densities of one layer as a row-major vector (for simulator / NN
+    /// input planes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range.
+    #[must_use]
+    pub fn density_map(&self, layer: usize) -> Vec<f64> {
+        self.layers[layer].iter().map(|w| w.density).collect()
+    }
+
+    /// Slack areas of all windows in flat order (the box-constraint upper
+    /// bound `s` of Eq. 5d).
+    #[must_use]
+    pub fn slack_vector(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_windows());
+        for l in &self.layers {
+            out.extend(l.iter().map(|w| w.slack));
+        }
+        out
+    }
+
+    /// Mean density over one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range.
+    #[must_use]
+    pub fn mean_density(&self, layer: usize) -> f64 {
+        let g = &self.layers[layer];
+        g.iter().map(|w| w.density).sum::<f64>() / g.len() as f64
+    }
+
+    /// Validates every window's invariants.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let area = self.window_area();
+        self.layers.iter().all(|g| g.iter().all(|w| w.is_valid(area)))
+    }
+
+    /// Tiles the layout `reps_rows × reps_cols` times — the paper's §IV-F
+    /// treatment of layouts smaller than the network's fixed input size
+    /// ("duplicated several times to cover the whole input layout").
+    ///
+    /// # Panics
+    ///
+    /// Panics when either repetition count is zero.
+    #[must_use]
+    pub fn tile(&self, reps_rows: usize, reps_cols: usize) -> Layout {
+        assert!(reps_rows > 0 && reps_cols > 0, "repetition counts must be positive");
+        let (r, c) = (self.rows(), self.cols());
+        let layers = self
+            .layers
+            .iter()
+            .map(|g| Grid::from_fn(r * reps_rows, c * reps_cols, |rr, cc| *g.get(rr % r, cc % c)))
+            .collect();
+        Layout::new(
+            format!("{}~tiled", self.name),
+            self.window_um,
+            layers,
+            self.file_size_mb,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tiny_layout() -> Layout {
+        let mk = |d: f64| {
+            Grid::from_fn(2, 3, |r, c| {
+                WindowPattern::from_line_model(
+                    (d + 0.1 * (r + c) as f64).min(0.9),
+                    0.2,
+                    10_000.0,
+                    0.8,
+                )
+            })
+        };
+        Layout::new("T", 100.0, vec![mk(0.2), mk(0.3)], 1.0)
+    }
+
+    #[test]
+    fn dimensions_and_counts() {
+        let l = tiny_layout();
+        assert_eq!(l.num_layers(), 2);
+        assert_eq!(l.rows(), 2);
+        assert_eq!(l.cols(), 3);
+        assert_eq!(l.num_windows(), 12);
+        assert_eq!(l.window_area(), 10_000.0);
+        assert!(l.is_valid());
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let l = tiny_layout();
+        for (k, id) in l.window_ids().enumerate() {
+            assert_eq!(l.flat_index(id), k);
+            assert_eq!(l.window_id(k), id);
+        }
+    }
+
+    #[test]
+    fn slack_vector_matches_windows() {
+        let l = tiny_layout();
+        let s = l.slack_vector();
+        assert_eq!(s.len(), 12);
+        for id in l.window_ids() {
+            assert_eq!(s[l.flat_index(id)], l.window(id).slack);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions disagree")]
+    fn mismatched_layers_panic() {
+        let a = Grid::filled(2, 2, WindowPattern::default());
+        let b = Grid::filled(2, 3, WindowPattern::default());
+        let _ = Layout::new("bad", 100.0, vec![a, b], 1.0);
+    }
+
+    #[test]
+    fn tile_replicates_pattern_periodically() {
+        let l = tiny_layout();
+        let t = l.tile(2, 3);
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.cols(), 9);
+        assert_eq!(t.num_layers(), l.num_layers());
+        assert!(t.is_valid());
+        for layer in 0..l.num_layers() {
+            for r in 0..t.rows() {
+                for c in 0..t.cols() {
+                    let src = l.window(WindowId { layer, row: r % 2, col: c % 3 });
+                    let dst = t.window(WindowId { layer, row: r, col: c });
+                    assert_eq!(src, dst);
+                }
+            }
+        }
+        // Tiling preserves the mean density exactly.
+        assert!((t.mean_density(0) - l.mean_density(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_density_of_uniform_layer() {
+        let g = Grid::filled(2, 2, WindowPattern::from_line_model(0.4, 0.2, 10_000.0, 0.8));
+        let l = Layout::new("u", 100.0, vec![g], 1.0);
+        assert!((l.mean_density(0) - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Four-type slack-region decomposition (paper Fig. 5).
+//!
+//! Overlay only exists vertically, so the fillable slack of a window on
+//! layer `l` is partitioned by the upper (`l+1`) and lower (`l−1`) layer
+//! content above/below it:
+//!
+//! | type | upper layer | lower layer |
+//! |------|-------------|-------------|
+//! | 1    | slack       | slack       |
+//! | 2    | wire        | slack       |
+//! | 3    | slack       | wire        |
+//! | 4    | wire        | wire        |
+//!
+//! At window granularity the partition is estimated from the neighbouring
+//! layers' densities assuming spatial independence inside the window: the
+//! fraction of slack under upper-layer wire is `ρ_{l+1}`, over lower-layer
+//! wire is `ρ_{l−1}`. Boundary layers treat the missing neighbour as all
+//! slack.
+
+use crate::layout::{Layout, WindowId};
+
+/// Slack areas (µm²) of the four region types of one window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SlackTypes {
+    /// Areas `[type1, type2, type3, type4]` in priority order.
+    pub areas: [f64; 4],
+}
+
+impl SlackTypes {
+    /// Total slack area.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.areas.iter().sum()
+    }
+
+    /// Splits a fill amount across the four types by priority 1 → 4
+    /// (the paper's insertion rule), returning per-type amounts.
+    #[must_use]
+    pub fn fill_by_priority(&self, mut x: f64) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for (slot, &cap) in out.iter_mut().zip(&self.areas) {
+            let take = x.min(cap).max(0.0);
+            *slot = take;
+            x -= take;
+            if x <= 0.0 {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Computes the four-type decomposition for window `id` in `layout`.
+///
+/// # Panics
+///
+/// Panics when `id` is out of range.
+#[must_use]
+pub fn slack_types(layout: &Layout, id: WindowId) -> SlackTypes {
+    let w = layout.window(id);
+    let up = if id.layer + 1 < layout.num_layers() {
+        layout.window(WindowId { layer: id.layer + 1, ..id }).density
+    } else {
+        0.0
+    };
+    let dn = if id.layer > 0 {
+        layout.window(WindowId { layer: id.layer - 1, ..id }).density
+    } else {
+        0.0
+    };
+    let s = w.slack;
+    SlackTypes {
+        areas: [
+            s * (1.0 - up) * (1.0 - dn),
+            s * up * (1.0 - dn),
+            s * (1.0 - up) * dn,
+            s * up * dn,
+        ],
+    }
+}
+
+/// Area of non-overlapping slack between layers `l` and `l+1` over window
+/// `(row, col)` — the `s*` of the dummy-to-dummy overlay bound (Eq. 14).
+///
+/// Estimated as the slack–slack overlap region between the two layers.
+///
+/// # Panics
+///
+/// Panics when the indices are out of range or `layer + 1` does not exist.
+#[must_use]
+pub fn non_overlap_slack(layout: &Layout, layer: usize, row: usize, col: usize) -> f64 {
+    assert!(layer + 1 < layout.num_layers(), "need an upper layer");
+    let a = layout.window(WindowId { layer, row, col });
+    let b = layout.window(WindowId { layer: layer + 1, row, col });
+    let area = layout.window_area();
+    area * (1.0 - a.density) * (1.0 - b.density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::window::WindowPattern;
+
+    fn stack(d0: f64, d1: f64, d2: f64) -> Layout {
+        let mk = |d: f64| Grid::filled(1, 1, WindowPattern::from_line_model(d, 0.2, 10_000.0, 1.0));
+        Layout::new("s", 100.0, vec![mk(d0), mk(d1), mk(d2)], 1.0)
+    }
+
+    #[test]
+    fn partition_sums_to_slack() {
+        let l = stack(0.3, 0.5, 0.7);
+        let id = WindowId { layer: 1, row: 0, col: 0 };
+        let st = slack_types(&l, id);
+        assert!((st.total() - l.window(id).slack).abs() < 1e-9);
+    }
+
+    #[test]
+    fn middle_layer_fractions() {
+        let l = stack(0.4, 0.5, 0.2);
+        let st = slack_types(&l, WindowId { layer: 1, row: 0, col: 0 });
+        let s = l.window(WindowId { layer: 1, row: 0, col: 0 }).slack;
+        // up = ρ₂ = 0.2, dn = ρ₀ = 0.4
+        assert!((st.areas[0] - s * 0.8 * 0.6).abs() < 1e-9);
+        assert!((st.areas[1] - s * 0.2 * 0.6).abs() < 1e-9);
+        assert!((st.areas[2] - s * 0.8 * 0.4).abs() < 1e-9);
+        assert!((st.areas[3] - s * 0.2 * 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_layers_have_no_missing_neighbour_wire() {
+        let l = stack(0.4, 0.5, 0.2);
+        let bottom = slack_types(&l, WindowId { layer: 0, row: 0, col: 0 });
+        // No lower layer ⇒ types 3 and 4 empty.
+        assert_eq!(bottom.areas[2], 0.0);
+        assert_eq!(bottom.areas[3], 0.0);
+        let top = slack_types(&l, WindowId { layer: 2, row: 0, col: 0 });
+        // No upper layer ⇒ types 2 and 4 empty.
+        assert_eq!(top.areas[1], 0.0);
+        assert_eq!(top.areas[3], 0.0);
+    }
+
+    #[test]
+    fn priority_fill_spills_in_order() {
+        let st = SlackTypes { areas: [10.0, 5.0, 5.0, 100.0] };
+        assert_eq!(st.fill_by_priority(8.0), [8.0, 0.0, 0.0, 0.0]);
+        assert_eq!(st.fill_by_priority(12.0), [10.0, 2.0, 0.0, 0.0]);
+        assert_eq!(st.fill_by_priority(25.0), [10.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn fill_by_priority_handles_overflow_and_negatives() {
+        let st = SlackTypes { areas: [1.0, 1.0, 1.0, 1.0] };
+        let filled = st.fill_by_priority(100.0);
+        assert_eq!(filled, [1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(st.fill_by_priority(-5.0), [0.0; 4]);
+    }
+
+    #[test]
+    fn non_overlap_slack_formula() {
+        let l = stack(0.3, 0.5, 0.7);
+        let s = non_overlap_slack(&l, 1, 0, 0);
+        assert!((s - 10_000.0 * 0.5 * 0.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Per-window pattern parameters extracted from a layout.
+
+/// Pattern parameters of one filling window (paper §II-B: a layout is
+/// divided into `L × N × M` windows, each typically 100 µm × 100 µm).
+///
+/// All areas are in µm², lengths in µm. `density` is the copper/metal area
+/// fraction in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowPattern {
+    /// Metal (copper) area fraction of the window, in `[0, 1]`.
+    pub density: f64,
+    /// Total copper perimeter inside the window (µm).
+    pub perimeter: f64,
+    /// Average copper feature width (µm).
+    pub avg_width: f64,
+    /// Fillable slack area (µm²): empty area minus design-rule margins.
+    pub slack: f64,
+}
+
+impl WindowPattern {
+    /// Creates a window from density and feature width, deriving perimeter
+    /// and slack with the parallel-line model used by the synthetic
+    /// designs: lines of width `w` at pitch `w/ρ` give a perimeter of
+    /// `2·area·ρ/w`.
+    ///
+    /// `fillable_fraction` is the share of the empty area that design rules
+    /// allow to be filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when arguments are out of range.
+    #[must_use]
+    pub fn from_line_model(
+        density: f64,
+        avg_width: f64,
+        window_area: f64,
+        fillable_fraction: f64,
+    ) -> Self {
+        debug_assert!((0.0..=1.0).contains(&density));
+        debug_assert!(avg_width > 0.0 && window_area > 0.0);
+        debug_assert!((0.0..=1.0).contains(&fillable_fraction));
+        let perimeter = 2.0 * window_area * density / avg_width;
+        let slack = window_area * (1.0 - density) * fillable_fraction;
+        Self { density, perimeter, avg_width, slack }
+    }
+
+    /// An empty window (no copper, fully fillable except margins).
+    #[must_use]
+    pub fn empty(window_area: f64, fillable_fraction: f64) -> Self {
+        Self {
+            density: 0.0,
+            perimeter: 0.0,
+            avg_width: 0.1,
+            slack: window_area * fillable_fraction,
+        }
+    }
+
+    /// Checks internal invariants; used by validation and property tests.
+    #[must_use]
+    pub fn is_valid(&self, window_area: f64) -> bool {
+        (0.0..=1.0).contains(&self.density)
+            && self.perimeter >= 0.0
+            && self.avg_width > 0.0
+            && self.slack >= 0.0
+            && self.slack <= window_area * (1.0 - self.density) + 1e-9 * window_area
+    }
+}
+
+impl Default for WindowPattern {
+    fn default() -> Self {
+        Self { density: 0.0, perimeter: 0.0, avg_width: 0.1, slack: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_model_perimeter() {
+        // area 10000 µm², ρ = 0.5, w = 0.2 µm ⇒ perimeter = 2·10000·0.5/0.2.
+        let w = WindowPattern::from_line_model(0.5, 0.2, 10_000.0, 0.8);
+        assert!((w.perimeter - 50_000.0).abs() < 1e-6);
+        assert!((w.slack - 4000.0).abs() < 1e-6);
+        assert!(w.is_valid(10_000.0));
+    }
+
+    #[test]
+    fn empty_window_is_valid() {
+        let w = WindowPattern::empty(10_000.0, 0.8);
+        assert!(w.is_valid(10_000.0));
+        assert_eq!(w.density, 0.0);
+        assert_eq!(w.slack, 8000.0);
+    }
+
+    #[test]
+    fn invalid_when_slack_exceeds_empty_area() {
+        let w = WindowPattern { density: 0.9, perimeter: 0.0, avg_width: 0.1, slack: 5000.0 };
+        assert!(!w.is_valid(10_000.0));
+    }
+}

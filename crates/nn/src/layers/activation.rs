@@ -1,0 +1,117 @@
+//! Activation modules (stateless wrappers over tensor ops).
+
+use crate::module::Module;
+use neurfill_tensor::{Result, Tensor};
+
+/// ReLU activation module.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relu;
+
+impl Relu {
+    /// Creates a ReLU module.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Module for Relu {
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(input.relu())
+    }
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Sigmoid activation module.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sigmoid;
+
+impl Sigmoid {
+    /// Creates a sigmoid module.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Module for Sigmoid {
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(input.sigmoid())
+    }
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Tanh activation module.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tanh;
+
+impl Tanh {
+    /// Creates a tanh module.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Module for Tanh {
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(input.tanh())
+    }
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Leaky-ReLU activation module with configurable negative slope.
+#[derive(Debug, Clone, Copy)]
+pub struct LeakyRelu {
+    alpha: f32,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with the given negative slope.
+    #[must_use]
+    pub fn new(alpha: f32) -> Self {
+        Self { alpha }
+    }
+}
+
+impl Default for LeakyRelu {
+    fn default() -> Self {
+        Self::new(0.01)
+    }
+}
+
+impl Module for LeakyRelu {
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(input.leaky_relu(self.alpha))
+    }
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurfill_tensor::NdArray;
+
+    #[test]
+    fn activations_are_parameter_free() {
+        assert_eq!(Relu::new().num_parameters(), 0);
+        assert_eq!(Sigmoid::new().num_parameters(), 0);
+        assert_eq!(Tanh::new().num_parameters(), 0);
+        assert_eq!(LeakyRelu::default().num_parameters(), 0);
+    }
+
+    #[test]
+    fn relu_module_matches_op() {
+        let x = Tensor::constant(NdArray::from_slice(&[-1.0, 2.0]));
+        let y = Relu::new().forward(&x).unwrap();
+        assert_eq!(y.value().as_slice(), &[0.0, 2.0]);
+    }
+}

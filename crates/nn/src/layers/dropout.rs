@@ -1,0 +1,112 @@
+//! Dropout regularization.
+
+use crate::module::Module;
+use neurfill_tensor::{NdArray, Result, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::{Cell, RefCell};
+
+/// Inverted dropout: in training mode each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`; in evaluation
+/// mode the input passes through unchanged.
+///
+/// The layer owns a seeded RNG so training runs stay reproducible.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    training: Cell<bool>,
+    rng: RefCell<StdRng>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1)`.
+    #[must_use]
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Self { p, training: Cell::new(true), rng: RefCell::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// The drop probability.
+    #[must_use]
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        if !self.training.get() || self.p == 0.0 {
+            // Identity that still participates in the graph.
+            return Ok(input.scale(1.0));
+        }
+        let keep = 1.0 - self.p;
+        let mut rng = self.rng.borrow_mut();
+        let mask = NdArray::from_fn(&input.shape(), |_| {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        input.mul(&Tensor::constant(mask))
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+
+    fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5, 0);
+        d.set_training(false);
+        let x = Tensor::constant(NdArray::from_slice(&[1.0, 2.0, 3.0]));
+        assert_eq!(d.forward(&x).unwrap().value().as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn training_mode_zeroes_roughly_p_fraction() {
+        let d = Dropout::new(0.3, 1);
+        let x = Tensor::constant(NdArray::ones(&[10_000]));
+        let y = d.forward(&x).unwrap().value();
+        let zeros = y.as_slice().iter().filter(|v| **v == 0.0).count();
+        assert!((zeros as f64 / 10_000.0 - 0.3).abs() < 0.03, "{zeros}");
+        // Survivors are scaled to preserve the expectation.
+        assert!((y.mean() - 1.0).abs() < 0.05, "{}", y.mean());
+    }
+
+    #[test]
+    fn gradients_pass_only_through_kept_units() {
+        let d = Dropout::new(0.5, 2);
+        let x = Tensor::parameter(NdArray::ones(&[1000]));
+        let y = d.forward(&x).unwrap();
+        y.sum().backward().unwrap();
+        let g = x.grad().unwrap();
+        let v = y.value();
+        for (gi, yi) in g.as_slice().iter().zip(v.as_slice()) {
+            if *yi == 0.0 {
+                assert_eq!(*gi, 0.0);
+            } else {
+                assert!((gi - 2.0).abs() < 1e-6); // 1/keep = 2
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_p_of_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Fully-connected layer.
+
+use crate::module::Module;
+use neurfill_tensor::{init, NdArray, Result, Tensor};
+use rand::Rng;
+
+/// A fully-connected (affine) layer: `y = x·Wᵀ + b` for `x` of shape
+/// `[batch, in_features]`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Tensor, // [out, in]
+    bias: Tensor,   // [out]
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform weights.
+    #[must_use]
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        let weight =
+            Tensor::parameter(init::kaiming_uniform(&[out_features, in_features], in_features, rng));
+        let bias = Tensor::parameter(NdArray::zeros(&[out_features]));
+        Self { weight, bias }
+    }
+
+    /// The weight tensor `[out, in]`.
+    #[must_use]
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias tensor `[out]`.
+    #[must_use]
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        // y = x·Wᵀ + b, expressed as a 1×1 convolution so both operands stay
+        // differentiable without needing a transpose op in the tensor crate:
+        // x [B, in] ≅ [B, in, 1, 1], W [out, in] ≅ [out, in, 1, 1].
+        let b = input.shape()[0];
+        let in_f = input.shape()[1];
+        let out_f = self.weight.shape()[0];
+        let x4 = input.reshape(&[b, in_f, 1, 1])?;
+        let w4 = self.weight.reshape(&[out_f, in_f, 1, 1])?;
+        let y = x4.conv2d(&w4, None, 1, 0)?.reshape(&[b, out_f])?;
+        y.add(&self.bias.reshape(&[1, out_f])?)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_matches_manual_affine() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let lin = Linear::new(3, 2, &mut rng);
+        lin.weight.set_data(NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap());
+        lin.bias.set_data(NdArray::from_slice(&[0.5, -0.5]));
+        let x = Tensor::constant(NdArray::from_vec(vec![1.0, 1.0, 1.0], &[1, 3]).unwrap());
+        let y = lin.forward(&x).unwrap();
+        assert_eq!(y.value().as_slice(), &[6.5, 14.5]);
+    }
+
+    #[test]
+    fn linear_gradients_flow() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let lin = Linear::new(4, 3, &mut rng);
+        let x = Tensor::parameter(NdArray::ones(&[2, 4]));
+        lin.forward(&x).unwrap().square().sum().backward().unwrap();
+        assert!(x.grad().is_some());
+        assert!(lin.parameters().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn linear_batch_independence() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let lin = Linear::new(2, 2, &mut rng);
+        let x1 = Tensor::constant(NdArray::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap());
+        let x2 = Tensor::constant(NdArray::from_vec(vec![1.0, 2.0, 9.0, 9.0], &[2, 2]).unwrap());
+        let y1 = lin.forward(&x1).unwrap().value();
+        let y2 = lin.forward(&x2).unwrap().value();
+        assert_eq!(&y2.as_slice()[..2], y1.as_slice());
+    }
+}

@@ -1,0 +1,259 @@
+//! Batch normalization.
+
+use crate::module::{Buffer, Module};
+use neurfill_tensor::{NdArray, Result, Tensor};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// 2-D batch normalization over NCHW tensors.
+///
+/// In training mode, statistics are computed from the batch and running
+/// estimates are updated; in evaluation mode the running estimates are used.
+/// The normalization expression is built from differentiable primitives, so
+/// gradients flow through the batch statistics exactly as in PyTorch.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: Buffer,
+    running_var: Buffer,
+    momentum: f32,
+    eps: f32,
+    training: Cell<bool>,
+    channels: usize,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    #[must_use]
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Tensor::parameter(NdArray::ones(&[channels])),
+            beta: Tensor::parameter(NdArray::zeros(&[channels])),
+            running_mean: Rc::new(std::cell::RefCell::new(NdArray::zeros(&[channels]))),
+            running_var: Rc::new(std::cell::RefCell::new(NdArray::ones(&[channels]))),
+            momentum: 0.1,
+            eps: 1e-5,
+            training: Cell::new(true),
+            channels,
+        }
+    }
+
+    /// Running mean estimate (evaluation-mode statistics).
+    #[must_use]
+    pub fn running_mean(&self) -> NdArray {
+        self.running_mean.borrow().clone()
+    }
+
+    /// Running variance estimate (evaluation-mode statistics).
+    #[must_use]
+    pub fn running_var(&self) -> NdArray {
+        self.running_var.borrow().clone()
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let c = self.channels;
+        let g = self.gamma.reshape(&[1, c, 1, 1])?;
+        let b = self.beta.reshape(&[1, c, 1, 1])?;
+        if self.training.get() {
+            // Per-channel batch statistics via keepdim means.
+            let m = input.mean_axis(0, true)?.mean_axis(2, true)?.mean_axis(3, true)?;
+            let centered = input.sub(&m)?;
+            let v = centered.square().mean_axis(0, true)?.mean_axis(2, true)?.mean_axis(3, true)?;
+            // Update running stats with detached values.
+            {
+                let mv = m.value().reshape(&[c])?;
+                let vv = v.value().reshape(&[c])?;
+                let mut rm = self.running_mean.borrow_mut();
+                let mut rv = self.running_var.borrow_mut();
+                *rm = rm.scale(1.0 - self.momentum).add(&mv.scale(self.momentum))?;
+                *rv = rv.scale(1.0 - self.momentum).add(&vv.scale(self.momentum))?;
+            }
+            let denom = v.add_scalar(self.eps).sqrt();
+            centered.div(&denom)?.mul(&g)?.add(&b)
+        } else {
+            let rm = Tensor::constant(self.running_mean.borrow().reshape(&[1, c, 1, 1])?);
+            let rv = Tensor::constant(self.running_var.borrow().reshape(&[1, c, 1, 1])?);
+            let denom = rv.add_scalar(self.eps).sqrt();
+            input.sub(&rm)?.div(&denom)?.mul(&g)?.add(&b)
+        }
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+
+    fn buffers(&self) -> Vec<Buffer> {
+        vec![Rc::clone(&self.running_mean), Rc::clone(&self.running_var)]
+    }
+
+    fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+}
+
+/// Group normalization over NCHW tensors (Wu & He): per-sample statistics
+/// over channel groups. Unlike batch norm it has no running state and
+/// behaves identically in training and evaluation — useful for batch-size-1
+/// fine-tuning and as an ablation against [`BatchNorm2d`].
+#[derive(Debug)]
+pub struct GroupNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    groups: usize,
+    channels: usize,
+    eps: f32,
+}
+
+impl GroupNorm {
+    /// Creates a group-norm layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channels` is not divisible by `groups` or `groups` is
+    /// zero.
+    #[must_use]
+    pub fn new(groups: usize, channels: usize) -> Self {
+        assert!(groups > 0, "need at least one group");
+        assert_eq!(channels % groups, 0, "channels must divide into groups");
+        Self {
+            gamma: Tensor::parameter(NdArray::ones(&[channels])),
+            beta: Tensor::parameter(NdArray::zeros(&[channels])),
+            groups,
+            channels,
+            eps: 1e-5,
+        }
+    }
+}
+
+impl Module for GroupNorm {
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let shape = input.shape();
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let g = self.groups;
+        // Group view: [N·g, (C/g)·H·W]; per-row statistics.
+        let per = (c / g) * h * w;
+        let xg = input.reshape(&[n * g, per])?;
+        let mean = xg.mean_axis(1, true)?;
+        let centered = xg.sub(&mean)?;
+        let var = centered.square().mean_axis(1, true)?;
+        let normalized = centered.div(&var.add_scalar(self.eps).sqrt())?.reshape(&[n, c, h, w])?;
+        let gamma = self.gamma.reshape(&[1, self.channels, 1, 1])?;
+        let beta = self.beta.reshape(&[1, self.channels, 1, 1])?;
+        normalized.mul(&gamma)?.add(&beta)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_batch_to_zero_mean_unit_var() {
+        let bn = BatchNorm2d::new(2);
+        let x = Tensor::constant(NdArray::from_fn(&[2, 2, 3, 3], |i| i as f32));
+        let y = bn.forward(&x).unwrap().value();
+        // Per-channel mean ≈ 0, var ≈ 1.
+        let per_c = y.reshape(&[2, 2, 9]).unwrap();
+        for c in 0..2 {
+            let mut vals = Vec::new();
+            for n in 0..2 {
+                for s in 0..9 {
+                    vals.push(per_c.at(&[n, c, s]));
+                }
+            }
+            let arr = NdArray::from_slice(&vals);
+            assert!(arr.mean().abs() < 1e-4);
+            assert!((arr.var() - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let bn = BatchNorm2d::new(1);
+        // Train on data with mean 10 to move the running stats.
+        let x = Tensor::constant(NdArray::full(&[4, 1, 2, 2], 10.0));
+        for _ in 0..200 {
+            bn.forward(&x).unwrap();
+        }
+        bn.set_training(false);
+        let y = bn.forward(&x).unwrap().value();
+        // Normalized 10.0 against running mean ≈ 10 ⇒ ≈ 0.
+        assert!(y.as_slice().iter().all(|v| v.abs() < 0.1), "{y:?}");
+    }
+
+    #[test]
+    fn gradients_flow_through_batch_stats() {
+        let bn = BatchNorm2d::new(1);
+        let x = Tensor::parameter(NdArray::from_fn(&[1, 1, 2, 2], |i| i as f32));
+        bn.forward(&x).unwrap().square().sum().backward().unwrap();
+        assert!(x.grad().is_some());
+        assert!(bn.parameters().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn running_stats_converge_to_data_stats() {
+        let bn = BatchNorm2d::new(1);
+        let x = Tensor::constant(NdArray::from_fn(&[8, 1, 2, 2], |i| (i % 4) as f32));
+        for _ in 0..200 {
+            bn.forward(&x).unwrap();
+        }
+        let rm = bn.running_mean();
+        assert!((rm.as_slice()[0] - 1.5).abs() < 0.05, "{rm:?}");
+    }
+
+    #[test]
+    fn exposes_two_buffers() {
+        let bn = BatchNorm2d::new(3);
+        let bufs = bn.buffers();
+        assert_eq!(bufs.len(), 2);
+        assert_eq!(bufs[0].borrow().shape(), &[3]);
+    }
+
+    #[test]
+    fn group_norm_normalizes_per_group() {
+        let gn = GroupNorm::new(2, 4);
+        let x = Tensor::constant(NdArray::from_fn(&[1, 4, 2, 2], |i| i as f32));
+        let y = gn.forward(&x).unwrap().value();
+        // Each group of 2 channels (8 values) is normalized to mean 0.
+        let group0: f32 = y.as_slice()[..8].iter().sum();
+        let group1: f32 = y.as_slice()[8..].iter().sum();
+        assert!(group0.abs() < 1e-3, "{group0}");
+        assert!(group1.abs() < 1e-3, "{group1}");
+    }
+
+    #[test]
+    fn group_norm_is_batch_independent_and_deterministic() {
+        let gn = GroupNorm::new(1, 2);
+        let x1 = Tensor::constant(NdArray::from_fn(&[1, 2, 2, 2], |i| i as f32));
+        let y1 = gn.forward(&x1).unwrap().value();
+        // Duplicate the sample: per-sample stats must give identical rows.
+        let mut data = x1.value().into_vec();
+        data.extend(data.clone());
+        let x2 = Tensor::constant(NdArray::from_vec(data, &[2, 2, 2, 2]).unwrap());
+        let y2 = gn.forward(&x2).unwrap().value();
+        assert_eq!(&y2.as_slice()[..8], y1.as_slice());
+        assert_eq!(&y2.as_slice()[8..], y1.as_slice());
+    }
+
+    #[test]
+    fn group_norm_gradients_flow() {
+        let gn = GroupNorm::new(2, 4);
+        let x = Tensor::parameter(NdArray::from_fn(&[2, 4, 2, 2], |i| (i % 7) as f32));
+        gn.forward(&x).unwrap().square().sum().backward().unwrap();
+        assert!(x.grad().is_some());
+        assert!(gn.parameters().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn group_norm_rejects_indivisible_channels() {
+        let _ = GroupNorm::new(3, 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Pooling and upsampling modules.
+
+use crate::module::Module;
+use neurfill_tensor::{Result, Tensor};
+
+/// Max-pooling module.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with the given kernel and stride.
+    #[must_use]
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        Self { kernel, stride }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        input.max_pool2d(self.kernel, self.stride)
+    }
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Nearest-neighbour upsampling module.
+#[derive(Debug, Clone, Copy)]
+pub struct UpsampleNearest2d {
+    scale: usize,
+}
+
+impl UpsampleNearest2d {
+    /// Creates an upsampling layer with the given integer scale factor.
+    #[must_use]
+    pub fn new(scale: usize) -> Self {
+        Self { scale }
+    }
+}
+
+impl Module for UpsampleNearest2d {
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        input.upsample_nearest2d(self.scale)
+    }
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurfill_tensor::NdArray;
+
+    #[test]
+    fn pool_then_upsample_restores_shape() {
+        let x = Tensor::constant(NdArray::from_fn(&[1, 2, 8, 8], |i| i as f32));
+        let pooled = MaxPool2d::new(2, 2).forward(&x).unwrap();
+        assert_eq!(pooled.shape(), vec![1, 2, 4, 4]);
+        let up = UpsampleNearest2d::new(2).forward(&pooled).unwrap();
+        assert_eq!(up.shape(), x.shape());
+    }
+}

@@ -1,0 +1,137 @@
+//! Sequential composition of modules.
+
+use crate::module::{Buffer, Module};
+use neurfill_tensor::{Result, Tensor};
+
+/// A chain of modules applied in order.
+///
+/// # Examples
+///
+/// ```
+/// use neurfill_nn::{layers::{Conv2d, Relu, Sequential}, Module};
+/// use neurfill_tensor::{NdArray, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = Sequential::new()
+///     .push(Conv2d::new(1, 4, 3, 1, 1, &mut rng))
+///     .push(Relu::new())
+///     .push(Conv2d::new(4, 1, 1, 1, 0, &mut rng));
+/// let y = net.forward(&Tensor::constant(NdArray::zeros(&[1, 1, 8, 8])))?;
+/// assert_eq!(y.shape(), vec![1, 1, 8, 8]);
+/// # Ok::<(), neurfill_tensor::TensorError>(())
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    modules: Vec<Box<dyn Module>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} modules)", self.modules.len())
+    }
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a module (builder style).
+    #[must_use]
+    pub fn push(mut self, module: impl Module + 'static) -> Self {
+        self.modules.push(Box::new(module));
+        self
+    }
+
+    /// Number of modules in the chain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Whether the chain is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for m in &self.modules {
+            x = m.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        self.modules.iter().flat_map(|m| m.parameters()).collect()
+    }
+
+    fn buffers(&self) -> Vec<Buffer> {
+        self.modules.iter().flat_map(|m| m.buffers()).collect()
+    }
+
+    fn set_training(&self, training: bool) {
+        for m in &self.modules {
+            m.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm2d, Conv2d, Relu};
+    use neurfill_tensor::NdArray;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let net = Sequential::new();
+        assert!(net.is_empty());
+        let x = Tensor::constant(NdArray::from_slice(&[1.0, 2.0]));
+        assert_eq!(net.forward(&x).unwrap().value().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn collects_parameters_and_buffers_in_order() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let net = Sequential::new()
+            .push(Conv2d::new(1, 2, 3, 1, 1, &mut rng))
+            .push(BatchNorm2d::new(2))
+            .push(Relu::new());
+        assert_eq!(net.len(), 3);
+        // conv: weight + bias; bn: gamma + beta.
+        assert_eq!(net.parameters().len(), 4);
+        // bn: running mean + var.
+        assert_eq!(net.buffers().len(), 2);
+    }
+
+    #[test]
+    fn gradients_flow_through_the_chain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let net = Sequential::new()
+            .push(Conv2d::new(1, 2, 3, 1, 1, &mut rng))
+            .push(Relu::new())
+            .push(Conv2d::new(2, 1, 1, 1, 0, &mut rng));
+        let x = Tensor::parameter(NdArray::from_fn(&[1, 1, 4, 4], |i| i as f32 * 0.1));
+        net.forward(&x).unwrap().square().sum().backward().unwrap();
+        assert!(x.grad().is_some());
+        assert!(net.parameters().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn set_training_propagates() {
+        let net = Sequential::new().push(BatchNorm2d::new(1));
+        net.set_training(false);
+        // Eval-mode batch norm on unit running stats is ~identity.
+        let x = Tensor::constant(NdArray::full(&[1, 1, 2, 2], 3.0));
+        let y = net.forward(&x).unwrap().value();
+        assert!(y.as_slice().iter().all(|v| (v - 3.0).abs() < 1e-2));
+    }
+}

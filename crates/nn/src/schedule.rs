@@ -1,0 +1,84 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule mapping epoch index to a multiplier of the
+/// base learning rate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `factor` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative factor applied at each decay (usually < 1).
+        factor: f64,
+    },
+    /// Cosine annealing from 1 to `floor` over `total_epochs`.
+    Cosine {
+        /// Total number of epochs the schedule spans.
+        total_epochs: usize,
+        /// Final multiplier at the end of the schedule.
+        floor: f64,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `epoch` given the base rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when schedule parameters are degenerate.
+    #[must_use]
+    pub fn lr_at(&self, epoch: usize, base_lr: f64) -> f64 {
+        match self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::StepDecay { every, factor } => {
+                debug_assert!(*every > 0);
+                base_lr * factor.powi((epoch / every.max(&1)) as i32)
+            }
+            LrSchedule::Cosine { total_epochs, floor } => {
+                debug_assert!(*total_epochs > 0);
+                let t = (epoch as f64 / (*total_epochs).max(1) as f64).min(1.0);
+                let cos = 0.5 * (1.0 + (std::f64::consts::PI * t).cos());
+                base_lr * (floor + (1.0 - floor) * cos)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.lr_at(0, 0.1), 0.1);
+        assert_eq!(s.lr_at(100, 0.1), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+        assert_eq!(s.lr_at(0, 1.0), 1.0);
+        assert_eq!(s.lr_at(9, 1.0), 1.0);
+        assert_eq!(s.lr_at(10, 1.0), 0.5);
+        assert_eq!(s.lr_at(25, 1.0), 0.25);
+    }
+
+    #[test]
+    fn cosine_starts_high_ends_at_floor() {
+        let s = LrSchedule::Cosine { total_epochs: 100, floor: 0.1 };
+        assert!((s.lr_at(0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((s.lr_at(100, 1.0) - 0.1).abs() < 1e-12);
+        let mid = s.lr_at(50, 1.0);
+        assert!(mid < 1.0 && mid > 0.1);
+        // Monotone decreasing.
+        let mut prev = f64::INFINITY;
+        for e in 0..=100 {
+            let lr = s.lr_at(e, 1.0);
+            assert!(lr <= prev + 1e-12);
+            prev = lr;
+        }
+    }
+}

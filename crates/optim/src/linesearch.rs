@@ -1,0 +1,102 @@
+//! Backtracking line search along the projected arc.
+
+use crate::problem::{Bounds, Objective};
+
+/// Result of a projected-arc line search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineSearchResult {
+    /// Accepted point (already projected into the box).
+    pub x: Vec<f64>,
+    /// Objective value at the accepted point.
+    pub value: f64,
+    /// Accepted step size.
+    pub alpha: f64,
+    /// Number of objective evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Backtracking Armijo search along the projected arc
+/// `x(α) = P(x₀ + α·d)` for a maximization problem.
+///
+/// Returns `None` when no step in the schedule achieves sufficient
+/// increase (the caller should then fall back to a steepest direction or
+/// declare convergence).
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors the line-search signature of optimization texts
+pub fn projected_backtracking(
+    objective: &dyn Objective,
+    bounds: &Bounds,
+    x0: &[f64],
+    f0: f64,
+    grad: &[f64],
+    direction: &[f64],
+    alpha0: f64,
+    c1: f64,
+    max_backtracks: usize,
+) -> Option<LineSearchResult> {
+    let mut alpha = alpha0;
+    for evals in 1..=max_backtracks {
+        let mut x = x0.to_vec();
+        for (xi, di) in x.iter_mut().zip(direction) {
+            *xi += alpha * di;
+        }
+        bounds.project(&mut x);
+        // Directional increase predicted by the gradient over the actual
+        // (projected) displacement.
+        let predicted: f64 = grad.iter().zip(x.iter().zip(x0)).map(|(g, (xn, xo))| g * (xn - xo)).sum();
+        let value = objective.value(&x);
+        if predicted > 0.0 && value >= f0 + c1 * predicted {
+            return Some(LineSearchResult { x, value, alpha, evaluations: evals });
+        }
+        alpha *= 0.5;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnObjective;
+
+    #[test]
+    fn finds_full_step_on_linear_objective() {
+        let obj = FnObjective::new(1, |x: &[f64]| x[0], |_| vec![1.0]);
+        let b = Bounds::new(vec![-10.0], vec![10.0]);
+        let r = projected_backtracking(&obj, &b, &[0.0], 0.0, &[1.0], &[1.0], 1.0, 1e-4, 20).unwrap();
+        assert_eq!(r.alpha, 1.0);
+        assert_eq!(r.x, vec![1.0]);
+    }
+
+    #[test]
+    fn backtracks_on_overshoot() {
+        // f(x) = -(x-0.1)²: full step to 1.0 overshoots the peak at 0.1.
+        let obj = FnObjective::new(
+            1,
+            |x: &[f64]| -(x[0] - 0.1) * (x[0] - 0.1),
+            |x: &[f64]| vec![-2.0 * (x[0] - 0.1)],
+        );
+        let b = Bounds::new(vec![-1.0], vec![1.0]);
+        let g = obj.gradient(&[0.0]);
+        let r = projected_backtracking(&obj, &b, &[0.0], obj.value(&[0.0]), &g, &[1.0], 1.0, 0.5, 30)
+            .unwrap();
+        assert!(r.alpha < 1.0);
+        assert!(r.value > obj.value(&[0.0]));
+    }
+
+    #[test]
+    fn respects_bounds_via_projection() {
+        let obj = FnObjective::new(1, |x: &[f64]| x[0], |_| vec![1.0]);
+        let b = Bounds::new(vec![0.0], vec![0.25]);
+        let r = projected_backtracking(&obj, &b, &[0.0], 0.0, &[1.0], &[1.0], 1.0, 1e-4, 20).unwrap();
+        assert_eq!(r.x, vec![0.25]);
+    }
+
+    #[test]
+    fn returns_none_for_descent_direction() {
+        let obj = FnObjective::new(1, |x: &[f64]| x[0], |_| vec![1.0]);
+        let b = Bounds::new(vec![-10.0], vec![10.0]);
+        // Direction opposite to the gradient cannot yield an increase.
+        let r = projected_backtracking(&obj, &b, &[0.0], 0.0, &[1.0], &[-1.0], 1.0, 1e-4, 10);
+        assert!(r.is_none());
+    }
+}

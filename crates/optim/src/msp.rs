@@ -1,0 +1,116 @@
+//! Multiple-starting-point (MSP) driver: runs the SQP solver from each
+//! starting point and keeps the best local optimum (paper §IV-E, Fig. 7).
+
+use crate::problem::{Bounds, Objective};
+use crate::sqp::{SqpResult, SqpSolver};
+
+/// Result of a multi-start optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStartResult {
+    /// Per-start SQP results, in input order.
+    pub runs: Vec<SqpResult>,
+    /// Index of the best run.
+    pub best_index: usize,
+}
+
+impl MultiStartResult {
+    /// The best SQP result.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: construction guarantees at least one run.
+    #[must_use]
+    pub fn best(&self) -> &SqpResult {
+        &self.runs[self.best_index]
+    }
+
+    /// Total objective evaluations across all starts.
+    #[must_use]
+    pub fn total_evaluations(&self) -> usize {
+        self.runs.iter().map(|r| r.evaluations).sum()
+    }
+}
+
+/// Runs SQP from every starting point and returns all local optima plus the
+/// winner.
+///
+/// # Panics
+///
+/// Panics when `starts` is empty.
+#[must_use]
+pub fn maximize_multi_start(
+    solver: &SqpSolver,
+    objective: &dyn Objective,
+    bounds: &Bounds,
+    starts: &[Vec<f64>],
+) -> MultiStartResult {
+    assert!(!starts.is_empty(), "need at least one starting point");
+    let runs: Vec<SqpResult> = starts.iter().map(|s| solver.maximize(objective, bounds, s)).collect();
+    let best_index = runs
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    MultiStartResult { runs, best_index }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnObjective;
+
+    /// Two-peak objective: local max near 0.15 (h=0.7), global near 0.85.
+    fn two_peaks() -> impl Objective {
+        FnObjective::new(
+            1,
+            |x: &[f64]| {
+                0.7 * (-((x[0] - 0.15) / 0.1).powi(2)).exp()
+                    + 1.0 * (-((x[0] - 0.85) / 0.1).powi(2)).exp()
+            },
+            |x: &[f64]| {
+                let g1 = 0.7 * (-((x[0] - 0.15) / 0.1).powi(2)).exp() * (-2.0 * (x[0] - 0.15) / 0.01);
+                let g2 = 1.0 * (-((x[0] - 0.85) / 0.1).powi(2)).exp() * (-2.0 * (x[0] - 0.85) / 0.01);
+                vec![g1 + g2]
+            },
+        )
+    }
+
+    #[test]
+    fn multi_start_escapes_local_optimum() {
+        use crate::sqp::SqpConfig;
+        let obj = two_peaks();
+        let bounds = Bounds::new(vec![0.0], vec![1.0]);
+        // A small initial step keeps each run inside its starting basin,
+        // so a single start at 0.1 climbs the wrong (local) peak.
+        let solver = SqpSolver::new(SqpConfig { initial_step: 0.02, ..SqpConfig::default() });
+        let single = solver.maximize(&obj, &bounds, &[0.1]);
+        assert!((single.x[0] - 0.15).abs() < 0.05, "{:?}", single.x);
+
+        let multi = maximize_multi_start(&solver, &obj, &bounds, &[vec![0.1], vec![0.9]]);
+        assert!((multi.best().x[0] - 0.85).abs() < 0.05, "{:?}", multi.best().x);
+        assert!(multi.best().value > single.value);
+        assert_eq!(multi.runs.len(), 2);
+    }
+
+    #[test]
+    fn evaluation_accounting_sums_runs() {
+        let obj = two_peaks();
+        let bounds = Bounds::new(vec![0.0], vec![1.0]);
+        let solver = SqpSolver::default();
+        let multi = maximize_multi_start(&solver, &obj, &bounds, &[vec![0.2], vec![0.6]]);
+        assert_eq!(
+            multi.total_evaluations(),
+            multi.runs.iter().map(|r| r.evaluations).sum::<usize>()
+        );
+        assert!(multi.total_evaluations() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_starts_panic() {
+        let obj = two_peaks();
+        let bounds = Bounds::new(vec![0.0], vec![1.0]);
+        let _ = maximize_multi_start(&SqpSolver::default(), &obj, &bounds, &[]);
+    }
+}

@@ -1,0 +1,467 @@
+//! NMMSO — the niching migratory multi-swarm optimizer (Fieldsend 2014)
+//! used by NeurFill's multi-modal starting-points search (paper §IV-D,
+//! Eq. 19).
+//!
+//! The optimizer maintains a population of swarms, each tracking one peak
+//! region of the objective. Swarms evolve with PSO dynamics, merge when
+//! they turn out to climb the same peak (no fitness valley between their
+//! bests), and fresh randomly-seeded swarms keep exploring. On
+//! convergence, the swarm bests approximate the set of local optima
+//! `XS = {x_i^lo}` that MSP-SQP then refines.
+
+use crate::problem::{Bounds, Objective};
+use rand::Rng;
+
+/// NMMSO configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NmmsoConfig {
+    /// Total objective-evaluation budget.
+    pub max_evaluations: usize,
+    /// Maximum particles per swarm.
+    pub swarm_size: usize,
+    /// Maximum number of concurrent swarms (oldest-worst pruned beyond).
+    pub max_swarms: usize,
+    /// Merge distance as a fraction of the search-box diameter.
+    pub merge_distance_fraction: f64,
+    /// PSO inertia weight.
+    pub inertia: f64,
+    /// PSO cognitive (personal-best) acceleration.
+    pub cognitive: f64,
+    /// PSO social (swarm-best) acceleration.
+    pub social: f64,
+}
+
+impl Default for NmmsoConfig {
+    fn default() -> Self {
+        Self {
+            max_evaluations: 2000,
+            swarm_size: 8,
+            max_swarms: 20,
+            merge_distance_fraction: 0.1,
+            inertia: 0.6,
+            cognitive: 1.6,
+            social: 1.6,
+        }
+    }
+}
+
+/// One located mode (candidate local optimum).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mode {
+    /// Location of the swarm best.
+    pub x: Vec<f64>,
+    /// Objective value at the swarm best.
+    pub value: f64,
+}
+
+/// Result of an NMMSO run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NmmsoResult {
+    /// Located modes, sorted by value (best first).
+    pub modes: Vec<Mode>,
+    /// Objective evaluations spent.
+    pub evaluations: usize,
+    /// Main-loop iterations performed.
+    pub iterations: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Particle {
+    x: Vec<f64>,
+    v: Vec<f64>,
+    pbest_x: Vec<f64>,
+    pbest_f: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Swarm {
+    particles: Vec<Particle>,
+    gbest_x: Vec<f64>,
+    gbest_f: f64,
+}
+
+impl Swarm {
+    fn seeded(x: Vec<f64>, f: f64) -> Self {
+        let dim = x.len();
+        let particle =
+            Particle { x: x.clone(), v: vec![0.0; dim], pbest_x: x.clone(), pbest_f: f };
+        Self { particles: vec![particle], gbest_x: x, gbest_f: f }
+    }
+
+    fn absorb(&mut self, other: Swarm, capacity: usize) {
+        if other.gbest_f > self.gbest_f {
+            self.gbest_f = other.gbest_f;
+            self.gbest_x = other.gbest_x;
+        }
+        self.particles.extend(other.particles);
+        self.particles
+            .sort_by(|a, b| b.pbest_f.partial_cmp(&a.pbest_f).unwrap_or(std::cmp::Ordering::Equal));
+        self.particles.truncate(capacity);
+    }
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// The NMMSO optimizer.
+///
+/// # Examples
+///
+/// ```
+/// use neurfill_optim::{Bounds, FnObjective, Nmmso, NmmsoConfig};
+/// use rand::SeedableRng;
+///
+/// // Two peaks at x = 0.2 and x = 0.8.
+/// let obj = FnObjective::new(
+///     1,
+///     |x: &[f64]| (-((x[0] - 0.2f64) / 0.05).powi(2)).exp() + (-((x[0] - 0.8f64) / 0.05).powi(2)).exp(),
+///     |_| vec![0.0],
+/// );
+/// let bounds = Bounds::new(vec![0.0], vec![1.0]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let result = Nmmso::new(NmmsoConfig::default()).maximize(&obj, &bounds, &mut rng);
+/// assert!(!result.modes.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Nmmso {
+    config: NmmsoConfig,
+}
+
+impl Nmmso {
+    /// Creates an optimizer with the given configuration.
+    #[must_use]
+    pub fn new(config: NmmsoConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the multi-modal search, returning the located modes sorted by
+    /// value.
+    ///
+    /// Only [`Objective::value`] is used (NMMSO is derivative-free); the
+    /// SQP refinement afterwards is where gradients come in.
+    #[must_use]
+    pub fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut impl Rng) -> NmmsoResult {
+        let cfg = &self.config;
+        let merge_dist = bounds.diameter() * cfg.merge_distance_fraction;
+        let mut evaluations = 0;
+        let mut iterations = 0;
+
+        let eval = |x: &[f64], evals: &mut usize| -> f64 {
+            *evals += 1;
+            objective.value(x)
+        };
+
+        let x0 = bounds.random_point(rng);
+        let f0 = eval(&x0, &mut evaluations);
+        let mut swarms = vec![Swarm::seeded(x0, f0)];
+
+        while evaluations < cfg.max_evaluations {
+            iterations += 1;
+
+            // (a) Merge swarms climbing the same peak.
+            self.merge_pass(&mut swarms, merge_dist, objective, &mut evaluations);
+
+            // (b) Evolve each swarm: grow it until full, then PSO-update.
+            for swarm in &mut swarms {
+                if evaluations >= cfg.max_evaluations {
+                    break;
+                }
+                if swarm.particles.len() < cfg.swarm_size {
+                    // Increment: sample a new particle near the swarm best.
+                    let radius = merge_dist.max(1e-9);
+                    let x: Vec<f64> = swarm
+                        .gbest_x
+                        .iter()
+                        .map(|&c| c + rng.gen_range(-radius..=radius))
+                        .collect();
+                    let x = bounds.projected(&x);
+                    let f = eval(&x, &mut evaluations);
+                    if f > swarm.gbest_f {
+                        swarm.gbest_f = f;
+                        swarm.gbest_x = x.clone();
+                    }
+                    swarm.particles.push(Particle {
+                        v: vec![0.0; x.len()],
+                        pbest_x: x.clone(),
+                        pbest_f: f,
+                        x,
+                    });
+                } else {
+                    // PSO step for every particle.
+                    let gbest = swarm.gbest_x.clone();
+                    let mut new_best: Option<(Vec<f64>, f64)> = None;
+                    for p in &mut swarm.particles {
+                        #[allow(clippy::needless_range_loop)] // indexes x, v, pbest, gbest in lockstep
+                        for d in 0..p.x.len() {
+                            let r1: f64 = rng.gen();
+                            let r2: f64 = rng.gen();
+                            p.v[d] = cfg.inertia * p.v[d]
+                                + cfg.cognitive * r1 * (p.pbest_x[d] - p.x[d])
+                                + cfg.social * r2 * (gbest[d] - p.x[d]);
+                            p.x[d] += p.v[d];
+                        }
+                        bounds.project(&mut p.x);
+                        let f = eval(&p.x, &mut evaluations);
+                        if f > p.pbest_f {
+                            p.pbest_f = f;
+                            p.pbest_x = p.x.clone();
+                        }
+                        if f > new_best.as_ref().map_or(swarm.gbest_f, |(_, bf)| *bf) {
+                            new_best = Some((p.x.clone(), f));
+                        }
+                        if evaluations >= cfg.max_evaluations {
+                            break;
+                        }
+                    }
+                    if let Some((bx, bf)) = new_best {
+                        swarm.gbest_x = bx;
+                        swarm.gbest_f = bf;
+                    }
+                }
+            }
+
+            // (c) Hive off: when a full swarm's worst personal best sits
+            // across a fitness valley from the swarm best, it is tracking a
+            // different peak — split it out as its own swarm (Fieldsend's
+            // "hiving" operation).
+            if evaluations < cfg.max_evaluations && swarms.len() < cfg.max_swarms {
+                let mut hived: Vec<Swarm> = Vec::new();
+                for swarm in &mut swarms {
+                    if swarm.particles.len() < cfg.swarm_size {
+                        continue;
+                    }
+                    let Some(worst_idx) = swarm
+                        .particles
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| {
+                            a.pbest_f.partial_cmp(&b.pbest_f).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .map(|(i, _)| i)
+                    else {
+                        continue;
+                    };
+                    if dist(&swarm.particles[worst_idx].pbest_x, &swarm.gbest_x) <= merge_dist {
+                        continue;
+                    }
+                    let mid: Vec<f64> = swarm.particles[worst_idx]
+                        .pbest_x
+                        .iter()
+                        .zip(&swarm.gbest_x)
+                        .map(|(a, b)| 0.5 * (a + b))
+                        .collect();
+                    let fm = eval(&mid, &mut evaluations);
+                    if fm < swarm.particles[worst_idx].pbest_f.min(swarm.gbest_f) {
+                        // Valley detected: the particle leaves as a seed.
+                        let p = swarm.particles.remove(worst_idx);
+                        hived.push(Swarm::seeded(p.pbest_x, p.pbest_f));
+                    }
+                    if evaluations >= cfg.max_evaluations {
+                        break;
+                    }
+                }
+                swarms.extend(hived);
+            }
+
+            // (d) Inject one fresh random swarm per iteration (migration).
+            if evaluations < cfg.max_evaluations {
+                let x = bounds.random_point(rng);
+                let f = eval(&x, &mut evaluations);
+                swarms.push(Swarm::seeded(x, f));
+            }
+
+            // (e) Prune to the swarm cap, keeping the best.
+            if swarms.len() > cfg.max_swarms {
+                swarms.sort_by(|a, b| {
+                    b.gbest_f.partial_cmp(&a.gbest_f).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                swarms.truncate(cfg.max_swarms);
+            }
+        }
+
+        // Final merge so reported modes are distinct peaks.
+        self.merge_pass(&mut swarms, merge_dist, objective, &mut evaluations);
+        let mut modes: Vec<Mode> =
+            swarms.into_iter().map(|s| Mode { x: s.gbest_x, value: s.gbest_f }).collect();
+        modes.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+        NmmsoResult { modes, evaluations, iterations }
+    }
+
+    /// Merges swarm pairs whose bests are close, unless a fitness valley
+    /// separates them (the midpoint test of Fieldsend's NMMSO).
+    fn merge_pass(
+        &self,
+        swarms: &mut Vec<Swarm>,
+        merge_dist: f64,
+        objective: &dyn Objective,
+        evaluations: &mut usize,
+    ) {
+        let mut i = 0;
+        while i < swarms.len() {
+            let mut j = i + 1;
+            while j < swarms.len() {
+                let d = dist(&swarms[i].gbest_x, &swarms[j].gbest_x);
+                let mut do_merge = false;
+                if d < 1e-12 {
+                    do_merge = true;
+                } else if d < merge_dist {
+                    // Midpoint valley test.
+                    let mid: Vec<f64> = swarms[i]
+                        .gbest_x
+                        .iter()
+                        .zip(&swarms[j].gbest_x)
+                        .map(|(a, b)| 0.5 * (a + b))
+                        .collect();
+                    let fm = objective.value(&mid);
+                    *evaluations += 1;
+                    let lower = swarms[i].gbest_f.min(swarms[j].gbest_f);
+                    if fm >= lower {
+                        do_merge = true; // no valley: same peak
+                    }
+                }
+                if do_merge {
+                    let other = swarms.remove(j);
+                    swarms[i].absorb(other, self.config.swarm_size);
+                } else {
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnObjective;
+    use rand::SeedableRng;
+
+    /// Four Gaussian peaks in the unit square (the shape of the paper's
+    /// Fig. 6 quality-score topography).
+    fn four_peaks() -> impl Objective {
+        let centers = [(0.2, 0.2), (0.2, 0.8), (0.8, 0.2), (0.8, 0.8)];
+        let heights = [1.0, 0.9, 0.8, 0.95];
+        FnObjective::new(
+            2,
+            move |x: &[f64]| {
+                centers
+                    .iter()
+                    .zip(heights)
+                    .map(|(&(cx, cy), h)| {
+                        let dx = (x[0] - cx) / 0.12;
+                        let dy = (x[1] - cy) / 0.12;
+                        h * (-(dx * dx + dy * dy)).exp()
+                    })
+                    .sum()
+            },
+            |_| vec![0.0; 2],
+        )
+    }
+
+    #[test]
+    fn finds_multiple_peaks_of_four_peak_function() {
+        let obj = four_peaks();
+        let bounds = Bounds::new(vec![0.0; 2], vec![1.0; 2]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cfg = NmmsoConfig { max_evaluations: 4000, ..NmmsoConfig::default() };
+        let result = Nmmso::new(cfg).maximize(&obj, &bounds, &mut rng);
+        // Count distinct true peaks hit within 0.15.
+        let centers = [(0.2, 0.2), (0.2, 0.8), (0.8, 0.2), (0.8, 0.8)];
+        let mut hit = [false; 4];
+        for m in &result.modes {
+            for (k, &(cx, cy)) in centers.iter().enumerate() {
+                if ((m.x[0] - cx).powi(2) + (m.x[1] - cy).powi(2)).sqrt() < 0.15 {
+                    hit[k] = true;
+                }
+            }
+        }
+        let found = hit.iter().filter(|h| **h).count();
+        assert!(found >= 3, "only found {found} of 4 peaks: {:?}", result.modes);
+    }
+
+    #[test]
+    fn best_mode_is_global_maximum() {
+        let obj = four_peaks();
+        let bounds = Bounds::new(vec![0.0; 2], vec![1.0; 2]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let cfg = NmmsoConfig { max_evaluations: 4000, ..NmmsoConfig::default() };
+        let result = Nmmso::new(cfg).maximize(&obj, &bounds, &mut rng);
+        let best = &result.modes[0];
+        // Global peak is at (0.2, 0.2) with height 1.0.
+        assert!(best.value > 0.9, "{best:?}");
+        assert!(((best.x[0] - 0.2).powi(2) + (best.x[1] - 0.2).powi(2)).sqrt() < 0.15, "{best:?}");
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let obj = four_peaks();
+        let bounds = Bounds::new(vec![0.0; 2], vec![1.0; 2]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let cfg = NmmsoConfig { max_evaluations: 300, ..NmmsoConfig::default() };
+        let result = Nmmso::new(cfg).maximize(&obj, &bounds, &mut rng);
+        // The merge pass after the loop may add a handful of midpoint evals.
+        assert!(result.evaluations <= 300 + 50, "{}", result.evaluations);
+    }
+
+    #[test]
+    fn merges_collapse_single_peak_to_one_mode() {
+        // Unimodal objective: all swarms must merge to (nearly) one mode.
+        let obj = FnObjective::new(
+            2,
+            |x: &[f64]| -(x[0] - 0.5f64).powi(2) - (x[1] - 0.5f64).powi(2),
+            |_| vec![0.0; 2],
+        );
+        let bounds = Bounds::new(vec![0.0; 2], vec![1.0; 2]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let cfg = NmmsoConfig {
+            max_evaluations: 3000,
+            merge_distance_fraction: 0.35,
+            ..NmmsoConfig::default()
+        };
+        let result = Nmmso::new(cfg).maximize(&obj, &bounds, &mut rng);
+        // All surviving modes near the single optimum should agree; allow a
+        // couple of freshly injected stragglers far from convergence.
+        let good = result
+            .modes
+            .iter()
+            .filter(|m| ((m.x[0] - 0.5).powi(2) + (m.x[1] - 0.5).powi(2)).sqrt() < 0.2)
+            .count();
+        assert!(good >= 1);
+        assert!(result.modes[0].value > -0.01, "{:?}", result.modes[0]);
+    }
+
+    #[test]
+    fn hiving_splits_two_peak_swarm() {
+        // Narrow twin peaks: a swarm spanning both must eventually hive.
+        let obj = FnObjective::new(
+            1,
+            |x: &[f64]| {
+                (-((x[0] - 0.15) / 0.04).powi(2)).exp() + (-((x[0] - 0.85) / 0.04).powi(2)).exp()
+            },
+            |_| vec![0.0],
+        );
+        let bounds = Bounds::new(vec![0.0], vec![1.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let cfg = NmmsoConfig {
+            max_evaluations: 2500,
+            merge_distance_fraction: 0.2,
+            ..NmmsoConfig::default()
+        };
+        let result = Nmmso::new(cfg).maximize(&obj, &bounds, &mut rng);
+        let near = |c: f64| result.modes.iter().any(|m| (m.x[0] - c).abs() < 0.1);
+        assert!(near(0.15) && near(0.85), "modes: {:?}", result.modes);
+    }
+
+    #[test]
+    fn modes_are_sorted_by_value() {
+        let obj = four_peaks();
+        let bounds = Bounds::new(vec![0.0; 2], vec![1.0; 2]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let result = Nmmso::new(NmmsoConfig::default()).maximize(&obj, &bounds, &mut rng);
+        for w in result.modes.windows(2) {
+            assert!(w[0].value >= w[1].value);
+        }
+    }
+}

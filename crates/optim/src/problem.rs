@@ -1,0 +1,378 @@
+//! Objective and box-constraint abstractions.
+//!
+//! Dummy-fill synthesis *maximizes* a quality score over box-constrained
+//! fill amounts (paper Eq. 5); every solver in this crate follows the same
+//! maximization convention.
+
+use rand::Rng;
+
+/// A smooth objective to maximize over `R^dim`.
+///
+/// Implementors provide the value and gradient; solvers may call them many
+/// times, so cache anything expensive inside the implementation.
+pub trait Objective {
+    /// Problem dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Objective value at `x` (to be maximized).
+    fn value(&self, x: &[f64]) -> f64;
+
+    /// Gradient of the objective at `x`.
+    fn gradient(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Value and gradient together (override when sharing work is cheaper).
+    fn value_and_gradient(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        (self.value(x), self.gradient(x))
+    }
+}
+
+/// Box constraints `lower ≤ x ≤ upper` (Eq. 5d: `0 ≤ x ≤ slack`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Bounds {
+    /// Creates bounds from per-coordinate limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ or any `lower > upper`.
+    #[must_use]
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Self {
+        assert_eq!(lower.len(), upper.len(), "bound lengths differ");
+        for (i, (l, u)) in lower.iter().zip(&upper).enumerate() {
+            assert!(l <= u, "lower[{i}] = {l} exceeds upper[{i}] = {u}");
+        }
+        Self { lower, upper }
+    }
+
+    /// Bounds `[0, upper_i]` — the fill-slack box of Eq. 5d.
+    #[must_use]
+    pub fn from_slack(upper: Vec<f64>) -> Self {
+        let lower = vec![0.0; upper.len()];
+        Self::new(lower, upper)
+    }
+
+    /// Dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Lower limits.
+    #[must_use]
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper limits.
+    #[must_use]
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Projects `x` onto the box in place.
+    pub fn project(&self, x: &mut [f64]) {
+        for ((v, l), u) in x.iter_mut().zip(&self.lower).zip(&self.upper) {
+            *v = v.clamp(*l, *u);
+        }
+    }
+
+    /// Returns a projected copy of `x`.
+    #[must_use]
+    pub fn projected(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = x.to_vec();
+        self.project(&mut out);
+        out
+    }
+
+    /// Whether `x` lies inside the box (within `tol`).
+    #[must_use]
+    pub fn contains(&self, x: &[f64], tol: f64) -> bool {
+        x.len() == self.dim()
+            && x.iter()
+                .zip(&self.lower)
+                .zip(&self.upper)
+                .all(|((v, l), u)| *v >= l - tol && *v <= u + tol)
+    }
+
+    /// Uniform random point inside the box.
+    #[must_use]
+    pub fn random_point(&self, rng: &mut impl Rng) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(&l, &u)| if u > l { rng.gen_range(l..=u) } else { l })
+            .collect()
+    }
+
+    /// Euclidean diameter of the box (for niching distance thresholds).
+    #[must_use]
+    pub fn diameter(&self) -> f64 {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(l, u)| (u - l) * (u - l))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Norm of the *projected* gradient: the first-order optimality measure
+    /// for box-constrained maximization (zero at a KKT point).
+    #[must_use]
+    pub fn projected_gradient_norm(&self, x: &[f64], grad: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..x.len() {
+            let g = grad[i];
+            // Moving along +g must stay feasible to count.
+            let blocked_up = x[i] >= self.upper[i] - 1e-15 && g > 0.0;
+            let blocked_dn = x[i] <= self.lower[i] + 1e-15 && g < 0.0;
+            if !(blocked_up || blocked_dn) {
+                acc += g * g;
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+/// An [`Objective`] defined by closures — convenient for tests and for
+/// wrapping simulator/NN evaluations.
+pub struct FnObjective<V, G>
+where
+    V: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> Vec<f64>,
+{
+    dim: usize,
+    value: V,
+    gradient: G,
+}
+
+impl<V, G> std::fmt::Debug for FnObjective<V, G>
+where
+    V: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> Vec<f64>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FnObjective(dim={})", self.dim)
+    }
+}
+
+impl<V, G> FnObjective<V, G>
+where
+    V: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> Vec<f64>,
+{
+    /// Wraps value/gradient closures as an objective.
+    #[must_use]
+    pub fn new(dim: usize, value: V, gradient: G) -> Self {
+        Self { dim, value, gradient }
+    }
+}
+
+impl<V, G> Objective for FnObjective<V, G>
+where
+    V: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> Vec<f64>,
+{
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        (self.value)(x)
+    }
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        (self.gradient)(x)
+    }
+}
+
+/// A view of an objective in box-normalized coordinates `u ∈ [0, 1]^n`
+/// with `x = lower + u·(upper − lower)`.
+///
+/// Badly scaled boxes (e.g. fill amounts spanning 0…10⁴ µm² per window)
+/// wreck quasi-Newton step lengths; solving in the unit cube restores a
+/// sane geometry. Degenerate coordinates (`upper == lower`) are pinned and
+/// receive zero gradient.
+pub struct BoxNormalized<'a> {
+    inner: &'a dyn Objective,
+    lower: Vec<f64>,
+    span: Vec<f64>,
+}
+
+impl std::fmt::Debug for BoxNormalized<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoxNormalized(dim={})", self.lower.len())
+    }
+}
+
+impl<'a> BoxNormalized<'a> {
+    /// Wraps `inner` over `bounds`, returning the wrapper and the matching
+    /// unit-cube bounds to hand to a solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bound dimension differs from the objective's.
+    #[must_use]
+    pub fn new(inner: &'a dyn Objective, bounds: &Bounds) -> (Self, Bounds) {
+        assert_eq!(inner.dim(), bounds.dim(), "objective/bounds dimension mismatch");
+        let lower = bounds.lower().to_vec();
+        let span: Vec<f64> =
+            bounds.lower().iter().zip(bounds.upper()).map(|(l, u)| u - l).collect();
+        let unit = Bounds::new(vec![0.0; lower.len()], vec![1.0; lower.len()]);
+        (Self { inner, lower, span }, unit)
+    }
+
+    /// Maps a unit-cube point to original coordinates.
+    #[must_use]
+    pub fn to_x(&self, u: &[f64]) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.span)
+            .zip(u)
+            .map(|((l, s), v)| l + s * v.clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Maps an original-coordinate point into the unit cube.
+    #[must_use]
+    pub fn to_u(&self, x: &[f64]) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.span)
+            .zip(x)
+            .map(|((l, s), v)| if *s > 0.0 { ((v - l) / s).clamp(0.0, 1.0) } else { 0.0 })
+            .collect()
+    }
+}
+
+impl Objective for BoxNormalized<'_> {
+    fn dim(&self) -> usize {
+        self.lower.len()
+    }
+    fn value(&self, u: &[f64]) -> f64 {
+        self.inner.value(&self.to_x(u))
+    }
+    fn gradient(&self, u: &[f64]) -> Vec<f64> {
+        let g = self.inner.gradient(&self.to_x(u));
+        g.iter().zip(&self.span).map(|(gi, s)| gi * s).collect()
+    }
+    fn value_and_gradient(&self, u: &[f64]) -> (f64, Vec<f64>) {
+        let (v, g) = self.inner.value_and_gradient(&self.to_x(u));
+        (v, g.iter().zip(&self.span).map(|(gi, s)| gi * s).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn projection_clamps() {
+        let b = Bounds::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+        assert_eq!(b.projected(&[-1.0, 5.0]), vec![0.0, 2.0]);
+        assert_eq!(b.projected(&[0.5, 0.5]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn contains_respects_tolerance() {
+        let b = Bounds::from_slack(vec![1.0]);
+        assert!(b.contains(&[1.0 + 1e-12], 1e-9));
+        assert!(!b.contains(&[1.1], 1e-9));
+        assert!(!b.contains(&[0.5, 0.5], 1e-9)); // wrong dim
+    }
+
+    #[test]
+    fn random_points_are_feasible() {
+        let b = Bounds::new(vec![-1.0, 2.0], vec![1.0, 2.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let p = b.random_point(&mut rng);
+            assert!(b.contains(&p, 0.0), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn projected_gradient_norm_zero_at_blocked_bound() {
+        let b = Bounds::from_slack(vec![1.0]);
+        // At the upper bound with an ascent direction pointing out: KKT.
+        assert_eq!(b.projected_gradient_norm(&[1.0], &[5.0]), 0.0);
+        // Pointing back in: not optimal.
+        assert!(b.projected_gradient_norm(&[1.0], &[-5.0]) > 0.0);
+        // Interior: plain norm.
+        assert!((b.projected_gradient_norm(&[0.5], &[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper")]
+    fn inverted_bounds_panic() {
+        let _ = Bounds::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn fn_objective_delegates() {
+        let obj = FnObjective::new(2, |x: &[f64]| x[0] + x[1], |_| vec![1.0, 1.0]);
+        assert_eq!(obj.dim(), 2);
+        assert_eq!(obj.value(&[1.0, 2.0]), 3.0);
+        let (v, g) = obj.value_and_gradient(&[1.0, 2.0]);
+        assert_eq!(v, 3.0);
+        assert_eq!(g, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn diameter_of_unit_square() {
+        let b = Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert!((b.diameter() - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_normalized_roundtrip_and_chain_rule() {
+        let obj = FnObjective::new(
+            2,
+            |x: &[f64]| x[0] * 2.0 + x[1],
+            |_| vec![2.0, 1.0],
+        );
+        let bounds = Bounds::new(vec![10.0, -5.0], vec![20.0, 5.0]);
+        let (norm, unit) = BoxNormalized::new(&obj, &bounds);
+        assert_eq!(unit.dim(), 2);
+        let u = [0.5, 0.25];
+        let x = norm.to_x(&u);
+        assert_eq!(x, vec![15.0, -2.5]);
+        assert_eq!(norm.to_u(&x), vec![0.5, 0.25]);
+        // Chain rule: gradient in u = gradient in x × span.
+        let (v, g) = norm.value_and_gradient(&u);
+        assert_eq!(v, 27.5);
+        assert_eq!(g, vec![20.0, 10.0]);
+    }
+
+    #[test]
+    fn box_normalized_pins_degenerate_coordinates() {
+        let obj = FnObjective::new(2, |x: &[f64]| x[0] + x[1], |_| vec![1.0, 1.0]);
+        let bounds = Bounds::new(vec![3.0, 0.0], vec![3.0, 1.0]);
+        let (norm, _) = BoxNormalized::new(&obj, &bounds);
+        assert_eq!(norm.to_x(&[0.7, 0.5]), vec![3.0, 0.5]);
+        assert_eq!(norm.to_u(&[3.0, 0.5]), vec![0.0, 0.5]);
+        let g = norm.gradient(&[0.7, 0.5]);
+        assert_eq!(g[0], 0.0);
+    }
+
+    #[test]
+    fn solver_converges_in_normalized_space_of_badly_scaled_problem() {
+        use crate::sqp::{SqpConfig, SqpSolver};
+        // Optimum at x = 7000 in a [0, 10000] box: raw gradients are tiny
+        // (~1e-4 per unit), which stalls unit-step line searches; the
+        // normalized view fixes the scaling.
+        let obj = FnObjective::new(
+            1,
+            |x: &[f64]| -((x[0] - 7000.0) / 10000.0).powi(2),
+            |x: &[f64]| vec![-2.0 * (x[0] - 7000.0) / 1e8],
+        );
+        let bounds = Bounds::new(vec![0.0], vec![10_000.0]);
+        let (norm, unit) = BoxNormalized::new(&obj, &bounds);
+        let solver = SqpSolver::new(SqpConfig { max_iterations: 100, ..SqpConfig::default() });
+        let r = solver.maximize(&norm, &unit, &norm.to_u(&[0.0]));
+        let x = norm.to_x(&r.x);
+        assert!((x[0] - 7000.0).abs() < 5.0, "x = {}", x[0]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Dense box-constrained quadratic programming: the SQP subproblem
+//! `maximize gᵀd − ½·dᵀBd  s.t.  lo ≤ d ≤ hi` for symmetric positive
+//! definite `B`, solved with a primal active-set method.
+//!
+//! This exact solver is practical up to a few hundred variables; the
+//! full-chip solver ([`crate::SqpSolver`]) uses a limited-memory
+//! quasi-Newton approximation instead and treats this module as its
+//! small-scale reference.
+
+/// A dense symmetric matrix stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Identity matrix of order `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self { n, data: vec![0.0; n * n] };
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Diagonal matrix with the given entries.
+    #[must_use]
+    pub fn diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self { n, data: vec![0.0; n * n] };
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Builds from a row-major dense matrix, symmetrizing `(A + Aᵀ)/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != n²`.
+    #[must_use]
+    pub fn from_dense(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n);
+        let mut m = Self { n, data };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (m.data[i * n + j] + m.data[j * n + i]);
+                m.data[i * n + j] = avg;
+                m.data[j * n + i] = avg;
+            }
+        }
+        m
+    }
+
+    /// Order of the matrix.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j]
+    }
+
+    /// Sets the symmetric pair `(i, j)` and `(j, i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Matrix-vector product `B·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != n`.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut out = vec![0.0; self.n];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            *slot = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Solves `B_ff · z = rhs_f` on the index subset `free` via Cholesky.
+    ///
+    /// Returns `None` when the submatrix is not positive definite.
+    #[must_use]
+    fn solve_on_subset(&self, rhs: &[f64], free: &[usize]) -> Option<Vec<f64>> {
+        let k = free.len();
+        let mut a = vec![0.0; k * k];
+        for (ri, &i) in free.iter().enumerate() {
+            for (ci, &j) in free.iter().enumerate() {
+                a[ri * k + ci] = self.data[i * self.n + j];
+            }
+        }
+        let mut b: Vec<f64> = free.iter().map(|&i| rhs[i]).collect();
+        // In-place Cholesky A = LLᵀ.
+        for c in 0..k {
+            let mut diag = a[c * k + c];
+            for t in 0..c {
+                diag -= a[c * k + t] * a[c * k + t];
+            }
+            if diag <= 1e-14 {
+                return None;
+            }
+            let l = diag.sqrt();
+            a[c * k + c] = l;
+            for r in (c + 1)..k {
+                let mut v = a[r * k + c];
+                for t in 0..c {
+                    v -= a[r * k + t] * a[c * k + t];
+                }
+                a[r * k + c] = v / l;
+            }
+        }
+        // Forward substitution L y = b.
+        for r in 0..k {
+            for t in 0..r {
+                b[r] -= a[r * k + t] * b[t];
+            }
+            b[r] /= a[r * k + r];
+        }
+        // Back substitution Lᵀ z = y.
+        for r in (0..k).rev() {
+            for t in (r + 1)..k {
+                b[r] -= a[t * k + r] * b[t];
+            }
+            b[r] /= a[r * k + r];
+        }
+        Some(b)
+    }
+}
+
+/// Solves `maximize gᵀd − ½ dᵀBd  s.t.  lo ≤ d ≤ hi` for SPD `B` with a
+/// primal active-set method.
+///
+/// # Panics
+///
+/// Panics when dimensions disagree or any `lo > hi`.
+#[must_use]
+pub fn solve_box_qp(b: &SymMatrix, g: &[f64], lo: &[f64], hi: &[f64], max_iterations: usize) -> Vec<f64> {
+    let n = b.order();
+    assert_eq!(g.len(), n);
+    assert_eq!(lo.len(), n);
+    assert_eq!(hi.len(), n);
+    for i in 0..n {
+        assert!(lo[i] <= hi[i], "lo[{i}] > hi[{i}]");
+    }
+    // Start from the projection of the unconstrained Newton guess direction 0.
+    let mut d: Vec<f64> = (0..n).map(|i| 0.0f64.clamp(lo[i], hi[i])).collect();
+    for _ in 0..max_iterations {
+        // KKT residual r = g − B·d.
+        let bd = b.mul_vec(&d);
+        let r: Vec<f64> = g.iter().zip(&bd).map(|(gi, bdi)| gi - bdi).collect();
+        // Free set: coordinates not blocked at an active bound.
+        let free: Vec<usize> = (0..n)
+            .filter(|&i| {
+                let at_lo = d[i] <= lo[i] + 1e-12;
+                let at_hi = d[i] >= hi[i] - 1e-12;
+                (!at_lo || r[i] >= 0.0) && (!at_hi || r[i] <= 0.0)
+            })
+            .collect();
+        if free.is_empty() {
+            break;
+        }
+        // Check convergence on the free set.
+        let free_norm: f64 = free.iter().map(|&i| r[i] * r[i]).sum::<f64>().sqrt();
+        if free_norm < 1e-10 {
+            break;
+        }
+        // Newton step on the free set: B_ff Δ = r_f.
+        let step = match b.solve_on_subset(&r, &free) {
+            Some(s) => s,
+            None => free.iter().map(|&i| r[i]).collect(), // gradient fallback
+        };
+        // Longest feasible fraction of the step.
+        let mut t = 1.0f64;
+        for (k, &i) in free.iter().enumerate() {
+            let target = d[i] + step[k];
+            if target > hi[i] {
+                t = t.min((hi[i] - d[i]) / step[k]);
+            } else if target < lo[i] {
+                t = t.min((lo[i] - d[i]) / step[k]);
+            }
+        }
+        let t = t.clamp(0.0, 1.0);
+        for (k, &i) in free.iter().enumerate() {
+            d[i] = (d[i] + t * step[k]).clamp(lo[i], hi[i]);
+        }
+        if t >= 1.0 - 1e-12 && free.len() == n {
+            // Unconstrained Newton step accepted with everything free:
+            // next iteration will verify KKT and exit.
+            continue;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_newton_step() {
+        // B = I, g = (1, −2) ⇒ d* = g.
+        let b = SymMatrix::identity(2);
+        let d = solve_box_qp(&b, &[1.0, -2.0], &[-10.0, -10.0], &[10.0, 10.0], 50);
+        assert!((d[0] - 1.0).abs() < 1e-8, "{d:?}");
+        assert!((d[1] + 2.0).abs() < 1e-8, "{d:?}");
+    }
+
+    #[test]
+    fn clamps_to_active_bounds() {
+        let b = SymMatrix::identity(2);
+        let d = solve_box_qp(&b, &[5.0, -5.0], &[-1.0, -1.0], &[1.0, 1.0], 50);
+        assert_eq!(d, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn coupled_quadratic() {
+        // B = [[2,1],[1,2]], g = (1,1) ⇒ d* = B⁻¹ g = (1/3, 1/3).
+        let b = SymMatrix::from_dense(2, vec![2.0, 1.0, 1.0, 2.0]);
+        let d = solve_box_qp(&b, &[1.0, 1.0], &[-10.0; 2], &[10.0; 2], 50);
+        assert!((d[0] - 1.0 / 3.0).abs() < 1e-8, "{d:?}");
+        assert!((d[1] - 1.0 / 3.0).abs() < 1e-8, "{d:?}");
+    }
+
+    #[test]
+    fn partially_active_solution_is_kkt() {
+        // Constrain the first coordinate so the unconstrained optimum is cut.
+        let b = SymMatrix::from_dense(2, vec![2.0, 1.0, 1.0, 2.0]);
+        let g = [4.0, 1.0];
+        let d = solve_box_qp(&b, &g, &[-0.5, -10.0], &[0.5, 10.0], 100);
+        assert!((d[0] - 0.5).abs() < 1e-8, "{d:?}");
+        // With d₀ fixed at 0.5: maximize over d₁ ⇒ d₁ = (1 − 0.5)/2 = 0.25.
+        assert!((d[1] - 0.25).abs() < 1e-8, "{d:?}");
+    }
+
+    #[test]
+    fn diagonal_matrix_solution() {
+        let b = SymMatrix::diagonal(&[4.0, 1.0]);
+        let d = solve_box_qp(&b, &[2.0, 2.0], &[-10.0; 2], &[10.0; 2], 50);
+        assert!((d[0] - 0.5).abs() < 1e-8);
+        assert!((d[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn objective_never_decreases_vs_zero_step() {
+        // The solution must be at least as good as staying at d = 0.
+        let b = SymMatrix::from_dense(3, vec![3.0, 0.5, 0.2, 0.5, 2.0, 0.1, 0.2, 0.1, 1.5]);
+        let g = [1.0, -2.0, 0.3];
+        let d = solve_box_qp(&b, &g, &[-0.4; 3], &[0.4; 3], 100);
+        let bd = b.mul_vec(&d);
+        let q: f64 = g.iter().zip(&d).map(|(a, b)| a * b).sum::<f64>()
+            - 0.5 * d.iter().zip(&bd).map(|(a, b)| a * b).sum::<f64>();
+        assert!(q >= -1e-12, "q = {q}");
+    }
+
+    #[test]
+    fn matrix_accessors() {
+        let mut m = SymMatrix::identity(3);
+        m.set(0, 2, 5.0);
+        assert_eq!(m.get(2, 0), 5.0);
+        assert_eq!(m.order(), 3);
+        assert_eq!(m.mul_vec(&[1.0, 0.0, 0.0]), vec![1.0, 0.0, 5.0]);
+    }
+}

@@ -1,0 +1,333 @@
+//! The scalable SQP solver used by NeurFill's MSP-SQP framework
+//! (paper §IV, Fig. 7).
+//!
+//! Dummy-fill synthesis has thousands of box-constrained variables, so the
+//! quadratic subproblem is solved approximately with a limited-memory
+//! (L-BFGS) quasi-Newton model and a projected-arc line search — the
+//! standard large-scale realization of the SQP family for pure box
+//! constraints (cf. L-BFGS-B). The dense active-set subproblem solver in
+//! [`crate::qp`] is the small-scale reference.
+
+use crate::linesearch::projected_backtracking;
+use crate::problem::{Bounds, Objective};
+use std::collections::VecDeque;
+
+/// SQP solver configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqpConfig {
+    /// Maximum major iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the projected-gradient norm.
+    pub tolerance: f64,
+    /// L-BFGS history length.
+    pub memory: usize,
+    /// Armijo sufficient-increase constant.
+    pub armijo_c1: f64,
+    /// Maximum halvings in the line search.
+    pub max_backtracks: usize,
+    /// Initial trial step of each line search.
+    pub initial_step: f64,
+}
+
+impl Default for SqpConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100,
+            tolerance: 1e-6,
+            memory: 10,
+            armijo_c1: 1e-4,
+            max_backtracks: 30,
+            initial_step: 1.0,
+        }
+    }
+}
+
+/// Result of an SQP maximization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqpResult {
+    /// Final (feasible) point.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Major iterations performed.
+    pub iterations: usize,
+    /// Objective evaluations spent.
+    pub evaluations: usize,
+    /// Gradient evaluations spent.
+    pub gradient_evaluations: usize,
+    /// Whether the projected-gradient tolerance was reached.
+    pub converged: bool,
+    /// Objective value after each major iteration.
+    pub history: Vec<f64>,
+}
+
+/// Limited-memory BFGS state (maximization convention).
+#[derive(Debug, Default)]
+struct Lbfgs {
+    memory: usize,
+    s: VecDeque<Vec<f64>>,
+    y: VecDeque<Vec<f64>>, // y in minimization convention: −(g₊ − g₋)
+}
+
+impl Lbfgs {
+    fn new(memory: usize) -> Self {
+        Self { memory, s: VecDeque::new(), y: VecDeque::new() }
+    }
+
+    fn push(&mut self, s: Vec<f64>, y: Vec<f64>) {
+        let sy: f64 = s.iter().zip(&y).map(|(a, b)| a * b).sum();
+        if sy <= 1e-12 {
+            return; // skip non-curvature pairs
+        }
+        if self.s.len() == self.memory {
+            self.s.pop_front();
+            self.y.pop_front();
+        }
+        self.s.push_back(s);
+        self.y.push_back(y);
+    }
+
+    /// Two-loop recursion: returns the ascent direction `H·g`.
+    fn ascent_direction(&self, grad: &[f64]) -> Vec<f64> {
+        // Work in minimization convention on q = −g, return −H·q = H·g.
+        let mut q: Vec<f64> = grad.iter().map(|g| -g).collect();
+        let k = self.s.len();
+        let mut alpha = vec![0.0; k];
+        let mut rho = vec![0.0; k];
+        for i in (0..k).rev() {
+            let sy: f64 = self.s[i].iter().zip(&self.y[i]).map(|(a, b)| a * b).sum();
+            rho[i] = 1.0 / sy;
+            let sq: f64 = self.s[i].iter().zip(&q).map(|(a, b)| a * b).sum();
+            alpha[i] = rho[i] * sq;
+            for (qj, yj) in q.iter_mut().zip(&self.y[i]) {
+                *qj -= alpha[i] * yj;
+            }
+        }
+        // Initial Hessian scaling γ = sᵀy / yᵀy.
+        if k > 0 {
+            let sy: f64 = self.s[k - 1].iter().zip(&self.y[k - 1]).map(|(a, b)| a * b).sum();
+            let yy: f64 = self.y[k - 1].iter().map(|y| y * y).sum();
+            let gamma = if yy > 0.0 { sy / yy } else { 1.0 };
+            for qj in &mut q {
+                *qj *= gamma;
+            }
+        }
+        for i in 0..k {
+            let yq: f64 = self.y[i].iter().zip(&q).map(|(a, b)| a * b).sum();
+            let beta = rho[i] * yq;
+            for (qj, sj) in q.iter_mut().zip(&self.s[i]) {
+                *qj += (alpha[i] - beta) * sj;
+            }
+        }
+        q.iter().map(|v| -v).collect()
+    }
+}
+
+/// Sequential-quadratic-programming maximizer for box-constrained smooth
+/// objectives.
+///
+/// # Examples
+///
+/// ```
+/// use neurfill_optim::{Bounds, FnObjective, SqpConfig, SqpSolver};
+///
+/// // maximize −(x−0.3)² − (y−0.7)² over the unit box
+/// let obj = FnObjective::new(
+///     2,
+///     |x: &[f64]| -(x[0] - 0.3f64).powi(2) - (x[1] - 0.7f64).powi(2),
+///     |x: &[f64]| vec![-2.0 * (x[0] - 0.3), -2.0 * (x[1] - 0.7)],
+/// );
+/// let bounds = Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+/// let result = SqpSolver::new(SqpConfig::default()).maximize(&obj, &bounds, &[0.0, 0.0]);
+/// assert!(result.converged);
+/// assert!((result.x[0] - 0.3).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SqpSolver {
+    config: SqpConfig,
+}
+
+impl SqpSolver {
+    /// Creates a solver with the given configuration.
+    #[must_use]
+    pub fn new(config: SqpConfig) -> Self {
+        Self { config }
+    }
+
+    /// The solver's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SqpConfig {
+        &self.config
+    }
+
+    /// Maximizes `objective` over `bounds` starting from `x0` (projected
+    /// into the box first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x0.len()` differs from the bound dimension.
+    #[must_use]
+    pub fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, x0: &[f64]) -> SqpResult {
+        assert_eq!(x0.len(), bounds.dim(), "start point dimension mismatch");
+        let cfg = &self.config;
+        let mut x = bounds.projected(x0);
+        let (mut f, mut g) = objective.value_and_gradient(&x);
+        let mut evaluations = 1;
+        let mut gradient_evaluations = 1;
+        let mut lbfgs = Lbfgs::new(cfg.memory);
+        let mut history = Vec::with_capacity(cfg.max_iterations);
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for _ in 0..cfg.max_iterations {
+            if bounds.projected_gradient_norm(&x, &g) <= cfg.tolerance {
+                converged = true;
+                break;
+            }
+            iterations += 1;
+            let direction = lbfgs.ascent_direction(&g);
+            let ls = projected_backtracking(
+                objective,
+                bounds,
+                &x,
+                f,
+                &g,
+                &direction,
+                cfg.initial_step,
+                cfg.armijo_c1,
+                cfg.max_backtracks,
+            )
+            .or_else(|| {
+                // Quasi-Newton direction failed: steepest-ascent fallback.
+                projected_backtracking(
+                    objective,
+                    bounds,
+                    &x,
+                    f,
+                    &g,
+                    &g,
+                    cfg.initial_step,
+                    cfg.armijo_c1,
+                    cfg.max_backtracks,
+                )
+            });
+            let Some(ls) = ls else {
+                // No ascent achievable: first-order stationary in practice.
+                converged = true;
+                break;
+            };
+            evaluations += ls.evaluations;
+            let g_new = objective.gradient(&ls.x);
+            gradient_evaluations += 1;
+            let s: Vec<f64> = ls.x.iter().zip(&x).map(|(a, b)| a - b).collect();
+            let y: Vec<f64> = g.iter().zip(&g_new).map(|(old, new)| old - new).collect();
+            lbfgs.push(s, y);
+            x = ls.x;
+            f = ls.value;
+            g = g_new;
+            history.push(f);
+        }
+
+        SqpResult { x, value: f, iterations, evaluations, gradient_evaluations, converged, history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnObjective;
+
+    fn neg_quadratic(center: Vec<f64>) -> impl Objective {
+        let c2 = center.clone();
+        FnObjective::new(
+            center.len(),
+            move |x: &[f64]| -x.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum::<f64>(),
+            move |x: &[f64]| x.iter().zip(&c2).map(|(a, b)| -2.0 * (a - b)).collect(),
+        )
+    }
+
+    #[test]
+    fn converges_to_interior_maximum() {
+        let obj = neg_quadratic(vec![0.25, 0.5, 0.75]);
+        let bounds = Bounds::new(vec![0.0; 3], vec![1.0; 3]);
+        let r = SqpSolver::default().maximize(&obj, &bounds, &[0.9, 0.9, 0.9]);
+        assert!(r.converged, "{r:?}");
+        for (xi, ci) in r.x.iter().zip([0.25, 0.5, 0.75]) {
+            assert!((xi - ci).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn lands_on_active_bound() {
+        // Maximum at (2, 2) lies outside the unit box ⇒ solution (1, 1).
+        let obj = neg_quadratic(vec![2.0, 2.0]);
+        let bounds = Bounds::new(vec![0.0; 2], vec![1.0; 2]);
+        let r = SqpSolver::default().maximize(&obj, &bounds, &[0.0, 0.0]);
+        assert!(r.converged);
+        assert!((r.x[0] - 1.0).abs() < 1e-8);
+        assert!((r.x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn maximizes_negated_rosenbrock() {
+        // max −rosenbrock: optimum (1, 1); a stiff curved valley exercises
+        // the quasi-Newton model.
+        let obj = FnObjective::new(
+            2,
+            |x: &[f64]| {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                -(a * a + 100.0 * b * b)
+            },
+            |x: &[f64]| {
+                let b = x[1] - x[0] * x[0];
+                vec![2.0 * (1.0 - x[0]) + 400.0 * x[0] * b, -200.0 * b]
+            },
+        );
+        let bounds = Bounds::new(vec![-2.0; 2], vec![2.0; 2]);
+        let cfg = SqpConfig { max_iterations: 2000, tolerance: 1e-6, ..SqpConfig::default() };
+        let r = SqpSolver::new(cfg).maximize(&obj, &bounds, &[-1.2, 1.0]);
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn history_is_monotone_nondecreasing() {
+        let obj = neg_quadratic(vec![0.3, 0.6]);
+        let bounds = Bounds::new(vec![0.0; 2], vec![1.0; 2]);
+        let r = SqpSolver::default().maximize(&obj, &bounds, &[1.0, 0.0]);
+        for w in r.history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "{:?}", r.history);
+        }
+    }
+
+    #[test]
+    fn start_outside_box_is_projected() {
+        let obj = neg_quadratic(vec![0.5]);
+        let bounds = Bounds::new(vec![0.0], vec![1.0]);
+        let r = SqpSolver::default().maximize(&obj, &bounds, &[42.0]);
+        assert!(bounds.contains(&r.x, 1e-12));
+        assert!((r.x[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_iterations_at_optimum() {
+        let obj = neg_quadratic(vec![0.5]);
+        let bounds = Bounds::new(vec![0.0], vec![1.0]);
+        let r = SqpSolver::default().maximize(&obj, &bounds, &[0.5]);
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn scales_to_moderately_high_dimension() {
+        let n = 500;
+        let center: Vec<f64> = (0..n).map(|i| (i % 10) as f64 / 10.0).collect();
+        let obj = neg_quadratic(center.clone());
+        let bounds = Bounds::new(vec![0.0; n], vec![1.0; n]);
+        let r = SqpSolver::default().maximize(&obj, &bounds, &vec![0.0; n]);
+        assert!(r.converged);
+        let err: f64 = r.x.iter().zip(&center).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-3, "max err {err}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Standard test objectives (maximization convention) shared by this
+//! crate's tests, the benchmark harness and downstream ablations.
+
+use crate::problem::{FnObjective, Objective};
+
+/// Negated sphere: global maximum 0 at the origin.
+#[must_use]
+pub fn neg_sphere(dim: usize) -> impl Objective {
+    FnObjective::new(
+        dim,
+        |x: &[f64]| -x.iter().map(|v| v * v).sum::<f64>(),
+        |x: &[f64]| x.iter().map(|v| -2.0 * v).collect(),
+    )
+}
+
+/// Negated Rosenbrock (2-D): global maximum 0 at `(1, 1)`.
+#[must_use]
+pub fn neg_rosenbrock() -> impl Objective {
+    FnObjective::new(
+        2,
+        |x: &[f64]| {
+            let a = 1.0 - x[0];
+            let b = x[1] - x[0] * x[0];
+            -(a * a + 100.0 * b * b)
+        },
+        |x: &[f64]| {
+            let b = x[1] - x[0] * x[0];
+            vec![2.0 * (1.0 - x[0]) + 400.0 * x[0] * b, -200.0 * b]
+        },
+    )
+}
+
+/// Negated Rastrigin: highly multi-modal with global maximum 0 at the
+/// origin — a stress test for the multi-modal search.
+#[must_use]
+pub fn neg_rastrigin(dim: usize) -> impl Objective {
+    use std::f64::consts::PI;
+    FnObjective::new(
+        dim,
+        move |x: &[f64]| {
+            -(10.0 * dim as f64
+                + x.iter().map(|v| v * v - 10.0 * (2.0 * PI * v).cos()).sum::<f64>())
+        },
+        |x: &[f64]| {
+            x.iter().map(|v| -(2.0 * v + 20.0 * PI * (2.0 * PI * v).sin())).collect()
+        },
+    )
+}
+
+/// Negated six-hump camel function (2-D): two global maxima at
+/// `±(0.0898, −0.7126)` with value ≈ 1.0316 — a standard multi-modal
+/// benchmark with mixed peak heights.
+#[must_use]
+pub fn neg_six_hump_camel() -> impl Objective {
+    FnObjective::new(
+        2,
+        |v: &[f64]| {
+            let (x, y) = (v[0], v[1]);
+            -((4.0 - 2.1 * x * x + x.powi(4) / 3.0) * x * x + x * y
+                + (-4.0 + 4.0 * y * y) * y * y)
+        },
+        |v: &[f64]| {
+            let (x, y) = (v[0], v[1]);
+            vec![
+                -(8.0 * x - 8.4 * x.powi(3) + 2.0 * x.powi(5) + y),
+                -(x - 8.0 * y + 16.0 * y.powi(3)),
+            ]
+        },
+    )
+}
+
+/// A sum of Gaussian peaks — multi-modal with *known* optima; `peaks` is a
+/// list of `(center, height, width)`.
+#[must_use]
+pub fn gaussian_peaks(dim: usize, peaks: Vec<(Vec<f64>, f64, f64)>) -> impl Objective {
+    let peaks2 = peaks.clone();
+    FnObjective::new(
+        dim,
+        move |x: &[f64]| {
+            peaks
+                .iter()
+                .map(|(c, h, w)| {
+                    let d2: f64 = x.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                    h * (-d2 / (w * w)).exp()
+                })
+                .sum()
+        },
+        move |x: &[f64]| {
+            let mut g = vec![0.0; x.len()];
+            for (c, h, w) in &peaks2 {
+                let d2: f64 = x.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                let e = h * (-d2 / (w * w)).exp();
+                for (gi, (xi, ci)) in g.iter_mut().zip(x.iter().zip(c)) {
+                    *gi += e * (-2.0 * (xi - ci) / (w * w));
+                }
+            }
+            g
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck_objective;
+
+    #[test]
+    fn sphere_peak_at_origin() {
+        let f = neg_sphere(3);
+        assert_eq!(f.value(&[0.0; 3]), 0.0);
+        assert!(f.value(&[1.0, 0.0, 0.0]) < 0.0);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        assert!(gradcheck_objective(&neg_sphere(3), &[0.3, -0.7, 1.1], 1e-6, 1e-4));
+        assert!(gradcheck_objective(&neg_rosenbrock(), &[-0.4, 0.9], 1e-6, 1e-3));
+        assert!(gradcheck_objective(&neg_rastrigin(2), &[0.2, -0.3], 1e-6, 1e-3));
+        let peaks = gaussian_peaks(2, vec![(vec![0.2, 0.8], 1.0, 0.3), (vec![0.7, 0.1], 0.5, 0.2)]);
+        assert!(gradcheck_objective(&peaks, &[0.4, 0.5], 1e-6, 1e-4));
+    }
+
+    #[test]
+    fn six_hump_camel_gradients_and_optima() {
+        let f = neg_six_hump_camel();
+        assert!(gradcheck_objective(&f, &[0.3, -0.4], 1e-6, 1e-3));
+        // Known global maxima.
+        let v = f.value(&[0.0898, -0.7126]);
+        assert!((v - 1.0316).abs() < 1e-3, "{v}");
+        let v2 = f.value(&[-0.0898, 0.7126]);
+        assert!((v - v2).abs() < 1e-9, "symmetric peaks");
+        // Origin is a saddle, lower than the maxima.
+        assert!(f.value(&[0.0, 0.0]) < v);
+    }
+
+    #[test]
+    fn sqp_climbs_six_hump_camel_to_a_known_peak() {
+        use crate::{Bounds, SqpConfig, SqpSolver};
+        let f = neg_six_hump_camel();
+        let bounds = Bounds::new(vec![-2.0, -1.0], vec![2.0, 1.0]);
+        let r = SqpSolver::new(SqpConfig { max_iterations: 500, initial_step: 0.1, ..SqpConfig::default() })
+            .maximize(&f, &bounds, &[0.5, -0.5]);
+        assert!(r.value > 1.0, "reached {r:?}");
+    }
+
+    #[test]
+    fn rastrigin_is_multimodal() {
+        let f = neg_rastrigin(1);
+        // x = 1 is near a local max (integer lattice), x = 0 global.
+        assert!(f.value(&[0.0]) > f.value(&[1.0]));
+        assert!(f.value(&[1.0]) > f.value(&[0.5]));
+    }
+}

@@ -1,0 +1,100 @@
+//! Finite-difference gradient checking utilities, used heavily by this
+//! crate's own test-suite and exported for downstream crates' tests.
+
+use crate::array::NdArray;
+use crate::tensor::Tensor;
+
+/// Outcome of a gradient check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f32,
+    /// Largest relative difference (normalized by `1 + |numeric|`).
+    pub max_rel_err: f32,
+    /// Flat index where the worst relative error occurred.
+    pub worst_index: usize,
+}
+
+impl GradCheckReport {
+    /// Whether the check passed at the given relative tolerance.
+    #[must_use]
+    pub fn passes(&self, rel_tol: f32) -> bool {
+        self.max_rel_err <= rel_tol
+    }
+}
+
+/// Compares the analytic gradient of `f` at `x0` against central finite
+/// differences.
+///
+/// `f` must build a scalar tensor from the leaf it receives. The same
+/// function is also used to evaluate perturbed points, so it should be
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics when `f` fails to produce a scalar or backward fails — gradient
+/// checking is a test utility, failures should abort the test.
+#[must_use]
+pub fn check_gradient(x0: &NdArray, eps: f32, f: impl Fn(&Tensor) -> Tensor) -> GradCheckReport {
+    let x = Tensor::parameter(x0.clone());
+    let y = f(&x);
+    y.backward().expect("backward");
+    let analytic = x.grad().expect("leaf gradient");
+
+    let eval = |arr: NdArray| -> f32 { f(&Tensor::constant(arr)).item() };
+
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    let mut worst = 0usize;
+    for i in 0..x0.numel() {
+        let mut plus = x0.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = x0.clone();
+        minus.as_mut_slice()[i] -= eps;
+        let numeric = (eval(plus) - eval(minus)) / (2.0 * eps);
+        let a = analytic.as_slice()[i];
+        let abs = (a - numeric).abs();
+        let rel = abs / (1.0 + numeric.abs());
+        if abs > max_abs {
+            max_abs = abs;
+        }
+        if rel > max_rel {
+            max_rel = rel;
+            worst = i;
+        }
+    }
+    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel, worst_index: worst }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_for_polynomial() {
+        let x0 = NdArray::from_slice(&[0.5, -1.5, 2.0]);
+        let report = check_gradient(&x0, 1e-3, |x| x.square().mul(x).unwrap().sum());
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn passes_for_composite_objective() {
+        // var + Σ|x - rowmean| style expression, mirroring the paper's
+        // planarity objectives.
+        let x0 = NdArray::from_vec(vec![0.3, -0.2, 0.9, 1.4, -0.6, 0.1], &[2, 3]).unwrap();
+        let report = check_gradient(&x0, 1e-3, |x| {
+            let v = x.var();
+            let dev = x.sub(&x.mean_axis(0, true).unwrap()).unwrap().square().sum();
+            v.add(&dev).unwrap()
+        });
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        // abs has a kink at zero: evaluate across it to force disagreement.
+        let x0 = NdArray::from_slice(&[1e-5]);
+        let report = check_gradient(&x0, 1e-3, |x| x.abs().sum());
+        assert!(!report.passes(1e-3));
+    }
+}

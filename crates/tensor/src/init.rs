@@ -1,0 +1,76 @@
+//! Random weight initialization schemes.
+
+use crate::array::NdArray;
+use rand::Rng;
+
+/// Uniform initialization in `[-bound, bound]`.
+#[must_use]
+pub fn uniform(shape: &[usize], bound: f32, rng: &mut impl Rng) -> NdArray {
+    NdArray::from_fn(shape, |_| rng.gen_range(-bound..=bound))
+}
+
+/// Kaiming/He uniform initialization for a conv/linear weight.
+///
+/// `fan_in` is `C·kh·kw` for convolutions and the input width for linear
+/// layers. Suitable for ReLU networks such as the UNet surrogate.
+#[must_use]
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> NdArray {
+    let gain = (2.0f32).sqrt();
+    let bound = gain * (3.0 / fan_in.max(1) as f32).sqrt();
+    uniform(shape, bound, rng)
+}
+
+/// Xavier/Glorot uniform initialization.
+#[must_use]
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> NdArray {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(shape, bound, rng)
+}
+
+/// Standard-normal initialization scaled by `std`.
+#[must_use]
+pub fn normal(shape: &[usize], std: f32, rng: &mut impl Rng) -> NdArray {
+    // Box–Muller transform; avoids depending on rand_distr.
+    let n = crate::shape::numel(shape);
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    NdArray::from_vec(data, shape).expect("length computed from shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let w = kaiming_uniform(&[8, 8, 3, 3], 72, &mut rng);
+        let bound = (2.0f32).sqrt() * (3.0 / 72.0f32).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let w = normal(&[10000], 2.0, &mut rng);
+        assert!(w.mean().abs() < 0.1);
+        assert!((w.var().sqrt() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(3);
+        let mut b = rand::rngs::StdRng::seed_from_u64(3);
+        assert_eq!(uniform(&[16], 1.0, &mut a), uniform(&[16], 1.0, &mut b));
+    }
+}

@@ -1,0 +1,819 @@
+//! Differentiable 2-D convolution, transposed convolution and max pooling
+//! (NCHW layout), implemented with `im2col`/`col2im` + matmul.
+//!
+//! The raw [`NdArray`] kernels are public so non-autodiff code (e.g. the CMP
+//! simulator's pad kernel) can reuse them.
+
+use crate::array::NdArray;
+use crate::error::{Result, TensorError};
+use crate::tensor::{GradFn, Tensor};
+
+/// Spatial output extent of a convolution along one axis.
+#[must_use]
+pub fn conv_out_extent(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    (input + 2 * padding - kernel) / stride + 1
+}
+
+/// Rearranges one image `[C, H, W]` (given as a flat slice) into the
+/// `[C·kh·kw, Ho·Wo]` patch matrix used by matmul-based convolution.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> NdArray {
+    let ho = conv_out_extent(h, kh, stride, pad);
+    let wo = conv_out_extent(w, kw, stride, pad);
+    let mut out = NdArray::zeros(&[c * kh * kw, ho * wo]);
+    let o = out.as_mut_slice();
+    let cols = ho * wo;
+    for ci in 0..c {
+        let img = &x[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((ci * kh + ky) * kw + kx) * cols;
+                for oy in 0..ho {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_row = iy as usize * w;
+                    let dst_row = row + oy * wo;
+                    for ox in 0..wo {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            o[dst_row + ox] = img[src_row + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`im2col`]: accumulates a `[C·kh·kw, Ho·Wo]` patch matrix back
+/// into an image `[C, H, W]`.
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    cols_arr: &NdArray,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let ho = conv_out_extent(h, kh, stride, pad);
+    let wo = conv_out_extent(w, kw, stride, pad);
+    let cols = ho * wo;
+    let src = cols_arr.as_slice();
+    let mut img = vec![0.0f32; c * h * w];
+    for ci in 0..c {
+        let dst = ci * h * w;
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((ci * kh + ky) * kw + kx) * cols;
+                for oy in 0..ho {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row = dst + iy as usize * w;
+                    let src_row = row + oy * wo;
+                    for ox in 0..wo {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            img[dst_row + ix as usize] += src[src_row + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+fn expect_rank4(x: &NdArray, op: &'static str) -> Result<(usize, usize, usize, usize)> {
+    if x.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: x.rank(), op });
+    }
+    Ok((x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]))
+}
+
+/// Forward 2-D convolution: `input [N,C,H,W] ⊛ weight [O,C,kh,kw] (+ bias [O])`.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches or a kernel larger than the
+/// padded input.
+pub fn conv2d_forward(
+    input: &NdArray,
+    weight: &NdArray,
+    bias: Option<&NdArray>,
+    stride: usize,
+    padding: usize,
+) -> Result<NdArray> {
+    let (n, c, h, w) = expect_rank4(input, "conv2d(input)")?;
+    let (o, cw, kh, kw) = expect_rank4(weight, "conv2d(weight)")?;
+    if c != cw {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().to_vec(),
+            rhs: weight.shape().to_vec(),
+            op: "conv2d",
+        });
+    }
+    if h + 2 * padding < kh || w + 2 * padding < kw {
+        return Err(TensorError::InvalidArgument(format!(
+            "kernel {kh}x{kw} larger than padded input {h}x{w} (pad {padding})"
+        )));
+    }
+    let ho = conv_out_extent(h, kh, stride, padding);
+    let wo = conv_out_extent(w, kw, stride, padding);
+    let w2 = weight.reshape(&[o, c * kh * kw])?;
+    let mut out = NdArray::zeros(&[n, o, ho, wo]);
+    for ni in 0..n {
+        let img = &input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w];
+        let cols = im2col(img, c, h, w, kh, kw, stride, padding);
+        let res = w2.matmul(&cols)?; // [O, Ho*Wo]
+        let dst = &mut out.as_mut_slice()[ni * o * ho * wo..(ni + 1) * o * ho * wo];
+        dst.copy_from_slice(res.as_slice());
+    }
+    if let Some(b) = bias {
+        if b.shape() != [o] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: b.shape().to_vec(),
+                rhs: vec![o],
+                op: "conv2d(bias)",
+            });
+        }
+        let bs = b.as_slice();
+        let data = out.as_mut_slice();
+        for ni in 0..n {
+            for (oi, bv) in bs.iter().enumerate() {
+                let base = (ni * o + oi) * ho * wo;
+                for v in &mut data[base..base + ho * wo] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients of [`conv2d_forward`] w.r.t. input, weight and bias.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches between the stored forward operands
+/// and `grad_out`.
+pub fn conv2d_backward(
+    input: &NdArray,
+    weight: &NdArray,
+    grad_out: &NdArray,
+    stride: usize,
+    padding: usize,
+) -> Result<(NdArray, NdArray, NdArray)> {
+    let (n, c, h, w) = expect_rank4(input, "conv2d_backward(input)")?;
+    let (o, _, kh, kw) = expect_rank4(weight, "conv2d_backward(weight)")?;
+    let (gn, go, ho, wo) = expect_rank4(grad_out, "conv2d_backward(grad)")?;
+    if gn != n || go != o {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.shape().to_vec(),
+            rhs: vec![n, o, ho, wo],
+            op: "conv2d_backward",
+        });
+    }
+    let w2 = weight.reshape(&[o, c * kh * kw])?;
+    let w2t = w2.transpose2d()?;
+    let mut dinput = NdArray::zeros(&[n, c, h, w]);
+    let mut dweight2 = NdArray::zeros(&[o, c * kh * kw]);
+    let mut dbias = NdArray::zeros(&[o]);
+    for ni in 0..n {
+        let img = &input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w];
+        let cols = im2col(img, c, h, w, kh, kw, stride, padding);
+        let g = NdArray::from_vec(
+            grad_out.as_slice()[ni * o * ho * wo..(ni + 1) * o * ho * wo].to_vec(),
+            &[o, ho * wo],
+        )?;
+        // dW += G · colsᵀ
+        dweight2.add_assign(&g.matmul(&cols.transpose2d()?)?)?;
+        // dInput = col2im(Wᵀ · G)
+        let dcols = w2t.matmul(&g)?;
+        let img_grad = col2im(&dcols, c, h, w, kh, kw, stride, padding);
+        let dst = &mut dinput.as_mut_slice()[ni * c * h * w..(ni + 1) * c * h * w];
+        for (d, s) in dst.iter_mut().zip(&img_grad) {
+            *d += s;
+        }
+        // dBias += Σ spatial
+        for oi in 0..o {
+            let row = &g.as_slice()[oi * ho * wo..(oi + 1) * ho * wo];
+            dbias.as_mut_slice()[oi] += row.iter().sum::<f32>();
+        }
+    }
+    Ok((dinput, dweight2.reshape(&[o, c, kh, kw])?, dbias))
+}
+
+/// Forward transposed 2-D convolution (a.k.a. up-convolution):
+/// `input [N,C,H,W]`, `weight [C,O,kh,kw]`, output `[N,O,Ho,Wo]` with
+/// `Ho = (H-1)·stride − 2·padding + kh`.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches.
+pub fn conv_transpose2d_forward(
+    input: &NdArray,
+    weight: &NdArray,
+    bias: Option<&NdArray>,
+    stride: usize,
+    padding: usize,
+) -> Result<NdArray> {
+    let (n, c, h, w) = expect_rank4(input, "conv_transpose2d(input)")?;
+    let (cw, o, kh, kw) = expect_rank4(weight, "conv_transpose2d(weight)")?;
+    if c != cw {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().to_vec(),
+            rhs: weight.shape().to_vec(),
+            op: "conv_transpose2d",
+        });
+    }
+    let ho = (h - 1) * stride + kh - 2 * padding;
+    let wo = (w - 1) * stride + kw - 2 * padding;
+    // weightᵀ as [O·kh·kw, C]
+    let w2 = weight.reshape(&[c, o * kh * kw])?.transpose2d()?;
+    let mut out = NdArray::zeros(&[n, o, ho, wo]);
+    for ni in 0..n {
+        let x = NdArray::from_vec(
+            input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w].to_vec(),
+            &[c, h * w],
+        )?;
+        let cols = w2.matmul(&x)?; // [O·kh·kw, H·W]
+        let img = col2im(&cols, o, ho, wo, kh, kw, stride, padding);
+        let dst = &mut out.as_mut_slice()[ni * o * ho * wo..(ni + 1) * o * ho * wo];
+        dst.copy_from_slice(&img);
+    }
+    if let Some(b) = bias {
+        if b.shape() != [o] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: b.shape().to_vec(),
+                rhs: vec![o],
+                op: "conv_transpose2d(bias)",
+            });
+        }
+        let bs = b.as_slice();
+        let data = out.as_mut_slice();
+        for ni in 0..n {
+            for (oi, bv) in bs.iter().enumerate() {
+                let base = (ni * o + oi) * ho * wo;
+                for v in &mut data[base..base + ho * wo] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients of [`conv_transpose2d_forward`] w.r.t. input, weight and bias.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches.
+pub fn conv_transpose2d_backward(
+    input: &NdArray,
+    weight: &NdArray,
+    grad_out: &NdArray,
+    stride: usize,
+    padding: usize,
+) -> Result<(NdArray, NdArray, NdArray)> {
+    let (n, c, h, w) = expect_rank4(input, "conv_transpose2d_backward(input)")?;
+    let (_, o, kh, kw) = expect_rank4(weight, "conv_transpose2d_backward(weight)")?;
+    let (_, _, ho, wo) = expect_rank4(grad_out, "conv_transpose2d_backward(grad)")?;
+    let w2 = weight.reshape(&[c, o * kh * kw])?;
+    let mut dinput = NdArray::zeros(&[n, c, h, w]);
+    let mut dweight2 = NdArray::zeros(&[c, o * kh * kw]);
+    let mut dbias = NdArray::zeros(&[o]);
+    for ni in 0..n {
+        let g = &grad_out.as_slice()[ni * o * ho * wo..(ni + 1) * o * ho * wo];
+        // dinput = "conv" of grad_out with the same kernel.
+        let gcols = im2col(g, o, ho, wo, kh, kw, stride, padding); // [O·kh·kw, H·W]
+        let din = w2.matmul(&gcols)?; // [C, H·W]
+        let dst = &mut dinput.as_mut_slice()[ni * c * h * w..(ni + 1) * c * h * w];
+        for (d, s) in dst.iter_mut().zip(din.as_slice()) {
+            *d += s;
+        }
+        // dweight = input · gcolsᵀ
+        let x = NdArray::from_vec(
+            input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w].to_vec(),
+            &[c, h * w],
+        )?;
+        dweight2.add_assign(&x.matmul(&gcols.transpose2d()?)?)?;
+        for oi in 0..o {
+            let row = &g[oi * ho * wo..(oi + 1) * ho * wo];
+            dbias.as_mut_slice()[oi] += row.iter().sum::<f32>();
+        }
+    }
+    Ok((dinput, dweight2.reshape(&[c, o, kh, kw])?, dbias))
+}
+
+/// Forward 2×2-style max pooling; returns the pooled map plus flat argmax
+/// offsets (into the input) used by the backward pass.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank 4 or smaller than the kernel.
+pub fn max_pool2d_forward(input: &NdArray, kernel: usize, stride: usize) -> Result<(NdArray, Vec<usize>)> {
+    let (n, c, h, w) = expect_rank4(input, "max_pool2d")?;
+    if h < kernel || w < kernel {
+        return Err(TensorError::InvalidArgument(format!(
+            "pool kernel {kernel} larger than input {h}x{w}"
+        )));
+    }
+    let ho = (h - kernel) / stride + 1;
+    let wo = (w - kernel) / stride + 1;
+    let x = input.as_slice();
+    let mut out = NdArray::zeros(&[n, c, ho, wo]);
+    let mut arg = vec![0usize; n * c * ho * wo];
+    let o = out.as_mut_slice();
+    for nc in 0..n * c {
+        let base = nc * h * w;
+        let obase = nc * ho * wo;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_at = base;
+                for ky in 0..kernel {
+                    let row = base + (oy * stride + ky) * w + ox * stride;
+                    for kx in 0..kernel {
+                        let v = x[row + kx];
+                        if v > best {
+                            best = v;
+                            best_at = row + kx;
+                        }
+                    }
+                }
+                o[obase + oy * wo + ox] = best;
+                arg[obase + oy * wo + ox] = best_at;
+            }
+        }
+    }
+    Ok((out, arg))
+}
+
+/// Forward average pooling (NCHW).
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank 4 or smaller than the
+/// kernel.
+pub fn avg_pool2d_forward(input: &NdArray, kernel: usize, stride: usize) -> Result<NdArray> {
+    let (n, c, h, w) = expect_rank4(input, "avg_pool2d")?;
+    if h < kernel || w < kernel {
+        return Err(TensorError::InvalidArgument(format!(
+            "pool kernel {kernel} larger than input {h}x{w}"
+        )));
+    }
+    let ho = (h - kernel) / stride + 1;
+    let wo = (w - kernel) / stride + 1;
+    let x = input.as_slice();
+    let inv = 1.0 / (kernel * kernel) as f32;
+    let mut out = NdArray::zeros(&[n, c, ho, wo]);
+    let o = out.as_mut_slice();
+    for nc in 0..n * c {
+        let base = nc * h * w;
+        let obase = nc * ho * wo;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = 0.0;
+                for ky in 0..kernel {
+                    let row = base + (oy * stride + ky) * w + ox * stride;
+                    for kx in 0..kernel {
+                        acc += x[row + kx];
+                    }
+                }
+                o[obase + oy * wo + ox] = acc * inv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct AvgPoolGrad {
+    in_shape: Vec<usize>,
+    kernel: usize,
+    stride: usize,
+}
+
+impl GradFn for AvgPoolGrad {
+    fn backward(&self, grad: &NdArray) -> Vec<Option<NdArray>> {
+        let (n, c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2], self.in_shape[3]);
+        let (k, s) = (self.kernel, self.stride);
+        let ho = (h - k) / s + 1;
+        let wo = (w - k) / s + 1;
+        let inv = 1.0 / (k * k) as f32;
+        let g = grad.as_slice();
+        let mut out = NdArray::zeros(&self.in_shape);
+        let o = out.as_mut_slice();
+        for nc in 0..n * c {
+            let base = nc * h * w;
+            let obase = nc * ho * wo;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let gv = g[obase + oy * wo + ox] * inv;
+                    for ky in 0..k {
+                        let row = base + (oy * s + ky) * w + ox * s;
+                        for kx in 0..k {
+                            o[row + kx] += gv;
+                        }
+                    }
+                }
+            }
+        }
+        vec![Some(out)]
+    }
+    fn name(&self) -> &'static str {
+        "avg_pool2d"
+    }
+}
+
+struct Conv2dGrad {
+    input: NdArray,
+    weight: NdArray,
+    has_bias: bool,
+    stride: usize,
+    padding: usize,
+}
+
+impl GradFn for Conv2dGrad {
+    fn backward(&self, grad: &NdArray) -> Vec<Option<NdArray>> {
+        match conv2d_backward(&self.input, &self.weight, grad, self.stride, self.padding) {
+            Ok((di, dw, db)) => {
+                if self.has_bias {
+                    vec![Some(di), Some(dw), Some(db)]
+                } else {
+                    vec![Some(di), Some(dw)]
+                }
+            }
+            Err(_) => vec![None; if self.has_bias { 3 } else { 2 }],
+        }
+    }
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+struct ConvTranspose2dGrad {
+    input: NdArray,
+    weight: NdArray,
+    has_bias: bool,
+    stride: usize,
+    padding: usize,
+}
+
+impl GradFn for ConvTranspose2dGrad {
+    fn backward(&self, grad: &NdArray) -> Vec<Option<NdArray>> {
+        match conv_transpose2d_backward(&self.input, &self.weight, grad, self.stride, self.padding) {
+            Ok((di, dw, db)) => {
+                if self.has_bias {
+                    vec![Some(di), Some(dw), Some(db)]
+                } else {
+                    vec![Some(di), Some(dw)]
+                }
+            }
+            Err(_) => vec![None; if self.has_bias { 3 } else { 2 }],
+        }
+    }
+    fn name(&self) -> &'static str {
+        "conv_transpose2d"
+    }
+}
+
+struct MaxPoolGrad {
+    in_shape: Vec<usize>,
+    argmax: Vec<usize>,
+}
+
+impl GradFn for MaxPoolGrad {
+    fn backward(&self, grad: &NdArray) -> Vec<Option<NdArray>> {
+        let mut din = NdArray::zeros(&self.in_shape);
+        let d = din.as_mut_slice();
+        for (g, &at) in grad.as_slice().iter().zip(&self.argmax) {
+            d[at] += g;
+        }
+        vec![Some(din)]
+    }
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+}
+
+impl Tensor {
+    /// Differentiable 2-D convolution.
+    ///
+    /// `self` is the NCHW input; `weight` is `[O, C, kh, kw]`; `bias` (if
+    /// any) is `[O]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/shape mismatches.
+    pub fn conv2d(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Tensor> {
+        let out = conv2d_forward(
+            &self.data(),
+            &weight.data(),
+            bias.map(|b| b.value()).as_ref(),
+            stride,
+            padding,
+        )?;
+        let mut parents = vec![self.clone(), weight.clone()];
+        if let Some(b) = bias {
+            parents.push(b.clone());
+        }
+        Ok(Tensor::from_op(
+            out,
+            parents,
+            Box::new(Conv2dGrad {
+                input: self.value(),
+                weight: weight.value(),
+                has_bias: bias.is_some(),
+                stride,
+                padding,
+            }),
+        ))
+    }
+
+    /// Differentiable transposed 2-D convolution (UNet up-path).
+    ///
+    /// `self` is the NCHW input; `weight` is `[C, O, kh, kw]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/shape mismatches.
+    pub fn conv_transpose2d(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Tensor> {
+        let out = conv_transpose2d_forward(
+            &self.data(),
+            &weight.data(),
+            bias.map(|b| b.value()).as_ref(),
+            stride,
+            padding,
+        )?;
+        let mut parents = vec![self.clone(), weight.clone()];
+        if let Some(b) = bias {
+            parents.push(b.clone());
+        }
+        Ok(Tensor::from_op(
+            out,
+            parents,
+            Box::new(ConvTranspose2dGrad {
+                input: self.value(),
+                weight: weight.value(),
+                has_bias: bias.is_some(),
+                stride,
+                padding,
+            }),
+        ))
+    }
+
+    /// Differentiable average pooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tensor is not rank 4 or smaller than the
+    /// kernel.
+    pub fn avg_pool2d(&self, kernel: usize, stride: usize) -> Result<Tensor> {
+        let out = avg_pool2d_forward(&self.data(), kernel, stride)?;
+        Ok(Tensor::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(AvgPoolGrad { in_shape: self.shape(), kernel, stride }),
+        ))
+    }
+
+    /// Differentiable max pooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tensor is not rank 4 or smaller than the
+    /// kernel.
+    pub fn max_pool2d(&self, kernel: usize, stride: usize) -> Result<Tensor> {
+        let (out, argmax) = max_pool2d_forward(&self.data(), kernel, stride)?;
+        Ok(Tensor::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(MaxPoolGrad { in_shape: self.shape(), argmax }),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let x = Tensor::parameter(
+            NdArray::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap(),
+        );
+        // 1x1 kernel of value 2 doubles the image.
+        let w = Tensor::parameter(NdArray::from_vec(vec![2.0], &[1, 1, 1, 1]).unwrap());
+        let y = x.conv2d(&w, None, 1, 0).unwrap();
+        assert_eq!(y.shape(), vec![1, 1, 3, 3]);
+        assert_eq!(y.value().as_slice()[0], 2.0);
+        assert_eq!(y.value().as_slice()[8], 18.0);
+    }
+
+    #[test]
+    fn conv2d_known_values_with_padding() {
+        // 3x3 all-ones kernel on a 2x2 ones image with pad 1 ⇒ each output
+        // counts the overlapping ones.
+        let x = Tensor::constant(NdArray::ones(&[1, 1, 2, 2]));
+        let w = Tensor::constant(NdArray::ones(&[1, 1, 3, 3]));
+        let y = x.conv2d(&w, None, 1, 1).unwrap();
+        assert_eq!(y.shape(), vec![1, 1, 2, 2]);
+        assert_eq!(y.value().as_slice(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn conv2d_bias_applied_per_channel() {
+        let x = Tensor::constant(NdArray::zeros(&[1, 1, 2, 2]));
+        let w = Tensor::constant(NdArray::zeros(&[2, 1, 1, 1]));
+        let b = Tensor::constant(NdArray::from_slice(&[1.5, -2.0]));
+        let y = x.conv2d(&w, Some(&b), 1, 0).unwrap();
+        let v = y.value();
+        assert_eq!(v.at(&[0, 0, 0, 0]), 1.5);
+        assert_eq!(v.at(&[0, 1, 1, 1]), -2.0);
+    }
+
+    #[test]
+    fn conv2d_grads_match_finite_difference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let xv = NdArray::from_fn(&[1, 2, 4, 4], |_| rng.gen_range(-1.0..1.0));
+        let wv = NdArray::from_fn(&[3, 2, 3, 3], |_| rng.gen_range(-1.0..1.0));
+        let bv = NdArray::from_fn(&[3], |_| rng.gen_range(-1.0..1.0));
+
+        let loss = |xa: &NdArray, wa: &NdArray, ba: &NdArray| -> f32 {
+            conv2d_forward(xa, wa, Some(ba), 1, 1)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+        };
+
+        let x = Tensor::parameter(xv.clone());
+        let w = Tensor::parameter(wv.clone());
+        let b = Tensor::parameter(bv.clone());
+        let y = x.conv2d(&w, Some(&b), 1, 1).unwrap().square().sum();
+        y.backward().unwrap();
+
+        let eps = 1e-2;
+        // Spot-check a few coordinates of each gradient.
+        for idx in [0usize, 5, 17] {
+            let mut xp = xv.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = xv.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&xp, &wv, &bv) - loss(&xm, &wv, &bv)) / (2.0 * eps);
+            let an = x.grad().unwrap().as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2 * (1.0 + fd.abs()), "dinput[{idx}] fd={fd} an={an}");
+        }
+        for idx in [0usize, 10, 40] {
+            let mut wp = wv.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = wv.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&xv, &wp, &bv) - loss(&xv, &wm, &bv)) / (2.0 * eps);
+            let an = w.grad().unwrap().as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2 * (1.0 + fd.abs()), "dweight[{idx}] fd={fd} an={an}");
+        }
+        for idx in 0..3usize {
+            let mut bp = bv.clone();
+            bp.as_mut_slice()[idx] += eps;
+            let mut bm = bv.clone();
+            bm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&xv, &wv, &bp) - loss(&xv, &wv, &bm)) / (2.0 * eps);
+            let an = b.grad().unwrap().as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2 * (1.0 + fd.abs()), "dbias[{idx}] fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn conv_transpose_shapes_and_adjointness() {
+        // conv_transpose with stride 2 doubles spatial extent for k=2, p=0.
+        let x = Tensor::constant(NdArray::ones(&[1, 1, 3, 3]));
+        let w = Tensor::constant(NdArray::ones(&[1, 1, 2, 2]));
+        let y = x.conv_transpose2d(&w, None, 2, 0).unwrap();
+        assert_eq!(y.shape(), vec![1, 1, 6, 6]);
+        // Every input pixel writes a 2x2 block of ones ⇒ total = 9 * 4.
+        assert_eq!(y.value().sum(), 36.0);
+    }
+
+    #[test]
+    fn conv_transpose_grads_match_finite_difference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let xv = NdArray::from_fn(&[1, 2, 3, 3], |_| rng.gen_range(-1.0..1.0));
+        let wv = NdArray::from_fn(&[2, 2, 2, 2], |_| rng.gen_range(-1.0..1.0));
+
+        let loss = |xa: &NdArray, wa: &NdArray| -> f32 {
+            conv_transpose2d_forward(xa, wa, None, 2, 0)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+        };
+
+        let x = Tensor::parameter(xv.clone());
+        let w = Tensor::parameter(wv.clone());
+        x.conv_transpose2d(&w, None, 2, 0).unwrap().square().sum().backward().unwrap();
+
+        let eps = 1e-2;
+        for idx in [0usize, 7, 12] {
+            let mut xp = xv.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = xv.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&xp, &wv) - loss(&xm, &wv)) / (2.0 * eps);
+            let an = x.grad().unwrap().as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2 * (1.0 + fd.abs()), "dinput[{idx}] fd={fd} an={an}");
+        }
+        for idx in [0usize, 5, 15] {
+            let mut wp = wv.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = wv.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&xv, &wp) - loss(&xv, &wm)) / (2.0 * eps);
+            let an = w.grad().unwrap().as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2 * (1.0 + fd.abs()), "dweight[{idx}] fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn max_pool_forward_and_grad() {
+        let x = Tensor::parameter(
+            NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 9.0, 0.0], &[1, 1, 4, 4]).unwrap(),
+        );
+        let y = x.max_pool2d(2, 2).unwrap();
+        assert_eq!(y.shape(), vec![1, 1, 2, 2]);
+        assert_eq!(y.value().as_slice(), &[8.0, 6.0, 1.0, 9.0]);
+        y.sum().backward().unwrap();
+        let g = x.grad().unwrap();
+        assert_eq!(g.as_slice()[4], 1.0); // the 8.0
+        assert_eq!(g.as_slice()[6], 1.0); // the 6.0
+        assert_eq!(g.as_slice()[14], 1.0); // the 9.0
+        assert_eq!(g.sum(), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_forward_and_grad() {
+        let x = Tensor::parameter(
+            NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap(),
+        );
+        let y = x.avg_pool2d(2, 2).unwrap();
+        assert_eq!(y.shape(), vec![1, 1, 1, 1]);
+        assert_eq!(y.item(), 2.5);
+        y.sum().backward().unwrap();
+        assert_eq!(x.grad().unwrap().as_slice(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn avg_pool_gradcheck() {
+        use crate::gradcheck::check_gradient;
+        let x0 = NdArray::from_fn(&[1, 2, 4, 4], |i| (i as f32 * 0.37).sin());
+        let report = check_gradient(&x0, 1e-2, |x| x.avg_pool2d(2, 2).unwrap().square().sum());
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn conv_rejects_channel_mismatch() {
+        let x = Tensor::constant(NdArray::zeros(&[1, 2, 4, 4]));
+        let w = Tensor::constant(NdArray::zeros(&[1, 3, 3, 3]));
+        assert!(x.conv2d(&w, None, 1, 1).is_err());
+    }
+
+    #[test]
+    fn out_extent_formula() {
+        assert_eq!(conv_out_extent(5, 3, 1, 1), 5);
+        assert_eq!(conv_out_extent(4, 2, 2, 0), 2);
+        assert_eq!(conv_out_extent(7, 3, 2, 1), 4);
+    }
+}

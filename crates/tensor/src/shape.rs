@@ -1,0 +1,162 @@
+//! Shape arithmetic: strides, broadcasting and index helpers.
+
+use crate::error::{Result, TensorError};
+
+/// Computes the number of elements implied by a shape.
+///
+/// The empty shape `[]` denotes a scalar and has one element.
+#[must_use]
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Computes row-major (C-order) strides for a shape.
+///
+/// The last axis is contiguous. Axes of extent 1 still receive a stride so
+/// indexing code stays uniform.
+#[must_use]
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut out = vec![1; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        out[i] = out[i + 1] * shape[i + 1];
+    }
+    out
+}
+
+/// Converts a flat offset into a multi-index for the given shape.
+#[must_use]
+pub fn unravel(mut offset: usize, shape: &[usize]) -> Vec<usize> {
+    let st = strides(shape);
+    let mut idx = vec![0; shape.len()];
+    for (i, s) in st.iter().enumerate() {
+        idx[i] = offset / s;
+        offset %= s;
+    }
+    idx
+}
+
+/// Converts a multi-index into a flat offset for the given shape.
+///
+/// # Panics
+///
+/// Panics in debug builds when `idx` is out of bounds for `shape`.
+#[must_use]
+pub fn ravel(idx: &[usize], shape: &[usize]) -> usize {
+    debug_assert_eq!(idx.len(), shape.len());
+    let st = strides(shape);
+    idx.iter().zip(&st).map(|(i, s)| i * s).sum()
+}
+
+/// Computes the broadcast shape of two operand shapes using NumPy-style
+/// right-aligned broadcasting rules.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when some aligned pair of extents
+/// differ and neither is 1.
+pub fn broadcast_shape(a: &[usize], b: &[usize]) -> Result<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
+        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        out[i] = match (da, db) {
+            (x, y) if x == y => x,
+            (1, y) => y,
+            (x, 1) => x,
+            _ => {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: a.to_vec(),
+                    rhs: b.to_vec(),
+                    op: "broadcast",
+                })
+            }
+        };
+    }
+    Ok(out)
+}
+
+/// Returns `true` when `from` can be broadcast to `to`.
+#[must_use]
+pub fn broadcastable_to(from: &[usize], to: &[usize]) -> bool {
+    if from.len() > to.len() {
+        return false;
+    }
+    let off = to.len() - from.len();
+    from.iter().enumerate().all(|(i, &d)| d == to[off + i] || d == 1)
+}
+
+/// Strides of `shape` viewed as broadcast to `target`, with zero strides on
+/// broadcast axes. Used by the elementwise kernels.
+///
+/// # Panics
+///
+/// Panics in debug builds when `shape` is not broadcastable to `target`.
+#[must_use]
+pub fn broadcast_strides(shape: &[usize], target: &[usize]) -> Vec<usize> {
+    debug_assert!(broadcastable_to(shape, target));
+    let own = strides(shape);
+    let off = target.len() - shape.len();
+    let mut out = vec![0; target.len()];
+    for i in 0..shape.len() {
+        out[off + i] = if shape[i] == 1 && target[off + i] != 1 { 0 } else { own[i] };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_scalar_is_one() {
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[5, 0]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[7]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ravel_unravel_roundtrip() {
+        let shape = [2, 3, 4];
+        for off in 0..24 {
+            let idx = unravel(off, &shape);
+            assert_eq!(ravel(&idx, &shape), off);
+        }
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shape(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shape(&[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shape(&[3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shape(&[], &[4, 5]).unwrap(), vec![4, 5]);
+    }
+
+    #[test]
+    fn broadcast_rejects_incompatible() {
+        assert!(broadcast_shape(&[2, 3], &[4]).is_err());
+        assert!(broadcast_shape(&[2], &[3]).is_err());
+    }
+
+    #[test]
+    fn broadcastable_to_checks() {
+        assert!(broadcastable_to(&[1, 3], &[2, 3]));
+        assert!(broadcastable_to(&[3], &[2, 3]));
+        assert!(!broadcastable_to(&[2, 3], &[3]));
+        assert!(!broadcastable_to(&[4], &[2, 3]));
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_expanded_axes() {
+        assert_eq!(broadcast_strides(&[1, 3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[2, 3], &[2, 3]), vec![3, 1]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Process calibration: fitting the simulator's parameters against
+//! "measured" reference profiles — the step the paper performs against a
+//! foundry's 45 nm data ("calibrated under a 45 nm process ... accuracy
+//! matched with the CMP Predictor").
+//!
+//! Here the reference data comes from a hidden ground-truth parameter set;
+//! the fit must recover it from a deliberately wrong starting point.
+//!
+//! Run with: `cargo run --release --example calibrate_process`
+
+use neurfill_cmpsim::calibrate::{calibrate, CalibrationSpec, Measurement};
+use neurfill_cmpsim::{CmpSimulator, LayerInput, ProcessParams};
+use neurfill_layout::{DesignKind, DesignSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Hidden ground truth ("the fab").
+    let truth = ProcessParams {
+        removal_per_step: 9.5,
+        dishing_coefficient: 0.65,
+        character_length: 2.2,
+        ..ProcessParams::default()
+    };
+    let fab = CmpSimulator::new(truth.clone())?;
+
+    // Reference measurements: three design layers and their "measured"
+    // post-CMP profiles.
+    let mut data = Vec::new();
+    for (kind, seed) in [
+        (DesignKind::CmpTest, 1u64),
+        (DesignKind::Fpga, 2),
+        (DesignKind::RiscV, 3),
+    ] {
+        let layout = DesignSpec::new(kind, 12, 12, seed).generate();
+        let input = LayerInput::from_layout(&layout, 0);
+        let heights = fab.simulate_layer(&input).heights().to_vec();
+        data.push(Measurement { input, heights });
+    }
+
+    // Start from the (wrong) defaults and fit.
+    let start = ProcessParams::default();
+    println!(
+        "starting guess: removal {} nm/step, dishing {}, character length {}",
+        start.removal_per_step, start.dishing_coefficient, start.character_length
+    );
+    let spec = CalibrationSpec { sweeps: 2, ..CalibrationSpec::default() };
+    let result = calibrate(&start, &data, &spec);
+    println!(
+        "fitted:         removal {:.2} nm/step (true {:.2}), dishing {:.3} (true {:.3}), \
+         character length {:.2} (true {:.2})",
+        result.params.removal_per_step,
+        truth.removal_per_step,
+        result.params.dishing_coefficient,
+        truth.dishing_coefficient,
+        result.params.character_length,
+        truth.character_length,
+    );
+    println!(
+        "rmse {:.3} nm after {} simulator invocations",
+        result.rmse_nm, result.simulations
+    );
+    Ok(())
+}

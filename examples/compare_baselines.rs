@@ -1,0 +1,124 @@
+//! Runs all five methods of the paper's Table III on one small design and
+//! prints the comparison (a fast, single-design version of the `table3`
+//! experiment binary).
+//!
+//! Run with: `cargo run --release --example compare_baselines`
+
+use neurfill::baselines::{cai_fill, lin_fill, tao_fill, CaiConfig, TaoConfig};
+use neurfill::report::{estimate_memory_gb, evaluate_plan, format_rows, MethodKind};
+use neurfill::surrogate::{train_surrogate, SurrogateConfig};
+use neurfill::{NeurFill, NeurFillConfig, StartMode};
+use neurfill_bench::costmodel::speedup;
+use neurfill_cmpsim::{CmpSimulator, FiniteDifference, ProcessParams};
+use neurfill_layout::datagen::DataGenConfig;
+use neurfill_layout::{benchmark_designs, DesignKind, DesignSpec, DummySpec};
+use neurfill_nn::{Module, TrainConfig, UNetConfig};
+use neurfill_optim::{NmmsoConfig, SqpConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = 16;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let sources = benchmark_designs(grid, grid, 9);
+    let sim = CmpSimulator::new(ProcessParams::default())?;
+    let layout = DesignSpec::new(DesignKind::RiscV, grid, grid, 9).generate();
+    let coeffs = neurfill::Coefficients::calibrate(&layout, &sim.simulate(&layout), 60.0);
+    let dummy = DummySpec::default();
+
+    println!("training surrogate...");
+    let config = SurrogateConfig {
+        unet: UNetConfig {
+            in_channels: neurfill::extraction::NUM_CHANNELS,
+            out_channels: 1,
+            base_channels: 6,
+            depth: 2,
+        },
+        train: TrainConfig { epochs: 12, batch_size: 4, lr: 2e-3, lr_decay: 0.9 },
+        num_layouts: 30,
+        datagen: DataGenConfig { rows: grid, cols: grid, seed: 9, ..DataGenConfig::default() },
+        ..SurrogateConfig::default()
+    };
+    let trained = train_surrogate(&sources, &sim, &config, &mut rng)?;
+    let params = trained.network.unet().num_parameters();
+
+    let mut rows = Vec::new();
+
+    let t0 = std::time::Instant::now();
+    let plan = lin_fill(&layout);
+    rows.push(evaluate_plan(
+        &layout, &sim, &coeffs, "Lin [10]", &plan, &dummy,
+        t0.elapsed().as_secs_f64(),
+        estimate_memory_gb(MethodKind::Lin, &layout, 0),
+    ));
+
+    let tao = tao_fill(&layout, &coeffs, &TaoConfig::default());
+    rows.push(evaluate_plan(
+        &layout, &sim, &coeffs, "Tao [11]", &tao.plan, &dummy,
+        tao.runtime.as_secs_f64(),
+        estimate_memory_gb(MethodKind::Tao, &layout, 0),
+    ));
+
+    println!("running Cai [12] (numerical gradients — the slow baseline)...");
+    let cai = cai_fill(
+        &layout,
+        &sim,
+        &coeffs,
+        &CaiConfig {
+            sqp: SqpConfig { max_iterations: 3, max_backtracks: 6, ..SqpConfig::default() },
+            fd: FiniteDifference::new(50.0, 1),
+            dummy,
+        },
+    );
+    rows.push(evaluate_plan(
+        &layout, &sim, &coeffs, "Cai [12]", &cai.plan, &dummy,
+        cai.runtime.as_secs_f64(),
+        estimate_memory_gb(MethodKind::Cai { threads: 1 }, &layout, 0),
+    ));
+
+    println!("running NeurFill (PKB)...");
+    let nf = NeurFill::new(trained.network, NeurFillConfig::default());
+    let pkb = nf.run(&layout, &coeffs)?;
+    rows.push(evaluate_plan(
+        &layout, &sim, &coeffs, "NeurFill (PKB)", &pkb.plan, &dummy,
+        pkb.runtime.as_secs_f64(),
+        estimate_memory_gb(MethodKind::NeurFillPkb, &layout, params),
+    ));
+
+    println!("running NeurFill (MM)...");
+    let clone = {
+        let mut r = rand::rngs::StdRng::seed_from_u64(0);
+        let net = neurfill_nn::UNet::new(nf.network().unet().config().clone(), &mut r);
+        neurfill_nn::serialize::copy_parameters(nf.network().unet(), &net)?;
+        net.set_training(false);
+        neurfill::CmpNeuralNetwork::new(
+            net,
+            nf.network().height_norm(),
+            nf.network().extraction().clone(),
+            neurfill::CmpNnConfig::default(),
+        )
+    };
+    let nf_mm = NeurFill::new(
+        clone,
+        NeurFillConfig {
+            mode: StartMode::MultiModal {
+                nmmso: NmmsoConfig { max_evaluations: 100, swarm_size: 5, ..NmmsoConfig::default() },
+                top_modes: 3,
+            },
+            seed: 9,
+            ..NeurFillConfig::default()
+        },
+    );
+    let mm = nf_mm.run(&layout, &coeffs)?;
+    rows.push(evaluate_plan(
+        &layout, &sim, &coeffs, "NeurFill (MM)", &mm.plan, &dummy,
+        mm.runtime.as_secs_f64(),
+        estimate_memory_gb(MethodKind::NeurFillMm { swarm_size: 5, max_swarms: 20 }, &layout, params),
+    ));
+
+    println!("\n{}", format_rows(layout.name(), &rows));
+    println!(
+        "NeurFill (PKB) vs Cai runtime: {:.0}x faster (paper: 58x at full-chip scale)",
+        speedup(cai.runtime.as_secs_f64(), pkb.runtime.as_secs_f64().max(1e-6))
+    );
+    Ok(())
+}

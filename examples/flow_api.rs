@@ -1,0 +1,70 @@
+//! The one-stop `FillingFlow` API: prepare once (trains the surrogate),
+//! persist the trained network, and run the full
+//! synthesis → insertion → verification flow on multiple layouts.
+//!
+//! Run with: `cargo run --release --example flow_api`
+
+use neurfill::extraction::NUM_CHANNELS;
+use neurfill::pipeline::{FillingFlow, FlowConfig};
+use neurfill::surrogate::SurrogateConfig;
+use neurfill_cmpsim::ProcessParams;
+use neurfill_layout::datagen::DataGenConfig;
+use neurfill_layout::{benchmark_designs, DesignKind, DesignSpec};
+use neurfill_nn::{TrainConfig, UNetConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = 16;
+    let sources = benchmark_designs(grid, grid, 3);
+    let config = FlowConfig {
+        process: ProcessParams::default(),
+        surrogate: SurrogateConfig {
+            unet: UNetConfig {
+                in_channels: NUM_CHANNELS,
+                out_channels: 1,
+                base_channels: 8,
+                depth: 2,
+            },
+            train: TrainConfig { epochs: 12, batch_size: 4, lr: 2e-3, lr_decay: 0.92 },
+            num_layouts: 40,
+            datagen: DataGenConfig { rows: grid, cols: grid, seed: 3, ..DataGenConfig::default() },
+            ..SurrogateConfig::default()
+        },
+        beta_time_s: 60.0,
+        seed: 3,
+        ..FlowConfig::default()
+    };
+
+    println!("preparing flow (trains the surrogate once)...");
+    let flow = FillingFlow::prepare(&sources, config.clone()).map_err(std::io::Error::other)?;
+
+    // Persist the trained network for later sessions.
+    let bundle = std::env::temp_dir().join("neurfill_flow.bundle");
+    neurfill::persist::save_to_file(flow.network(), &bundle)?;
+    println!("surrogate bundle saved to {}", bundle.display());
+
+    for kind in [DesignKind::CmpTest, DesignKind::Fpga, DesignKind::RiscV] {
+        let layout = DesignSpec::new(kind, grid, grid, 3).generate();
+        let result = flow.run(&layout).map_err(std::io::Error::other)?;
+        println!(
+            "design {}: quality {:.3}, overall {:.3}, {} dummies placed ({:.1}% of request), {:.2?}",
+            layout.name(),
+            result.scored.quality,
+            result.scored.overall,
+            result.insertion.dummy_count(),
+            result.insertion.realization_ratio() * 100.0,
+            result.synthesis.runtime,
+        );
+    }
+
+    // Demonstrate reloading the persisted network into a new flow.
+    let net = neurfill::persist::load_from_file(&bundle)?;
+    let flow2 = FillingFlow::with_network(net, config).map_err(std::io::Error::other)?;
+    let layout = DesignSpec::new(DesignKind::CmpTest, grid, grid, 3).generate();
+    let again = flow2.run(&layout).map_err(std::io::Error::other)?;
+    println!(
+        "reloaded-network flow reproduces design A quality: {:.3}",
+        again.scored.quality
+    );
+    let _ = std::fs::remove_file(&bundle);
+    Ok(())
+}

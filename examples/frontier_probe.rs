@@ -1,0 +1,44 @@
+//! Probes the achievable planarity frontier of a design by optimizing
+//! directly against the golden simulator with a generous budget
+//! (a long-running Cai [12] reference used to sanity-check Table III).
+//!
+//! Run with: `cargo run --release --example frontier_probe [iters]`
+
+use neurfill::baselines::{cai_fill, CaiConfig};
+use neurfill::{Coefficients, PlanarityMetrics};
+use neurfill_cmpsim::{CmpSimulator, FiniteDifference, ProcessParams};
+use neurfill_layout::{apply_fill, DesignKind, DesignSpec, DummySpec};
+use neurfill_optim::SqpConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let iters: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10);
+    let grid = 16;
+    let layout = DesignSpec::new(DesignKind::CmpTest, grid, grid, 42).generate();
+    let sim = CmpSimulator::new(ProcessParams::default())?;
+    let unfilled = sim.simulate(&layout);
+    let before = PlanarityMetrics::from_profile(&unfilled);
+    let coeffs = Coefficients::calibrate(&layout, &unfilled, 60.0);
+    println!("unfilled: sigma {:.0}, sstar {:.0}, dH {:.0} A", before.sigma, before.sigma_star, before.delta_h);
+
+    let cfg = CaiConfig {
+        sqp: SqpConfig { max_iterations: iters, max_backtracks: 10, ..SqpConfig::default() },
+        fd: FiniteDifference::new(50.0, 1),
+        dummy: DummySpec::default(),
+    };
+    let out = cai_fill(&layout, &sim, &coeffs, &cfg);
+    let filled = apply_fill(&layout, &out.plan, &DummySpec::default());
+    let after = PlanarityMetrics::from_profile(&sim.simulate(&filled));
+    println!(
+        "Cai({iters} iters, {} sims, {:.0?}): sigma {:.0} (score {:.3}), sstar {:.0} (score {:.3}), dH {:.0} A, fill {:.0}, objective {:.4}",
+        out.simulations,
+        out.runtime,
+        after.sigma,
+        1.0 - after.sigma / coeffs.beta_sigma,
+        after.sigma_star,
+        1.0 - after.sigma_star / coeffs.beta_sigma_star,
+        after.delta_h,
+        out.plan.total(),
+        out.objective_value,
+    );
+    Ok(())
+}

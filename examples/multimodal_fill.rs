@@ -1,0 +1,88 @@
+//! NeurFill (MM): multi-modal starting-points search with NMMSO followed
+//! by MSP-SQP refinement (paper §IV-D/E), compared against the PKB path.
+//!
+//! Run with: `cargo run --release --example multimodal_fill`
+
+use neurfill::surrogate::{train_surrogate, SurrogateConfig};
+use neurfill::{Coefficients, NeurFill, NeurFillConfig, StartMode};
+use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_layout::datagen::DataGenConfig;
+use neurfill_layout::{benchmark_designs, DesignKind, DesignSpec};
+use neurfill_nn::{Module, TrainConfig, UNetConfig};
+use neurfill_optim::NmmsoConfig;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = 16;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let sources = benchmark_designs(grid, grid, 5);
+    let sim = CmpSimulator::new(ProcessParams::default())?;
+    let layout = DesignSpec::new(DesignKind::Fpga, grid, grid, 5).generate();
+    let coeffs = Coefficients::calibrate(&layout, &sim.simulate(&layout), 60.0);
+
+    let config = SurrogateConfig {
+        unet: UNetConfig {
+            in_channels: neurfill::extraction::NUM_CHANNELS,
+            out_channels: 1,
+            base_channels: 6,
+            depth: 2,
+        },
+        train: TrainConfig { epochs: 12, batch_size: 4, lr: 2e-3, lr_decay: 0.9 },
+        num_layouts: 30,
+        datagen: DataGenConfig { rows: grid, cols: grid, seed: 5, ..DataGenConfig::default() },
+        ..SurrogateConfig::default()
+    };
+    println!("training surrogate...");
+    let trained = train_surrogate(&sources, &sim, &config, &mut rng)?;
+
+    // Two identical networks so both modes run from the same weights.
+    let clone = {
+        let mut r = rand::rngs::StdRng::seed_from_u64(0);
+        let net = neurfill_nn::UNet::new(trained.network.unet().config().clone(), &mut r);
+        neurfill_nn::serialize::copy_parameters(trained.network.unet(), &net)?;
+        net.set_training(false);
+        neurfill::CmpNeuralNetwork::new(
+            net,
+            trained.network.height_norm(),
+            trained.network.extraction().clone(),
+            neurfill::CmpNnConfig::default(),
+        )
+    };
+
+    println!("running NeurFill (PKB)...");
+    let pkb = NeurFill::new(trained.network, NeurFillConfig::default());
+    let pkb_out = pkb.run(&layout, &coeffs)?;
+    println!(
+        "  PKB: objective {:.4}, fill {:.0} um^2, {:?}",
+        pkb_out.objective_value,
+        pkb_out.plan.total(),
+        pkb_out.runtime
+    );
+
+    println!("running NeurFill (MM)...");
+    let mm = NeurFill::new(
+        clone,
+        NeurFillConfig {
+            mode: StartMode::MultiModal {
+                nmmso: NmmsoConfig { max_evaluations: 120, swarm_size: 5, ..NmmsoConfig::default() },
+                top_modes: 3,
+            },
+            seed: 5,
+            ..NeurFillConfig::default()
+        },
+    );
+    let mm_out = mm.run(&layout, &coeffs)?;
+    println!(
+        "  MM:  objective {:.4}, fill {:.0} um^2, {} SQP starts, {:?}",
+        mm_out.objective_value,
+        mm_out.plan.total(),
+        mm_out.starts,
+        mm_out.runtime
+    );
+    if mm_out.objective_value >= pkb_out.objective_value {
+        println!("MM matched or beat PKB — the multi-modal search pays off on this landscape.");
+    } else {
+        println!("PKB won here; MM's value is certainty across located optima (paper §V-C).");
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Scratch probe: how do the planarity metrics respond to uniform-density
+//! filling? (debugging aid, kept small)
+
+use neurfill::baselines::lin_fill;
+use neurfill::PlanarityMetrics;
+use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_layout::{apply_fill, DesignKind, DesignSpec, DummySpec, FillPlan};
+
+fn main() {
+    let layout = DesignSpec::new(DesignKind::CmpTest, 16, 16, 7).generate();
+    let mut params = ProcessParams::default();
+    if let Ok(e) = std::env::var("EROSION") {
+        params.erosion_coefficient = e.parse().unwrap();
+    }
+    if let Ok(d) = std::env::var("DISHING") {
+        params.dishing_coefficient = d.parse().unwrap();
+    }
+    if let Ok(s) = std::env::var("STEPS") {
+        params.steps = s.parse().unwrap();
+    }
+    let sim = CmpSimulator::new(params).unwrap();
+    let dummy = DummySpec::default();
+
+    let report = |name: &str, plan: &FillPlan| {
+        let filled = apply_fill(&layout, plan, &dummy);
+        let profile = sim.simulate(&filled);
+        let m = PlanarityMetrics::from_profile(&profile);
+        let d0 = filled.density_map(0);
+        let dmin = d0.iter().cloned().fold(f64::INFINITY, f64::min);
+        let dmax = d0.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{name:>12}: sigma={:9.2} sstar={:10.1} ol={:8.2} dH={:7.1}A  rho0=[{dmin:.3},{dmax:.3}] fill={:.0}",
+            m.sigma, m.sigma_star, m.ol, m.delta_h, plan.total()
+        );
+        // Show one layer's height stats per density decile.
+        let h = profile.layer(0).heights();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in h {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        println!("{:>12}  layer0 height range {:.2}..{:.2} nm", "", lo, hi);
+    };
+
+    report("unfilled", &FillPlan::zeros(&layout));
+    report("lin", &lin_fill(&layout));
+    // Half-slack uniform fill.
+    let mut half = FillPlan::zeros(&layout);
+    for (x, s) in half.as_mut_slice().iter_mut().zip(layout.slack_vector()) {
+        *x = 0.5 * s;
+    }
+    report("half", &half);
+    // Target-density 0.6 fill.
+    let td = neurfill::pkb::plan_for_target_density(&layout, &[0.6; 3]);
+    report("td0.6", &td);
+    let td = neurfill::pkb::plan_for_target_density(&layout, &[0.8; 3]);
+    report("td0.8", &td);
+}

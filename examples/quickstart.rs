@@ -1,0 +1,88 @@
+//! Quickstart: the full NeurFill pipeline on a small design.
+//!
+//! 1. Generate a benchmark layout and simulate its unfilled post-CMP
+//!    surface with the golden full-chip CMP simulator.
+//! 2. Pre-train a small UNet surrogate with the two-step random procedure.
+//! 3. Run NeurFill (PKB): prior-knowledge starting point + SQP, with the
+//!    planarity gradient coming from backward propagation.
+//! 4. Score the result like the paper's Table III.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use neurfill::report::{estimate_memory_gb, evaluate_plan, MethodKind};
+use neurfill::surrogate::{train_surrogate, SurrogateConfig};
+use neurfill::{Coefficients, NeurFill, NeurFillConfig, PlanarityMetrics};
+use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_layout::datagen::DataGenConfig;
+use neurfill_layout::{benchmark_designs, DesignKind, DesignSpec, DummySpec};
+use neurfill_nn::{Module, TrainConfig, UNetConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let grid = 16;
+
+    // --- 1. Layout + golden simulation -------------------------------
+    let layout = DesignSpec::new(DesignKind::CmpTest, grid, grid, 42).generate();
+    let sim = CmpSimulator::new(ProcessParams::default())?;
+    let unfilled = sim.simulate(&layout);
+    let before = PlanarityMetrics::from_profile(&unfilled);
+    println!(
+        "unfilled design {}: sigma = {:.0} A^2, Delta H = {:.0} A",
+        layout.name(),
+        before.sigma,
+        before.delta_h
+    );
+
+    // --- 2. Surrogate pre-training (Fig. 8) --------------------------
+    let sources = benchmark_designs(grid, grid, 42);
+    let config = SurrogateConfig {
+        unet: UNetConfig {
+            in_channels: neurfill::extraction::NUM_CHANNELS,
+            out_channels: 1,
+            base_channels: 6,
+            depth: 2,
+        },
+        train: TrainConfig { epochs: 15, batch_size: 4, lr: 2e-3, lr_decay: 0.9 },
+        num_layouts: 40,
+        datagen: DataGenConfig { rows: grid, cols: grid, seed: 1, ..DataGenConfig::default() },
+        ..SurrogateConfig::default()
+    };
+    println!("training UNet surrogate ({} layouts)...", config.num_layouts);
+    let trained = train_surrogate(&sources, &sim, &config, &mut rng)?;
+    let last = trained.report.epochs.last().expect("epochs recorded");
+    println!("  final train MSE (normalized): {:.4}", last.0);
+
+    // --- 3. NeurFill (PKB) -------------------------------------------
+    let coeffs = Coefficients::calibrate(&layout, &unfilled, 60.0);
+    let params = trained.network.unet().num_parameters();
+    let neurfill = NeurFill::new(trained.network, NeurFillConfig::default());
+    let outcome = neurfill.run(&layout, &coeffs)?;
+    println!(
+        "NeurFill (PKB): filled {:.0} um^2 across {} windows in {:.2?} \
+         ({} forward, {} backward passes)",
+        outcome.plan.total(),
+        layout.num_windows(),
+        outcome.runtime,
+        outcome.evaluations,
+        outcome.gradient_evaluations,
+    );
+
+    // --- 4. Score with the golden simulator --------------------------
+    let mem = estimate_memory_gb(MethodKind::NeurFillPkb, &layout, params);
+    let result = evaluate_plan(
+        &layout,
+        &sim,
+        &coeffs,
+        "NeurFill (PKB)",
+        &outcome.plan,
+        &DummySpec::default(),
+        outcome.runtime.as_secs_f64(),
+        mem,
+    );
+    println!(
+        "result: Delta H {:.0} A (was {:.0}), Variation score {:.3}, Quality {:.3}, Overall {:.3}",
+        result.delta_h_angstrom, before.delta_h, result.breakdown.sigma, result.quality, result.overall
+    );
+    Ok(())
+}

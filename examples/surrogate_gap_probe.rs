@@ -1,0 +1,98 @@
+//! Diagnostic: surrogate-vs-golden objective agreement along the NeurFill
+//! optimization path (detects surrogate exploitation).
+
+use neurfill::surrogate::{train_surrogate, evaluate_surrogate};
+use neurfill::{Coefficients, FillObjective, PlanarityMetrics};
+use neurfill_bench::harness::{surrogate_config, Scale};
+use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_layout::datagen::{DataGenConfig, TrainingLayoutGenerator};
+use neurfill_layout::{apply_fill, benchmark_designs, DummySpec, FillPlan};
+use neurfill_optim::Objective;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_arg(std::env::args().nth(1).as_deref());
+    let grid = scale.grid();
+    let designs = benchmark_designs(grid, grid, 7);
+    let sim = CmpSimulator::new(ProcessParams::default()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let cfg = surrogate_config(scale, 7);
+    let trained = train_surrogate(&designs, &sim, &cfg, &mut rng).unwrap();
+    let layout = &designs[0];
+    let coeffs = Coefficients::calibrate(layout, &sim.simulate(layout), scale.beta_time_s());
+
+    // Surrogate accuracy on generated eval layouts.
+    let mut gen = TrainingLayoutGenerator::new(
+        designs.clone(),
+        DataGenConfig { rows: grid, cols: grid, seed: 321, ..DataGenConfig::default() },
+    );
+    let acc = evaluate_surrogate(&trained.network, &sim, &gen.generate(4)).unwrap();
+    println!("surrogate mean rel err: {:.3}%", acc.mean_relative_error * 100.0);
+
+    let golden_obj = |x: &[f64]| -> (f64, f64) {
+        let plan = FillPlan::from_vec(layout, x.to_vec());
+        let filled = apply_fill(layout, &plan, &DummySpec::default());
+        let m = PlanarityMetrics::from_profile(&sim.simulate(&filled));
+        let a = &coeffs.alphas;
+        let plan_score = a.sigma * (1.0 - m.sigma / coeffs.beta_sigma)
+            + a.sigma_star * (1.0 - m.sigma_star / coeffs.beta_sigma_star)
+            + a.ol * (1.0 - m.ol / coeffs.beta_ol);
+        (plan_score + neurfill::pd::pd_score(layout, &plan, &coeffs).score, m.sigma)
+    };
+
+    let obj = FillObjective::new(&trained.network, layout, &coeffs);
+
+    // Points: empty, PKB scan candidates, SQP solution.
+    let zero = vec![0.0; layout.num_windows()];
+    let (g0, s0) = golden_obj(&zero);
+    println!("empty:  surrogate {:+.4}  golden {g0:+.4}  sigma {s0:.0}", obj.value(&zero));
+
+    let pkb = neurfill::pkb::pkb_starting_point(layout, &neurfill::pkb::PkbConfig::default(), |p| {
+        obj.value(p.as_slice())
+    });
+    let (gp, sp) = golden_obj(pkb.plan.as_slice());
+    println!(
+        "pkb:    surrogate {:+.4}  golden {gp:+.4}  sigma {sp:.0}  (td {:?})",
+        pkb.quality, pkb.target_density
+    );
+
+    // Gradient agreement at the PKB point: surrogate backprop vs golden
+    // finite differences on a probe subset.
+    {
+        let x = pkb.plan.as_slice();
+        let pe = trained.network.planarity(layout, x, &coeffs).unwrap();
+        let probe = 20usize;
+        let fd = neurfill_cmpsim::FiniteDifference::new(25.0, 1);
+        let g_golden = fd.gradient_central_seq(&x[..probe], |xs| {
+            let mut full = x.to_vec();
+            full[..probe].copy_from_slice(xs);
+            golden_obj(&full).0
+        });
+        // Strip the (shared, exact) PD part from the golden fd by adding it
+        // to the surrogate side instead.
+        let pdg = neurfill::pd::pd_score(
+            layout,
+            &FillPlan::from_vec(layout, x.to_vec()),
+            &coeffs,
+        )
+        .gradient;
+        let g_sur: Vec<f64> =
+            pe.gradient[..probe].iter().zip(&pdg[..probe]).map(|(a, b)| a + b).collect();
+        let dot: f64 = g_sur.iter().zip(&g_golden).map(|(a, b)| a * b).sum();
+        let na = g_sur.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let nb = g_golden.iter().map(|v| v * v).sum::<f64>().sqrt();
+        println!(
+            "gradient cosine (surrogate vs golden, {probe} coords at PKB): {:.3}",
+            dot / (na * nb).max(1e-18)
+        );
+    }
+
+    let nf = neurfill::NeurFill::new(trained.network, neurfill::NeurFillConfig::default());
+    let outcome = nf.run(layout, &coeffs).unwrap();
+    let (gs, ss) = golden_obj(outcome.plan.as_slice());
+    println!(
+        "sqp:    surrogate {:+.4}  golden {gs:+.4}  sigma {ss:.0}  fill {:.0}",
+        outcome.objective_value,
+        outcome.plan.total()
+    );
+}

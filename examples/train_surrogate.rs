@@ -1,0 +1,73 @@
+//! Pre-trains the UNet surrogate (paper §IV-F) and saves/reloads its
+//! weights, then reports the Fig. 9 accuracy statistics.
+//!
+//! Run with: `cargo run --release --example train_surrogate [-- <layouts>]`
+
+use neurfill::surrogate::{evaluate_surrogate, train_surrogate, SurrogateConfig};
+use neurfill::{CmpNeuralNetwork, CmpNnConfig};
+use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_layout::datagen::{DataGenConfig, TrainingLayoutGenerator};
+use neurfill_layout::benchmark_designs;
+use neurfill_nn::{Module, TrainConfig, UNet, UNetConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_layouts: usize =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    let epochs: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let base: usize = std::env::args().nth(3).and_then(|a| a.parse().ok()).unwrap_or(6);
+    let grid = 16;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let sources = benchmark_designs(grid, grid, 7);
+    let sim = CmpSimulator::new(ProcessParams::default())?;
+
+    let config = SurrogateConfig {
+        unet: UNetConfig {
+            in_channels: neurfill::extraction::NUM_CHANNELS,
+            out_channels: 1,
+            base_channels: base,
+            depth: 2,
+        },
+        train: TrainConfig { epochs, batch_size: 4, lr: 2e-3, lr_decay: 0.9 },
+        num_layouts,
+        datagen: DataGenConfig { rows: grid, cols: grid, seed: 7, ..DataGenConfig::default() },
+        ..SurrogateConfig::default()
+    };
+
+    println!("training on {num_layouts} generated layouts ({grid}x{grid} windows)...");
+    let trained = train_surrogate(&sources, &sim, &config, &mut rng)?;
+    for (i, (train, val)) in trained.report.epochs.iter().enumerate() {
+        println!("  epoch {i}: train MSE {train:.4}, val MSE {:.4}", val.unwrap_or(f32::NAN));
+    }
+
+    // Persist the weights and reload them into a fresh network.
+    let path = std::env::temp_dir().join("neurfill_surrogate.weights");
+    neurfill_nn::serialize::save_to_file(trained.network.unet(), &path)?;
+    println!("weights saved to {}", path.display());
+
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(0);
+    let fresh = UNet::new(trained.network.unet().config().clone(), &mut rng2);
+    neurfill_nn::serialize::load_from_file(&fresh, &path)?;
+    fresh.set_training(false);
+    let reloaded = CmpNeuralNetwork::new(
+        fresh,
+        trained.network.height_norm(),
+        trained.network.extraction().clone(),
+        CmpNnConfig::default(),
+    );
+
+    // Accuracy of the reloaded network on held-out generated layouts.
+    let mut gen = TrainingLayoutGenerator::new(
+        sources,
+        DataGenConfig { rows: grid, cols: grid, seed: 999, ..DataGenConfig::default() },
+    );
+    let eval_layouts = gen.generate(4);
+    let report = evaluate_surrogate(&reloaded, &sim, &eval_layouts)?;
+    println!(
+        "reloaded surrogate: mean relative error {:.3}%, max window {:.3}%, <1.3%: {:.1}%",
+        report.mean_relative_error * 100.0,
+        report.max_window_error * 100.0,
+        report.fraction_below(0.013) * 100.0
+    );
+    Ok(())
+}

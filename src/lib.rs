@@ -1,0 +1,2 @@
+//! Integration-suite root crate for the NeurFill reproduction; see the member crates.
+pub use neurfill as core;

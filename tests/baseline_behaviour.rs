@@ -1,0 +1,87 @@
+//! Behavioural contracts of the comparison methods: the qualitative
+//! signatures Table III depends on (who fills how much, who is fast, who
+//! improves what).
+
+use neurfill::baselines::{cai_fill, lin_fill, tao_fill, CaiConfig, TaoConfig};
+use neurfill::{Coefficients, PlanarityMetrics};
+use neurfill_cmpsim::{CmpSimulator, FiniteDifference, ProcessParams};
+use neurfill_layout::{apply_fill, benchmark_designs, DummySpec};
+use neurfill_optim::SqpConfig;
+
+#[test]
+fn lin_fills_most_tao_fills_less() {
+    for layout in benchmark_designs(10, 10, 17) {
+        let sim = CmpSimulator::new(ProcessParams::fast()).unwrap();
+        let coeffs = Coefficients::calibrate(&layout, &sim.simulate(&layout), 60.0);
+        let lin = lin_fill(&layout);
+        let tao = tao_fill(&layout, &coeffs, &TaoConfig::default());
+        assert!(lin.total() > 0.0);
+        assert!(
+            tao.plan.total() < lin.total(),
+            "design {}: Tao should trade fill for performance ({} vs {})",
+            layout.name(),
+            tao.plan.total(),
+            lin.total()
+        );
+    }
+}
+
+#[test]
+fn rule_based_methods_are_fast() {
+    let layout = &benchmark_designs(10, 10, 18)[1];
+    let sim = CmpSimulator::new(ProcessParams::fast()).unwrap();
+    let coeffs = Coefficients::calibrate(layout, &sim.simulate(layout), 60.0);
+    let t0 = std::time::Instant::now();
+    let _ = lin_fill(layout);
+    assert!(t0.elapsed().as_secs_f64() < 1.0, "Lin must be (near) instant");
+    let tao = tao_fill(layout, &coeffs, &TaoConfig::default());
+    assert!(tao.runtime.as_secs_f64() < 30.0, "Tao must stay in the seconds range");
+}
+
+#[test]
+fn cai_dominates_runtime_via_simulator_invocations() {
+    let layout = &benchmark_designs(6, 6, 19)[0];
+    let sim = CmpSimulator::new(ProcessParams::fast()).unwrap();
+    let coeffs = Coefficients::calibrate(layout, &sim.simulate(layout), 60.0);
+    let cfg = CaiConfig {
+        sqp: SqpConfig { max_iterations: 2, max_backtracks: 5, ..SqpConfig::default() },
+        fd: FiniteDifference::new(100.0, 1),
+        dummy: DummySpec::default(),
+    };
+    let out = cai_fill(layout, &sim, &coeffs, &cfg);
+    // Two numerical gradients alone cost 2·(dim + 1) simulations.
+    assert!(out.simulations >= 2 * (layout.num_windows() + 1));
+}
+
+#[test]
+fn all_baselines_improve_planarity_on_design_a() {
+    let layout = &benchmark_designs(10, 10, 20)[0];
+    let sim = CmpSimulator::new(ProcessParams::fast()).unwrap();
+    let coeffs = Coefficients::calibrate(layout, &sim.simulate(layout), 60.0);
+    let before = PlanarityMetrics::from_profile(&sim.simulate(layout));
+    let dummy = DummySpec::default();
+
+    for (name, plan) in [
+        ("Lin", lin_fill(layout)),
+        ("Tao", tao_fill(layout, &coeffs, &TaoConfig::default()).plan),
+    ] {
+        let filled = apply_fill(layout, &plan, &dummy);
+        let after = PlanarityMetrics::from_profile(&sim.simulate(&filled));
+        assert!(
+            after.sigma < before.sigma,
+            "{name}: sigma {} -> {}",
+            before.sigma,
+            after.sigma
+        );
+    }
+}
+
+#[test]
+fn baselines_never_violate_slack() {
+    for layout in benchmark_designs(8, 8, 21) {
+        let sim = CmpSimulator::new(ProcessParams::fast()).unwrap();
+        let coeffs = Coefficients::calibrate(&layout, &sim.simulate(&layout), 60.0);
+        assert!(lin_fill(&layout).is_feasible(&layout, 1e-9));
+        assert!(tao_fill(&layout, &coeffs, &TaoConfig::default()).plan.is_feasible(&layout, 1e-9));
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration: generate → simulate → train surrogate →
+//! NeurFill → golden-simulator scoring, across crate boundaries.
+
+use neurfill::report::{evaluate_plan, MethodKind};
+use neurfill::surrogate::{train_surrogate, SurrogateConfig};
+use neurfill::{Coefficients, NeurFill, NeurFillConfig, PlanarityMetrics, StartMode};
+use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_layout::datagen::DataGenConfig;
+use neurfill_layout::{benchmark_designs, DesignKind, DesignSpec, DummySpec};
+use neurfill_nn::{TrainConfig, UNetConfig};
+use neurfill_optim::NmmsoConfig;
+use rand::SeedableRng;
+
+fn tiny_surrogate_config(grid: usize, seed: u64) -> SurrogateConfig {
+    SurrogateConfig {
+        unet: UNetConfig {
+            in_channels: neurfill::extraction::NUM_CHANNELS,
+            out_channels: 1,
+            base_channels: 4,
+            depth: 2,
+        },
+        train: TrainConfig { epochs: 10, batch_size: 4, lr: 2e-3, lr_decay: 0.95 },
+        num_layouts: 20,
+        datagen: DataGenConfig { rows: grid, cols: grid, seed, ..DataGenConfig::default() },
+        ..SurrogateConfig::default()
+    }
+}
+
+#[test]
+fn pkb_pipeline_produces_feasible_scored_plan() {
+    let grid = 8;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let sources = benchmark_designs(grid, grid, 1);
+    let sim = CmpSimulator::new(ProcessParams::fast()).unwrap();
+    let trained = train_surrogate(&sources, &sim, &tiny_surrogate_config(grid, 1), &mut rng).unwrap();
+
+    let layout = DesignSpec::new(DesignKind::CmpTest, grid, grid, 1).generate();
+    let coeffs = Coefficients::calibrate(&layout, &sim.simulate(&layout), 60.0);
+    let nf = NeurFill::new(trained.network, NeurFillConfig::default());
+    let outcome = nf.run(&layout, &coeffs).unwrap();
+
+    assert!(outcome.plan.is_feasible(&layout, 1e-9));
+    assert!(outcome.runtime.as_secs_f64() < 120.0);
+
+    let result = evaluate_plan(
+        &layout,
+        &sim,
+        &coeffs,
+        "NeurFill (PKB)",
+        &outcome.plan,
+        &DummySpec::default(),
+        outcome.runtime.as_secs_f64(),
+        neurfill::report::estimate_memory_gb(MethodKind::NeurFillPkb, &layout, 1000),
+    );
+    assert!(result.quality.is_finite());
+    assert!(result.overall >= 0.0 && result.overall <= 1.0 + 1e-9);
+    // All per-metric scores are valid probabilities.
+    for s in [
+        result.breakdown.ov,
+        result.breakdown.fa,
+        result.breakdown.sigma,
+        result.breakdown.sigma_star,
+        result.breakdown.ol,
+        result.breakdown.fs,
+        result.breakdown.time,
+        result.breakdown.mem,
+    ] {
+        assert!((0.0..=1.0).contains(&s), "score {s} out of range");
+    }
+}
+
+#[test]
+fn multimodal_pipeline_runs_and_scores() {
+    let grid = 8;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let sources = benchmark_designs(grid, grid, 2);
+    let sim = CmpSimulator::new(ProcessParams::fast()).unwrap();
+    let trained = train_surrogate(&sources, &sim, &tiny_surrogate_config(grid, 2), &mut rng).unwrap();
+
+    let layout = DesignSpec::new(DesignKind::Fpga, grid, grid, 2).generate();
+    let coeffs = Coefficients::calibrate(&layout, &sim.simulate(&layout), 60.0);
+    let nf = NeurFill::new(
+        trained.network,
+        NeurFillConfig {
+            mode: StartMode::MultiModal {
+                nmmso: NmmsoConfig { max_evaluations: 25, swarm_size: 3, ..NmmsoConfig::default() },
+                top_modes: 2,
+            },
+            seed: 2,
+            ..NeurFillConfig::default()
+        },
+    );
+    let outcome = nf.run(&layout, &coeffs).unwrap();
+    assert!(outcome.plan.is_feasible(&layout, 1e-9));
+    assert!(outcome.starts >= 1);
+}
+
+#[test]
+fn filling_reduces_golden_simulator_variance() {
+    // The paper's core promise: model-based fill improves planarity
+    // against the *golden* simulator, not just the surrogate. Uses the
+    // calibrated default process (the fast() preset has too few polish
+    // steps for the planarity response the surrogate must learn).
+    let grid = 8;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let sources = benchmark_designs(grid, grid, 3);
+    let sim = CmpSimulator::new(ProcessParams::default()).unwrap();
+    let trained = train_surrogate(&sources, &sim, &tiny_surrogate_config(grid, 3), &mut rng).unwrap();
+
+    let layout = DesignSpec::new(DesignKind::CmpTest, grid, grid, 3).generate();
+    let before = PlanarityMetrics::from_profile(&sim.simulate(&layout));
+    let coeffs = Coefficients::calibrate(&layout, &sim.simulate(&layout), 60.0);
+    let nf = NeurFill::new(trained.network, NeurFillConfig::default());
+    let outcome = nf.run(&layout, &coeffs).unwrap();
+
+    let filled = neurfill_layout::apply_fill(&layout, &outcome.plan, &DummySpec::default());
+    let after = PlanarityMetrics::from_profile(&sim.simulate(&filled));
+    assert!(
+        after.sigma < before.sigma,
+        "NeurFill should improve sigma: {} -> {}",
+        before.sigma,
+        after.sigma
+    );
+}
+
+#[test]
+fn pipeline_is_reproducible_under_fixed_seeds() {
+    let grid = 8;
+    let run = || {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let sources = benchmark_designs(grid, grid, 4);
+        let sim = CmpSimulator::new(ProcessParams::fast()).unwrap();
+        let trained =
+            train_surrogate(&sources, &sim, &tiny_surrogate_config(grid, 4), &mut rng).unwrap();
+        let layout = DesignSpec::new(DesignKind::RiscV, grid, grid, 4).generate();
+        let coeffs = Coefficients::calibrate(&layout, &sim.simulate(&layout), 60.0);
+        let nf = NeurFill::new(trained.network, NeurFillConfig::default());
+        nf.run(&layout, &coeffs).unwrap().plan
+    };
+    assert_eq!(run(), run());
+}

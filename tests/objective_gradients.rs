@@ -1,0 +1,117 @@
+//! Cross-crate gradient correctness: the NeurFill objective (surrogate
+//! backward + analytic PD) against finite differences, and agreement
+//! between the two gradient paths the paper compares (backprop vs
+//! numerical).
+
+use neurfill::surrogate::{train_surrogate, SurrogateConfig};
+use neurfill::{Coefficients, FillObjective};
+use neurfill_cmpsim::{CmpSimulator, FiniteDifference, ProcessParams};
+use neurfill_layout::datagen::DataGenConfig;
+use neurfill_layout::benchmark_designs;
+use neurfill_nn::{TrainConfig, UNetConfig};
+use neurfill_optim::Objective;
+use rand::SeedableRng;
+
+fn setup() -> (neurfill_layout::Layout, neurfill::CmpNeuralNetwork, Coefficients) {
+    let grid = 8;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let sources = benchmark_designs(grid, grid, 11);
+    let sim = CmpSimulator::new(ProcessParams::fast()).unwrap();
+    let cfg = SurrogateConfig {
+        unet: UNetConfig {
+            in_channels: neurfill::extraction::NUM_CHANNELS,
+            out_channels: 1,
+            base_channels: 4,
+            depth: 2,
+        },
+        train: TrainConfig { epochs: 1, batch_size: 4, lr: 1e-3, lr_decay: 1.0 },
+        num_layouts: 4,
+        datagen: DataGenConfig { rows: grid, cols: grid, seed: 11, ..DataGenConfig::default() },
+        ..SurrogateConfig::default()
+    };
+    let trained = train_surrogate(&sources, &sim, &cfg, &mut rng).unwrap();
+    let layout = sources[0].clone();
+    let coeffs = Coefficients::calibrate(&layout, &sim.simulate(&layout), 60.0);
+    (layout, trained.network, coeffs)
+}
+
+#[test]
+fn backward_gradient_matches_directional_finite_difference() {
+    let (layout, network, coeffs) = setup();
+    let obj = FillObjective::new(&network, &layout, &coeffs);
+    let n = layout.num_windows();
+    let x: Vec<f64> = layout.slack_vector().iter().map(|s| 0.35 * s).collect();
+    let (_, grad) = obj.value_and_gradient(&x);
+    assert_eq!(grad.len(), n);
+
+    // Directional check along a dense pseudo-random direction (pointwise
+    // checks are unreliable near f32 ReLU kinks).
+    let dir: Vec<f64> = (0..n).map(|i| 0.4 + ((i * 31) % 11) as f64 / 11.0).collect();
+    let eps = 0.2;
+    let xp: Vec<f64> = x.iter().zip(&dir).map(|(v, d)| v + eps * d).collect();
+    let xm: Vec<f64> = x.iter().zip(&dir).map(|(v, d)| v - eps * d).collect();
+
+    // (a) The backward-propagated *planarity* gradient (the paper's Eq. 11
+    // chain) must match finite differences tightly.
+    let pe = network.planarity(&layout, &x, &coeffs).unwrap();
+    let plan_analytic: f64 = pe.gradient.iter().zip(&dir).map(|(g, d)| g * d).sum();
+    let fp = network.planarity_score(&layout, &xp, &coeffs).unwrap();
+    let fm = network.planarity_score(&layout, &xm, &coeffs).unwrap();
+    let plan_fd = (fp - fm) / (2.0 * eps);
+    assert!(
+        (plan_fd - plan_analytic).abs() < 0.1 * (1e-6 + plan_fd.abs()),
+        "planarity: fd = {plan_fd:e}, analytic = {plan_analytic:e}"
+    );
+
+    // (b) The total objective adds the Eq. 16/17 overlay gradient, which is
+    // the paper's *approximation* of the piecewise overlay response — allow
+    // the looser agreement that approximation implies.
+    let analytic: f64 = grad.iter().zip(&dir).map(|(g, d)| g * d).sum();
+    let fd = (obj.value(&xp) - obj.value(&xm)) / (2.0 * eps);
+    assert!(
+        (fd - analytic).abs() < 0.5 * (1e-5 + fd.abs()),
+        "total: fd = {fd:e}, analytic = {analytic:e}"
+    );
+}
+
+#[test]
+fn numerical_gradient_estimator_agrees_with_backprop_direction() {
+    // The two gradient paths of Table I must agree in *direction*: a
+    // numerical gradient of the surrogate objective should correlate
+    // positively with the backward-propagated one.
+    let (layout, network, coeffs) = setup();
+    let obj = FillObjective::new(&network, &layout, &coeffs);
+    let x: Vec<f64> = layout.slack_vector().iter().map(|s| 0.35 * s).collect();
+    let (_, backprop) = obj.value_and_gradient(&x);
+
+    // Numerical gradient over a subset of coordinates (full dim is slow).
+    let fd = FiniteDifference::new(2.0, 1);
+    let probe = 24;
+    let g_num = fd.gradient_central_seq(&x[..probe], |xs: &[f64]| {
+        let mut full = x.clone();
+        full[..probe].copy_from_slice(xs);
+        obj.value(&full)
+    });
+    let dot: f64 = backprop[..probe].iter().zip(&g_num).map(|(a, b)| a * b).sum();
+    let na: f64 = backprop[..probe].iter().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = g_num.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let cosine = dot / (na * nb).max(1e-18);
+    assert!(cosine > 0.7, "gradient paths disagree: cosine = {cosine}");
+}
+
+#[test]
+fn gradient_cost_asymmetry_matches_table1_premise() {
+    // Backward propagation costs O(1) forward passes; numerical gradients
+    // cost O(dim). Verify the bookkeeping that Table I relies on.
+    let (layout, network, coeffs) = setup();
+    let obj = FillObjective::new(&network, &layout, &coeffs);
+    let x = vec![0.0; layout.num_windows()];
+
+    let _ = obj.value_and_gradient(&x);
+    assert_eq!(obj.forward_count(), 1);
+    assert_eq!(obj.backward_count(), 1);
+
+    let evals_numerical = FiniteDifference::forward_evaluations(layout.num_windows());
+    assert_eq!(evals_numerical, layout.num_windows() + 1);
+    assert!(evals_numerical > 100 * obj.forward_count());
+}

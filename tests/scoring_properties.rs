@@ -1,0 +1,114 @@
+//! Property-based tests of the scoring system and the performance-
+//! degradation estimate — the invariants Table III depends on.
+
+use neurfill::pd::{estimate, overlay_gradient, pd_score};
+use neurfill::score::{score_fn, Alphas, Coefficients, ScoreBreakdown};
+use neurfill_layout::{DesignKind, DesignSpec, FillPlan};
+use proptest::prelude::*;
+
+fn coeffs(layout: &neurfill_layout::Layout) -> Coefficients {
+    let slack: f64 = layout.slack_vector().iter().sum();
+    Coefficients {
+        alphas: Alphas::default(),
+        beta_sigma: 100.0,
+        beta_sigma_star: 1000.0,
+        beta_ol: 10.0,
+        beta_ov: slack.max(1.0),
+        beta_fa: slack.max(1.0),
+        beta_fs_mb: 30.0,
+        beta_time_s: 60.0,
+        beta_mem_gb: 8.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn score_fn_is_clamped_and_monotone(t in 0.0f64..1e9, beta in 1e-6f64..1e9) {
+        let s = score_fn(t, beta);
+        prop_assert!((0.0..=1.0).contains(&s));
+        // Monotone non-increasing in t.
+        let s2 = score_fn(t * 1.5 + 1.0, beta);
+        prop_assert!(s2 <= s + 1e-12);
+    }
+
+    #[test]
+    fn overall_is_convex_combination_of_scores(
+        ov in 0.0f64..=1.0, fa in 0.0f64..=1.0, sigma in 0.0f64..=1.0,
+        sigma_star in 0.0f64..=1.0, ol in 0.0f64..=1.0, fs in 0.0f64..=1.0,
+        time in 0.0f64..=1.0, mem in 0.0f64..=1.0,
+    ) {
+        let b = ScoreBreakdown { ov, fa, sigma, sigma_star, ol, fs, time, mem };
+        let a = Alphas::default();
+        let overall = b.overall(&a);
+        let quality = b.quality(&a);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&overall));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&quality));
+        // Perfect scores give exactly 1.
+        let perfect = ScoreBreakdown {
+            ov: 1.0, fa: 1.0, sigma: 1.0, sigma_star: 1.0, ol: 1.0, fs: 1.0, time: 1.0, mem: 1.0,
+        };
+        prop_assert!((perfect.overall(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pd_estimate_invariants(seed in 0u64..500, frac in 0.0f64..=1.0) {
+        let layout = DesignSpec::new(DesignKind::Fpga, 6, 6, seed).generate();
+        let slack = layout.slack_vector();
+        let mut plan = FillPlan::zeros(&layout);
+        for (x, s) in plan.as_mut_slice().iter_mut().zip(&slack) {
+            *x = frac * s;
+        }
+        let est = estimate(&layout, &plan);
+        // Overlay is bounded by (a multiple of) the fill amount.
+        prop_assert!(est.overlay >= -1e-9);
+        prop_assert!(est.overlay_dw <= 2.0 * est.fill_amount + 1e-6);
+        prop_assert!((est.fill_amount - plan.total()).abs() < 1e-6);
+        // Type split sums back to each window's fill.
+        for (k, split) in est.type_split.iter().enumerate() {
+            let total: f64 = split.iter().sum();
+            prop_assert!((total - plan.amount(k)).abs() < 1e-6, "window {k}");
+        }
+        // Eq. 16 gradient takes only the published values {0, 1, 2}.
+        for g in overlay_gradient(&layout, &est) {
+            prop_assert!(g == 0.0 || g == 1.0 || g == 2.0);
+        }
+    }
+
+    #[test]
+    fn pd_score_decreases_with_uniform_fill_fraction(seed in 0u64..200) {
+        let layout = DesignSpec::new(DesignKind::RiscV, 5, 5, seed).generate();
+        let c = coeffs(&layout);
+        let slack = layout.slack_vector();
+        let mut prev = f64::INFINITY;
+        for step in 0..5 {
+            let frac = step as f64 / 4.0;
+            let mut plan = FillPlan::zeros(&layout);
+            for (x, s) in plan.as_mut_slice().iter_mut().zip(&slack) {
+                *x = frac * s;
+            }
+            let s = pd_score(&layout, &plan, &c).score;
+            prop_assert!(s <= prev + 1e-9, "PD score must not rise with more fill");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn overlay_gradient_is_a_valid_subgradient_direction(seed in 0u64..100) {
+        // Increasing any single window's fill never *decreases* overlay.
+        let layout = DesignSpec::new(DesignKind::CmpTest, 4, 4, seed).generate();
+        let slack = layout.slack_vector();
+        let mut plan = FillPlan::zeros(&layout);
+        for (x, s) in plan.as_mut_slice().iter_mut().zip(&slack) {
+            *x = 0.5 * s;
+        }
+        let base = estimate(&layout, &plan).overlay;
+        for k in (0..layout.num_windows()).step_by(7) {
+            let mut bumped = plan.clone();
+            bumped.as_mut_slice()[k] = (bumped.amount(k) + 1.0).min(slack[k]);
+            let after = estimate(&layout, &bumped).overlay;
+            prop_assert!(after >= base - 1e-9, "window {k}: {base} -> {after}");
+        }
+    }
+}

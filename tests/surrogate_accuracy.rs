@@ -1,0 +1,108 @@
+//! Surrogate accuracy contracts: the trained UNet must track the golden
+//! simulator well enough for the paper's premise to hold, and accuracy
+//! must improve with training budget.
+
+use neurfill::surrogate::{evaluate_surrogate, train_surrogate, SurrogateConfig};
+use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_layout::datagen::{DataGenConfig, TrainingLayoutGenerator};
+use neurfill_layout::benchmark_designs;
+use neurfill_nn::{TrainConfig, UNetConfig};
+use rand::SeedableRng;
+
+fn config(grid: usize, layouts: usize, epochs: usize, seed: u64) -> SurrogateConfig {
+    SurrogateConfig {
+        unet: UNetConfig {
+            in_channels: neurfill::extraction::NUM_CHANNELS,
+            out_channels: 1,
+            base_channels: 6,
+            depth: 2,
+        },
+        train: TrainConfig { epochs, batch_size: 4, lr: 2e-3, lr_decay: 0.95 },
+        num_layouts: layouts,
+        datagen: DataGenConfig { rows: grid, cols: grid, seed, ..DataGenConfig::default() },
+        ..SurrogateConfig::default()
+    }
+}
+
+#[test]
+fn trained_surrogate_beats_five_percent_error() {
+    let grid = 8;
+    let sources = benchmark_designs(grid, grid, 31);
+    let sim = CmpSimulator::new(ProcessParams::default()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let trained = train_surrogate(&sources, &sim, &config(grid, 30, 12, 31), &mut rng).unwrap();
+
+    let mut gen = TrainingLayoutGenerator::new(
+        sources,
+        DataGenConfig { rows: grid, cols: grid, seed: 777, ..DataGenConfig::default() },
+    );
+    let eval = gen.generate(4);
+    let report = evaluate_surrogate(&trained.network, &sim, &eval).unwrap();
+    assert!(
+        report.mean_relative_error < 0.05,
+        "mean relative error {:.3}%",
+        report.mean_relative_error * 100.0
+    );
+    assert!(report.max_window_error < 0.25, "max {:.3}", report.max_window_error);
+}
+
+#[test]
+fn more_training_reduces_error() {
+    let grid = 8;
+    let sources = benchmark_designs(grid, grid, 32);
+    let sim = CmpSimulator::new(ProcessParams::default()).unwrap();
+
+    let eval = {
+        let mut gen = TrainingLayoutGenerator::new(
+            sources.clone(),
+            DataGenConfig { rows: grid, cols: grid, seed: 888, ..DataGenConfig::default() },
+        );
+        gen.generate(4)
+    };
+
+    let mut errs = Vec::new();
+    for (layouts, epochs) in [(6usize, 2usize), (30, 14)] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let trained =
+            train_surrogate(&sources, &sim, &config(grid, layouts, epochs, 32), &mut rng).unwrap();
+        let report = evaluate_surrogate(&trained.network, &sim, &eval).unwrap();
+        errs.push(report.mean_relative_error);
+    }
+    assert!(
+        errs[1] < errs[0],
+        "error should fall with budget: {:.4} -> {:.4}",
+        errs[0],
+        errs[1]
+    );
+}
+
+#[test]
+fn extension_ability_stays_within_a_small_multiple() {
+    // Train on designs A+B, evaluate on layouts assembled from C (§IV-F).
+    let grid = 8;
+    let sources = benchmark_designs(grid, grid, 33);
+    let sim = CmpSimulator::new(ProcessParams::default()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+    let train_sources = vec![sources[0].clone(), sources[1].clone()];
+    let trained =
+        train_surrogate(&train_sources, &sim, &config(grid, 30, 12, 33), &mut rng).unwrap();
+
+    let in_dist = {
+        let mut gen = TrainingLayoutGenerator::new(
+            train_sources,
+            DataGenConfig { rows: grid, cols: grid, seed: 999, ..DataGenConfig::default() },
+        );
+        evaluate_surrogate(&trained.network, &sim, &gen.generate(4)).unwrap()
+    };
+    let extension = {
+        let mut gen = TrainingLayoutGenerator::new(
+            vec![sources[2].clone()],
+            DataGenConfig { rows: grid, cols: grid, seed: 1000, ..DataGenConfig::default() },
+        );
+        evaluate_surrogate(&trained.network, &sim, &gen.generate(4)).unwrap()
+    };
+    // The paper's ratio is 4.5x (2.7% / 0.6%); require a sane bound.
+    let ratio = extension.mean_relative_error / in_dist.mean_relative_error.max(1e-9);
+    assert!(ratio < 10.0, "extension blows up: {ratio:.1}x");
+    assert!(extension.mean_relative_error < 0.10);
+}
