@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, release build, tests.
+# Run from the repo root; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI OK"

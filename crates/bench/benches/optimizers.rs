@@ -44,18 +44,17 @@ fn bench_nmmso(c: &mut Criterion) {
     group.sample_size(10);
     let obj = gaussian_peaks(
         2,
-        vec![
-            (vec![0.2, 0.2], 1.0, 0.12),
-            (vec![0.8, 0.8], 0.9, 0.12),
-            (vec![0.2, 0.8], 0.8, 0.12),
-        ],
+        vec![(vec![0.2, 0.2], 1.0, 0.12), (vec![0.8, 0.8], 0.9, 0.12), (vec![0.2, 0.8], 0.8, 0.12)],
     );
     let bounds = Bounds::new(vec![0.0; 2], vec![1.0; 2]);
     group.bench_function("budget500", |b| {
         b.iter(|| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-            Nmmso::new(NmmsoConfig { max_evaluations: 500, ..NmmsoConfig::default() })
-                .maximize(std::hint::black_box(&obj), &bounds, &mut rng)
+            Nmmso::new(NmmsoConfig { max_evaluations: 500, ..NmmsoConfig::default() }).maximize(
+                std::hint::black_box(&obj),
+                &bounds,
+                &mut rng,
+            )
         });
     });
     group.finish();

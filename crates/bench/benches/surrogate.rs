@@ -17,7 +17,12 @@ fn network() -> CmpNeuralNetwork {
         UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 8, depth: 2 },
         &mut rng,
     );
-    CmpNeuralNetwork::new(unet, HeightNorm::default(), ExtractionConfig::default(), CmpNnConfig::default())
+    CmpNeuralNetwork::new(
+        unet,
+        HeightNorm::default(),
+        ExtractionConfig::default(),
+        CmpNnConfig::default(),
+    )
 }
 
 fn coeffs(layout: &Layout) -> Coefficients {
@@ -81,10 +86,5 @@ fn bench_gradient_calculation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_unet_forward,
-    bench_objective_evaluation,
-    bench_gradient_calculation
-);
+criterion_group!(benches, bench_unet_forward, bench_objective_evaluation, bench_gradient_calculation);
 criterion_main!(benches);

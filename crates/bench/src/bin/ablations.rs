@@ -44,10 +44,7 @@ fn main() {
         let sim = CmpSimulator::new(params).expect("valid");
         let profile = sim.simulate(&layout);
         let m = PlanarityMetrics::from_profile(&profile);
-        let dish: f64 = profile
-            .iter()
-            .flat_map(|l| l.dishing().iter())
-            .sum::<f64>()
+        let dish: f64 = profile.iter().flat_map(|l| l.dishing().iter()).sum::<f64>()
             / (layout.num_windows() as f64)
             * 10.0;
         println!("{hc:<24} {:>12.0} {:>14.1}", m.sigma, dish);
@@ -57,8 +54,11 @@ fn main() {
     println!("== Ablation 3: SQP vs projected gradient (Rosenbrock, start (-1.2, 1)) ==");
     let obj = neg_rosenbrock();
     let bounds = Bounds::new(vec![-2.0; 2], vec![2.0; 2]);
-    let sqp = SqpSolver::new(SqpConfig { max_iterations: 5000, ..SqpConfig::default() })
-        .maximize(&obj, &bounds, &[-1.2, 1.0]);
+    let sqp = SqpSolver::new(SqpConfig { max_iterations: 5000, ..SqpConfig::default() }).maximize(
+        &obj,
+        &bounds,
+        &[-1.2, 1.0],
+    );
     let pg = maximize_projected_gradient(
         &obj,
         &bounds,
@@ -98,11 +98,8 @@ fn main() {
             neurfill::NeurFillConfig { trust_radius: radius, ..neurfill::NeurFillConfig::default() },
         );
         let outcome = nf.run(design, &coeffs).expect("geometry ok");
-        let filled = neurfill_layout::apply_fill(
-            design,
-            &outcome.plan,
-            &neurfill_layout::DummySpec::default(),
-        );
+        let filled =
+            neurfill_layout::apply_fill(design, &outcome.plan, &neurfill_layout::DummySpec::default());
         let m = PlanarityMetrics::from_profile(&sim.simulate(&filled));
         println!("{radius:<24} {:>14.4} {:>14.0}", outcome.objective_value, m.sigma);
     }

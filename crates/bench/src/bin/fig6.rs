@@ -27,11 +27,8 @@ fn two_window_layout() -> (Layout, usize, usize) {
     };
     // Checkerboard-ish contrast gives the surface structure.
     let base = |r: usize, c: usize| 0.25 + 0.5 * (((r / 2 + c / 2) % 2) as f64);
-    let mut layers = vec![
-        mk_layer(&base),
-        mk_layer(&|r, c| 0.9 - base(r, c)),
-        mk_layer(&|r, c| base(c, r)),
-    ];
+    let mut layers =
+        vec![mk_layer(&base), mk_layer(&|r, c| 0.9 - base(r, c)), mk_layer(&|r, c| base(c, r))];
     // Free the two decision windows on layer 1.
     let free = [(2usize, 2usize), (5usize, 5usize)];
     for &(r, c) in &free {
@@ -89,11 +86,15 @@ fn main() {
             let mut is_peak = true;
             for (di, dj) in [(-1i32, 0i32), (1, 0), (0, -1), (0, 1)] {
                 let (ni, nj) = (i as i32 + di, j as i32 + dj);
-                if ni >= 0 && nj >= 0 && (ni as usize) < steps && (nj as usize) < steps
-                    && surface[ni as usize * steps + nj as usize] > v {
-                        is_peak = false;
-                        break;
-                    }
+                if ni >= 0
+                    && nj >= 0
+                    && (ni as usize) < steps
+                    && (nj as usize) < steps
+                    && surface[ni as usize * steps + nj as usize] > v
+                {
+                    is_peak = false;
+                    break;
+                }
             }
             if is_peak {
                 peaks.push((i, j, v));

@@ -7,8 +7,8 @@
 use neurfill::surrogate::{evaluate_surrogate, train_surrogate};
 use neurfill_bench::harness::{surrogate_config, Scale};
 use neurfill_cmpsim::{CmpSimulator, ProcessParams};
-use neurfill_layout::datagen::{DataGenConfig, TrainingLayoutGenerator};
 use neurfill_layout::benchmark_designs;
+use neurfill_layout::datagen::{DataGenConfig, TrainingLayoutGenerator};
 use rand::SeedableRng;
 
 fn main() {

@@ -76,7 +76,9 @@ fn main() {
     let nn_grad_s = t0.elapsed().as_secs_f64() / reps as f64;
 
     println!("\nTable I — Runtime Comparisons for Objective Evaluation and Gradient Calculation");
-    println!("(problem dimension L·N·M = {dim}; numerical-gradient times extrapolated from {probe} probes)");
+    println!(
+        "(problem dimension L·N·M = {dim}; numerical-gradient times extrapolated from {probe} probes)"
+    );
     println!(
         "{:<22} {:>14} {:>14} {:>14} {:>14} {:>14}",
         "Operation", "Simulator (1c)", "Simulator (64c)", "CMP NN", "vs 64c", "vs 1c"
@@ -99,9 +101,7 @@ fn main() {
         speedup(numgrad_64c_s, nn_grad_s),
         speedup(numgrad_1c_s, nn_grad_s)
     );
-    println!(
-        "\nNote: this reproduction runs the NN on the same single core as the simulator, so"
-    );
+    println!("\nNote: this reproduction runs the NN on the same single core as the simulator, so");
     println!("the like-for-like hardware comparison is the `vs 1c` column; the paper compares");
     println!("a K80 GPU against a 64-core Xeon and reports the `vs 64c` analogue.");
     println!(

@@ -78,7 +78,14 @@ fn main() {
         let dt = outcome.runtime.as_secs_f64();
         let mem = estimate_memory_gb(MethodKind::NeurFillPkb, layout, params);
         rows.push(evaluate_plan(
-            layout, &exp.sim, &coeffs, "NeurFill (PKB)", &outcome.plan, &dummy, dt, mem,
+            layout,
+            &exp.sim,
+            &coeffs,
+            "NeurFill (PKB)",
+            &outcome.plan,
+            &dummy,
+            dt,
+            mem,
         ));
         eprintln!("[table3] {}: NeurFill(PKB) done in {dt:.1}s", layout.name());
 
@@ -105,7 +112,14 @@ fn main() {
             params,
         );
         rows.push(evaluate_plan(
-            layout, &exp.sim, &coeffs, "NeurFill (MM)", &outcome.plan, &dummy, dt, mem,
+            layout,
+            &exp.sim,
+            &coeffs,
+            "NeurFill (MM)",
+            &outcome.plan,
+            &dummy,
+            dt,
+            mem,
         ));
         eprintln!("[table3] {}: NeurFill(MM) done in {dt:.1}s", layout.name());
 

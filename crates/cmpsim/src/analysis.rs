@@ -73,10 +73,7 @@ pub fn hotspots(profile: &ChipProfile, count: usize) -> Vec<Hotspot> {
         }
     }
     all.sort_by(|a, b| {
-        b.deviation
-            .abs()
-            .partial_cmp(&a.deviation.abs())
-            .unwrap_or(std::cmp::Ordering::Equal)
+        b.deviation.abs().partial_cmp(&a.deviation.abs()).unwrap_or(std::cmp::Ordering::Equal)
     });
     all.truncate(count);
     all
@@ -107,11 +104,7 @@ pub fn height_histogram(profile: &ChipProfile, bins: usize) -> Vec<(f64, usize)>
             counts[b] += 1;
         }
     }
-    counts
-        .into_iter()
-        .enumerate()
-        .map(|(i, c)| (lo + (i + 1) as f64 * width, c))
-        .collect()
+    counts.into_iter().enumerate().map(|(i, c)| (lo + (i + 1) as f64 * width, c)).collect()
 }
 
 #[cfg(test)]
@@ -161,13 +154,8 @@ mod tests {
 
     #[test]
     fn flat_profile_has_single_occupied_bin() {
-        let flat = ChipProfile::new(vec![LayerProfile::new(
-            2,
-            2,
-            vec![5.0; 4],
-            vec![0.0; 4],
-            vec![0.0; 4],
-        )]);
+        let flat =
+            ChipProfile::new(vec![LayerProfile::new(2, 2, vec![5.0; 4], vec![0.0; 4], vec![0.0; 4])]);
         let hist = height_histogram(&flat, 3);
         let occupied: usize = hist.iter().filter(|(_, c)| *c > 0).count();
         assert_eq!(occupied, 1);

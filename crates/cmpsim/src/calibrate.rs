@@ -78,12 +78,7 @@ fn rmse(params: &ProcessParams, data: &[Measurement]) -> Option<f64> {
 }
 
 /// Golden-section minimization of `f` over `[lo, hi]`.
-fn golden_section(
-    mut f: impl FnMut(f64) -> f64,
-    lo: f64,
-    hi: f64,
-    iterations: usize,
-) -> (f64, f64) {
+fn golden_section(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, iterations: usize) -> (f64, f64) {
     let phi = (5.0f64.sqrt() - 1.0) / 2.0;
     let (mut a, mut b) = (lo, hi);
     let mut c = b - phi * (b - a);
@@ -119,7 +114,11 @@ fn golden_section(
 /// Panics when `data` is empty, a measurement's height map disagrees with
 /// its pattern dimensions, or `start` is invalid.
 #[must_use]
-pub fn calibrate(start: &ProcessParams, data: &[Measurement], spec: &CalibrationSpec) -> CalibrationResult {
+pub fn calibrate(
+    start: &ProcessParams,
+    data: &[Measurement],
+    spec: &CalibrationSpec,
+) -> CalibrationResult {
     assert!(!data.is_empty(), "need at least one measurement");
     for m in data {
         assert_eq!(m.heights.len(), m.input.rows * m.input.cols, "measurement size mismatch");
@@ -131,11 +130,7 @@ pub fn calibrate(start: &ProcessParams, data: &[Measurement], spec: &Calibration
     let mut best = rmse(&params, data).expect("valid start");
     simulations += data.len();
 
-    type Field = (
-        fn(&ProcessParams) -> f64,
-        fn(&mut ProcessParams, f64),
-        Option<(f64, f64)>,
-    );
+    type Field = (fn(&ProcessParams) -> f64, fn(&mut ProcessParams, f64), Option<(f64, f64)>);
     let fields: [Field; 4] = [
         (|p| p.removal_per_step, |p, v| p.removal_per_step = v, spec.removal_per_step),
         (|p| p.dishing_coefficient, |p, v| p.dishing_coefficient = v, spec.dishing_coefficient),
@@ -223,11 +218,7 @@ mod tests {
     fn calibration_never_worsens_rmse() {
         let truth = ProcessParams { steps: 15, kernel_radius: 2, ..ProcessParams::default() };
         let data = reference_data(&truth);
-        let start = ProcessParams {
-            removal_per_step: 5.0,
-            dishing_coefficient: 1.0,
-            ..truth.clone()
-        };
+        let start = ProcessParams { removal_per_step: 5.0, dishing_coefficient: 1.0, ..truth.clone() };
         let before = rmse(&start, &data).unwrap();
         let spec = CalibrationSpec {
             sweeps: 1,

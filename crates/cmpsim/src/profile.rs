@@ -21,7 +21,13 @@ impl LayerProfile {
     ///
     /// Panics when map lengths disagree with `rows · cols`.
     #[must_use]
-    pub fn new(rows: usize, cols: usize, avg_height: Vec<f64>, dishing: Vec<f64>, erosion: Vec<f64>) -> Self {
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        avg_height: Vec<f64>,
+        dishing: Vec<f64>,
+        erosion: Vec<f64>,
+    ) -> Self {
         assert_eq!(avg_height.len(), rows * cols);
         assert_eq!(dishing.len(), rows * cols);
         assert_eq!(erosion.len(), rows * cols);

@@ -191,8 +191,7 @@ impl CmpSimulator {
             }
             if record {
                 let mean_up = z_up.iter().sum::<f64>() / n as f64;
-                let mean_step =
-                    z_up.iter().zip(&z_down).map(|(u, d)| u - d).sum::<f64>() / n as f64;
+                let mean_step = z_up.iter().zip(&z_down).map(|(u, d)| u - d).sum::<f64>() / n as f64;
                 let max = z_up.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let min = z_up.iter().cloned().fold(f64::INFINITY, f64::min);
                 trace.push(TraceStep { mean_height: mean_up, mean_step, height_range: max - min });

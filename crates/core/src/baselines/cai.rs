@@ -121,11 +121,10 @@ pub fn cai_fill(
     let solver = SqpSolver::new(config.sqp.clone());
     // Cai [12] also starts from the PKB point; reuse the target-density
     // search scored by the *simulator* quality (a handful of evaluations).
-    let pkb = crate::pkb::pkb_starting_point(
-        layout,
-        &crate::pkb::PkbConfig { search_steps: 6 },
-        |plan| objective.value(plan.as_slice()),
-    );
+    let pkb =
+        crate::pkb::pkb_starting_point(layout, &crate::pkb::PkbConfig { search_steps: 6 }, |plan| {
+            objective.value(plan.as_slice())
+        });
     let sqp = solver.maximize(&normalized, &unit_bounds, &normalized.to_u(pkb.plan.as_slice()));
     let mut plan = FillPlan::from_vec(layout, normalized.to_x(&sqp.x));
     plan.clamp_to_slack(layout);

@@ -15,9 +15,7 @@ use neurfill_layout::{FillPlan, Layout};
 /// instant (one pass over the windows).
 #[must_use]
 pub fn lin_fill(layout: &Layout) -> FillPlan {
-    let td: Vec<f64> = (0..layout.num_layers())
-        .map(|l| target_density_range(layout, l).1)
-        .collect();
+    let td: Vec<f64> = (0..layout.num_layers()).map(|l| target_density_range(layout, l).1).collect();
     plan_for_target_density(layout, &td)
 }
 

@@ -64,12 +64,8 @@ fn density_rules(layout: &Layout, x: &[f64]) -> (f64, f64) {
     let mut line_total = 0.0;
     for l in 0..layout.num_layers() {
         let base = l * rows * cols;
-        let rho: Vec<f64> = layout
-            .layer(l)
-            .iter()
-            .enumerate()
-            .map(|(k, w)| w.density + x[base + k] / area)
-            .collect();
+        let rho: Vec<f64> =
+            layout.layer(l).iter().enumerate().map(|(k, w)| w.density + x[base + k] / area).collect();
         let mean = rho.iter().sum::<f64>() / n;
         var_total += rho.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
         let mut col_mean = vec![0.0; cols];
@@ -99,12 +95,8 @@ fn density_rule_gradients(layout: &Layout, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
     let mut g_line = vec![0.0; x.len()];
     for l in 0..layout.num_layers() {
         let base = l * rows * cols;
-        let rho: Vec<f64> = layout
-            .layer(l)
-            .iter()
-            .enumerate()
-            .map(|(k, w)| w.density + x[base + k] / area)
-            .collect();
+        let rho: Vec<f64> =
+            layout.layer(l).iter().enumerate().map(|(k, w)| w.density + x[base + k] / area).collect();
         let mean = rho.iter().sum::<f64>() / n;
         // d var/dx_k = 2(ρ_k − mean)/(n·area); the mean term cancels.
         for (k, r) in rho.iter().enumerate() {
@@ -139,8 +131,7 @@ fn density_rule_gradients(layout: &Layout, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
         for r in 0..rows {
             for c in 0..cols {
                 let s = sign(rho[r * cols + c] - col_mean[c]);
-                g_line[base + r * cols + c] =
-                    (s - col_sign_sum[c] / rows as f64) / area;
+                g_line[base + r * cols + c] = (s - col_sign_sum[c] / rows as f64) / area;
             }
         }
     }
@@ -157,9 +148,7 @@ impl Objective for RuleObjective<'_> {
         let a = &self.coeffs.alphas;
         let plan = FillPlan::from_vec(self.layout, x.to_vec());
         let pd = pd_score(self.layout, &plan, self.coeffs);
-        a.sigma * (1.0 - var / self.beta_var)
-            + a.sigma_star * (1.0 - line / self.beta_line)
-            + pd.score
+        a.sigma * (1.0 - var / self.beta_var) + a.sigma_star * (1.0 - line / self.beta_line) + pd.score
     }
 
     fn gradient(&self, x: &[f64]) -> Vec<f64> {

@@ -120,21 +120,62 @@ impl CmpNeuralNetwork {
         Ok(())
     }
 
+    /// Extracts the UNet input planes of one layer as a rank-3
+    /// `[NUM_CHANNELS, rows, cols]` sample — the unit the batched
+    /// inference paths coalesce.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on geometry mismatch.
+    pub fn extract_window_sample(&self, layout: &Layout, layer: usize) -> Result<NdArray> {
+        self.check_layout(layout)?;
+        let (rows, cols) = (layout.rows(), layout.cols());
+        extract_layer_arrays(layout, layer, &self.extraction).reshape(&[NUM_CHANNELS, rows, cols])
+    }
+
+    /// Runs one multi-sample UNet forward over pre-extracted window
+    /// samples (see [`CmpNeuralNetwork::extract_window_sample`]) and
+    /// returns the denormalized heights (nm, row-major) per sample.
+    ///
+    /// Each sample's result is bit-identical to a single-sample forward —
+    /// the conv stack processes batch elements independently and the
+    /// network runs in eval mode — so coalescing forwards from concurrent
+    /// jobs never perturbs their outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `samples` is empty or shapes disagree.
+    pub fn predict_heights_batch(&self, samples: &[NdArray]) -> Result<Vec<Vec<f64>>> {
+        let outputs = neurfill_nn::forward_batched(&self.unet, samples)?;
+        Ok(outputs
+            .iter()
+            .map(|out| {
+                out.as_slice()
+                    .iter()
+                    .map(|v| f64::from(*v) * self.height_norm.scale_nm + self.height_norm.offset_nm)
+                    .collect()
+            })
+            .collect())
+    }
+
     /// Predicts the post-CMP heights (nm, row-major) of one layer of an
     /// already-filled layout — the surrogate counterpart of
     /// `CmpSimulator::simulate_layer`.
+    ///
+    /// This is the plain single-window forward; batch-oriented callers use
+    /// [`CmpNeuralNetwork::predict_heights_batch`], which produces
+    /// bit-identical heights per window through the faster multi-sample
+    /// inference path.
     ///
     /// # Errors
     ///
     /// Returns an error on geometry mismatch.
     pub fn predict_layer_heights(&self, layout: &Layout, layer: usize) -> Result<Vec<f64>> {
-        self.check_layout(layout)?;
-        let (rows, cols) = (layout.rows(), layout.cols());
-        let planes = extract_layer_arrays(layout, layer, &self.extraction);
-        let input = Tensor::constant(planes.reshape(&[1, NUM_CHANNELS, rows, cols])?);
-        let out = self.unet.forward(&input)?;
+        let sample = self.extract_window_sample(layout, layer)?;
+        let input =
+            Tensor::constant(sample.reshape(&[1, NUM_CHANNELS, layout.rows(), layout.cols()])?);
+        let out = self.unet.forward(&input)?.value();
         Ok(out
-            .value()
             .as_slice()
             .iter()
             .map(|v| f64::from(*v) * self.height_norm.scale_nm + self.height_norm.offset_nm)
@@ -143,19 +184,24 @@ impl CmpNeuralNetwork {
 
     /// Predicts a whole-chip profile (heights only; the dishing/erosion
     /// planes of the surrogate are zero — the filling objectives never read
-    /// them).
+    /// them). All layers go through one multi-sample UNet forward.
     ///
     /// # Errors
     ///
     /// Returns an error on geometry mismatch.
     pub fn predict_profile(&self, layout: &Layout) -> Result<ChipProfile> {
         let (rows, cols) = (layout.rows(), layout.cols());
-        let mut layers = Vec::with_capacity(layout.num_layers());
-        for l in 0..layout.num_layers() {
-            let h = self.predict_layer_heights(layout, l)?;
-            let zeros = vec![0.0; rows * cols];
-            layers.push(LayerProfile::new(rows, cols, h, zeros.clone(), zeros));
-        }
+        let samples: Vec<NdArray> = (0..layout.num_layers())
+            .map(|l| self.extract_window_sample(layout, l))
+            .collect::<Result<_>>()?;
+        let layers = self
+            .predict_heights_batch(&samples)?
+            .into_iter()
+            .map(|h| {
+                let zeros = vec![0.0; rows * cols];
+                LayerProfile::new(rows, cols, h, zeros.clone(), zeros)
+            })
+            .collect();
         Ok(ChipProfile::new(layers))
     }
 
@@ -195,10 +241,7 @@ impl CmpNeuralNetwork {
     ) -> Result<PlanarityEval> {
         self.check_layout(layout)?;
         if x.len() != layout.num_windows() {
-            return Err(TensorError::LengthMismatch {
-                expected: layout.num_windows(),
-                actual: x.len(),
-            });
+            return Err(TensorError::LengthMismatch { expected: layout.num_windows(), actual: x.len() });
         }
         let (rows, cols) = (layout.rows(), layout.cols());
         let per_layer = rows * cols;
@@ -283,11 +326,8 @@ impl CmpNeuralNetwork {
         let layers: Vec<LayerProfile> = height_profiles
             .into_iter()
             .map(|h| {
-                let nm: Vec<f64> = h
-                    .as_slice()
-                    .iter()
-                    .map(|v| (f64::from(*v) + offset_ang) / NM_TO_ANGSTROM)
-                    .collect();
+                let nm: Vec<f64> =
+                    h.as_slice().iter().map(|v| (f64::from(*v) + offset_ang) / NM_TO_ANGSTROM).collect();
                 let zeros = vec![0.0; rows * cols];
                 LayerProfile::new(rows, cols, nm, zeros.clone(), zeros)
             })
@@ -384,6 +424,21 @@ mod tests {
         let p = net.predict_profile(&l).unwrap();
         assert_eq!(p.num_layers(), 3);
         assert_eq!(p.layer(0).rows(), 8);
+    }
+
+    #[test]
+    fn batched_heights_match_per_layer_prediction() {
+        let net = network();
+        let l = layout();
+        let samples: Vec<NdArray> =
+            (0..l.num_layers()).map(|layer| net.extract_window_sample(&l, layer).unwrap()).collect();
+        let batched = net.predict_heights_batch(&samples).unwrap();
+        assert_eq!(batched.len(), l.num_layers());
+        for (layer, heights) in batched.iter().enumerate() {
+            let single = net.predict_layer_heights(&l, layer).unwrap();
+            assert_eq!(heights, &single, "layer {layer} must be bit-identical");
+        }
+        assert!(net.predict_heights_batch(&[]).is_err());
     }
 
     #[test]

@@ -108,8 +108,7 @@ pub fn extract_layer_tensor(
     let width = numerator.div(&denominator)?.scale(1.0 / cfg.width_scale as f32);
 
     // Channel 3: slack fraction = (slack − x)/area.
-    let slack = plane(&|w| (w.slack / layout.window_area()) as f32)
-        .sub(&x_layer.scale(1.0 / area))?;
+    let slack = plane(&|w| (w.slack / layout.window_area()) as f32).sub(&x_layer.scale(1.0 / area))?;
 
     Tensor::concat(&[density, perimeter, width, slack], 1)
 }

@@ -11,12 +11,11 @@ use crate::pd::pd_score;
 use crate::pkb::{pkb_starting_point, PkbConfig};
 use crate::score::Coefficients;
 use neurfill_layout::{FillPlan, Layout};
-use neurfill_optim::{
-    Bounds, BoxNormalized, Nmmso, NmmsoConfig, Objective, SqpConfig, SqpSolver,
-};
+use neurfill_optim::{Bounds, BoxNormalized, Nmmso, NmmsoConfig, Objective, SqpConfig, SqpSolver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cell::Cell;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// Starting-point strategy.
@@ -162,34 +161,41 @@ impl Objective for FillObjective<'_> {
             .planarity(self.layout, x, self.coeffs)
             .expect("layout/network geometry checked at construction");
         let pd = pd_score(self.layout, &plan, self.coeffs);
-        let grad = planarity
-            .gradient
-            .iter()
-            .zip(&pd.gradient)
-            .map(|(a, b)| a + b)
-            .collect();
+        let grad = planarity.gradient.iter().zip(&pd.gradient).map(|(a, b)| a + b).collect();
         (planarity.score + pd.score, grad)
     }
 }
 
 /// The NeurFill dummy-filling synthesizer.
+///
+/// Holds its surrogate behind an [`Rc`] so a trained network can be
+/// injected and shared between the synthesizer, the pipeline and
+/// evaluation code without serializing a copy; plain
+/// [`CmpNeuralNetwork`] values still convert implicitly.
 #[derive(Debug)]
 pub struct NeurFill {
-    network: CmpNeuralNetwork,
+    network: Rc<CmpNeuralNetwork>,
     config: NeurFillConfig,
 }
 
 impl NeurFill {
     /// Creates the framework around a pre-trained CMP neural network.
     #[must_use]
-    pub fn new(network: CmpNeuralNetwork, config: NeurFillConfig) -> Self {
-        Self { network, config }
+    pub fn new(network: impl Into<Rc<CmpNeuralNetwork>>, config: NeurFillConfig) -> Self {
+        Self { network: network.into(), config }
     }
 
     /// The wrapped CMP neural network.
     #[must_use]
     pub fn network(&self) -> &CmpNeuralNetwork {
         &self.network
+    }
+
+    /// A shared handle to the wrapped network, for injecting the same
+    /// trained surrogate into other consumers (pipeline, evaluation).
+    #[must_use]
+    pub fn shared_network(&self) -> Rc<CmpNeuralNetwork> {
+        Rc::clone(&self.network)
     }
 
     /// The configuration in use.
@@ -213,9 +219,7 @@ impl NeurFill {
 
         let starts: Vec<Vec<f64>> = match &self.config.mode {
             StartMode::PriorKnowledge(pkb) => {
-                let result = pkb_starting_point(layout, pkb, |plan| {
-                    objective.value(plan.as_slice())
-                });
+                let result = pkb_starting_point(layout, pkb, |plan| objective.value(plan.as_slice()));
                 vec![result.plan.as_slice().to_vec()]
             }
             StartMode::MultiModal { nmmso, top_modes } => {
@@ -223,9 +227,8 @@ impl NeurFill {
                 // Niching search over per-layer target-density fractions
                 // t ∈ [0,1]^L; each point maps through Eq. 18 to a plan.
                 let num_layers = layout.num_layers();
-                let ranges: Vec<(f64, f64)> = (0..num_layers)
-                    .map(|l| crate::pkb::target_density_range(layout, l))
-                    .collect();
+                let ranges: Vec<(f64, f64)> =
+                    (0..num_layers).map(|l| crate::pkb::target_density_range(layout, l)).collect();
                 let to_plan = |t: &[f64]| {
                     let td: Vec<f64> = ranges
                         .iter()
@@ -239,8 +242,7 @@ impl NeurFill {
                     |t: &[f64]| objective.value(to_plan(t).as_slice()),
                     |_| vec![0.0; num_layers],
                 );
-                let reduced_bounds =
-                    Bounds::new(vec![0.0; num_layers], vec![1.0; num_layers]);
+                let reduced_bounds = Bounds::new(vec![0.0; num_layers], vec![1.0; num_layers]);
                 let search = Nmmso::new(nmmso.clone());
                 let found = search.maximize(&reduced, &reduced_bounds, &mut rng);
                 let mut starts: Vec<Vec<f64>> = found

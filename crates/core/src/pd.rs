@@ -124,14 +124,12 @@ pub struct PdScore {
 pub fn pd_score(layout: &Layout, plan: &FillPlan, coeffs: &Coefficients) -> PdScore {
     let est = estimate(layout, plan);
     let a = &coeffs.alphas;
-    let score = a.ov * score_fn(est.overlay, coeffs.beta_ov)
-        + a.fa * score_fn(est.fill_amount, coeffs.beta_fa);
+    let score =
+        a.ov * score_fn(est.overlay, coeffs.beta_ov) + a.fa * score_fn(est.fill_amount, coeffs.beta_fa);
     // Eq. 17: ∇S_PD = −(α_fa/β_fa)·∇fa − (α_ov/β_ov)·∇ov, with ∇fa = 1.
     let ov_grad = overlay_gradient(layout, &est);
-    let gradient = ov_grad
-        .iter()
-        .map(|g| -(a.fa / coeffs.beta_fa) - (a.ov / coeffs.beta_ov) * g)
-        .collect();
+    let gradient =
+        ov_grad.iter().map(|g| -(a.fa / coeffs.beta_fa) - (a.ov / coeffs.beta_ov) * g).collect();
     PdScore { score, gradient, estimate: est }
 }
 
@@ -200,8 +198,7 @@ mod tests {
         let st = slack_types(&l, id);
         let mut p = FillPlan::zeros(&l);
         let into_t4 = 5.0;
-        p.as_mut_slice()[l.flat_index(id)] =
-            st.areas[0] + st.areas[1] + st.areas[2] + into_t4;
+        p.as_mut_slice()[l.flat_index(id)] = st.areas[0] + st.areas[1] + st.areas[2] + into_t4;
         let est = estimate(&l, &p);
         let expect = st.areas[1] + st.areas[2] + 2.0 * into_t4;
         assert!((est.overlay_dw - expect).abs() < 1e-9, "{est:?}");

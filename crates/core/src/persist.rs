@@ -26,11 +26,7 @@ const MAGIC: &str = "neurfill-surrogate v1";
 pub fn save_network<W: Write>(network: &CmpNeuralNetwork, mut w: W) -> io::Result<()> {
     writeln!(w, "{MAGIC}")?;
     let cfg = network.unet().config();
-    writeln!(
-        w,
-        "unet {} {} {} {}",
-        cfg.in_channels, cfg.out_channels, cfg.base_channels, cfg.depth
-    )?;
+    writeln!(w, "unet {} {} {} {}", cfg.in_channels, cfg.out_channels, cfg.base_channels, cfg.depth)?;
     let norm = network.height_norm();
     writeln!(w, "height_norm {} {}", norm.offset_nm, norm.scale_nm)?;
     let ex = network.extraction();
@@ -111,11 +107,7 @@ pub fn load_network<R: Read>(r: R) -> io::Result<CmpNeuralNetwork> {
     Ok(CmpNeuralNetwork::new(
         unet,
         HeightNorm { offset_nm, scale_nm },
-        ExtractionConfig {
-            perimeter_scale,
-            width_scale,
-            dummy: DummySpec { edge_um, bytes_per_dummy },
-        },
+        ExtractionConfig { perimeter_scale, width_scale, dummy: DummySpec { edge_um, bytes_per_dummy } },
         CmpNnConfig::default(),
     ))
 }
@@ -175,6 +167,17 @@ mod tests {
     }
 
     #[test]
+    fn save_load_save_is_byte_identical() {
+        let net = network();
+        let mut first = Vec::new();
+        save_network(&net, &mut first).unwrap();
+        let reloaded = load_network(first.as_slice()).unwrap();
+        let mut second = Vec::new();
+        save_network(&reloaded, &mut second).unwrap();
+        assert_eq!(first, second, "persistence must be a fixed point");
+    }
+
+    #[test]
     fn rejects_garbage_and_truncation() {
         assert!(load_network(b"nope".as_slice()).is_err());
         let net = network();
@@ -182,6 +185,35 @@ mod tests {
         save_network(&net, &mut buf).unwrap();
         let cut = &buf[..buf.len() / 3];
         assert!(load_network(cut).is_err());
+    }
+
+    #[test]
+    fn corrupt_headers_error_cleanly() {
+        let net = network();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+
+        // Wrong magic and wrong version must both be InvalidData, not a
+        // panic deeper in the parameter parser.
+        for bad_magic in ["other-format v1", "neurfill-surrogate v2"] {
+            let corrupted = text.replacen(MAGIC, bad_magic, 1);
+            let err = load_network(corrupted.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad_magic}");
+        }
+
+        // Truncation anywhere — headers or mid-weights — errors cleanly.
+        for cut in [5, 30, text.len() / 2, text.len() - 3] {
+            assert!(load_network(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+
+        // A mangled weight value errors instead of panicking.
+        let weight_line = text
+            .lines()
+            .find(|l| l.len() == 8 && l.bytes().all(|b| b.is_ascii_hexdigit()))
+            .expect("bundle contains hex weight lines");
+        let mangled = text.replacen(weight_line, "zzzzzzzz", 1);
+        assert!(load_network(mangled.as_bytes()).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use neurfill_layout::insertion::{realize_fill, InsertionReport, InsertionRules};
 use neurfill_layout::{FillPlan, Layout};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::rc::Rc;
 
 /// Configuration of the end-to-end flow.
 #[derive(Debug, Clone)]
@@ -60,10 +61,15 @@ pub struct FlowResult {
 }
 
 /// The assembled flow: a trained surrogate bound to a simulator.
+///
+/// The network lives behind an [`Rc`]: synthesis injects the same trained
+/// instance into [`NeurFill`] instead of rebuilding or copying it, and
+/// callers holding a shared network (e.g. the batch runtime's model
+/// registry) can assemble many flows around one surrogate.
 #[derive(Debug)]
 pub struct FillingFlow {
     sim: CmpSimulator,
-    network: CmpNeuralNetwork,
+    network: Rc<CmpNeuralNetwork>,
     config: FlowConfig,
     train_report: TrainReport,
 }
@@ -78,27 +84,25 @@ impl FillingFlow {
     pub fn prepare(sources: &[Layout], config: FlowConfig) -> Result<Self, String> {
         let sim = CmpSimulator::new(config.process.clone())?;
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let trained = train_surrogate(sources, &sim, &config.surrogate, &mut rng)
-            .map_err(|e| e.to_string())?;
-        Ok(Self {
-            sim,
-            network: trained.network,
-            train_report: trained.report,
-            config,
-        })
+        let trained =
+            train_surrogate(sources, &sim, &config.surrogate, &mut rng).map_err(|e| e.to_string())?;
+        Ok(Self { sim, network: Rc::new(trained.network), train_report: trained.report, config })
     }
 
     /// Assembles a flow around an already-trained network (e.g. loaded via
-    /// [`crate::persist`]).
+    /// [`crate::persist`], or shared via [`FillingFlow::shared_network`]).
     ///
     /// # Errors
     ///
     /// Returns a message when the process parameters are invalid.
-    pub fn with_network(network: CmpNeuralNetwork, config: FlowConfig) -> Result<Self, String> {
+    pub fn with_network(
+        network: impl Into<Rc<CmpNeuralNetwork>>,
+        config: FlowConfig,
+    ) -> Result<Self, String> {
         let sim = CmpSimulator::new(config.process.clone())?;
         Ok(Self {
             sim,
-            network,
+            network: network.into(),
             train_report: TrainReport {
                 epochs: Vec::new(),
                 train_samples: 0,
@@ -114,10 +118,23 @@ impl FillingFlow {
         &self.sim
     }
 
+    /// The flow configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
     /// The trained CMP neural network.
     #[must_use]
     pub fn network(&self) -> &CmpNeuralNetwork {
         &self.network
+    }
+
+    /// A shared handle to the trained network — inject it into another
+    /// [`FillingFlow`] or a [`NeurFill`] without copying parameters.
+    #[must_use]
+    pub fn shared_network(&self) -> Rc<CmpNeuralNetwork> {
+        Rc::clone(&self.network)
     }
 
     /// The surrogate training report (empty when the network was supplied
@@ -150,18 +167,8 @@ impl FillingFlow {
         layout: &Layout,
         coeffs: &Coefficients,
     ) -> Result<FlowResult, String> {
-        // Phase 1: synthesis. NeurFill::new takes the network by value, so
-        // run through a temporary framework holding a parameter copy.
-        let network_copy = crate::persist::load_network(
-            {
-                let mut buf = Vec::new();
-                crate::persist::save_network(&self.network, &mut buf)
-                    .map_err(|e| e.to_string())?;
-                std::io::Cursor::new(buf)
-            },
-        )
-        .map_err(|e| e.to_string())?;
-        let nf = NeurFill::new(network_copy, self.config.neurfill.clone());
+        // Phase 1: synthesis, on the flow's own network instance.
+        let nf = NeurFill::new(Rc::clone(&self.network), self.config.neurfill.clone());
         let synthesis = nf.run(layout, coeffs)?;
 
         // Phase 2: insertion.

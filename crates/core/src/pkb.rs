@@ -33,11 +33,7 @@ pub fn plan_for_target_density(layout: &Layout, td: &[f64]) -> FillPlan {
         let w = layout.window(id);
         let target = td[id.layer];
         // Eq. 18: fill toward the target, bounded by slack.
-        let x = if target <= w.density {
-            0.0
-        } else {
-            ((target - w.density) * area).min(w.slack)
-        };
+        let x = if target <= w.density { 0.0 } else { ((target - w.density) * area).min(w.slack) };
         plan.as_mut_slice()[layout.flat_index(id)] = x;
     }
     plan
@@ -49,11 +45,7 @@ pub fn plan_for_target_density(layout: &Layout, td: &[f64]) -> FillPlan {
 pub fn target_density_range(layout: &Layout, layer: usize) -> (f64, f64) {
     let area = layout.window_area();
     let lo = layout.mean_density(layer);
-    let hi = layout
-        .layer(layer)
-        .iter()
-        .map(|w| w.density + w.slack / area)
-        .fold(0.0f64, f64::max);
+    let hi = layout.layer(layer).iter().map(|w| w.density + w.slack / area).fold(0.0f64, f64::max);
     (lo, hi.max(lo))
 }
 
@@ -174,11 +166,10 @@ mod tests {
     fn linear_search_picks_best_candidate() {
         let l = layout();
         // Quality = negative |total fill − 30000|: prefers ~30000 µm².
-        let result = pkb_starting_point(&l, &PkbConfig { search_steps: 16 }, |p| {
-            -(p.total() - 30_000.0).abs()
-        });
+        let result =
+            pkb_starting_point(&l, &PkbConfig { search_steps: 16 }, |p| -(p.total() - 30_000.0).abs());
         assert_eq!(result.evaluations, 17); // t = 0 included
-        // Verify no other scanned candidate beats the winner.
+                                            // Verify no other scanned candidate beats the winner.
         let ranges: Vec<(f64, f64)> = (0..3).map(|ly| target_density_range(&l, ly)).collect();
         for k in 0..=16 {
             let t = k as f64 / 16.0;

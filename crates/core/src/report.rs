@@ -14,8 +14,10 @@ pub enum MethodKind {
     /// Rule-based SQP (Tao [11]).
     Tao,
     /// Model-based SQP with numerical gradients (Cai [12]).
-    Cai { /// Finite-difference worker threads.
-        threads: usize },
+    Cai {
+        /// Finite-difference worker threads.
+        threads: usize,
+    },
     /// NeurFill with the PKB starting point.
     NeurFillPkb,
     /// NeurFill with multi-modal starting-points search.
@@ -56,9 +58,7 @@ pub fn estimate_memory_gb(kind: MethodKind, layout: &Layout, network_parameters:
         MethodKind::Lin => w * 96.0,
         MethodKind::Tao => w * 480.0,
         MethodKind::Cai { threads } => w * 480.0 + w * 900.0 * threads as f64,
-        MethodKind::NeurFillPkb => {
-            network_parameters as f64 * 16.0 + w * 4.0 * 4.0 * 40.0 + w * 240.0
-        }
+        MethodKind::NeurFillPkb => network_parameters as f64 * 16.0 + w * 4.0 * 4.0 * 40.0 + w * 240.0,
         MethodKind::NeurFillMm { swarm_size, max_swarms } => {
             // Each particle holds position/velocity/personal-best vectors
             // (3 × 8 B per window) plus swarm bookkeeping.
@@ -148,7 +148,17 @@ pub fn format_rows(design: &str, rows: &[MethodResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "Design {design}\n{:<16} {:>7} {:>6} {:>6} {:>8} {:>8} {:>6} {:>14} {:>6} {:>8} {:>8}\n",
-        "Method", "ΔH(Å)", "Perf", "Var", "LineDev", "Outlier", "FSize", "Runtime", "Mem", "Quality", "Overall"
+        "Method",
+        "ΔH(Å)",
+        "Perf",
+        "Var",
+        "LineDev",
+        "Outlier",
+        "FSize",
+        "Runtime",
+        "Mem",
+        "Quality",
+        "Overall"
     ));
     for r in rows {
         out.push_str(&format!(
@@ -177,7 +187,11 @@ pub fn format_rows(design: &str, rows: &[MethodResult]) -> String {
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn write_csv<W: std::io::Write>(design: &str, rows: &[MethodResult], mut w: W) -> std::io::Result<()> {
+pub fn write_csv<W: std::io::Write>(
+    design: &str,
+    rows: &[MethodResult],
+    mut w: W,
+) -> std::io::Result<()> {
     writeln!(
         w,
         "design,method,delta_h_angstrom,ov,fa,sigma,sigma_star,ol,fs,time,mem,quality,overall,runtime_s,memory_gb,fill_um2,overlay_um2"
@@ -221,11 +235,8 @@ mod tests {
         let tao = estimate_memory_gb(MethodKind::Tao, &l, 0);
         let cai = estimate_memory_gb(MethodKind::Cai { threads: 4 }, &l, 0);
         let pkb = estimate_memory_gb(MethodKind::NeurFillPkb, &l, params);
-        let mm = estimate_memory_gb(
-            MethodKind::NeurFillMm { swarm_size: 8, max_swarms: 20 },
-            &l,
-            params,
-        );
+        let mm =
+            estimate_memory_gb(MethodKind::NeurFillMm { swarm_size: 8, max_swarms: 20 }, &l, params);
         assert!(lin < tao);
         assert!(tao < cai);
         assert!(mm > pkb);

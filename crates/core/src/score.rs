@@ -63,7 +63,16 @@ pub struct Alphas {
 impl Default for Alphas {
     fn default() -> Self {
         // Table II: identical α row for designs A, B and C.
-        Self { ov: 0.15, fa: 0.05, sigma: 0.2, sigma_star: 0.2, ol: 0.15, fs: 0.05, time: 0.15, mem: 0.05 }
+        Self {
+            ov: 0.15,
+            fa: 0.05,
+            sigma: 0.2,
+            sigma_star: 0.2,
+            ol: 0.15,
+            fs: 0.05,
+            time: 0.15,
+            mem: 0.05,
+        }
     }
 }
 
@@ -188,12 +197,7 @@ impl PlanarityMetrics {
             let threshold = mean + 3.0 * std;
             ol += h.iter().map(|v| (v - threshold).max(0.0)).sum::<f64>();
         }
-        Self {
-            sigma,
-            sigma_star,
-            ol,
-            delta_h: profile.max_height_range() * NM_TO_ANGSTROM,
-        }
+        Self { sigma, sigma_star, ol, delta_h: profile.max_height_range() * NM_TO_ANGSTROM }
     }
 }
 

@@ -139,27 +139,15 @@ pub fn train_surrogate(
     let val_n = ((train.len() as f64) * config.validation_fraction).round() as usize;
     let val = train.split_off(val_n.min(train.len().saturating_sub(1)));
 
-    let unet_cfg = UNetConfig {
-        in_channels: NUM_CHANNELS,
-        out_channels: 1,
-        ..config.unet.clone()
-    };
+    let unet_cfg = UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, ..config.unet.clone() };
     let unet = UNet::new(unet_cfg, rng);
     let train_samples = train.len();
     let history = fit(&unet, &train, Some(&val), &config.train, rng, |_| true)?;
     let epochs = history.iter().map(|e| (e.train_loss, e.val_loss)).collect();
     unet.set_training(false);
 
-    let network = CmpNeuralNetwork::new(
-        unet,
-        norm,
-        config.extraction.clone(),
-        config.cmp_nn.clone(),
-    );
-    Ok(TrainedSurrogate {
-        network,
-        report: TrainReport { epochs, train_samples, height_norm: norm },
-    })
+    let network = CmpNeuralNetwork::new(unet, norm, config.extraction.clone(), config.cmp_nn.clone());
+    Ok(TrainedSurrogate { network, report: TrainReport { epochs, train_samples, height_norm: norm } })
 }
 
 /// Per-window accuracy of a surrogate against the golden simulator over a
@@ -198,11 +186,7 @@ impl AccuracyReport {
             let b = ((e / width) as usize).min(bins.saturating_sub(1));
             counts[b] += 1;
         }
-        counts
-            .into_iter()
-            .enumerate()
-            .map(|(i, c)| ((i + 1) as f64 * width, c))
-            .collect()
+        counts.into_iter().enumerate().map(|(i, c)| ((i + 1) as f64 * width, c)).collect()
     }
 }
 
@@ -229,8 +213,11 @@ pub fn evaluate_surrogate(
     for layout in layouts {
         assert_eq!(layout.num_windows(), n_windows, "evaluation geometries differ");
         let truth = sim.simulate(layout);
-        for l in 0..layout.num_layers() {
-            let pred = network.predict_layer_heights(layout, l)?;
+        // One multi-sample forward per layout instead of one per layer.
+        let samples: Vec<_> = (0..layout.num_layers())
+            .map(|l| network.extract_window_sample(layout, l))
+            .collect::<Result<_>>()?;
+        for (l, pred) in network.predict_heights_batch(&samples)?.iter().enumerate() {
             let t = truth.layer(l).heights();
             let base = l * layout.rows() * layout.cols();
             for (k, (p, h)) in pred.iter().zip(t).enumerate() {

@@ -122,27 +122,17 @@ impl TrainingLayoutGenerator {
             let area = layout.window_area();
             let td: Vec<f64> = (0..layout.num_layers())
                 .map(|l| {
-                    let lo = layout
-                        .layer(l)
-                        .iter()
-                        .map(|w| w.density)
-                        .fold(f64::INFINITY, f64::min);
-                    let hi = layout
-                        .layer(l)
-                        .iter()
-                        .map(|w| w.density + w.slack / area)
-                        .fold(lo, f64::max);
+                    let lo = layout.layer(l).iter().map(|w| w.density).fold(f64::INFINITY, f64::min);
+                    let hi =
+                        layout.layer(l).iter().map(|w| w.density + w.slack / area).fold(lo, f64::max);
                     self.rng.gen_range(lo..=hi)
                 })
                 .collect();
             for id in layout.window_ids() {
                 let w = layout.window(id);
                 let target = td[id.layer];
-                let base = if target <= w.density {
-                    0.0
-                } else {
-                    ((target - w.density) * area).min(w.slack)
-                };
+                let base =
+                    if target <= w.density { 0.0 } else { ((target - w.density) * area).min(w.slack) };
                 let jitter = self.rng.gen_range(0.8..=1.2);
                 plan.as_mut_slice()[layout.flat_index(id)] = (base * jitter).min(w.slack);
             }

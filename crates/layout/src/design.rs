@@ -210,7 +210,8 @@ fn gen_riscv(rows: usize, cols: usize, area: f64, rng: &mut StdRng) -> Vec<Grid<
                 let mut wmul: f64 = 4.0; // background carries wide power mesh
                 let mut fillable: f64 = 0.85; // open background
                 for m in &macros {
-                    if r >= m.r0 && r < m.r0 + m.h && c >= m.c0 && c < m.c0 + m.w && m.density > density {
+                    if r >= m.r0 && r < m.r0 + m.h && c >= m.c0 && c < m.c0 + m.w && m.density > density
+                    {
                         density = m.density;
                         wmul = m.wmul;
                         fillable = m.fillable;

@@ -115,10 +115,7 @@ impl FillPlan {
     /// Whether every amount satisfies `0 ≤ x ≤ slack` within `tol`.
     #[must_use]
     pub fn is_feasible(&self, layout: &Layout, tol: f64) -> bool {
-        self.amounts
-            .iter()
-            .zip(layout.slack_vector())
-            .all(|(&a, s)| a >= -tol && a <= s + tol)
+        self.amounts.iter().zip(layout.slack_vector()).all(|(&a, s)| a >= -tol && a <= s + tol)
     }
 
     /// Total number of dummy shapes this plan inserts.

@@ -152,11 +152,7 @@ impl LayerGeometry {
     /// shapes on one layer.
     #[must_use]
     pub fn area_in(&self, clip: &Rect) -> f64 {
-        self.shapes
-            .iter()
-            .filter_map(|s| s.rect.intersect(clip))
-            .map(|r| r.area())
-            .sum()
+        self.shapes.iter().filter_map(|s| s.rect.intersect(clip)).map(|r| r.area()).sum()
     }
 
     /// Statistics of the geometry clipped to one window: `(area,
@@ -177,11 +173,7 @@ impl LayerGeometry {
                 width_weighted += r.width().min(r.height()) * r.area();
             }
         }
-        WindowStats {
-            area,
-            perimeter,
-            avg_width: if area > 0.0 { width_weighted / area } else { 0.0 },
-        }
+        WindowStats { area, perimeter, avg_width: if area > 0.0 { width_weighted / area } else { 0.0 } }
     }
 }
 

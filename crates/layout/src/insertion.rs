@@ -63,9 +63,7 @@ pub fn insert_dummies(
             if candidate.x1 > window.x1 || candidate.y1 > window.y1 {
                 continue;
             }
-            let clear = blocked
-                .iter()
-                .all(|b| !candidate.overlaps(&b.inflate(rules.wire_margin_um)));
+            let clear = blocked.iter().all(|b| !candidate.overlaps(&b.inflate(rules.wire_margin_um)));
             if clear {
                 placed.push(candidate);
             }

@@ -47,17 +47,13 @@ pub fn read_layout<R: Read>(r: R) -> io::Result<Layout> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let mut lines = BufReader::new(r).lines();
     let mut next = |what: &str| -> io::Result<String> {
-        lines
-            .next()
-            .ok_or_else(|| bad(format!("unexpected end of file, expected {what}")))?
+        lines.next().ok_or_else(|| bad(format!("unexpected end of file, expected {what}")))?
     };
     if next("magic")?.trim() != MAGIC {
         return Err(bad("not a neurfill layout file".into()));
     }
-    let name = next("name")?
-        .strip_prefix("name ")
-        .ok_or_else(|| bad("missing name".into()))?
-        .to_string();
+    let name =
+        next("name")?.strip_prefix("name ").ok_or_else(|| bad("missing name".into()))?.to_string();
     let window_um: f64 = parse_field(&next("window_um")?, "window_um")?;
     let file_size_mb: f64 = parse_field(&next("file_size_mb")?, "file_size_mb")?;
     let dims_line = next("dims")?;
@@ -78,9 +74,8 @@ pub fn read_layout<R: Read>(r: R) -> io::Result<Layout> {
         let mut data = Vec::with_capacity(rows * cols);
         for _ in 0..rows * cols {
             let line = next("window")?;
-            let rest = line
-                .strip_prefix("w ")
-                .ok_or_else(|| bad(format!("bad window line {line:?}")))?;
+            let rest =
+                line.strip_prefix("w ").ok_or_else(|| bad(format!("bad window line {line:?}")))?;
             let vals: Vec<f64> = rest
                 .split_whitespace()
                 .map(|t| t.parse().map_err(|e| bad(format!("bad value {t:?}: {e}"))))
@@ -154,11 +149,7 @@ pub fn read_plan<R: Read>(layout: &Layout, r: R) -> io::Result<crate::FillPlan> 
     let mut amounts = Vec::with_capacity(layout.num_windows());
     for _ in 0..layout.num_windows() {
         let line = lines.next().ok_or_else(|| bad("truncated plan".into()))??;
-        amounts.push(
-            line.trim()
-                .parse()
-                .map_err(|e| bad(format!("bad amount {line:?}: {e}")))?,
-        );
+        amounts.push(line.trim().parse().map_err(|e| bad(format!("bad amount {line:?}: {e}")))?);
     }
     Ok(crate::FillPlan::from_vec(layout, amounts))
 }

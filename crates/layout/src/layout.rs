@@ -36,7 +36,12 @@ impl Layout {
     /// Panics when `layers` is empty, grids disagree in dimensions, or
     /// `window_um` is not positive.
     #[must_use]
-    pub fn new(name: impl Into<String>, window_um: f64, layers: Vec<Grid<WindowPattern>>, file_size_mb: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        window_um: f64,
+        layers: Vec<Grid<WindowPattern>>,
+        file_size_mb: f64,
+    ) -> Self {
         assert!(!layers.is_empty(), "layout needs at least one layer");
         assert!(window_um > 0.0, "window size must be positive");
         let (r, c) = (layers[0].rows(), layers[0].cols());
@@ -215,12 +220,7 @@ impl Layout {
             .iter()
             .map(|g| Grid::from_fn(r * reps_rows, c * reps_cols, |rr, cc| *g.get(rr % r, cc % c)))
             .collect();
-        Layout::new(
-            format!("{}~tiled", self.name),
-            self.window_um,
-            layers,
-            self.file_size_mb,
-        )
+        Layout::new(format!("{}~tiled", self.name), self.window_um, layers, self.file_size_mb)
     }
 }
 
@@ -231,12 +231,7 @@ mod tests {
     pub(crate) fn tiny_layout() -> Layout {
         let mk = |d: f64| {
             Grid::from_fn(2, 3, |r, c| {
-                WindowPattern::from_line_model(
-                    (d + 0.1 * (r + c) as f64).min(0.9),
-                    0.2,
-                    10_000.0,
-                    0.8,
-                )
+                WindowPattern::from_line_model((d + 0.1 * (r + c) as f64).min(0.9), 0.2, 10_000.0, 0.8)
             })
         };
         Layout::new("T", 100.0, vec![mk(0.2), mk(0.3)], 1.0)

@@ -63,19 +63,11 @@ pub fn slack_types(layout: &Layout, id: WindowId) -> SlackTypes {
     } else {
         0.0
     };
-    let dn = if id.layer > 0 {
-        layout.window(WindowId { layer: id.layer - 1, ..id }).density
-    } else {
-        0.0
-    };
+    let dn =
+        if id.layer > 0 { layout.window(WindowId { layer: id.layer - 1, ..id }).density } else { 0.0 };
     let s = w.slack;
     SlackTypes {
-        areas: [
-            s * (1.0 - up) * (1.0 - dn),
-            s * up * (1.0 - dn),
-            s * (1.0 - up) * dn,
-            s * up * dn,
-        ],
+        areas: [s * (1.0 - up) * (1.0 - dn), s * up * (1.0 - dn), s * (1.0 - up) * dn, s * up * dn],
     }
 }
 

@@ -47,12 +47,7 @@ impl WindowPattern {
     /// An empty window (no copper, fully fillable except margins).
     #[must_use]
     pub fn empty(window_area: f64, fillable_fraction: f64) -> Self {
-        Self {
-            density: 0.0,
-            perimeter: 0.0,
-            avg_width: 0.1,
-            slack: window_area * fillable_fraction,
-        }
+        Self { density: 0.0, perimeter: 0.0, avg_width: 0.1, slack: window_area * fillable_fraction }
     }
 
     /// Checks internal invariants; used by validation and property tests.

@@ -1,17 +1,11 @@
 //! Property-based tests of the layout substrate's invariants.
 
 use neurfill_layout::insertion::{insert_dummies, InsertionRules};
-use neurfill_layout::{
-    apply_fill, slack_types, DesignKind, DesignSpec, DummySpec, FillPlan, Rect,
-};
+use neurfill_layout::{apply_fill, slack_types, DesignKind, DesignSpec, DummySpec, FillPlan, Rect};
 use proptest::prelude::*;
 
 fn any_design() -> impl Strategy<Value = DesignKind> {
-    prop_oneof![
-        Just(DesignKind::CmpTest),
-        Just(DesignKind::Fpga),
-        Just(DesignKind::RiscV),
-    ]
+    prop_oneof![Just(DesignKind::CmpTest), Just(DesignKind::Fpga), Just(DesignKind::RiscV),]
 }
 
 proptest! {

@@ -19,6 +19,9 @@ impl Module for Relu {
     fn forward(&self, input: &Tensor) -> Result<Tensor> {
         Ok(input.relu())
     }
+    fn infer(&self, input: &neurfill_tensor::NdArray) -> Result<neurfill_tensor::NdArray> {
+        Ok(input.map(|v| v.max(0.0)))
+    }
     fn parameters(&self) -> Vec<Tensor> {
         Vec::new()
     }

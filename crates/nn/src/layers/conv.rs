@@ -66,6 +66,16 @@ impl Module for Conv2d {
         input.conv2d(&self.weight, Some(&self.bias), self.stride, self.padding)
     }
 
+    fn infer(&self, input: &NdArray) -> Result<NdArray> {
+        neurfill_tensor::conv2d_forward(
+            input,
+            &self.weight.data(),
+            Some(&*self.bias.data()),
+            self.stride,
+            self.padding,
+        )
+    }
+
     fn parameters(&self) -> Vec<Tensor> {
         vec![self.weight.clone(), self.bias.clone()]
     }
@@ -105,6 +115,16 @@ impl ConvTranspose2d {
 impl Module for ConvTranspose2d {
     fn forward(&self, input: &Tensor) -> Result<Tensor> {
         input.conv_transpose2d(&self.weight, Some(&self.bias), self.stride, self.padding)
+    }
+
+    fn infer(&self, input: &NdArray) -> Result<NdArray> {
+        neurfill_tensor::conv_transpose2d_forward(
+            input,
+            &self.weight.data(),
+            Some(&*self.bias.data()),
+            self.stride,
+            self.padding,
+        )
     }
 
     fn parameters(&self) -> Vec<Tensor> {

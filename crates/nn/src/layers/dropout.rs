@@ -45,13 +45,8 @@ impl Module for Dropout {
         }
         let keep = 1.0 - self.p;
         let mut rng = self.rng.borrow_mut();
-        let mask = NdArray::from_fn(&input.shape(), |_| {
-            if rng.gen::<f32>() < keep {
-                1.0 / keep
-            } else {
-                0.0
-            }
-        });
+        let mask =
+            NdArray::from_fn(&input.shape(), |_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 });
         input.mul(&Tensor::constant(mask))
     }
 

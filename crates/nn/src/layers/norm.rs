@@ -81,6 +81,34 @@ impl Module for BatchNorm2d {
         }
     }
 
+    fn infer(&self, input: &NdArray) -> Result<NdArray> {
+        // Fused evaluation-mode normalization: one pass instead of four
+        // broadcast ops. Per element this computes ((x − m) / d) · g + b in
+        // exactly the order the tensor expression does, so outputs stay
+        // bit-identical to `forward`. Training mode falls back to `forward`
+        // (batch statistics need the graph's semantics).
+        if self.training.get() || input.rank() != 4 || input.shape()[1] != self.channels {
+            return self.forward(&Tensor::constant(input.clone())).map(|t| t.value());
+        }
+        let rm = self.running_mean.borrow();
+        let rv = self.running_var.borrow();
+        let g = self.gamma.data();
+        let b = self.beta.data();
+        let per = input.shape()[2] * input.shape()[3];
+        let mut out = input.clone();
+        for sample in out.as_mut_slice().chunks_mut(self.channels * per) {
+            for (c, block) in sample.chunks_mut(per).enumerate() {
+                let m = rm.as_slice()[c];
+                let d = (rv.as_slice()[c] + self.eps).sqrt();
+                let (gc, bc) = (g.as_slice()[c], b.as_slice()[c]);
+                for x in block {
+                    *x = (*x - m) / d * gc + bc;
+                }
+            }
+        }
+        Ok(out)
+    }
+
     fn parameters(&self) -> Vec<Tensor> {
         vec![self.gamma.clone(), self.beta.clone()]
     }

@@ -68,6 +68,14 @@ impl Module for Sequential {
         Ok(x)
     }
 
+    fn infer(&self, input: &neurfill_tensor::NdArray) -> Result<neurfill_tensor::NdArray> {
+        let mut x = input.clone();
+        for m in &self.modules {
+            x = m.infer(&x)?;
+        }
+        Ok(x)
+    }
+
     fn parameters(&self) -> Vec<Tensor> {
         self.modules.iter().flat_map(|m| m.parameters()).collect()
     }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod data;
 pub mod layers;
 pub mod loss;
@@ -34,6 +35,7 @@ pub mod serialize;
 pub mod trainer;
 mod unet;
 
+pub use batch::forward_batched;
 pub use data::Dataset;
 pub use module::{Buffer, Module};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};

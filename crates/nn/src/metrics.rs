@@ -23,12 +23,8 @@ fn check_shapes(pred: &NdArray, target: &NdArray) -> Result<()> {
 /// Returns an error when shapes differ or the arrays are empty.
 pub fn mae(pred: &NdArray, target: &NdArray) -> Result<f64> {
     check_shapes(pred, target)?;
-    let sum: f64 = pred
-        .as_slice()
-        .iter()
-        .zip(target.as_slice())
-        .map(|(p, t)| f64::from((p - t).abs()))
-        .sum();
+    let sum: f64 =
+        pred.as_slice().iter().zip(target.as_slice()).map(|(p, t)| f64::from((p - t).abs())).sum();
     Ok(sum / pred.numel() as f64)
 }
 

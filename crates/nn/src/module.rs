@@ -23,6 +23,22 @@ pub trait Module {
     /// module's configuration.
     fn forward(&self, input: &Tensor) -> Result<Tensor>;
 
+    /// Inference fast path: applies the module to a raw array without
+    /// building the autograd graph.
+    ///
+    /// The result is bit-identical to evaluation-mode [`Module::forward`]
+    /// — layers override this to run their raw kernels directly (and fuse
+    /// where possible), but never to change arithmetic. The default falls
+    /// back to `forward` on a constant tensor, so every module supports it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input shape is incompatible with the
+    /// module's configuration.
+    fn infer(&self, input: &NdArray) -> Result<NdArray> {
+        self.forward(&Tensor::constant(input.clone())).map(|t| t.value())
+    }
+
     /// All trainable parameters, in a stable order.
     ///
     /// The order is part of the serialization contract: weights saved by

@@ -48,10 +48,7 @@ impl Optimizer for Sgd {
         for p in &self.params {
             let Some(g) = p.grad() else { continue };
             let update = if self.momentum > 0.0 {
-                let v = self
-                    .velocity
-                    .entry(p.id())
-                    .or_insert_with(|| NdArray::zeros(g.shape()));
+                let v = self.velocity.entry(p.id()).or_insert_with(|| NdArray::zeros(g.shape()));
                 *v = v.scale(self.momentum).add(&g).expect("matching shapes");
                 v.clone()
             } else {
@@ -87,7 +84,16 @@ impl Adam {
     /// Creates an Adam optimizer with the standard β/ε defaults.
     #[must_use]
     pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
-        Self { params, lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+        Self {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
     }
 
     /// Current learning rate.
@@ -112,17 +118,12 @@ impl Optimizer for Adam {
             let m = self.m.entry(p.id()).or_insert_with(|| NdArray::zeros(g.shape()));
             let v = self.v.entry(p.id()).or_insert_with(|| NdArray::zeros(g.shape()));
             *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1)).expect("shapes");
-            *v = v
-                .scale(self.beta2)
-                .add(&g.map(|x| x * x).scale(1.0 - self.beta2))
-                .expect("shapes");
+            *v = v.scale(self.beta2).add(&g.map(|x| x * x).scale(1.0 - self.beta2)).expect("shapes");
             let m_hat = m.scale(1.0 / bc1);
             let v_hat = v.scale(1.0 / bc2);
             let eps = self.eps;
             let lr = self.lr;
-            let update = m_hat
-                .zip_with(&v_hat, |mh, vh| lr * mh / (vh.sqrt() + eps))
-                .expect("shapes");
+            let update = m_hat.zip_with(&v_hat, |mh, vh| lr * mh / (vh.sqrt() + eps)).expect("shapes");
             p.update_data(|d| {
                 *d = d.sub(&update).expect("shapes");
             });

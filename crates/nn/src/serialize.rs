@@ -78,10 +78,7 @@ pub fn load_parameters<R: Read>(module: &dyn Module, r: R) -> io::Result<()> {
         .ok_or_else(|| bad(format!("bad count line: {count_line:?}")))?;
     let params = module.parameters();
     if params.len() != count {
-        return Err(bad(format!(
-            "weight file has {count} parameters but module has {}",
-            params.len()
-        )));
+        return Err(bad(format!("weight file has {count} parameters but module has {}", params.len())));
     }
     for (i, p) in params.iter().enumerate() {
         let arr = read_block(&mut lines, "param", i, &p.shape())?;
@@ -118,16 +115,19 @@ fn read_block(
     let header = lines.next().ok_or_else(|| bad(format!("missing header for {kind} {i}")))??;
     let shape = parse_header(&header, kind, i).map_err(bad)?;
     if shape != expect_shape {
-        return Err(bad(format!(
-            "{kind} {i}: file shape {shape:?} != module shape {expect_shape:?}"
-        )));
+        return Err(bad(format!("{kind} {i}: file shape {shape:?} != module shape {expect_shape:?}")));
     }
     let n: usize = shape.iter().product();
     let mut data = Vec::with_capacity(n);
     for _ in 0..n {
         let line = lines.next().ok_or_else(|| bad(format!("truncated data for {kind} {i}")))??;
-        let bits = u32::from_str_radix(line.trim(), 16)
-            .map_err(|e| bad(format!("bad value {line:?}: {e}")))?;
+        let hex = line.trim();
+        // Values are written as exactly 8 hex digits; anything shorter is a
+        // truncated stream that would otherwise parse to a corrupt f32.
+        if hex.len() != 8 {
+            return Err(bad(format!("bad value {line:?}: expected 8 hex digits")));
+        }
+        let bits = u32::from_str_radix(hex, 16).map_err(|e| bad(format!("bad value {line:?}: {e}")))?;
         data.push(f32::from_bits(bits));
     }
     NdArray::from_vec(data, &shape).map_err(|e| bad(format!("shape error for {kind} {i}: {e}")))

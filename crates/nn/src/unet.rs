@@ -7,7 +7,7 @@
 
 use crate::layers::{BatchNorm2d, Conv2d, ConvTranspose2d};
 use crate::module::{Buffer, Module};
-use neurfill_tensor::{Result, Tensor, TensorError};
+use neurfill_tensor::{max_pool2d_forward, NdArray, Result, Tensor, TensorError};
 use rand::Rng;
 
 /// Configuration of a [`UNet`].
@@ -55,6 +55,11 @@ impl Module for DoubleConv {
     fn forward(&self, input: &Tensor) -> Result<Tensor> {
         let x = self.bn1.forward(&self.conv1.forward(input)?)?.relu();
         Ok(self.bn2.forward(&self.conv2.forward(&x)?)?.relu())
+    }
+    fn infer(&self, input: &NdArray) -> Result<NdArray> {
+        // `map(max(0))` is the same kernel `Tensor::relu` applies.
+        let x = self.bn1.infer(&self.conv1.infer(input)?)?.map(|v| v.max(0.0));
+        Ok(self.bn2.infer(&self.conv2.infer(&x)?)?.map(|v| v.max(0.0)))
     }
     fn parameters(&self) -> Vec<Tensor> {
         let mut p = self.conv1.parameters();
@@ -133,14 +138,13 @@ impl UNet {
         &self.config
     }
 
-    fn check_input(&self, input: &Tensor) -> Result<()> {
-        let shape = input.shape();
+    fn check_input(&self, shape: &[usize]) -> Result<()> {
         if shape.len() != 4 {
             return Err(TensorError::RankMismatch { expected: 4, actual: shape.len(), op: "unet" });
         }
         if shape[1] != self.config.in_channels {
             return Err(TensorError::ShapeMismatch {
-                lhs: shape.clone(),
+                lhs: shape.to_vec(),
                 rhs: vec![shape[0], self.config.in_channels, shape[2], shape[3]],
                 op: "unet",
             });
@@ -158,7 +162,7 @@ impl UNet {
 
 impl Module for UNet {
     fn forward(&self, input: &Tensor) -> Result<Tensor> {
-        self.check_input(input)?;
+        self.check_input(&input.shape())?;
         let mut skips = Vec::with_capacity(self.config.depth);
         let mut x = self.stem.forward(input)?;
         for down in &self.downs {
@@ -172,6 +176,25 @@ impl Module for UNet {
             x = up_conv.forward(&cat)?;
         }
         self.head.forward(&x)
+    }
+
+    fn infer(&self, input: &NdArray) -> Result<NdArray> {
+        // Same topology as `forward`, on the raw kernels the tensor ops
+        // call internally — outputs are bit-identical, with no graph built.
+        self.check_input(input.shape())?;
+        let mut skips = Vec::with_capacity(self.config.depth);
+        let mut x = self.stem.infer(input)?;
+        for down in &self.downs {
+            skips.push(x.clone());
+            x = down.infer(&max_pool2d_forward(&x, 2, 2)?.0)?;
+        }
+        for (up, up_conv) in self.ups.iter().zip(&self.up_convs) {
+            let skip = skips.pop().expect("one skip per up stage");
+            let upsampled = up.infer(&x)?;
+            let cat = NdArray::concat(&[&skip, &upsampled], 1)?;
+            x = up_conv.infer(&cat)?;
+        }
+        self.head.infer(&x)
     }
 
     fn parameters(&self) -> Vec<Tensor> {

@@ -24,29 +24,22 @@ fn stencil_dataset(n: usize, seed: u64) -> Dataset {
 #[test]
 fn unet_learns_local_linear_stencil() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-    let net = UNet::new(
-        UNetConfig { in_channels: 2, out_channels: 1, base_channels: 4, depth: 1 },
-        &mut rng,
-    );
+    let net =
+        UNet::new(UNetConfig { in_channels: 2, out_channels: 1, base_channels: 4, depth: 1 }, &mut rng);
     let mut train = stencil_dataset(48, 1);
     let val = train.split_off(8);
     let cfg = TrainConfig { epochs: 120, batch_size: 8, lr: 5e-3, lr_decay: 0.98 };
     let history = fit(&net, &train, Some(&val), &cfg, &mut rng, |_| true).unwrap();
     let first = history.first().unwrap().val_loss.unwrap();
     let last = history.last().unwrap().val_loss.unwrap();
-    assert!(
-        last < 0.3 * first,
-        "validation loss should drop substantially: {first} -> {last}"
-    );
+    assert!(last < 0.3 * first, "validation loss should drop substantially: {first} -> {last}");
 }
 
 #[test]
 fn trained_network_generalizes_to_fresh_inputs() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-    let net = UNet::new(
-        UNetConfig { in_channels: 2, out_channels: 1, base_channels: 4, depth: 1 },
-        &mut rng,
-    );
+    let net =
+        UNet::new(UNetConfig { in_channels: 2, out_channels: 1, base_channels: 4, depth: 1 }, &mut rng);
     let train = stencil_dataset(48, 3);
     let cfg = TrainConfig { epochs: 120, batch_size: 8, lr: 5e-3, lr_decay: 0.98 };
     fit(&net, &train, None, &cfg, &mut rng, |_| true).unwrap();
@@ -63,10 +56,8 @@ fn r2_of_trained_surrogate_style_model_is_high() {
     // Same seeds as the generalization test above (some inits train slower
     // within the small epoch budget these tests can afford).
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-    let net = UNet::new(
-        UNetConfig { in_channels: 2, out_channels: 1, base_channels: 4, depth: 1 },
-        &mut rng,
-    );
+    let net =
+        UNet::new(UNetConfig { in_channels: 2, out_channels: 1, base_channels: 4, depth: 1 }, &mut rng);
     let train = stencil_dataset(48, 3);
     let cfg = TrainConfig { epochs: 120, batch_size: 8, lr: 5e-3, lr_decay: 0.98 };
     fit(&net, &train, None, &cfg, &mut rng, |_| true).unwrap();
@@ -77,17 +68,12 @@ fn r2_of_trained_surrogate_style_model_is_high() {
     let mut targets = Vec::new();
     for i in 0..test.len() {
         let (x, y) = test.sample(i);
-        let out = net
-            .forward(&Tensor::constant(x.reshape(&[1, 2, 8, 8]).unwrap()))
-            .unwrap()
-            .value();
+        let out = net.forward(&Tensor::constant(x.reshape(&[1, 2, 8, 8]).unwrap())).unwrap().value();
         preds.extend_from_slice(out.as_slice());
         targets.extend_from_slice(y.as_slice());
     }
-    let r2 = neurfill_nn::metrics::r2_score(
-        &NdArray::from_slice(&preds),
-        &NdArray::from_slice(&targets),
-    )
-    .unwrap();
+    let r2 =
+        neurfill_nn::metrics::r2_score(&NdArray::from_slice(&preds), &NdArray::from_slice(&targets))
+            .unwrap();
     assert!(r2 > 0.7, "R² = {r2}");
 }

@@ -99,10 +99,7 @@ mod tests {
         let bounds = Bounds::new(vec![0.0], vec![1.0]);
         let solver = SqpSolver::default();
         let multi = maximize_multi_start(&solver, &obj, &bounds, &[vec![0.2], vec![0.6]]);
-        assert_eq!(
-            multi.total_evaluations(),
-            multi.runs.iter().map(|r| r.evaluations).sum::<usize>()
-        );
+        assert_eq!(multi.total_evaluations(), multi.runs.iter().map(|r| r.evaluations).sum::<usize>());
         assert!(multi.total_evaluations() >= 2);
     }
 

@@ -83,8 +83,7 @@ struct Swarm {
 impl Swarm {
     fn seeded(x: Vec<f64>, f: f64) -> Self {
         let dim = x.len();
-        let particle =
-            Particle { x: x.clone(), v: vec![0.0; dim], pbest_x: x.clone(), pbest_f: f };
+        let particle = Particle { x: x.clone(), v: vec![0.0; dim], pbest_x: x.clone(), pbest_f: f };
         Self { particles: vec![particle], gbest_x: x, gbest_f: f }
     }
 
@@ -141,7 +140,12 @@ impl Nmmso {
     /// Only [`Objective::value`] is used (NMMSO is derivative-free); the
     /// SQP refinement afterwards is where gradients come in.
     #[must_use]
-    pub fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, rng: &mut impl Rng) -> NmmsoResult {
+    pub fn maximize(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut impl Rng,
+    ) -> NmmsoResult {
         let cfg = &self.config;
         let merge_dist = bounds.diameter() * cfg.merge_distance_fraction;
         let mut evaluations = 0;
@@ -170,11 +174,8 @@ impl Nmmso {
                 if swarm.particles.len() < cfg.swarm_size {
                     // Increment: sample a new particle near the swarm best.
                     let radius = merge_dist.max(1e-9);
-                    let x: Vec<f64> = swarm
-                        .gbest_x
-                        .iter()
-                        .map(|&c| c + rng.gen_range(-radius..=radius))
-                        .collect();
+                    let x: Vec<f64> =
+                        swarm.gbest_x.iter().map(|&c| c + rng.gen_range(-radius..=radius)).collect();
                     let x = bounds.projected(&x);
                     let f = eval(&x, &mut evaluations);
                     if f > swarm.gbest_f {
@@ -192,7 +193,8 @@ impl Nmmso {
                     let gbest = swarm.gbest_x.clone();
                     let mut new_best: Option<(Vec<f64>, f64)> = None;
                     for p in &mut swarm.particles {
-                        #[allow(clippy::needless_range_loop)] // indexes x, v, pbest, gbest in lockstep
+                        #[allow(clippy::needless_range_loop)]
+                        // indexes x, v, pbest, gbest in lockstep
                         for d in 0..p.x.len() {
                             let r1: f64 = rng.gen();
                             let r2: f64 = rng.gen();

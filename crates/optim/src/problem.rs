@@ -111,12 +111,7 @@ impl Bounds {
     /// Euclidean diameter of the box (for niching distance thresholds).
     #[must_use]
     pub fn diameter(&self) -> f64 {
-        self.lower
-            .iter()
-            .zip(&self.upper)
-            .map(|(l, u)| (u - l) * (u - l))
-            .sum::<f64>()
-            .sqrt()
+        self.lower.iter().zip(&self.upper).map(|(l, u)| (u - l) * (u - l)).sum::<f64>().sqrt()
     }
 
     /// Norm of the *projected* gradient: the first-order optimality measure
@@ -217,8 +212,7 @@ impl<'a> BoxNormalized<'a> {
     pub fn new(inner: &'a dyn Objective, bounds: &Bounds) -> (Self, Bounds) {
         assert_eq!(inner.dim(), bounds.dim(), "objective/bounds dimension mismatch");
         let lower = bounds.lower().to_vec();
-        let span: Vec<f64> =
-            bounds.lower().iter().zip(bounds.upper()).map(|(l, u)| u - l).collect();
+        let span: Vec<f64> = bounds.lower().iter().zip(bounds.upper()).map(|(l, u)| u - l).collect();
         let unit = Bounds::new(vec![0.0; lower.len()], vec![1.0; lower.len()]);
         (Self { inner, lower, span }, unit)
     }
@@ -226,12 +220,7 @@ impl<'a> BoxNormalized<'a> {
     /// Maps a unit-cube point to original coordinates.
     #[must_use]
     pub fn to_x(&self, u: &[f64]) -> Vec<f64> {
-        self.lower
-            .iter()
-            .zip(&self.span)
-            .zip(u)
-            .map(|((l, s), v)| l + s * v.clamp(0.0, 1.0))
-            .collect()
+        self.lower.iter().zip(&self.span).zip(u).map(|((l, s), v)| l + s * v.clamp(0.0, 1.0)).collect()
     }
 
     /// Maps an original-coordinate point into the unit cube.
@@ -328,11 +317,7 @@ mod tests {
 
     #[test]
     fn box_normalized_roundtrip_and_chain_rule() {
-        let obj = FnObjective::new(
-            2,
-            |x: &[f64]| x[0] * 2.0 + x[1],
-            |_| vec![2.0, 1.0],
-        );
+        let obj = FnObjective::new(2, |x: &[f64]| x[0] * 2.0 + x[1], |_| vec![2.0, 1.0]);
         let bounds = Bounds::new(vec![10.0, -5.0], vec![20.0, 5.0]);
         let (norm, unit) = BoxNormalized::new(&obj, &bounds);
         assert_eq!(unit.dim(), 2);

@@ -123,15 +123,13 @@ mod tests {
             &[0.0, 0.0],
             &ProjGradConfig { max_iterations: 1000, ..ProjGradConfig::default() },
         );
-        let sqp = SqpSolver::new(SqpConfig { max_iterations: 1000, ..SqpConfig::default() })
-            .maximize(&obj, &bounds, &[0.0, 0.0]);
-        assert!(sqp.converged && pg.converged);
-        assert!(
-            sqp.iterations <= pg.iterations,
-            "sqp {} vs pg {}",
-            sqp.iterations,
-            pg.iterations
+        let sqp = SqpSolver::new(SqpConfig { max_iterations: 1000, ..SqpConfig::default() }).maximize(
+            &obj,
+            &bounds,
+            &[0.0, 0.0],
         );
+        assert!(sqp.converged && pg.converged);
+        assert!(sqp.iterations <= pg.iterations, "sqp {} vs pg {}", sqp.iterations, pg.iterations);
     }
 
     #[test]

@@ -156,7 +156,13 @@ impl SymMatrix {
 ///
 /// Panics when dimensions disagree or any `lo > hi`.
 #[must_use]
-pub fn solve_box_qp(b: &SymMatrix, g: &[f64], lo: &[f64], hi: &[f64], max_iterations: usize) -> Vec<f64> {
+pub fn solve_box_qp(
+    b: &SymMatrix,
+    g: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    max_iterations: usize,
+) -> Vec<f64> {
     let n = b.order();
     assert_eq!(g.len(), n);
     assert_eq!(lo.len(), n);

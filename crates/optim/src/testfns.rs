@@ -38,12 +38,9 @@ pub fn neg_rastrigin(dim: usize) -> impl Objective {
     FnObjective::new(
         dim,
         move |x: &[f64]| {
-            -(10.0 * dim as f64
-                + x.iter().map(|v| v * v - 10.0 * (2.0 * PI * v).cos()).sum::<f64>())
+            -(10.0 * dim as f64 + x.iter().map(|v| v * v - 10.0 * (2.0 * PI * v).cos()).sum::<f64>())
         },
-        |x: &[f64]| {
-            x.iter().map(|v| -(2.0 * v + 20.0 * PI * (2.0 * PI * v).sin())).collect()
-        },
+        |x: &[f64]| x.iter().map(|v| -(2.0 * v + 20.0 * PI * (2.0 * PI * v).sin())).collect(),
     )
 }
 
@@ -56,15 +53,11 @@ pub fn neg_six_hump_camel() -> impl Objective {
         2,
         |v: &[f64]| {
             let (x, y) = (v[0], v[1]);
-            -((4.0 - 2.1 * x * x + x.powi(4) / 3.0) * x * x + x * y
-                + (-4.0 + 4.0 * y * y) * y * y)
+            -((4.0 - 2.1 * x * x + x.powi(4) / 3.0) * x * x + x * y + (-4.0 + 4.0 * y * y) * y * y)
         },
         |v: &[f64]| {
             let (x, y) = (v[0], v[1]);
-            vec![
-                -(8.0 * x - 8.4 * x.powi(3) + 2.0 * x.powi(5) + y),
-                -(x - 8.0 * y + 16.0 * y.powi(3)),
-            ]
+            vec![-(8.0 * x - 8.4 * x.powi(3) + 2.0 * x.powi(5) + y), -(x - 8.0 * y + 16.0 * y.powi(3))]
         },
     )
 }
@@ -138,8 +131,9 @@ mod tests {
         use crate::{Bounds, SqpConfig, SqpSolver};
         let f = neg_six_hump_camel();
         let bounds = Bounds::new(vec![-2.0, -1.0], vec![2.0, 1.0]);
-        let r = SqpSolver::new(SqpConfig { max_iterations: 500, initial_step: 0.1, ..SqpConfig::default() })
-            .maximize(&f, &bounds, &[0.5, -0.5]);
+        let r =
+            SqpSolver::new(SqpConfig { max_iterations: 500, initial_step: 0.1, ..SqpConfig::default() })
+                .maximize(&f, &bounds, &[0.5, -0.5]);
         assert!(r.value > 1.0, "reached {r:?}");
     }
 

@@ -3,8 +3,8 @@
 
 use neurfill_optim::testfns::gaussian_peaks;
 use neurfill_optim::{
-    maximize_projected_gradient, Bounds, BoxNormalized, FnObjective, Nmmso, NmmsoConfig,
-    ProjGradConfig, SqpConfig, SqpSolver,
+    maximize_projected_gradient, Bounds, BoxNormalized, FnObjective, Nmmso, NmmsoConfig, ProjGradConfig,
+    SqpConfig, SqpSolver,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -15,19 +15,9 @@ fn quadratic(center: Vec<f64>, weights: Vec<f64>) -> impl neurfill_optim::Object
     FnObjective::new(
         center.len(),
         move |x: &[f64]| {
-            -x.iter()
-                .zip(&center)
-                .zip(&weights)
-                .map(|((a, b), w)| w * (a - b) * (a - b))
-                .sum::<f64>()
+            -x.iter().zip(&center).zip(&weights).map(|((a, b), w)| w * (a - b) * (a - b)).sum::<f64>()
         },
-        move |x: &[f64]| {
-            x.iter()
-                .zip(&c2)
-                .zip(&w2)
-                .map(|((a, b), w)| -2.0 * w * (a - b))
-                .collect()
-        },
+        move |x: &[f64]| x.iter().zip(&c2).zip(&w2).map(|((a, b), w)| -2.0 * w * (a - b)).collect(),
     )
 }
 

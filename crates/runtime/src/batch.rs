@@ -1,0 +1,250 @@
+//! Window-batched surrogate inference server.
+//!
+//! One dedicated thread owns a hydrated network and answers height
+//! predictions for window samples sent by any number of concurrent jobs.
+//! Requests that arrive within a short linger window are coalesced into a
+//! single multi-sample UNet forward (`[B, C, H, W]`), cutting per-forward
+//! dispatch overhead while staying bit-identical per sample (see
+//! `neurfill_nn::batch`). Samples are plain `NdArray`s, so they cross
+//! threads even though the autograd graphs cannot.
+
+use crate::registry::ModelBundle;
+use crate::stats::StatsInner;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use neurfill_tensor::NdArray;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Batching policy of the inference server.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Hard cap on samples per multi-sample forward.
+    pub max_batch: usize,
+    /// How long the server waits for more requests after the first one
+    /// before running the forward. Zero disables coalescing across
+    /// submission boundaries (same-submission samples still batch).
+    pub linger: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { max_batch: 16, linger: Duration::from_millis(2) }
+    }
+}
+
+struct InferRequest {
+    sample: NdArray,
+    reply: Sender<Result<Vec<f64>, String>>,
+}
+
+/// Cloneable handle submitting samples to the server.
+#[derive(Debug, Clone)]
+pub struct BatchClient {
+    tx: Sender<InferRequest>,
+}
+
+impl BatchClient {
+    /// Predicts denormalized heights (nm) for every rank-3
+    /// `[C, rows, cols]` window sample, in order. All samples are enqueued
+    /// before any reply is awaited, so a multi-layer prediction forms one
+    /// batch even with no concurrent jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the forward error for the sample's batch, or a message when
+    /// the server is gone.
+    pub fn predict_heights(&self, samples: &[NdArray]) -> Result<Vec<Vec<f64>>, String> {
+        let mut replies = Vec::with_capacity(samples.len());
+        for sample in samples {
+            let (reply, rx) = bounded(1);
+            self.tx
+                .send(InferRequest { sample: sample.clone(), reply })
+                .map_err(|_| "batch inference server is shut down".to_string())?;
+            replies.push(rx);
+        }
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| "batch inference server dropped a request".to_string())?)
+            .collect()
+    }
+}
+
+/// The server thread. Exits when every [`BatchClient`] is dropped.
+#[derive(Debug)]
+pub struct BatchServer {
+    handle: JoinHandle<()>,
+}
+
+impl BatchServer {
+    /// Hydrates a network from `bundle` on a new thread and starts serving.
+    /// Returns once the network is ready.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the hydration error.
+    pub fn spawn(bundle: Arc<ModelBundle>, config: BatchConfig) -> std::io::Result<(Self, BatchClient)> {
+        Self::spawn_with_stats(bundle, config, Arc::new(StatsInner::default()))
+    }
+
+    /// [`BatchServer::spawn`] recording into the pool's shared counters.
+    pub(crate) fn spawn_with_stats(
+        bundle: Arc<ModelBundle>,
+        config: BatchConfig,
+        stats: Arc<StatsInner>,
+    ) -> std::io::Result<(Self, BatchClient)> {
+        let (tx, rx) = unbounded::<InferRequest>();
+        let (ready_tx, ready_rx) = bounded::<std::io::Result<()>>(1);
+        let handle = std::thread::Builder::new()
+            .name("neurfill-batch".into())
+            .spawn(move || {
+                let start = Instant::now();
+                let network = match bundle.hydrate() {
+                    Ok(n) => n,
+                    Err(e) => {
+                        let _ = ready_tx.send(Err(e));
+                        return;
+                    }
+                };
+                stats.hydrations.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                StatsInner::add_duration(&stats.hydrate_nanos, start.elapsed());
+                let _ = ready_tx.send(Ok(()));
+                serve(&network, &rx, &config, &stats);
+            })
+            .expect("spawn batch server thread");
+        ready_rx
+            .recv()
+            .map_err(|_| std::io::Error::other("batch server died before becoming ready"))??;
+        Ok((Self { handle }, BatchClient { tx }))
+    }
+
+    /// Waits for the server thread to exit (drop every client first).
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+}
+
+fn serve(
+    network: &neurfill::CmpNeuralNetwork,
+    rx: &Receiver<InferRequest>,
+    config: &BatchConfig,
+    stats: &StatsInner,
+) {
+    let max_batch = config.max_batch.max(1);
+    while let Ok(first) = rx.recv() {
+        let mut pending = vec![first];
+        let deadline = Instant::now() + config.linger;
+        while pending.len() < max_batch {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                // Linger expired: only drain what is already queued.
+                match rx.try_recv() {
+                    Ok(req) => pending.push(req),
+                    Err(_) => break,
+                }
+            } else {
+                match rx.recv_timeout(left) {
+                    Ok(req) => pending.push(req),
+                    Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        run_batch(network, pending, stats);
+    }
+}
+
+/// Forwards one coalesced batch, grouping by sample shape (jobs over
+/// different layout geometries share the server).
+fn run_batch(network: &neurfill::CmpNeuralNetwork, pending: Vec<InferRequest>, stats: &StatsInner) {
+    let mut groups: Vec<(Vec<usize>, Vec<InferRequest>)> = Vec::new();
+    for req in pending {
+        let shape = req.sample.shape().to_vec();
+        match groups.iter_mut().find(|(s, _)| *s == shape) {
+            Some((_, g)) => g.push(req),
+            None => groups.push((shape, vec![req])),
+        }
+    }
+    for (_, group) in groups {
+        let samples: Vec<NdArray> = group.iter().map(|r| r.sample.clone()).collect();
+        stats.batches_formed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        stats.samples_inferred.fetch_add(samples.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        match network.predict_heights_batch(&samples) {
+            Ok(heights) => {
+                for (req, h) in group.into_iter().zip(heights) {
+                    let _ = req.reply.send(Ok(h));
+                }
+            }
+            Err(e) => {
+                for req in group {
+                    let _ = req.reply.send(Err(format!("batched forward failed: {e}")));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::tiny_network;
+
+    fn server(linger: Duration) -> (BatchServer, BatchClient, Arc<StatsInner>) {
+        let bundle = Arc::new(ModelBundle::from_network(&tiny_network(1)).unwrap());
+        let stats = Arc::new(StatsInner::default());
+        let (server, client) = BatchServer::spawn_with_stats(
+            bundle,
+            BatchConfig { max_batch: 8, linger },
+            Arc::clone(&stats),
+        )
+        .unwrap();
+        (server, client, stats)
+    }
+
+    #[test]
+    fn multi_sample_submission_forms_one_batch() {
+        let (server, client, stats) = server(Duration::from_millis(5));
+        let net = tiny_network(1);
+        let layout = crate::test_util::tiny_layout(3);
+        let samples: Vec<NdArray> =
+            (0..3).map(|l| net.extract_window_sample(&layout, l).unwrap()).collect();
+        let batched = client.predict_heights(&samples).unwrap();
+        for (l, h) in batched.iter().enumerate() {
+            assert_eq!(h, &net.predict_layer_heights(&layout, l).unwrap());
+        }
+        drop(client);
+        server.join();
+        let snap = stats.snapshot();
+        assert_eq!(snap.samples_inferred, 3);
+        assert!(snap.mean_batch_occupancy > 1.0, "occupancy {}", snap.mean_batch_occupancy);
+    }
+
+    #[test]
+    fn mixed_shapes_are_answered_separately_but_correctly() {
+        let (server, client, _) = server(Duration::from_millis(5));
+        let net = tiny_network(1);
+        let (small, large) = (crate::test_util::tiny_layout(1), crate::test_util::large_layout(1));
+        let samples = vec![
+            net.extract_window_sample(&small, 0).unwrap(),
+            net.extract_window_sample(&large, 0).unwrap(),
+        ];
+        let heights = client.predict_heights(&samples).unwrap();
+        assert_eq!(heights[0], net.predict_layer_heights(&small, 0).unwrap());
+        assert_eq!(heights[1], net.predict_layer_heights(&large, 0).unwrap());
+        drop(client);
+        server.join();
+    }
+
+    #[test]
+    fn server_survives_bad_samples() {
+        let (server, client, _) = server(Duration::ZERO);
+        let bad = NdArray::zeros(&[2, 2]);
+        assert!(client.predict_heights(std::slice::from_ref(&bad)).is_err());
+        // Still serving afterwards.
+        let net = tiny_network(1);
+        let layout = crate::test_util::tiny_layout(1);
+        let sample = net.extract_window_sample(&layout, 0).unwrap();
+        assert!(client.predict_heights(std::slice::from_ref(&sample)).is_ok());
+        drop(client);
+        server.join();
+    }
+}

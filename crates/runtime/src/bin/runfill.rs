@@ -1,0 +1,236 @@
+//! `runfill` — fan a directory of layouts across the concurrent
+//! fill-synthesis pool and write one report per layout.
+//!
+//! ```text
+//! runfill --model surrogate.bundle --layouts designs/ [--out reports/]
+//!         [--workers N] [--timeout-s S] [--max-batch B] [--linger-ms M]
+//!         [--fast] [--init-demo N]
+//! ```
+//!
+//! `--init-demo N` bootstraps a working directory: generates `N` benchmark
+//! layouts into `--layouts` and, when the `--model` file is missing, trains
+//! a small surrogate and saves it there — enough to exercise the full
+//! runtime end to end on a fresh checkout.
+
+use neurfill::extraction::NUM_CHANNELS;
+use neurfill::pipeline::FlowConfig;
+use neurfill::surrogate::{train_surrogate, SurrogateConfig};
+use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_layout::datagen::DataGenConfig;
+use neurfill_layout::{benchmark_designs, io as layout_io, DesignKind, DesignSpec};
+use neurfill_nn::{TrainConfig, UNetConfig};
+use neurfill_runtime::{BatchConfig, JobSpec, JobStatus, ModelRegistry, PoolOptions, RuntimePool};
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    model: PathBuf,
+    layouts: PathBuf,
+    out: Option<PathBuf>,
+    workers: usize,
+    timeout: Option<Duration>,
+    max_batch: usize,
+    linger: Duration,
+    fast: bool,
+    init_demo: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: runfill --model <bundle> --layouts <dir> [--out <dir>] [--workers N]\n\
+         \x20             [--timeout-s S] [--max-batch B] [--linger-ms M] [--fast] [--init-demo N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        model: PathBuf::new(),
+        layouts: PathBuf::new(),
+        out: None,
+        workers: 0,
+        timeout: None,
+        max_batch: 16,
+        linger: Duration::from_millis(2),
+        fast: false,
+        init_demo: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--model" => args.model = value(&mut it, "--model").into(),
+            "--layouts" => args.layouts = value(&mut it, "--layouts").into(),
+            "--out" => args.out = Some(value(&mut it, "--out").into()),
+            "--workers" => args.workers = parse_num(&value(&mut it, "--workers"), "--workers"),
+            "--timeout-s" => {
+                args.timeout = Some(Duration::from_secs_f64(parse_num(
+                    &value(&mut it, "--timeout-s"),
+                    "--timeout-s",
+                )))
+            }
+            "--max-batch" => args.max_batch = parse_num(&value(&mut it, "--max-batch"), "--max-batch"),
+            "--linger-ms" => {
+                args.linger =
+                    Duration::from_millis(parse_num(&value(&mut it, "--linger-ms"), "--linger-ms"))
+            }
+            "--fast" => args.fast = true,
+            "--init-demo" => args.init_demo = parse_num(&value(&mut it, "--init-demo"), "--init-demo"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if args.model.as_os_str().is_empty() || args.layouts.as_os_str().is_empty() {
+        usage();
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}");
+        usage()
+    })
+}
+
+fn init_demo(args: &Args) -> Result<(), String> {
+    std::fs::create_dir_all(&args.layouts).map_err(|e| e.to_string())?;
+    let kinds = [DesignKind::CmpTest, DesignKind::Fpga, DesignKind::RiscV];
+    for i in 0..args.init_demo {
+        let kind = kinds[i % kinds.len()];
+        let layout = DesignSpec::new(kind, 8, 8, i as u64).generate();
+        let path = args.layouts.join(format!("demo_{i:02}_{}.layout", layout.name()));
+        layout_io::save_to_file(&layout, &path).map_err(|e| e.to_string())?;
+        println!("wrote {}", path.display());
+    }
+    if !args.model.exists() {
+        println!("training demo surrogate (small budget)...");
+        let sim = CmpSimulator::new(process_params(args))?;
+        let sources = benchmark_designs(8, 8, 1);
+        let config = SurrogateConfig {
+            unet: UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 4, depth: 2 },
+            train: TrainConfig { epochs: 2, batch_size: 4, lr: 2e-3, lr_decay: 1.0 },
+            num_layouts: 6,
+            datagen: DataGenConfig { rows: 8, cols: 8, seed: 1, ..DataGenConfig::default() },
+            ..SurrogateConfig::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let trained = train_surrogate(&sources, &sim, &config, &mut rng).map_err(|e| e.to_string())?;
+        neurfill::persist::save_to_file(&trained.network, &args.model).map_err(|e| e.to_string())?;
+        println!("wrote {}", args.model.display());
+    }
+    Ok(())
+}
+
+fn process_params(args: &Args) -> ProcessParams {
+    if args.fast {
+        ProcessParams::fast()
+    } else {
+        ProcessParams::default()
+    }
+}
+
+fn load_layouts(dir: &Path) -> Result<Vec<(String, neurfill_layout::Layout)>, String> {
+    let mut layouts = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if !path.is_file() {
+            continue;
+        }
+        match layout_io::load_from_file(&path) {
+            Ok(layout) => {
+                let stem = path
+                    .file_stem()
+                    .map_or_else(|| layout.name().to_string(), |s| s.to_string_lossy().into_owned());
+                layouts.push((stem, layout));
+            }
+            Err(e) => eprintln!("skipping {}: {e}", path.display()),
+        }
+    }
+    // Stable job order regardless of directory iteration order.
+    layouts.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(layouts)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args();
+    if args.init_demo > 0 {
+        init_demo(&args)?;
+    }
+
+    let registry = ModelRegistry::new();
+    let bundle =
+        registry.load(&args.model).map_err(|e| format!("loading {}: {e}", args.model.display()))?;
+    println!("model bundle {} (digest {:016x})", args.model.display(), bundle.digest());
+
+    let layouts = load_layouts(&args.layouts)?;
+    if layouts.is_empty() {
+        return Err(format!("no readable layouts in {}", args.layouts.display()));
+    }
+
+    let flow = FlowConfig { process: process_params(&args), ..FlowConfig::default() };
+    let options = PoolOptions {
+        workers: args.workers,
+        batch: BatchConfig { max_batch: args.max_batch.max(1), linger: args.linger },
+        default_timeout: args.timeout,
+    };
+    let pool = RuntimePool::new(bundle, flow, options).map_err(|e| e.to_string())?;
+
+    let out_dir = args.out.clone().unwrap_or_else(|| args.layouts.join("reports"));
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+
+    let ids: Vec<_> = layouts
+        .into_iter()
+        .map(|(name, layout)| (name.clone(), pool.submit(JobSpec::new(name, layout))))
+        .collect();
+    println!("submitted {} jobs", ids.len());
+
+    let mut failures = 0usize;
+    for (name, id) in &ids {
+        match pool.wait(*id) {
+            JobStatus::Done(report) => {
+                let path = out_dir.join(format!("{name}.report.txt"));
+                std::fs::write(&path, report.to_text()).map_err(|e| e.to_string())?;
+                println!(
+                    "done  {name}: quality {:.4} overall {:.4} fill {:.0} um2 -> {}",
+                    report.quality,
+                    report.overall,
+                    report.plan.total(),
+                    path.display()
+                );
+            }
+            JobStatus::Failed(e) => {
+                failures += 1;
+                println!("FAIL  {name}: {e}");
+            }
+            JobStatus::Queued | JobStatus::Running => unreachable!("wait returns terminal states"),
+        }
+    }
+
+    let stats = pool.shutdown();
+    println!("{stats}");
+    println!("model cache: {} hits, {} misses", registry.cache_hits(), registry.cache_misses());
+    Ok(failures == 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("runfill: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! The concurrent fill-synthesis pool: a job queue fanned across worker
+//! threads that share one model bundle and one batch inference server.
+//!
+//! Each worker hydrates its own network from the bundle (the autograd
+//! substrate is thread-local), assembles a [`FillingFlow`] once, and then
+//! processes jobs until the queue closes. Results are bit-identical to a
+//! sequential `FillingFlow::run` over the same bundle and configuration —
+//! workers run the same weights, and the batched verification forward is
+//! per-sample identical to single forwards.
+
+use crate::batch::{BatchClient, BatchConfig, BatchServer};
+use crate::job::{JobId, JobReport, JobSpec, JobStatus};
+use crate::registry::ModelBundle;
+use crate::stats::{RuntimeStats, StatsInner};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use neurfill::pipeline::{FillingFlow, FlowConfig};
+use neurfill::PlanarityMetrics;
+use neurfill_cmpsim::ChipProfile;
+use neurfill_cmpsim::LayerProfile;
+use neurfill_layout::apply_fill;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Pool construction options.
+#[derive(Debug, Clone, Default)]
+pub struct PoolOptions {
+    /// Worker threads; `0` uses [`default_workers`].
+    pub workers: usize,
+    /// Batch inference policy.
+    pub batch: BatchConfig,
+    /// Deadline applied to jobs that don't carry their own.
+    pub default_timeout: Option<Duration>,
+}
+
+/// The machine's available parallelism, clamped to at least one worker.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).max(1)
+}
+
+#[derive(Debug)]
+struct Queued {
+    id: JobId,
+    spec: JobSpec,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct JobTable {
+    jobs: Mutex<HashMap<JobId, JobStatus>>,
+    changed: Condvar,
+}
+
+impl JobTable {
+    fn set(&self, id: JobId, status: JobStatus) {
+        self.jobs.lock().insert(id, status);
+        self.changed.notify_all();
+    }
+}
+
+/// The concurrent batch fill-synthesis runtime.
+pub struct RuntimePool {
+    tx: Option<Sender<Queued>>,
+    workers: Vec<JoinHandle<()>>,
+    server: Option<BatchServer>,
+    client: Option<BatchClient>,
+    table: Arc<JobTable>,
+    stats: Arc<StatsInner>,
+    next_id: AtomicU64,
+    default_timeout: Option<Duration>,
+}
+
+impl std::fmt::Debug for RuntimePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RuntimePool({} workers)", self.workers.len())
+    }
+}
+
+impl RuntimePool {
+    /// Starts the pool: spawns the batch server plus `options.workers`
+    /// workers, each hydrating its own network from `bundle` and binding it
+    /// into a flow under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the batch server cannot hydrate the bundle.
+    /// Worker hydration failures surface per job instead, so a pool is
+    /// never half-constructed.
+    pub fn new(
+        bundle: Arc<ModelBundle>,
+        config: FlowConfig,
+        options: PoolOptions,
+    ) -> std::io::Result<Self> {
+        let stats = Arc::new(StatsInner::default());
+        let (server, client) = BatchServer::spawn_with_stats(
+            Arc::clone(&bundle),
+            options.batch.clone(),
+            Arc::clone(&stats),
+        )?;
+        let table = Arc::new(JobTable::default());
+        let (tx, rx) = unbounded::<Queued>();
+        let worker_count = if options.workers == 0 { default_workers() } else { options.workers };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let rx = rx.clone();
+                let bundle = Arc::clone(&bundle);
+                let config = config.clone();
+                let table = Arc::clone(&table);
+                let stats = Arc::clone(&stats);
+                let client = client.clone();
+                std::thread::Builder::new()
+                    .name(format!("neurfill-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &bundle, config, &table, &stats, &client))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Ok(Self {
+            tx: Some(tx),
+            workers,
+            server: Some(server),
+            client: Some(client),
+            table,
+            stats,
+            next_id: AtomicU64::new(1),
+            default_timeout: options.default_timeout,
+        })
+    }
+
+    /// Enqueues a job and returns its id immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after [`RuntimePool::shutdown`] (the pool is
+    /// consumed there, so this needs `unsafe`-free misuse via a clone —
+    /// practically unreachable).
+    pub fn submit(&self, mut spec: JobSpec) -> JobId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        spec.timeout = spec.timeout.or(self.default_timeout);
+        self.table.set(id, JobStatus::Queued);
+        self.stats.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .as_ref()
+            .expect("pool is running")
+            .send(Queued { id, spec, enqueued: Instant::now() })
+            .expect("workers alive while pool is running");
+        id
+    }
+
+    /// The job's current status, or `None` for an unknown id.
+    #[must_use]
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.table.jobs.lock().get(&id).cloned()
+    }
+
+    /// Blocks until the job reaches a terminal status.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id this pool never issued.
+    #[must_use]
+    pub fn wait(&self, id: JobId) -> JobStatus {
+        let mut jobs = self.table.jobs.lock();
+        loop {
+            let status = jobs.get(&id).expect("job id issued by this pool").clone();
+            if status.is_terminal() {
+                return status;
+            }
+            self.table.changed.wait(&mut jobs);
+        }
+    }
+
+    /// Blocks until every submitted job is terminal; returns all statuses
+    /// sorted by id.
+    #[must_use]
+    pub fn wait_all(&self) -> Vec<(JobId, JobStatus)> {
+        let mut jobs = self.table.jobs.lock();
+        while jobs.values().any(|s| !s.is_terminal()) {
+            self.table.changed.wait(&mut jobs);
+        }
+        let mut out: Vec<(JobId, JobStatus)> = jobs.iter().map(|(id, s)| (*id, s.clone())).collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// A snapshot of the runtime counters.
+    #[must_use]
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats.snapshot()
+    }
+
+    /// Graceful shutdown: closes the queue, lets workers finish everything
+    /// already enqueued, stops the batch server, and returns final stats.
+    #[must_use]
+    pub fn shutdown(mut self) -> RuntimeStats {
+        self.stop();
+        self.stats.snapshot()
+    }
+
+    fn stop(&mut self) {
+        drop(self.tx.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        drop(self.client.take());
+        if let Some(server) = self.server.take() {
+            server.join();
+        }
+    }
+}
+
+impl Drop for RuntimePool {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(
+    rx: &Receiver<Queued>,
+    bundle: &ModelBundle,
+    config: FlowConfig,
+    table: &JobTable,
+    stats: &StatsInner,
+    client: &BatchClient,
+) {
+    // One hydration + flow assembly amortized over every job this worker
+    // takes. On failure the worker stays alive and fails its jobs with the
+    // hydration error instead of stalling the queue.
+    let start = Instant::now();
+    let flow = bundle
+        .hydrate()
+        .map_err(|e| format!("failed to hydrate model bundle: {e}"))
+        .and_then(|network| FillingFlow::with_network(Rc::new(network), config));
+    if flow.is_ok() {
+        stats.hydrations.fetch_add(1, Ordering::Relaxed);
+        StatsInner::add_duration(&stats.hydrate_nanos, start.elapsed());
+    }
+
+    while let Ok(job) = rx.recv() {
+        let deadline = job.spec.timeout.map(|t| job.enqueued + t);
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            fail(table, stats, job.id, format!("job '{}' timed out in queue", job.spec.name));
+            continue;
+        }
+        let flow = match &flow {
+            Ok(flow) => flow,
+            Err(e) => {
+                fail(table, stats, job.id, e.clone());
+                continue;
+            }
+        };
+        table.set(job.id, JobStatus::Running);
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(flow, client, &job.spec, stats)));
+        let status = match outcome {
+            Ok(Ok(report)) => {
+                if deadline.is_some_and(|d| Instant::now() > d) {
+                    JobStatus::Failed(format!("job '{}' exceeded its timeout", job.spec.name))
+                } else {
+                    JobStatus::Done(Box::new(report))
+                }
+            }
+            Ok(Err(e)) => JobStatus::Failed(e),
+            Err(panic) => {
+                JobStatus::Failed(format!("job '{}' panicked: {}", job.spec.name, panic_message(&panic)))
+            }
+        };
+        match status {
+            JobStatus::Failed(msg) => fail(table, stats, job.id, msg),
+            done => {
+                stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                table.set(job.id, done);
+            }
+        }
+    }
+}
+
+fn fail(table: &JobTable, stats: &StatsInner, id: JobId, msg: String) {
+    stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    table.set(id, JobStatus::Failed(msg));
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".into()
+    }
+}
+
+/// One job: synthesis through the worker's own flow, then surrogate
+/// verification of the filled layout through the shared batch server.
+fn run_job(
+    flow: &FillingFlow,
+    client: &BatchClient,
+    spec: &JobSpec,
+    stats: &StatsInner,
+) -> Result<JobReport, String> {
+    let synth_start = Instant::now();
+    let result = flow.run(&spec.layout)?;
+    StatsInner::add_duration(&stats.synthesis_nanos, synth_start.elapsed());
+
+    // Verification: predict the filled layout's post-CMP profile on the
+    // batch server. Each layer is one window sample; a multi-layer job
+    // already forms a batch, and overlapping jobs coalesce further.
+    let verify_start = Instant::now();
+    let dummy = flow.config().insertion_dummy_spec();
+    let filled = apply_fill(&spec.layout, &result.plan, &dummy);
+    let (rows, cols) = (filled.rows(), filled.cols());
+    let samples: Vec<_> = (0..filled.num_layers())
+        .map(|l| flow.network().extract_window_sample(&filled, l))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let heights = client.predict_heights(&samples)?;
+    let profile = ChipProfile::new(
+        heights
+            .into_iter()
+            .map(|h| {
+                let zeros = vec![0.0; rows * cols];
+                LayerProfile::new(rows, cols, h, zeros.clone(), zeros)
+            })
+            .collect(),
+    );
+    let predicted = PlanarityMetrics::from_profile(&profile);
+    StatsInner::add_duration(&stats.verify_nanos, verify_start.elapsed());
+
+    Ok(JobReport {
+        name: spec.name.clone(),
+        objective_value: result.synthesis.objective_value,
+        quality: result.scored.quality,
+        overall: result.scored.overall,
+        breakdown: result.scored.breakdown,
+        predicted,
+        synthesis_runtime: result.synthesis.runtime,
+        evaluations: result.synthesis.evaluations,
+        plan: result.plan,
+    })
+}

@@ -1,0 +1,120 @@
+//! Runtime counters, shared lock-free between workers, the batch server
+//! and the caller.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Internal atomic counters; snapshot through [`RuntimeStats`].
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub jobs_submitted: AtomicU64,
+    pub jobs_completed: AtomicU64,
+    pub jobs_failed: AtomicU64,
+    pub batches_formed: AtomicU64,
+    pub samples_inferred: AtomicU64,
+    pub hydrations: AtomicU64,
+    pub hydrate_nanos: AtomicU64,
+    pub synthesis_nanos: AtomicU64,
+    pub verify_nanos: AtomicU64,
+}
+
+impl StatsInner {
+    pub fn add_duration(field: &AtomicU64, d: Duration) {
+        field.fetch_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> RuntimeStats {
+        let batches = self.batches_formed.load(Ordering::Relaxed);
+        let samples = self.samples_inferred.load(Ordering::Relaxed);
+        RuntimeStats {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            batches_formed: batches,
+            samples_inferred: samples,
+            mean_batch_occupancy: if batches == 0 { 0.0 } else { samples as f64 / batches as f64 },
+            hydrations: self.hydrations.load(Ordering::Relaxed),
+            hydrate: Duration::from_nanos(self.hydrate_nanos.load(Ordering::Relaxed)),
+            synthesis: Duration::from_nanos(self.synthesis_nanos.load(Ordering::Relaxed)),
+            verify: Duration::from_nanos(self.verify_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the runtime's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeStats {
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: u64,
+    /// Jobs that finished with a report.
+    pub jobs_completed: u64,
+    /// Jobs that failed (error, panic or timeout).
+    pub jobs_failed: u64,
+    /// Multi-sample forwards executed by the batch server.
+    pub batches_formed: u64,
+    /// Window samples served across all batches.
+    pub samples_inferred: u64,
+    /// `samples_inferred / batches_formed` — above 1.0 whenever the server
+    /// coalesced forwards (within or across jobs).
+    pub mean_batch_occupancy: f64,
+    /// Networks hydrated from bundle bytes (once per worker + one for the
+    /// batch server).
+    pub hydrations: u64,
+    /// Wall-clock spent hydrating networks (summed across threads).
+    pub hydrate: Duration,
+    /// Wall-clock spent in fill synthesis (summed across workers).
+    pub synthesis: Duration,
+    /// Wall-clock spent in batched surrogate verification (summed across
+    /// workers, includes queueing at the batch server).
+    pub verify: Duration,
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "jobs: {} submitted, {} completed, {} failed",
+            self.jobs_submitted, self.jobs_completed, self.jobs_failed
+        )?;
+        writeln!(
+            f,
+            "inference: {} samples in {} batches (occupancy {:.2})",
+            self.samples_inferred, self.batches_formed, self.mean_batch_occupancy
+        )?;
+        write!(
+            f,
+            "stages: hydrate {:.3}s x{}, synthesis {:.3}s, verify {:.3}s",
+            self.hydrate.as_secs_f64(),
+            self.hydrations,
+            self.synthesis.as_secs_f64(),
+            self.verify.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_is_samples_per_batch() {
+        let inner = StatsInner::default();
+        inner.batches_formed.store(4, Ordering::Relaxed);
+        inner.samples_inferred.store(10, Ordering::Relaxed);
+        let snap = inner.snapshot();
+        assert!((snap.mean_batch_occupancy - 2.5).abs() < 1e-12);
+        assert_eq!(StatsInner::default().snapshot().mean_batch_occupancy, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_every_headline_number() {
+        let inner = StatsInner::default();
+        inner.jobs_submitted.store(7, Ordering::Relaxed);
+        inner.samples_inferred.store(21, Ordering::Relaxed);
+        inner.batches_formed.store(3, Ordering::Relaxed);
+        let text = inner.snapshot().to_string();
+        assert!(text.contains("7 submitted"));
+        assert!(text.contains("occupancy 7.00"));
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end smoke test of the concurrent runtime: a 2-worker pool over
+//! several jobs must complete them all, reproduce the sequential pipeline
+//! bit-for-bit, and contain failures without stalling other jobs.
+
+use neurfill::extraction::NUM_CHANNELS;
+use neurfill::pipeline::{FillingFlow, FlowConfig};
+use neurfill::{CmpNeuralNetwork, CmpNnConfig, HeightNorm, NeurFillConfig};
+use neurfill_cmpsim::ProcessParams;
+use neurfill_layout::{DesignKind, DesignSpec, Layout};
+use neurfill_nn::{UNet, UNetConfig};
+use neurfill_optim::SqpConfig;
+use neurfill_runtime::{BatchConfig, JobSpec, JobStatus, ModelBundle, PoolOptions, RuntimePool};
+use rand::SeedableRng;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn network(seed: u64) -> CmpNeuralNetwork {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let unet = UNet::new(
+        UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 4, depth: 2 },
+        &mut rng,
+    );
+    CmpNeuralNetwork::new(unet, HeightNorm::default(), Default::default(), CmpNnConfig::default())
+}
+
+fn flow_config() -> FlowConfig {
+    FlowConfig {
+        process: ProcessParams::fast(),
+        neurfill: NeurFillConfig {
+            sqp: SqpConfig { max_iterations: 8, ..SqpConfig::default() },
+            ..NeurFillConfig::default()
+        },
+        beta_time_s: 60.0,
+        ..FlowConfig::default()
+    }
+}
+
+fn layouts() -> Vec<Layout> {
+    vec![
+        DesignSpec::new(DesignKind::CmpTest, 8, 8, 1).generate(),
+        DesignSpec::new(DesignKind::Fpga, 8, 8, 2).generate(),
+        DesignSpec::new(DesignKind::RiscV, 8, 8, 3).generate(),
+        DesignSpec::new(DesignKind::CmpTest, 8, 8, 4).generate(),
+    ]
+}
+
+#[test]
+fn pool_matches_sequential_flow_and_contains_failures() {
+    let bundle = Arc::new(ModelBundle::from_network(&network(42)).unwrap());
+    let config = flow_config();
+
+    let pool = RuntimePool::new(
+        Arc::clone(&bundle),
+        config.clone(),
+        PoolOptions {
+            workers: 2,
+            batch: BatchConfig { max_batch: 8, linger: Duration::from_millis(2) },
+            default_timeout: None,
+        },
+    )
+    .unwrap();
+
+    let good: Vec<_> = layouts()
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| (l.clone(), pool.submit(JobSpec::new(format!("job-{i}"), l))))
+        .collect();
+    // Deliberate failure: 6x6 is not divisible by the depth-2 UNet's
+    // down-sampling factor, so synthesis errors out.
+    let bad = pool
+        .submit(JobSpec::new("bad-geometry", DesignSpec::new(DesignKind::CmpTest, 6, 6, 9).generate()));
+
+    // The failing job reports Failed with its error...
+    match pool.wait(bad) {
+        JobStatus::Failed(msg) => assert!(msg.contains("not divisible"), "unexpected: {msg}"),
+        other => panic!("bad job must fail, got {other:?}"),
+    }
+
+    // ...and every other job still completes, matching a sequential
+    // FillingFlow over the same bundle bit-for-bit.
+    let sequential = FillingFlow::with_network(Rc::new(bundle.hydrate().unwrap()), config).unwrap();
+    for (layout, id) in good {
+        let report = match pool.wait(id) {
+            JobStatus::Done(report) => report,
+            other => panic!("job must complete, got {other:?}"),
+        };
+        let expected = sequential.run(&layout).unwrap();
+        assert_eq!(report.plan.as_slice(), expected.plan.as_slice(), "{}", report.name);
+        assert_eq!(report.quality, expected.scored.quality, "{}", report.name);
+        assert_eq!(report.objective_value, expected.synthesis.objective_value, "{}", report.name);
+        // `overall` folds the measured wall-clock into the score, so it is
+        // close but not bit-comparable across runs; every deterministic
+        // output above is.
+        assert!(report.overall.is_finite());
+        assert!(report.predicted.sigma.is_finite());
+    }
+
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs_submitted, 5);
+    assert_eq!(stats.jobs_completed, 4);
+    assert_eq!(stats.jobs_failed, 1);
+    // Each job verifies its 3 layers through the batch server in one
+    // submission, so occupancy must exceed 1 even without overlap.
+    assert!(
+        stats.mean_batch_occupancy > 1.0,
+        "expected coalesced batches, got occupancy {}",
+        stats.mean_batch_occupancy
+    );
+    // The server always hydrates; workers hydrate at startup (3 total
+    // here, but a worker that never got scheduled before shutdown still
+    // counts, so only assert the lower bound that matters).
+    assert!(stats.hydrations >= 2, "server + at least one worker must hydrate");
+}
+
+#[test]
+fn zero_timeout_fails_in_queue_without_stalling_the_pool() {
+    let bundle = Arc::new(ModelBundle::from_network(&network(7)).unwrap());
+    let pool =
+        RuntimePool::new(bundle, flow_config(), PoolOptions { workers: 1, ..PoolOptions::default() })
+            .unwrap();
+
+    let expired = pool.submit(JobSpec {
+        name: "expired".into(),
+        layout: DesignSpec::new(DesignKind::CmpTest, 8, 8, 1).generate(),
+        timeout: Some(Duration::ZERO),
+    });
+    let normal =
+        pool.submit(JobSpec::new("normal", DesignSpec::new(DesignKind::Fpga, 8, 8, 2).generate()));
+
+    match pool.wait(expired) {
+        JobStatus::Failed(msg) => assert!(msg.contains("timed out"), "unexpected: {msg}"),
+        other => panic!("expired job must fail, got {other:?}"),
+    }
+    assert!(matches!(pool.wait(normal), JobStatus::Done(_)));
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs_completed, 1);
+    assert_eq!(stats.jobs_failed, 1);
+}

@@ -229,7 +229,11 @@ impl NdArray {
     /// Returns [`TensorError::RankMismatch`] for non-matrices.
     pub fn transpose2d(&self) -> Result<Self> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "transpose2d" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "transpose2d",
+            });
         }
         let (r, c) = (self.shape[0], self.shape[1]);
         let mut out = Self::zeros(&[c, r]);
@@ -281,9 +285,8 @@ impl NdArray {
     /// Returns an error when `parts` is empty, the axis is invalid, or the
     /// non-concatenated extents differ.
     pub fn concat(parts: &[&Self], axis: usize) -> Result<Self> {
-        let first = parts
-            .first()
-            .ok_or_else(|| TensorError::InvalidArgument("concat of zero arrays".into()))?;
+        let first =
+            parts.first().ok_or_else(|| TensorError::InvalidArgument("concat of zero arrays".into()))?;
         let rank = first.rank();
         if axis >= rank {
             return Err(TensorError::InvalidAxis { axis, rank });
@@ -291,7 +294,11 @@ impl NdArray {
         let mut total = 0;
         for p in parts {
             if p.rank() != rank {
-                return Err(TensorError::RankMismatch { expected: rank, actual: p.rank(), op: "concat" });
+                return Err(TensorError::RankMismatch {
+                    expected: rank,
+                    actual: p.rank(),
+                    op: "concat",
+                });
             }
             for (ax, (&a, &b)) in first.shape.iter().zip(&p.shape).enumerate() {
                 if ax != axis && a != b {
@@ -389,19 +396,63 @@ impl NdArray {
         let out_shape = shape::broadcast_shape(&self.shape, &other.shape)?;
         let astr = shape::broadcast_strides(&self.shape, &out_shape);
         let bstr = shape::broadcast_strides(&other.shape, &out_shape);
-        let ostr = shape::strides(&out_shape);
         let n = shape::numel(&out_shape);
         let mut data = vec![0.0; n];
-        for (off, slot) in data.iter_mut().enumerate() {
-            let mut rem = off;
-            let (mut ai, mut bi) = (0, 0);
-            for ((os, a_s), b_s) in ostr.iter().zip(&astr).zip(&bstr) {
-                let i = rem / os;
-                rem %= os;
-                ai += i * a_s;
-                bi += i * b_s;
+        if n == 0 {
+            return Ok(Self { shape: out_shape, data });
+        }
+        // Odometer iteration: the multi-index advances incrementally, so
+        // per-element cost is O(1) instead of O(rank) divisions. The
+        // innermost axis runs as a tight loop specialized on its two
+        // stride patterns (dense/dense, dense/broadcast, ...), which is
+        // what batch-norm-style `[N,C,H,W] ⊙ [1,C,1,1]` operands hit.
+        let rank = out_shape.len();
+        let w = out_shape[rank - 1];
+        let (aw, bw) = (astr[rank - 1], bstr[rank - 1]);
+        let mut idx = vec![0usize; rank.saturating_sub(1)];
+        let (mut ai, mut bi) = (0usize, 0usize);
+        for row in data.chunks_mut(w) {
+            match (aw, bw) {
+                (1, 1) => {
+                    for ((slot, &a), &b) in
+                        row.iter_mut().zip(&self.data[ai..ai + w]).zip(&other.data[bi..bi + w])
+                    {
+                        *slot = f(a, b);
+                    }
+                }
+                (1, 0) => {
+                    let b = other.data[bi];
+                    for (slot, &a) in row.iter_mut().zip(&self.data[ai..ai + w]) {
+                        *slot = f(a, b);
+                    }
+                }
+                (0, 1) => {
+                    let a = self.data[ai];
+                    for (slot, &b) in row.iter_mut().zip(&other.data[bi..bi + w]) {
+                        *slot = f(a, b);
+                    }
+                }
+                _ => {
+                    let (mut aj, mut bj) = (ai, bi);
+                    for slot in row.iter_mut() {
+                        *slot = f(self.data[aj], other.data[bj]);
+                        aj += aw;
+                        bj += bw;
+                    }
+                }
             }
-            *slot = f(self.data[ai], other.data[bi]);
+            // Advance the outer dims (all but the innermost).
+            for d in (0..rank - 1).rev() {
+                idx[d] += 1;
+                ai += astr[d];
+                bi += bstr[d];
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+                ai -= astr[d] * out_shape[d];
+                bi -= bstr[d] * out_shape[d];
+            }
         }
         Ok(Self { shape: out_shape, data })
     }
@@ -789,8 +840,6 @@ mod tests {
         assert_eq!(a.max(), 4.0);
         assert_eq!(a.min(), 1.0);
     }
-
-
 
     #[test]
     fn display_formats_by_rank() {

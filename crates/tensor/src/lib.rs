@@ -50,8 +50,8 @@ mod tensor;
 pub use array::NdArray;
 pub use error::{Result, TensorError};
 pub use ops::conv::{
-    avg_pool2d_forward, conv2d_backward, conv2d_forward, conv_out_extent,
-    conv_transpose2d_backward, conv_transpose2d_forward, max_pool2d_forward,
+    avg_pool2d_forward, conv2d_backward, conv2d_forward, conv_out_extent, conv_transpose2d_backward,
+    conv_transpose2d_forward, max_pool2d_forward,
 };
 pub use ops::shape_ops::upsample_nearest2d_forward;
 pub use tensor::Tensor;

@@ -29,14 +29,36 @@ fn im2col(
 ) -> NdArray {
     let ho = conv_out_extent(h, kh, stride, pad);
     let wo = conv_out_extent(w, kw, stride, pad);
-    let mut out = NdArray::zeros(&[c * kh * kw, ho * wo]);
-    let o = out.as_mut_slice();
     let cols = ho * wo;
+    let mut out = NdArray::zeros(&[c * kh * kw, cols]);
+    im2col_into(x, c, h, w, kh, kw, stride, pad, out.as_mut_slice(), cols, 0);
+    out
+}
+
+/// [`im2col`] writing into columns `[col_offset, col_offset + Ho·Wo)` of a
+/// zero-initialized `[C·kh·kw, total_cols]` destination, so a whole batch
+/// can share one patch matrix (one column block per sample).
+#[allow(clippy::too_many_arguments)]
+fn im2col_into(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    o: &mut [f32],
+    total_cols: usize,
+    col_offset: usize,
+) {
+    let ho = conv_out_extent(h, kh, stride, pad);
+    let wo = conv_out_extent(w, kw, stride, pad);
     for ci in 0..c {
         let img = &x[ci * h * w..(ci + 1) * h * w];
         for ky in 0..kh {
             for kx in 0..kw {
-                let row = ((ci * kh + ky) * kw + kx) * cols;
+                let row = ((ci * kh + ky) * kw + kx) * total_cols + col_offset;
                 for oy in 0..ho {
                     let iy = (oy * stride + ky) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {
@@ -54,7 +76,6 @@ fn im2col(
             }
         }
     }
-    out
 }
 
 /// Adjoint of [`im2col`]: accumulates a `[C·kh·kw, Ho·Wo]` patch matrix back
@@ -138,12 +159,29 @@ pub fn conv2d_forward(
     let wo = conv_out_extent(w, kw, stride, padding);
     let w2 = weight.reshape(&[o, c * kh * kw])?;
     let mut out = NdArray::zeros(&[n, o, ho, wo]);
+    // The whole batch shares one patch matrix (one column block per
+    // sample) and one matmul, amortizing the per-row GEMM overhead over
+    // `n` samples. Each output element accumulates over `C·kh·kw` in the
+    // same order as a per-sample matmul, so results are bit-identical for
+    // every batch size.
+    let per = ho * wo;
+    let total_cols = n * per;
+    let mut cols = NdArray::zeros(&[c * kh * kw, total_cols]);
     for ni in 0..n {
         let img = &input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w];
-        let cols = im2col(img, c, h, w, kh, kw, stride, padding);
-        let res = w2.matmul(&cols)?; // [O, Ho*Wo]
-        let dst = &mut out.as_mut_slice()[ni * o * ho * wo..(ni + 1) * o * ho * wo];
-        dst.copy_from_slice(res.as_slice());
+        im2col_into(img, c, h, w, kh, kw, stride, padding, cols.as_mut_slice(), total_cols, ni * per);
+    }
+    let res = w2.matmul(&cols)?; // [O, N·Ho·Wo], sample-major column blocks
+    {
+        let src = res.as_slice();
+        let dst = out.as_mut_slice();
+        for ni in 0..n {
+            for oi in 0..o {
+                let d = (ni * o + oi) * per;
+                let s = oi * total_cols + ni * per;
+                dst[d..d + per].copy_from_slice(&src[s..s + per]);
+            }
+        }
     }
     if let Some(b) = bias {
         if b.shape() != [o] {
@@ -328,7 +366,11 @@ pub fn conv_transpose2d_backward(
 /// # Errors
 ///
 /// Returns an error when the input is not rank 4 or smaller than the kernel.
-pub fn max_pool2d_forward(input: &NdArray, kernel: usize, stride: usize) -> Result<(NdArray, Vec<usize>)> {
+pub fn max_pool2d_forward(
+    input: &NdArray,
+    kernel: usize,
+    stride: usize,
+) -> Result<(NdArray, Vec<usize>)> {
     let (n, c, h, w) = expect_rank4(input, "max_pool2d")?;
     if h < kernel || w < kernel {
         return Err(TensorError::InvalidArgument(format!(
@@ -670,12 +712,7 @@ mod tests {
         let bv = NdArray::from_fn(&[3], |_| rng.gen_range(-1.0..1.0));
 
         let loss = |xa: &NdArray, wa: &NdArray, ba: &NdArray| -> f32 {
-            conv2d_forward(xa, wa, Some(ba), 1, 1)
-                .unwrap()
-                .as_slice()
-                .iter()
-                .map(|v| v * v)
-                .sum::<f32>()
+            conv2d_forward(xa, wa, Some(ba), 1, 1).unwrap().as_slice().iter().map(|v| v * v).sum::<f32>()
         };
 
         let x = Tensor::parameter(xv.clone());
@@ -770,7 +807,11 @@ mod tests {
     #[test]
     fn max_pool_forward_and_grad() {
         let x = Tensor::parameter(
-            NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 9.0, 0.0], &[1, 1, 4, 4]).unwrap(),
+            NdArray::from_vec(
+                vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 9.0, 0.0],
+                &[1, 1, 4, 4],
+            )
+            .unwrap(),
         );
         let y = x.max_pool2d(2, 2).unwrap();
         assert_eq!(y.shape(), vec![1, 1, 2, 2]);
@@ -785,9 +826,7 @@ mod tests {
 
     #[test]
     fn avg_pool_forward_and_grad() {
-        let x = Tensor::parameter(
-            NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap(),
-        );
+        let x = Tensor::parameter(NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap());
         let y = x.avg_pool2d(2, 2).unwrap();
         assert_eq!(y.shape(), vec![1, 1, 1, 1]);
         assert_eq!(y.item(), 2.5);

@@ -12,10 +12,7 @@ struct AddGrad {
 
 impl GradFn for AddGrad {
     fn backward(&self, grad: &NdArray) -> Vec<Option<NdArray>> {
-        vec![
-            grad.reduce_to_shape(&self.a_shape).ok(),
-            grad.reduce_to_shape(&self.b_shape).ok(),
-        ]
+        vec![grad.reduce_to_shape(&self.a_shape).ok(), grad.reduce_to_shape(&self.b_shape).ok()]
     }
     fn name(&self) -> &'static str {
         "add"

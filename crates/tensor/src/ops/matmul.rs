@@ -12,16 +12,8 @@ struct MatmulGrad {
 impl GradFn for MatmulGrad {
     fn backward(&self, grad: &NdArray) -> Vec<Option<NdArray>> {
         // dA = G · Bᵀ ; dB = Aᵀ · G
-        let ga = self
-            .b
-            .transpose2d()
-            .and_then(|bt| grad.matmul(&bt))
-            .ok();
-        let gb = self
-            .a
-            .transpose2d()
-            .and_then(|at| at.matmul(grad))
-            .ok();
+        let ga = self.b.transpose2d().and_then(|bt| grad.matmul(&bt)).ok();
+        let gb = self.a.transpose2d().and_then(|at| at.matmul(grad)).ok();
         vec![ga, gb]
     }
     fn name(&self) -> &'static str {

@@ -153,7 +153,8 @@ mod tests {
 
     #[test]
     fn sum_axis_grad_broadcasts_back() {
-        let x = Tensor::parameter(NdArray::from_vec((1..=6).map(|v| v as f32).collect(), &[2, 3]).unwrap());
+        let x =
+            Tensor::parameter(NdArray::from_vec((1..=6).map(|v| v as f32).collect(), &[2, 3]).unwrap());
         let s = x.sum_axis(1, false).unwrap();
         assert_eq!(s.value().as_slice(), &[6.0, 15.0]);
         s.sum().backward().unwrap();

@@ -150,7 +150,11 @@ impl GradFn for UpsampleGrad {
 /// Returns an error when `input` is not rank 4 or `scale` is zero.
 pub fn upsample_nearest2d_forward(input: &NdArray, scale: usize) -> Result<NdArray> {
     if input.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: input.rank(), op: "upsample_nearest2d" });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.rank(),
+            op: "upsample_nearest2d",
+        });
     }
     if scale == 0 {
         return Err(TensorError::InvalidArgument("upsample scale must be >= 1".into()));
@@ -185,11 +189,7 @@ impl Tensor {
     /// Returns an error when element counts differ.
     pub fn reshape(&self, new_shape: &[usize]) -> Result<Tensor> {
         let out = self.data().reshape(new_shape)?;
-        Ok(Tensor::from_op(
-            out,
-            vec![self.clone()],
-            Box::new(ReshapeGrad { in_shape: self.shape() }),
-        ))
+        Ok(Tensor::from_op(out, vec![self.clone()], Box::new(ReshapeGrad { in_shape: self.shape() })))
     }
 
     /// Concatenates tensors along `axis` (e.g. UNet skip connections along
@@ -203,11 +203,7 @@ impl Tensor {
         let refs: Vec<&NdArray> = arrays.iter().collect();
         let out = NdArray::concat(&refs, axis)?;
         let extents = arrays.iter().map(|a| a.shape()[axis]).collect();
-        Ok(Tensor::from_op(
-            out,
-            parts.to_vec(),
-            Box::new(ConcatGrad { axis, extents }),
-        ))
+        Ok(Tensor::from_op(out, parts.to_vec(), Box::new(ConcatGrad { axis, extents })))
     }
 
     /// Differentiable slice of `len` entries starting at `start` along
@@ -279,11 +275,7 @@ impl Tensor {
                 o[dst..dst + w].copy_from_slice(&xs[src..src + w]);
             }
         }
-        Ok(Tensor::from_op(
-            out,
-            vec![self.clone()],
-            Box::new(Pad2dGrad { in_shape: shape, pad }),
-        ))
+        Ok(Tensor::from_op(out, vec![self.clone()], Box::new(Pad2dGrad { in_shape: shape, pad })))
     }
 
     /// Nearest-neighbour upsampling of an NCHW tensor by an integer factor.
@@ -354,16 +346,14 @@ mod tests {
 
     #[test]
     fn slice_axis_forward_and_grad() {
-        let x = Tensor::parameter(NdArray::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]).unwrap());
+        let x =
+            Tensor::parameter(NdArray::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]).unwrap());
         let s = x.slice_axis(1, 1, 2).unwrap();
         assert_eq!(s.shape(), vec![3, 2]);
         assert_eq!(s.value().as_slice(), &[1.0, 2.0, 5.0, 6.0, 9.0, 10.0]);
         s.sum().backward().unwrap();
         let g = x.grad().unwrap();
-        assert_eq!(
-            g.as_slice(),
-            &[0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0]
-        );
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
     }
 
     #[test]
@@ -378,7 +368,8 @@ mod tests {
 
     #[test]
     fn transpose_forward_and_grad() {
-        let x = Tensor::parameter(NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap());
+        let x =
+            Tensor::parameter(NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap());
         let t = x.transpose2d().unwrap();
         assert_eq!(t.shape(), vec![3, 2]);
         // Weight output elements distinctly so the gradient transposes back.

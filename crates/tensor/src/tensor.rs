@@ -235,7 +235,9 @@ impl Tensor {
         let order = self.topo_order();
         accumulate_grad(self, &seed)?;
         for node in order.iter().rev() {
-            let Some(grad_fn) = node.0.grad_fn.as_ref() else { continue };
+            let Some(grad_fn) = node.0.grad_fn.as_ref() else {
+                continue;
+            };
             let grad = node.0.grad.borrow().clone();
             let Some(grad) = grad else { continue };
             let parent_grads = grad_fn.backward(&grad);

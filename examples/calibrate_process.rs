@@ -25,11 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reference measurements: three design layers and their "measured"
     // post-CMP profiles.
     let mut data = Vec::new();
-    for (kind, seed) in [
-        (DesignKind::CmpTest, 1u64),
-        (DesignKind::Fpga, 2),
-        (DesignKind::RiscV, 3),
-    ] {
+    for (kind, seed) in [(DesignKind::CmpTest, 1u64), (DesignKind::Fpga, 2), (DesignKind::RiscV, 3)] {
         let layout = DesignSpec::new(kind, 12, 12, seed).generate();
         let input = LayerInput::from_layout(&layout, 0);
         let heights = fab.simulate_layer(&input).heights().to_vec();
@@ -54,9 +50,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.params.character_length,
         truth.character_length,
     );
-    println!(
-        "rmse {:.3} nm after {} simulator invocations",
-        result.rmse_nm, result.simulations
-    );
+    println!("rmse {:.3} nm after {} simulator invocations", result.rmse_nm, result.simulations);
     Ok(())
 }

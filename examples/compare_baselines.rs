@@ -46,14 +46,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = std::time::Instant::now();
     let plan = lin_fill(&layout);
     rows.push(evaluate_plan(
-        &layout, &sim, &coeffs, "Lin [10]", &plan, &dummy,
+        &layout,
+        &sim,
+        &coeffs,
+        "Lin [10]",
+        &plan,
+        &dummy,
         t0.elapsed().as_secs_f64(),
         estimate_memory_gb(MethodKind::Lin, &layout, 0),
     ));
 
     let tao = tao_fill(&layout, &coeffs, &TaoConfig::default());
     rows.push(evaluate_plan(
-        &layout, &sim, &coeffs, "Tao [11]", &tao.plan, &dummy,
+        &layout,
+        &sim,
+        &coeffs,
+        "Tao [11]",
+        &tao.plan,
+        &dummy,
         tao.runtime.as_secs_f64(),
         estimate_memory_gb(MethodKind::Tao, &layout, 0),
     ));
@@ -70,7 +80,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     rows.push(evaluate_plan(
-        &layout, &sim, &coeffs, "Cai [12]", &cai.plan, &dummy,
+        &layout,
+        &sim,
+        &coeffs,
+        "Cai [12]",
+        &cai.plan,
+        &dummy,
         cai.runtime.as_secs_f64(),
         estimate_memory_gb(MethodKind::Cai { threads: 1 }, &layout, 0),
     ));
@@ -79,7 +94,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nf = NeurFill::new(trained.network, NeurFillConfig::default());
     let pkb = nf.run(&layout, &coeffs)?;
     rows.push(evaluate_plan(
-        &layout, &sim, &coeffs, "NeurFill (PKB)", &pkb.plan, &dummy,
+        &layout,
+        &sim,
+        &coeffs,
+        "NeurFill (PKB)",
+        &pkb.plan,
+        &dummy,
         pkb.runtime.as_secs_f64(),
         estimate_memory_gb(MethodKind::NeurFillPkb, &layout, params),
     ));
@@ -110,7 +130,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mm = nf_mm.run(&layout, &coeffs)?;
     rows.push(evaluate_plan(
-        &layout, &sim, &coeffs, "NeurFill (MM)", &mm.plan, &dummy,
+        &layout,
+        &sim,
+        &coeffs,
+        "NeurFill (MM)",
+        &mm.plan,
+        &dummy,
         mm.runtime.as_secs_f64(),
         estimate_memory_gb(MethodKind::NeurFillMm { swarm_size: 5, max_swarms: 20 }, &layout, params),
     ));

@@ -18,12 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = FlowConfig {
         process: ProcessParams::default(),
         surrogate: SurrogateConfig {
-            unet: UNetConfig {
-                in_channels: NUM_CHANNELS,
-                out_channels: 1,
-                base_channels: 8,
-                depth: 2,
-            },
+            unet: UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 8, depth: 2 },
             train: TrainConfig { epochs: 12, batch_size: 4, lr: 2e-3, lr_decay: 0.92 },
             num_layouts: 40,
             datagen: DataGenConfig { rows: grid, cols: grid, seed: 3, ..DataGenConfig::default() },
@@ -61,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flow2 = FillingFlow::with_network(net, config).map_err(std::io::Error::other)?;
     let layout = DesignSpec::new(DesignKind::CmpTest, grid, grid, 3).generate();
     let again = flow2.run(&layout).map_err(std::io::Error::other)?;
-    println!(
-        "reloaded-network flow reproduces design A quality: {:.3}",
-        again.scored.quality
-    );
+    println!("reloaded-network flow reproduces design A quality: {:.3}", again.scored.quality);
     let _ = std::fs::remove_file(&bundle);
     Ok(())
 }

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let unfilled = sim.simulate(&layout);
     let before = PlanarityMetrics::from_profile(&unfilled);
     let coeffs = Coefficients::calibrate(&layout, &unfilled, 60.0);
-    println!("unfilled: sigma {:.0}, sstar {:.0}, dH {:.0} A", before.sigma, before.sigma_star, before.delta_h);
+    println!(
+        "unfilled: sigma {:.0}, sstar {:.0}, dH {:.0} A",
+        before.sigma, before.sigma_star, before.delta_h
+    );
 
     let cfg = CaiConfig {
         sqp: SqpConfig { max_iterations: iters, max_backtracks: 10, ..SqpConfig::default() },

@@ -1,7 +1,7 @@
 //! Diagnostic: surrogate-vs-golden objective agreement along the NeurFill
 //! optimization path (detects surrogate exploitation).
 
-use neurfill::surrogate::{train_surrogate, evaluate_surrogate};
+use neurfill::surrogate::{evaluate_surrogate, train_surrogate};
 use neurfill::{Coefficients, FillObjective, PlanarityMetrics};
 use neurfill_bench::harness::{surrogate_config, Scale};
 use neurfill_cmpsim::{CmpSimulator, ProcessParams};
@@ -70,12 +70,8 @@ fn main() {
         });
         // Strip the (shared, exact) PD part from the golden fd by adding it
         // to the surrogate side instead.
-        let pdg = neurfill::pd::pd_score(
-            layout,
-            &FillPlan::from_vec(layout, x.to_vec()),
-            &coeffs,
-        )
-        .gradient;
+        let pdg =
+            neurfill::pd::pd_score(layout, &FillPlan::from_vec(layout, x.to_vec()), &coeffs).gradient;
         let g_sur: Vec<f64> =
             pe.gradient[..probe].iter().zip(&pdg[..probe]).map(|(a, b)| a + b).collect();
         let dot: f64 = g_sur.iter().zip(&g_golden).map(|(a, b)| a * b).sum();

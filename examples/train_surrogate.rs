@@ -6,14 +6,13 @@
 use neurfill::surrogate::{evaluate_surrogate, train_surrogate, SurrogateConfig};
 use neurfill::{CmpNeuralNetwork, CmpNnConfig};
 use neurfill_cmpsim::{CmpSimulator, ProcessParams};
-use neurfill_layout::datagen::{DataGenConfig, TrainingLayoutGenerator};
 use neurfill_layout::benchmark_designs;
+use neurfill_layout::datagen::{DataGenConfig, TrainingLayoutGenerator};
 use neurfill_nn::{Module, TrainConfig, UNet, UNetConfig};
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let num_layouts: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    let num_layouts: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
     let epochs: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(4);
     let base: usize = std::env::args().nth(3).and_then(|a| a.parse().ok()).unwrap_or(6);
     let grid = 16;

@@ -61,18 +61,12 @@ fn all_baselines_improve_planarity_on_design_a() {
     let before = PlanarityMetrics::from_profile(&sim.simulate(layout));
     let dummy = DummySpec::default();
 
-    for (name, plan) in [
-        ("Lin", lin_fill(layout)),
-        ("Tao", tao_fill(layout, &coeffs, &TaoConfig::default()).plan),
-    ] {
+    for (name, plan) in
+        [("Lin", lin_fill(layout)), ("Tao", tao_fill(layout, &coeffs, &TaoConfig::default()).plan)]
+    {
         let filled = apply_fill(layout, &plan, &dummy);
         let after = PlanarityMetrics::from_profile(&sim.simulate(&filled));
-        assert!(
-            after.sigma < before.sigma,
-            "{name}: sigma {} -> {}",
-            before.sigma,
-            after.sigma
-        );
+        assert!(after.sigma < before.sigma, "{name}: sigma {} -> {}", before.sigma, after.sigma);
     }
 }
 

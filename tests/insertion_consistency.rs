@@ -63,8 +63,7 @@ fn realized_fill_scores_close_to_synthesized_plan() {
     let dummy = DummySpec::new(rules.edge_um);
     let m_unfilled = PlanarityMetrics::from_profile(&sim.simulate(&layout));
     let m_plan = PlanarityMetrics::from_profile(&sim.simulate(&apply_fill(&layout, &plan, &dummy)));
-    let m_real =
-        PlanarityMetrics::from_profile(&sim.simulate(&apply_fill(&layout, &realized, &dummy)));
+    let m_real = PlanarityMetrics::from_profile(&sim.simulate(&apply_fill(&layout, &realized, &dummy)));
     // σ is quadratic in the residual density deviations, so a small
     // insertion shortfall can move it noticeably; the invariant that must
     // survive insertion is the planarity *improvement* over unfilled.

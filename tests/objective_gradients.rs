@@ -6,8 +6,8 @@
 use neurfill::surrogate::{train_surrogate, SurrogateConfig};
 use neurfill::{Coefficients, FillObjective};
 use neurfill_cmpsim::{CmpSimulator, FiniteDifference, ProcessParams};
-use neurfill_layout::datagen::DataGenConfig;
 use neurfill_layout::benchmark_designs;
+use neurfill_layout::datagen::DataGenConfig;
 use neurfill_nn::{TrainConfig, UNetConfig};
 use neurfill_optim::Objective;
 use rand::SeedableRng;

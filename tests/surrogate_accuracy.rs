@@ -4,8 +4,8 @@
 
 use neurfill::surrogate::{evaluate_surrogate, train_surrogate, SurrogateConfig};
 use neurfill_cmpsim::{CmpSimulator, ProcessParams};
-use neurfill_layout::datagen::{DataGenConfig, TrainingLayoutGenerator};
 use neurfill_layout::benchmark_designs;
+use neurfill_layout::datagen::{DataGenConfig, TrainingLayoutGenerator};
 use neurfill_nn::{TrainConfig, UNetConfig};
 use rand::SeedableRng;
 
@@ -68,12 +68,7 @@ fn more_training_reduces_error() {
         let report = evaluate_surrogate(&trained.network, &sim, &eval).unwrap();
         errs.push(report.mean_relative_error);
     }
-    assert!(
-        errs[1] < errs[0],
-        "error should fall with budget: {:.4} -> {:.4}",
-        errs[0],
-        errs[1]
-    );
+    assert!(errs[1] < errs[0], "error should fall with budget: {:.4} -> {:.4}", errs[0], errs[1]);
 }
 
 #[test]
@@ -84,8 +79,7 @@ fn extension_ability_stays_within_a_small_multiple() {
     let sim = CmpSimulator::new(ProcessParams::default()).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(33);
     let train_sources = vec![sources[0].clone(), sources[1].clone()];
-    let trained =
-        train_surrogate(&train_sources, &sim, &config(grid, 30, 12, 33), &mut rng).unwrap();
+    let trained = train_surrogate(&train_sources, &sim, &config(grid, 30, 12, 33), &mut rng).unwrap();
 
     let in_dist = {
         let mut gen = TrainingLayoutGenerator::new(

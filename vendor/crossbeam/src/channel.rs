@@ -1,0 +1,327 @@
+//! Multi-producer multi-consumer FIFO channels.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Error of [`Sender::send`]: every receiver is gone; carries the value
+/// back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error of [`Receiver::recv`]: the channel is empty and every sender is
+/// gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+/// Error of [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error of [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when a message arrives or the last sender leaves.
+    readable: Condvar,
+    /// Signalled when capacity frees up or the last receiver leaves.
+    writable: Condvar,
+    capacity: Option<usize>,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The sending side; cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving side; cloneable — clones *share* the queue (each message
+/// is delivered to exactly one receiver).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sender(..)")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Receiver(..)")
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.lock().senders += 1;
+        Self { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.lock().receivers += 1;
+        Self { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            self.chan.readable.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            self.chan.writable.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.chan.capacity {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self.chan.writable.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        self.chan.readable.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] when the channel is empty and every sender has
+    /// been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.chan.writable.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.chan.readable.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// [`Receiver::recv`] with an upper bound on the wait.
+    ///
+    /// # Errors
+    ///
+    /// `Timeout` when no message arrived in time, `Disconnected` when the
+    /// channel is empty and every sender has been dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.chan.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.chan.writable.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .chan
+                .readable
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// `Empty` when nothing is queued, `Disconnected` when additionally
+    /// every sender has been dropped.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.lock();
+        if let Some(v) = st.queue.pop_front() {
+            self.chan.writable.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Number of currently queued messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chan.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+        capacity,
+    });
+    (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+}
+
+/// A channel with unlimited buffering.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// A channel holding at most `cap` queued messages (`cap == 0` is treated
+/// as capacity 1; this stand-in has no rendezvous mode).
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_is_reported() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx2, rx2) = unbounded::<u32>();
+        drop(rx2);
+        assert_eq!(tx2.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn timeout_elapses_on_empty_channel() {
+        let (_tx, rx) = unbounded::<u32>();
+        let r = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(r, Err(RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn multi_consumer_each_message_once() {
+        let (tx, rx) = unbounded();
+        let n = 64;
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let rx2 = rx.clone();
+        let h = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx2.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        let mut all = got;
+        all.extend(h.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = thread::spawn(move || tx.send(2).unwrap());
+        thread::sleep(Duration::from_millis(5));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Two submodules cover the workspace's needs:
+//!
+//! * [`thread`] — scoped threads with the crossbeam calling convention
+//!   (`scope(|s| ..)` returning a `Result`, spawn closures receiving the
+//!   scope), implemented over `std::thread::scope`.
+//! * [`channel`] — multi-producer **multi-consumer** FIFO channels
+//!   (`unbounded`/`bounded`) with blocking, timeout and non-blocking
+//!   receives, implemented over `Mutex<VecDeque>` + `Condvar`. This is the
+//!   substrate of the batch runtime's job queue and reply channels.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,108 @@
+//! Scoped threads with the crossbeam 0.8 calling convention.
+
+use std::any::Any;
+
+/// Handle to the scope, passed to [`scope`]'s closure and to every spawned
+/// closure (crossbeam convention — spawn closures take the scope as an
+/// argument so they can spawn further threads).
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread.
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread and returns its result (`Err` on panic).
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload when the thread panicked.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            }),
+        }
+    }
+}
+
+/// Creates a scope in which borrowed-data threads can be spawned; all
+/// threads are joined before `scope` returns.
+///
+/// Unlike upstream crossbeam, a panicking child propagates its panic on
+/// join (std semantics) instead of surfacing through the returned
+/// `Result`; the workspace only ever unwraps that result, so the observable
+/// behaviour — "a worker panic aborts the computation" — is identical.
+///
+/// # Errors
+///
+/// Never returns `Err` (see above); the `Result` exists for crossbeam API
+/// compatibility.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrowed_data() {
+        let counter = AtomicUsize::new(0);
+        let data = [1usize, 2, 3, 4];
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let v = scope(|s| s.spawn(|_| 41 + 1).join().unwrap()).unwrap();
+        assert_eq!(v, 42);
+    }
+}

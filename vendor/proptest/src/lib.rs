@@ -1,0 +1,269 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! range/[`Just`]/[`prop_oneof!`]/[`collection::vec`] strategies, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic
+//! per-test seed; there is no shrinking — a failing case panics with the
+//! generated arguments in scope, which is enough for this workspace's
+//! CI-style usage.
+
+pub use rand as __rand;
+
+use rand::rngs::StdRng;
+use rand::SampleRange;
+
+/// Runner configuration: how many random cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values for one property argument.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($r:ty => $v:ty),+ $(,)?) => {
+        $(
+            impl Strategy for $r {
+                type Value = $v;
+                fn sample_value(&self, rng: &mut StdRng) -> $v {
+                    <$r as SampleRange<$v>>::sample_from(self.clone(), rng)
+                }
+            }
+        )+
+    };
+}
+
+impl_range_strategy!(
+    std::ops::Range<f32> => f32,
+    std::ops::RangeInclusive<f32> => f32,
+    std::ops::Range<f64> => f64,
+    std::ops::RangeInclusive<f64> => f64,
+    std::ops::Range<usize> => usize,
+    std::ops::RangeInclusive<usize> => usize,
+    std::ops::Range<u64> => u64,
+    std::ops::RangeInclusive<u64> => u64,
+    std::ops::Range<u32> => u32,
+    std::ops::RangeInclusive<u32> => u32,
+    std::ops::Range<u16> => u16,
+    std::ops::RangeInclusive<u16> => u16,
+    std::ops::Range<i32> => i32,
+    std::ops::RangeInclusive<i32> => i32,
+    std::ops::Range<i64> => i64,
+    std::ops::RangeInclusive<i64> => i64,
+);
+
+/// A strategy always producing a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample_value(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample_value(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+/// A uniform choice between boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].sample_value(rng)
+    }
+}
+
+/// Builds a [`Union`] strategy — the target of [`prop_oneof!`].
+///
+/// # Panics
+///
+/// Panics when `options` is empty.
+#[must_use]
+pub fn union<T>(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    Union { options }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// A strategy producing `Vec`s of fixed length `len` whose elements are
+    /// drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, len)`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! The usual glob import.
+
+    pub use crate::collection;
+    /// `proptest::prelude::prop` mirrors upstream's re-export of the crate
+    /// root (used as `prop::collection::vec(..)`).
+    pub use crate::{self as prop};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// FNV-1a hash of a string — the deterministic per-test seed.
+#[must_use]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Property assertion — panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::union(vec![$(::std::boxed::Box::new($s)),+])
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $(#[test] fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::sample_value(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// The property-test macro: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small(len: usize) -> impl Strategy<Value = Vec<f64>> {
+        collection::vec(0.0f64..1.0, len)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vecs(a in 1usize..5, v in small(3), k in prop_oneof![Just(1u32), Just(3)]) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+            prop_assert!(k == 1 || k == 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0.0f64..=1.0) {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+}
