@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release"
 cargo build --release
 
+echo "== cargo bench --no-run (compile-only)"
+cargo bench --workspace --no-run
+
 echo "== cargo test -q"
 cargo test -q
 

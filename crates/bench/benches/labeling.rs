@@ -1,0 +1,64 @@
+//! Criterion benchmark of the parallel labeling pipeline: end-to-end
+//! corpus generation (layout generation → golden simulation fan-out →
+//! ordered shard writes) at 1 worker versus the pool default.
+//!
+//! The pipeline's determinism contract makes the comparison honest: both
+//! configurations produce byte-identical shards, so any wall-clock
+//! difference is pure simulation parallelism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neurfill_cmpsim::ProcessParams;
+use neurfill_data::LabelConfig;
+use neurfill_layout::benchmark_designs;
+use neurfill_layout::datagen::DataGenConfig;
+use std::path::PathBuf;
+
+/// Layouts per corpus — small enough for a quick run, large enough that
+/// the parallel section dominates over generation and shard writes.
+const LAYOUTS: usize = 8;
+
+fn config(workers: usize) -> LabelConfig {
+    LabelConfig {
+        num_layouts: LAYOUTS,
+        samples_per_shard: 16,
+        workers,
+        datagen: DataGenConfig { rows: 16, cols: 16, seed: 5, ..DataGenConfig::default() },
+        process: ProcessParams::fast(),
+        ..LabelConfig::default()
+    }
+}
+
+fn out_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nf_bench_labeling_{tag}_{}", std::process::id()))
+}
+
+fn bench_labeling_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("labeling_throughput");
+    group.sample_size(10);
+    let sources = benchmark_designs(12, 12, 1);
+    let default_workers = neurfill_runtime::default_workers();
+    // On a single-core host the pool default collapses to 1; bench an
+    // oversubscribed pool instead so the fan-out overhead is still visible.
+    let wide = if default_workers > 1 { default_workers } else { 4 };
+
+    for workers in [1, wide] {
+        let tag = format!("workers_{workers}");
+        let dir = out_dir(&tag);
+        group.bench_function(format!("{LAYOUTS}_layouts_{tag}"), |b| {
+            b.iter(|| {
+                let report = neurfill_data::generate_labeled_shards(
+                    std::hint::black_box(sources.clone()),
+                    &config(workers),
+                    &dir,
+                )
+                .unwrap();
+                std::hint::black_box(report.samples);
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_labeling_throughput);
+criterion_main!(benches);

@@ -108,7 +108,13 @@ pub fn surrogate_config(scale: Scale, seed: u64) -> SurrogateConfig {
             base_channels: 8,
             depth: 2,
         },
-        train: TrainConfig { epochs: scale.epochs(), batch_size: 4, lr: 2e-3, lr_decay: 0.92 },
+        train: TrainConfig {
+            epochs: scale.epochs(),
+            batch_size: 4,
+            lr: 2e-3,
+            lr_decay: 0.92,
+            ..TrainConfig::default()
+        },
         num_layouts: scale.train_layouts(),
         validation_fraction: 0.1,
         datagen: DataGenConfig { rows: grid, cols: grid, seed, ..DataGenConfig::default() },

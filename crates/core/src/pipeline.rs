@@ -225,7 +225,13 @@ mod tests {
                     base_channels: 4,
                     depth: 2,
                 },
-                train: TrainConfig { epochs: 2, batch_size: 4, lr: 2e-3, lr_decay: 1.0 },
+                train: TrainConfig {
+                    epochs: 2,
+                    batch_size: 4,
+                    lr: 2e-3,
+                    lr_decay: 1.0,
+                    ..TrainConfig::default()
+                },
                 num_layouts: 6,
                 datagen: DataGenConfig { rows: grid, cols: grid, seed: 1, ..DataGenConfig::default() },
                 ..SurrogateConfig::default()

@@ -34,7 +34,13 @@ impl Default for SurrogateConfig {
     fn default() -> Self {
         Self {
             unet: UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 8, depth: 2 },
-            train: TrainConfig { epochs: 8, batch_size: 4, lr: 2e-3, lr_decay: 0.9 },
+            train: TrainConfig {
+                epochs: 8,
+                batch_size: 4,
+                lr: 2e-3,
+                lr_decay: 0.9,
+                ..TrainConfig::default()
+            },
             num_layouts: 60,
             validation_fraction: 0.1,
             datagen: DataGenConfig { rows: 32, cols: 32, ..DataGenConfig::default() },
@@ -247,7 +253,13 @@ mod tests {
     fn tiny_config() -> SurrogateConfig {
         SurrogateConfig {
             unet: UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 4, depth: 1 },
-            train: TrainConfig { epochs: 2, batch_size: 4, lr: 2e-3, lr_decay: 1.0 },
+            train: TrainConfig {
+                epochs: 2,
+                batch_size: 4,
+                lr: 2e-3,
+                lr_decay: 1.0,
+                ..TrainConfig::default()
+            },
             num_layouts: 6,
             validation_fraction: 0.2,
             datagen: DataGenConfig { rows: 8, cols: 8, ..DataGenConfig::default() },

@@ -1,0 +1,166 @@
+//! `gendata` — generate a labeled training corpus: random layouts from
+//! the two-step procedure, golden-simulator height labels, checksummed
+//! shards plus a manifest.
+//!
+//! ```text
+//! gendata --out corpus/ [--num N] [--rows R] [--cols C] [--seed S]
+//!         [--workers W] [--samples-per-shard K] [--sources dir/] [--fast]
+//! ```
+//!
+//! Output bytes depend only on the configuration (notably `--seed`), never
+//! on `--workers` — rerunning with more threads reproduces the identical
+//! corpus, only faster.
+
+use neurfill_cmpsim::ProcessParams;
+use neurfill_data::{generate_labeled_shards, LabelConfig};
+use neurfill_layout::datagen::DataGenConfig;
+use neurfill_layout::{benchmark_designs, io as layout_io, Layout};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    out: PathBuf,
+    num: usize,
+    rows: usize,
+    cols: usize,
+    seed: u64,
+    workers: usize,
+    samples_per_shard: u64,
+    sources: Option<PathBuf>,
+    fast: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gendata --out <dir> [--num N] [--rows R] [--cols C] [--seed S]\n\
+         \x20             [--workers W] [--samples-per-shard K] [--sources <dir>] [--fast]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}");
+        usage()
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: PathBuf::new(),
+        num: 64,
+        rows: 32,
+        cols: 32,
+        seed: 0,
+        workers: 0,
+        samples_per_shard: 64,
+        sources: None,
+        fast: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => args.out = value(&mut it, "--out").into(),
+            "--num" => args.num = parse_num(&value(&mut it, "--num"), "--num"),
+            "--rows" => args.rows = parse_num(&value(&mut it, "--rows"), "--rows"),
+            "--cols" => args.cols = parse_num(&value(&mut it, "--cols"), "--cols"),
+            "--seed" => args.seed = parse_num(&value(&mut it, "--seed"), "--seed"),
+            "--workers" => args.workers = parse_num(&value(&mut it, "--workers"), "--workers"),
+            "--samples-per-shard" => {
+                args.samples_per_shard =
+                    parse_num(&value(&mut it, "--samples-per-shard"), "--samples-per-shard")
+            }
+            "--sources" => args.sources = Some(value(&mut it, "--sources").into()),
+            "--fast" => args.fast = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if args.out.as_os_str().is_empty() {
+        usage();
+    }
+    args
+}
+
+fn load_sources(dir: &Path) -> Result<Vec<Layout>, String> {
+    let mut named = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if !path.is_file() {
+            continue;
+        }
+        match layout_io::load_from_file(&path) {
+            Ok(layout) => named.push((path, layout)),
+            Err(e) => eprintln!("skipping {}: {e}", path.display()),
+        }
+    }
+    if named.is_empty() {
+        return Err(format!("no readable layouts in {}", dir.display()));
+    }
+    // Stable source order regardless of directory iteration order — the
+    // corpus seed contract includes the source pool order.
+    named.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(named.into_iter().map(|(_, l)| l).collect())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args();
+    let sources = match &args.sources {
+        Some(dir) => load_sources(dir)?,
+        None => benchmark_designs(args.rows.max(8), args.cols.max(8), 1),
+    };
+    println!("labeling {} layouts ({} source designs, seed {})", args.num, sources.len(), args.seed);
+
+    let cfg = LabelConfig {
+        num_layouts: args.num,
+        samples_per_shard: args.samples_per_shard,
+        workers: args.workers,
+        datagen: DataGenConfig {
+            rows: args.rows,
+            cols: args.cols,
+            seed: args.seed,
+            ..DataGenConfig::default()
+        },
+        process: if args.fast { ProcessParams::fast() } else { ProcessParams::default() },
+        ..LabelConfig::default()
+    };
+    let report = generate_labeled_shards(sources, &cfg, &args.out).map_err(|e| e.to_string())?;
+
+    for (path, n) in &report.shards {
+        println!("wrote {} ({n} samples)", path.display());
+    }
+    let secs = report.sim_elapsed.as_secs_f64();
+    println!(
+        "{} samples from {} layouts in {:.2}s simulation ({} workers, {:.1} layouts/s)",
+        report.samples,
+        report.layouts,
+        secs,
+        report.workers,
+        report.layouts as f64 / secs.max(1e-9)
+    );
+    println!(
+        "height norm: offset {:.3} nm, scale {:.3} nm",
+        report.norm.offset_nm, report.norm.scale_nm
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gendata: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

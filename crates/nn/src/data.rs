@@ -21,6 +21,49 @@ impl Dataset {
         Self::default()
     }
 
+    /// Creates an empty dataset with room for `n` samples, avoiding
+    /// reallocation when the size is known up front (e.g. when loading a
+    /// shard whose header carries its sample count).
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self { inputs: Vec::with_capacity(n), targets: Vec::with_capacity(n) }
+    }
+
+    /// Reserves room for at least `additional` more samples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inputs.reserve(additional);
+        self.targets.reserve(additional);
+    }
+
+    /// Remaining capacity before the next reallocation.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inputs.capacity().min(self.targets.capacity())
+    }
+
+    /// Iterates over `(input, target)` pairs in storage order — the same
+    /// consumption shape streaming shard readers expose, so code can be
+    /// written against either source.
+    pub fn iter(&self) -> impl Iterator<Item = (&NdArray, &NdArray)> {
+        self.inputs.iter().zip(self.targets.iter())
+    }
+
+    /// Appends every pair from `pairs`, validating shapes like
+    /// [`Dataset::push`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on the first shape mismatch; pairs before it are
+    /// kept.
+    pub fn extend_pairs(&mut self, pairs: impl IntoIterator<Item = (NdArray, NdArray)>) -> Result<()> {
+        let pairs = pairs.into_iter();
+        self.reserve(pairs.size_hint().0);
+        for (input, target) in pairs {
+            self.push(input, target)?;
+        }
+        Ok(())
+    }
+
     /// Adds one `(input, target)` pair.
     ///
     /// # Errors
@@ -146,6 +189,35 @@ mod tests {
         let mut seen: Vec<usize> = batches.concat();
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn iter_yields_pairs_in_order() {
+        let ds = tiny();
+        let pairs: Vec<_> = ds.iter().collect();
+        assert_eq!(pairs.len(), 5);
+        for (i, (x, y)) in pairs.iter().enumerate() {
+            assert_eq!(x.as_slice()[0], i as f32);
+            assert_eq!(y.as_slice()[0], -(i as f32));
+        }
+    }
+
+    #[test]
+    fn with_capacity_and_extend_pairs() {
+        let mut ds = Dataset::with_capacity(4);
+        assert!(ds.capacity() >= 4);
+        ds.extend_pairs(
+            (0..4).map(|i| {
+                (NdArray::full(&[1, 2, 2], i as f32), NdArray::full(&[1, 2, 2], i as f32 + 0.5))
+            }),
+        )
+        .unwrap();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.sample(3).1.as_slice()[0], 3.5);
+        // Mismatched pair errors; earlier pairs are kept.
+        let err = ds.extend_pairs([(NdArray::zeros(&[2, 2, 2]), NdArray::zeros(&[1, 2, 2]))]);
+        assert!(err.is_err());
+        assert_eq!(ds.len(), 4);
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod unet;
 pub use batch::forward_batched;
 pub use data::Dataset;
 pub use module::{Buffer, Module};
-pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use optim::{clip_grad_norm, Adam, AdamState, Optimizer, Sgd};
 pub use schedule::LrSchedule;
 pub use trainer::{evaluate, fit, EpochStats, TrainConfig};
 pub use unet::{UNet, UNetConfig};

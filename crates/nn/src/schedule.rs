@@ -20,6 +20,18 @@ pub enum LrSchedule {
         /// Final multiplier at the end of the schedule.
         floor: f64,
     },
+    /// Linear warmup to the base rate over `epochs`, then the inner
+    /// schedule (shifted so its epoch 0 is the first post-warmup epoch).
+    ///
+    /// Epoch `e < epochs` runs at `base · (e + 1) / epochs`, so the first
+    /// epoch is already non-zero and the ramp reaches the full base rate on
+    /// the first epoch after warmup.
+    Warmup {
+        /// Number of warmup epochs.
+        epochs: usize,
+        /// Schedule applied after the warmup.
+        then: Box<LrSchedule>,
+    },
 }
 
 impl LrSchedule {
@@ -41,6 +53,14 @@ impl LrSchedule {
                 let t = (epoch as f64 / (*total_epochs).max(1) as f64).min(1.0);
                 let cos = 0.5 * (1.0 + (std::f64::consts::PI * t).cos());
                 base_lr * (floor + (1.0 - floor) * cos)
+            }
+            LrSchedule::Warmup { epochs, then } => {
+                debug_assert!(*epochs > 0);
+                if epoch < *epochs {
+                    base_lr * (epoch + 1) as f64 / (*epochs).max(1) as f64
+                } else {
+                    then.lr_at(epoch - epochs, base_lr)
+                }
             }
         }
     }
@@ -64,6 +84,19 @@ mod tests {
         assert_eq!(s.lr_at(9, 1.0), 1.0);
         assert_eq!(s.lr_at(10, 1.0), 0.5);
         assert_eq!(s.lr_at(25, 1.0), 0.25);
+    }
+
+    #[test]
+    fn warmup_ramps_then_delegates() {
+        let s = LrSchedule::Warmup {
+            epochs: 4,
+            then: Box::new(LrSchedule::StepDecay { every: 2, factor: 0.5 }),
+        };
+        assert!((s.lr_at(0, 1.0) - 0.25).abs() < 1e-12);
+        assert!((s.lr_at(3, 1.0) - 1.0).abs() < 1e-12);
+        // Post-warmup epochs re-index the inner schedule from zero.
+        assert!((s.lr_at(4, 1.0) - 1.0).abs() < 1e-12);
+        assert!((s.lr_at(6, 1.0) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -28,7 +28,8 @@ fn unet_learns_local_linear_stencil() {
         UNet::new(UNetConfig { in_channels: 2, out_channels: 1, base_channels: 4, depth: 1 }, &mut rng);
     let mut train = stencil_dataset(48, 1);
     let val = train.split_off(8);
-    let cfg = TrainConfig { epochs: 120, batch_size: 8, lr: 5e-3, lr_decay: 0.98 };
+    let cfg =
+        TrainConfig { epochs: 120, batch_size: 8, lr: 5e-3, lr_decay: 0.98, ..TrainConfig::default() };
     let history = fit(&net, &train, Some(&val), &cfg, &mut rng, |_| true).unwrap();
     let first = history.first().unwrap().val_loss.unwrap();
     let last = history.last().unwrap().val_loss.unwrap();
@@ -41,7 +42,8 @@ fn trained_network_generalizes_to_fresh_inputs() {
     let net =
         UNet::new(UNetConfig { in_channels: 2, out_channels: 1, base_channels: 4, depth: 1 }, &mut rng);
     let train = stencil_dataset(48, 3);
-    let cfg = TrainConfig { epochs: 120, batch_size: 8, lr: 5e-3, lr_decay: 0.98 };
+    let cfg =
+        TrainConfig { epochs: 120, batch_size: 8, lr: 5e-3, lr_decay: 0.98, ..TrainConfig::default() };
     fit(&net, &train, None, &cfg, &mut rng, |_| true).unwrap();
 
     // Fresh data from a different seed.
@@ -59,7 +61,8 @@ fn r2_of_trained_surrogate_style_model_is_high() {
     let net =
         UNet::new(UNetConfig { in_channels: 2, out_channels: 1, base_channels: 4, depth: 1 }, &mut rng);
     let train = stencil_dataset(48, 3);
-    let cfg = TrainConfig { epochs: 120, batch_size: 8, lr: 5e-3, lr_decay: 0.98 };
+    let cfg =
+        TrainConfig { epochs: 120, batch_size: 8, lr: 5e-3, lr_decay: 0.98, ..TrainConfig::default() };
     fit(&net, &train, None, &cfg, &mut rng, |_| true).unwrap();
     net.set_training(false);
 

@@ -119,7 +119,13 @@ fn init_demo(args: &Args) -> Result<(), String> {
         let sources = benchmark_designs(8, 8, 1);
         let config = SurrogateConfig {
             unet: UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 4, depth: 2 },
-            train: TrainConfig { epochs: 2, batch_size: 4, lr: 2e-3, lr_decay: 1.0 },
+            train: TrainConfig {
+                epochs: 2,
+                batch_size: 4,
+                lr: 2e-3,
+                lr_decay: 1.0,
+                ..TrainConfig::default()
+            },
             num_layouts: 6,
             datagen: DataGenConfig { rows: 8, cols: 8, seed: 1, ..DataGenConfig::default() },
             ..SurrogateConfig::default()

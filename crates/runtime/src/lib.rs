@@ -43,7 +43,7 @@ mod stats;
 
 pub use batch::{BatchClient, BatchConfig, BatchServer};
 pub use job::{JobId, JobReport, JobSpec, JobStatus};
-pub use pool::{default_workers, PoolOptions, RuntimePool};
+pub use pool::{default_workers, parallel_map_ordered, PoolOptions, RuntimePool};
 pub use registry::{ModelBundle, ModelRegistry};
 pub use stats::RuntimeStats;
 

@@ -44,6 +44,49 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).max(1)
 }
 
+/// Applies `f` to every item on `workers` threads, returning results in
+/// input order.
+///
+/// Work is pulled from a shared atomic cursor, so stragglers never idle a
+/// thread, and the output position of each result is fixed by its input
+/// index — the outcome is identical for any worker count (given a pure
+/// `f`), which is what lets callers (e.g. the `neurfill-data` labeling
+/// pipeline) promise byte-identical artifacts regardless of parallelism.
+/// `workers == 0` uses [`default_workers`]; a single worker runs inline
+/// without spawning.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all threads first).
+pub fn parallel_map_ordered<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = if workers == 0 { default_workers() } else { workers };
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().take().expect("each index is claimed once");
+                *slots[i].lock() = Some(f(item));
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.into_inner().expect("all slots filled")).collect()
+}
+
 #[derive(Debug)]
 struct Queued {
     id: JobId,
@@ -341,4 +384,25 @@ fn run_job(
         evaluations: result.synthesis.evaluations,
         plan: result.plan,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parallel_map_ordered;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|i| i * i).collect();
+        for workers in [1, 2, 4, 7] {
+            let got = parallel_map_ordered(items.clone(), workers, |i| i * i);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map_ordered(Vec::<u8>::new(), 4, |x| x), Vec::<u8>::new());
+        assert_eq!(parallel_map_ordered(vec![9], 4, |x| x + 1), vec![10]);
+    }
 }

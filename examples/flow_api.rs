@@ -19,7 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         process: ProcessParams::default(),
         surrogate: SurrogateConfig {
             unet: UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 8, depth: 2 },
-            train: TrainConfig { epochs: 12, batch_size: 4, lr: 2e-3, lr_decay: 0.92 },
+            train: TrainConfig {
+                epochs: 12,
+                batch_size: 4,
+                lr: 2e-3,
+                lr_decay: 0.92,
+                ..TrainConfig::default()
+            },
             num_layouts: 40,
             datagen: DataGenConfig { rows: grid, cols: grid, seed: 3, ..DataGenConfig::default() },
             ..SurrogateConfig::default()

@@ -37,7 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             base_channels: 8,
             depth: 2,
         },
-        train: TrainConfig { epochs: 15, batch_size: 4, lr: 2e-3, lr_decay: 0.92 },
+        train: TrainConfig {
+            epochs: 15,
+            batch_size: 4,
+            lr: 2e-3,
+            lr_decay: 0.92,
+            ..TrainConfig::default()
+        },
         num_layouts: 60,
         datagen: DataGenConfig { rows: grid, cols: grid, seed: 13, ..DataGenConfig::default() },
         ..SurrogateConfig::default()

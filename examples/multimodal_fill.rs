@@ -27,7 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             base_channels: 6,
             depth: 2,
         },
-        train: TrainConfig { epochs: 12, batch_size: 4, lr: 2e-3, lr_decay: 0.9 },
+        train: TrainConfig {
+            epochs: 12,
+            batch_size: 4,
+            lr: 2e-3,
+            lr_decay: 0.9,
+            ..TrainConfig::default()
+        },
         num_layouts: 30,
         datagen: DataGenConfig { rows: grid, cols: grid, seed: 5, ..DataGenConfig::default() },
         ..SurrogateConfig::default()

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             base_channels: base,
             depth: 2,
         },
-        train: TrainConfig { epochs, batch_size: 4, lr: 2e-3, lr_decay: 0.9 },
+        train: TrainConfig { epochs, batch_size: 4, lr: 2e-3, lr_decay: 0.9, ..TrainConfig::default() },
         num_layouts,
         datagen: DataGenConfig { rows: grid, cols: grid, seed: 7, ..DataGenConfig::default() },
         ..SurrogateConfig::default()

@@ -19,7 +19,13 @@ fn tiny_surrogate_config(grid: usize, seed: u64) -> SurrogateConfig {
             base_channels: 4,
             depth: 2,
         },
-        train: TrainConfig { epochs: 10, batch_size: 4, lr: 2e-3, lr_decay: 0.95 },
+        train: TrainConfig {
+            epochs: 10,
+            batch_size: 4,
+            lr: 2e-3,
+            lr_decay: 0.95,
+            ..TrainConfig::default()
+        },
         num_layouts: 20,
         datagen: DataGenConfig { rows: grid, cols: grid, seed, ..DataGenConfig::default() },
         ..SurrogateConfig::default()

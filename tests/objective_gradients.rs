@@ -24,7 +24,13 @@ fn setup() -> (neurfill_layout::Layout, neurfill::CmpNeuralNetwork, Coefficients
             base_channels: 4,
             depth: 2,
         },
-        train: TrainConfig { epochs: 1, batch_size: 4, lr: 1e-3, lr_decay: 1.0 },
+        train: TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            lr: 1e-3,
+            lr_decay: 1.0,
+            ..TrainConfig::default()
+        },
         num_layouts: 4,
         datagen: DataGenConfig { rows: grid, cols: grid, seed: 11, ..DataGenConfig::default() },
         ..SurrogateConfig::default()

@@ -17,7 +17,7 @@ fn config(grid: usize, layouts: usize, epochs: usize, seed: u64) -> SurrogateCon
             base_channels: 6,
             depth: 2,
         },
-        train: TrainConfig { epochs, batch_size: 4, lr: 2e-3, lr_decay: 0.95 },
+        train: TrainConfig { epochs, batch_size: 4, lr: 2e-3, lr_decay: 0.95, ..TrainConfig::default() },
         num_layouts: layouts,
         datagen: DataGenConfig { rows: grid, cols: grid, seed, ..DataGenConfig::default() },
         ..SurrogateConfig::default()

@@ -229,6 +229,18 @@ mod tests {
     }
 
     #[test]
+    fn state_roundtrip_continues_stream_exactly() {
+        let mut a = StdRng::seed_from_u64(11);
+        for _ in 0..7 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
     fn gen_bool_extremes() {
         let mut rng = StdRng::seed_from_u64(3);
         assert!(!rng.gen_bool(0.0));
