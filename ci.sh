@@ -10,6 +10,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# neurfill-runtime denies clippy::unwrap_used / clippy::expect_used at
+# the crate level (lib + bins, tests exempt); this run enforces it.
+echo "== cargo clippy -p neurfill-runtime (no unwrap/expect in lib+bins)"
+cargo clippy -p neurfill-runtime --lib --bins -- -D warnings
+
 echo "== cargo build --release"
 cargo build --release
 
@@ -21,5 +26,8 @@ cargo test -q
 
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "== fault-injection suite"
+cargo test -p neurfill-runtime --test fault_injection -q
 
 echo "CI OK"

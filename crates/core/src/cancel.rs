@@ -1,0 +1,163 @@
+//! Cooperative cancellation and deadlines for long-running synthesis.
+//!
+//! A [`CancelToken`] is a cheap, cloneable, thread-safe handle that a
+//! caller (e.g. the batch runtime's worker pool) threads into
+//! [`crate::pipeline::FillingFlow::run_cancellable`] and from there into
+//! the SQP/NMMSO iteration loops. Cancellation is *cooperative*: the
+//! optimizers poll the token once per major iteration, so a cancelled or
+//! deadline-expired job stops mid-optimization instead of running to
+//! completion and being discarded afterwards.
+//!
+//! Cancellation reasons are reported as `Err(String)` through the existing
+//! flow error channel; the messages carry the stable markers
+//! [`CANCELLED_MARKER`] and [`DEADLINE_MARKER`] so upper layers can
+//! classify them without a shared error enum.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Marker substring present in every explicit-cancellation error message.
+pub const CANCELLED_MARKER: &str = "cancelled";
+
+/// Marker substring present in every deadline-expiry error message.
+pub const DEADLINE_MARKER: &str = "deadline exceeded";
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle with an optional hard deadline.
+///
+/// The token reports cancellation when either [`CancelToken::cancel`] was
+/// called on any clone or the construction-time deadline has passed. A
+/// token built with [`CancelToken::never`] reports neither, making
+/// cancellable code paths bit-identical to their plain counterparts.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::never()
+    }
+}
+
+impl CancelToken {
+    /// A token that can be cancelled explicitly but has no deadline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { inner: Arc::new(Inner { flag: AtomicBool::new(false), deadline: None }) }
+    }
+
+    /// A token that is never cancelled (no deadline, and callers keep no
+    /// handle to cancel it through). Use for plain, non-cancellable runs.
+    #[must_use]
+    pub fn never() -> Self {
+        Self::new()
+    }
+
+    /// A token that additionally reports cancellation once `deadline`
+    /// passes.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self { inner: Arc::new(Inner { flag: AtomicBool::new(false), deadline: Some(deadline) }) }
+    }
+
+    /// A token with an optional deadline (`None` behaves like
+    /// [`CancelToken::new`]).
+    #[must_use]
+    pub fn with_deadline_opt(deadline: Option<Instant>) -> Self {
+        Self { inner: Arc::new(Inner { flag: AtomicBool::new(false), deadline }) }
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] was called (ignores the deadline).
+    #[must_use]
+    pub fn cancel_requested(&self) -> bool {
+        self.inner.flag.load(Ordering::Acquire)
+    }
+
+    /// Whether the deadline (if any) has passed.
+    #[must_use]
+    pub fn deadline_expired(&self) -> bool {
+        self.inner.deadline.is_some_and(|d| Instant::now() > d)
+    }
+
+    /// The configured deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Whether work should stop: explicitly cancelled or past deadline.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel_requested() || self.deadline_expired()
+    }
+
+    /// Returns `Err` with a classifiable message when cancelled, naming
+    /// `context` (e.g. `"synthesis"`) so the failure is attributable.
+    ///
+    /// # Errors
+    ///
+    /// `Err(... cancelled ...)` after [`CancelToken::cancel`];
+    /// `Err(... deadline exceeded ...)` once the deadline passes.
+    pub fn check(&self, context: &str) -> Result<(), String> {
+        if self.cancel_requested() {
+            return Err(format!("{CANCELLED_MARKER} during {context}"));
+        }
+        if self.deadline_expired() {
+            return Err(format!("{DEADLINE_MARKER} during {context}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert!(t.check("anything").is_ok());
+        assert!(t.deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+        let err = t.check("synthesis").unwrap_err();
+        assert!(err.contains(CANCELLED_MARKER) && err.contains("synthesis"), "{err}");
+    }
+
+    #[test]
+    fn past_deadline_reports_expiry() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.deadline_expired());
+        assert!(t.is_cancelled());
+        assert!(!t.cancel_requested());
+        let err = t.check("verification").unwrap_err();
+        assert!(err.contains(DEADLINE_MARKER) && err.contains("verification"), "{err}");
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip() {
+        let t = CancelToken::with_deadline_opt(Some(Instant::now() + Duration::from_secs(3600)));
+        assert!(!t.is_cancelled());
+        assert!(t.check("x").is_ok());
+    }
+}

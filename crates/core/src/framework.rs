@@ -6,6 +6,7 @@
 //! planarity part (score and gradient) is produced by the CMP neural
 //! network and whose performance-degradation part is analytic.
 
+use crate::cancel::CancelToken;
 use crate::cmp_nn::CmpNeuralNetwork;
 use crate::pd::pd_score;
 use crate::pkb::{pkb_starting_point, PkbConfig};
@@ -212,7 +213,29 @@ impl NeurFill {
     /// Returns an error when the layout geometry is incompatible with the
     /// surrogate.
     pub fn run(&self, layout: &Layout, coeffs: &Coefficients) -> Result<FillOutcome, String> {
+        self.run_cancellable(layout, coeffs, &CancelToken::never())
+    }
+
+    /// [`NeurFill::run`] with cooperative cancellation: `cancel` is polled
+    /// once per SQP major iteration and per NMMSO main-loop iteration, so
+    /// a cancelled (or deadline-expired) synthesis aborts mid-optimization
+    /// with a classifiable error instead of running to completion. With a
+    /// never-cancelled token the result is bit-identical to
+    /// [`NeurFill::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the layout geometry is incompatible with the
+    /// surrogate, or a cancellation/deadline error (see [`crate::cancel`])
+    /// when the token fires.
+    pub fn run_cancellable(
+        &self,
+        layout: &Layout,
+        coeffs: &Coefficients,
+        cancel: &CancelToken,
+    ) -> Result<FillOutcome, String> {
         self.network.check_layout(layout).map_err(|e| e.to_string())?;
+        cancel.check("synthesis start")?;
         let start = Instant::now();
         let objective = FillObjective::new(&self.network, layout, coeffs);
         let bounds = Bounds::from_slack(layout.slack_vector());
@@ -244,7 +267,8 @@ impl NeurFill {
                 );
                 let reduced_bounds = Bounds::new(vec![0.0; num_layers], vec![1.0; num_layers]);
                 let search = Nmmso::new(nmmso.clone());
-                let found = search.maximize(&reduced, &reduced_bounds, &mut rng);
+                let found = search
+                    .maximize_with_stop(&reduced, &reduced_bounds, &mut rng, &|| cancel.is_cancelled());
                 let mut starts: Vec<Vec<f64>> = found
                     .modes
                     .into_iter()
@@ -258,7 +282,7 @@ impl NeurFill {
             }
         };
 
-        self.optimize_from_starts(layout, &objective, &starts, start)
+        self.optimize_from_starts(layout, &objective, &starts, start, cancel)
     }
 
     /// Refines a caller-supplied plan (ECO-style incremental filling):
@@ -282,17 +306,19 @@ impl NeurFill {
         let start = Instant::now();
         let objective = FillObjective::new(&self.network, layout, coeffs);
         let starts = vec![initial.as_slice().to_vec()];
-        self.optimize_from_starts(layout, &objective, &starts, start)
+        self.optimize_from_starts(layout, &objective, &starts, start, &CancelToken::never())
     }
 
     /// Shared SQP stage: slack-normalized coordinates, trust region around
-    /// each start, best-of-starts selection.
+    /// each start, best-of-starts selection. `cancel` is polled per SQP
+    /// major iteration and between starts.
     fn optimize_from_starts(
         &self,
         layout: &Layout,
         objective: &FillObjective<'_>,
         starts: &[Vec<f64>],
         start_time: Instant,
+        cancel: &CancelToken,
     ) -> Result<FillOutcome, String> {
         let bounds = Bounds::from_slack(layout.slack_vector());
         let solver = SqpSolver::new(self.config.sqp.clone());
@@ -313,11 +339,18 @@ impl NeurFill {
             } else {
                 unit_bounds.clone()
             };
-            let run = solver.maximize(&normalized, &trust, &u0);
+            let run = solver.maximize_with_stop(&normalized, &trust, &u0, &|| cancel.is_cancelled());
+            let was_stopped = run.stopped;
             if best.as_ref().is_none_or(|b| run.value > b.value) {
                 best = Some(run);
             }
+            if was_stopped {
+                break;
+            }
         }
+        // A cancelled solve must fail the job rather than hand back the
+        // partial iterate as if it were a finished synthesis.
+        cancel.check("synthesis")?;
         let best = best.ok_or("no starting points")?;
         let mut plan = FillPlan::from_vec(layout, normalized.to_x(&best.x));
         plan.clamp_to_slack(layout);
@@ -472,6 +505,32 @@ mod tests {
         let short = FillPlan::from_vec(&l, vec![0.0; l.num_windows()]);
         let other = DesignSpec::new(DesignKind::CmpTest, 4, 4, 0).generate();
         assert!(nf.refine(&other, &c, &short).is_err());
+    }
+
+    #[test]
+    fn cancellation_aborts_synthesis_with_classifiable_errors() {
+        let net = network();
+        let l = layout();
+        let c = coeffs(&l);
+        let nf = NeurFill::new(net, NeurFillConfig::default());
+
+        // Pre-cancelled token: aborts before any optimization.
+        let token = CancelToken::new();
+        token.cancel();
+        let err = nf.run_cancellable(&l, &c, &token).unwrap_err();
+        assert!(err.contains(crate::cancel::CANCELLED_MARKER), "{err}");
+
+        // Expired deadline: same abort path, deadline-flavored message.
+        let expired = CancelToken::with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        let err = nf.run_cancellable(&l, &c, &expired).unwrap_err();
+        assert!(err.contains(crate::cancel::DEADLINE_MARKER), "{err}");
+
+        // A never-cancelled token is bit-identical to the plain run.
+        let plain = nf.run(&l, &c).unwrap();
+        let cancellable = nf.run_cancellable(&l, &c, &CancelToken::never()).unwrap();
+        assert_eq!(plain.plan.as_slice(), cancellable.plan.as_slice());
+        assert_eq!(plain.objective_value, cancellable.objective_value);
+        assert_eq!(plain.evaluations, cancellable.evaluations);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baselines;
+pub mod cancel;
 mod cmp_nn;
 pub mod extraction;
 mod framework;
@@ -65,6 +66,7 @@ pub mod report;
 pub mod score;
 pub mod surrogate;
 
+pub use cancel::CancelToken;
 pub use cmp_nn::{CmpNeuralNetwork, CmpNnConfig, HeightNorm, PlanarityEval};
 pub use framework::{FillObjective, FillOutcome, NeurFill, NeurFillConfig, StartMode};
 pub use score::{Alphas, Coefficients, PlanarityMetrics, ScoreBreakdown};

@@ -5,6 +5,7 @@
 //! This is the entry point a downstream user adopts; the lower-level
 //! modules stay available for custom flows.
 
+use crate::cancel::CancelToken;
 use crate::cmp_nn::CmpNeuralNetwork;
 use crate::framework::{FillOutcome, NeurFill, NeurFillConfig};
 use crate::report::{evaluate_plan, MethodResult};
@@ -151,9 +152,26 @@ impl FillingFlow {
     /// Returns a message when the layout geometry is incompatible with the
     /// surrogate.
     pub fn run(&self, layout: &Layout) -> Result<FlowResult, String> {
+        self.run_cancellable(layout, &CancelToken::never())
+    }
+
+    /// [`FillingFlow::run`] with cooperative cancellation: the token is
+    /// checked between phases and polled inside the synthesis optimizer's
+    /// iteration loops, so a job whose deadline expires (or that is
+    /// cancelled explicitly) aborts mid-optimization. With a
+    /// never-cancelled token the result is bit-identical to
+    /// [`FillingFlow::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the layout geometry is incompatible with the
+    /// surrogate, or a cancellation/deadline error (see [`crate::cancel`])
+    /// when the token fires.
+    pub fn run_cancellable(&self, layout: &Layout, cancel: &CancelToken) -> Result<FlowResult, String> {
+        cancel.check("score calibration")?;
         let coeffs =
             Coefficients::calibrate(layout, &self.sim.simulate(layout), self.config.beta_time_s);
-        self.run_with_coefficients(layout, &coeffs)
+        self.run_with_coefficients_cancellable(layout, &coeffs, cancel)
     }
 
     /// [`FillingFlow::run`] with caller-supplied score coefficients.
@@ -167,14 +185,32 @@ impl FillingFlow {
         layout: &Layout,
         coeffs: &Coefficients,
     ) -> Result<FlowResult, String> {
+        self.run_with_coefficients_cancellable(layout, coeffs, &CancelToken::never())
+    }
+
+    /// [`FillingFlow::run_with_coefficients`] with cooperative
+    /// cancellation (see [`FillingFlow::run_cancellable`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the layout geometry is incompatible with the
+    /// surrogate, or a cancellation/deadline error when the token fires.
+    pub fn run_with_coefficients_cancellable(
+        &self,
+        layout: &Layout,
+        coeffs: &Coefficients,
+        cancel: &CancelToken,
+    ) -> Result<FlowResult, String> {
         // Phase 1: synthesis, on the flow's own network instance.
         let nf = NeurFill::new(Rc::clone(&self.network), self.config.neurfill.clone());
-        let synthesis = nf.run(layout, coeffs)?;
+        let synthesis = nf.run_cancellable(layout, coeffs, cancel)?;
 
         // Phase 2: insertion.
+        cancel.check("insertion")?;
         let insertion = realize_fill(layout, &synthesis.plan, &self.config.insertion);
 
         // Phase 3: verification on the *realized* amounts.
+        cancel.check("verification")?;
         let mut realized = FillPlan::zeros(layout);
         for (slot, w) in realized.as_mut_slice().iter_mut().zip(&insertion.windows) {
             *slot = w.placed;

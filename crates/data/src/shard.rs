@@ -22,10 +22,12 @@
 //! on a truncated corpus.
 
 use neurfill_nn::Dataset;
+use neurfill_runtime::fault::{sites, FaultPlan};
 use neurfill_tensor::NdArray;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"NFSHRD1\n";
 const VERSION: u32 = 1;
@@ -126,7 +128,9 @@ impl ShardWriter {
     ///
     /// Returns `InvalidData` on a shape mismatch; propagates I/O errors.
     pub fn push(&mut self, input: &NdArray, target: &NdArray) -> io::Result<()> {
-        self.shapes.check_sample(input, target)?;
+        self.shapes
+            .check_sample(input, target)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", self.path.display())))?;
         let mut payload = Vec::with_capacity(4 * self.shapes.payload_floats());
         for arr in [input, target] {
             for v in arr.as_slice() {
@@ -177,6 +181,7 @@ pub struct ShardReader {
     count: u64,
     read: u64,
     path: PathBuf,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl ShardReader {
@@ -186,9 +191,25 @@ impl ShardReader {
     /// # Errors
     ///
     /// Returns `InvalidData` for non-shard files, unfinalized (crashed)
-    /// writers, and truncated or oversized files.
+    /// writers, and truncated or oversized files. Every error names the
+    /// offending file.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
-        let path = path.as_ref().to_path_buf();
+        Self::open_inner(path.as_ref(), None)
+    }
+
+    /// [`ShardReader::open`] with a fault plan checked (site
+    /// [`sites::SHARD_READ`]) before every record read — the test seam for
+    /// transient-I/O handling in consumers of the shard pipeline.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardReader::open`].
+    pub fn open_with_faults(path: impl AsRef<Path>, fault: Arc<FaultPlan>) -> io::Result<Self> {
+        Self::open_inner(path.as_ref(), Some(fault))
+    }
+
+    fn open_inner(path: &Path, fault: Option<Arc<FaultPlan>>) -> io::Result<Self> {
+        let path = path.to_path_buf();
         let file = File::open(&path)?;
         let file_len = file.metadata()?.len();
         let mut file = BufReader::new(file);
@@ -223,7 +244,7 @@ impl ShardReader {
                 "file is {file_len} bytes but header promises {count} records ({expect_len} bytes)"
             )));
         }
-        Ok(Self { file, shapes, count, read: 0, path })
+        Ok(Self { file, shapes, count, read: 0, path, fault })
     }
 
     /// Per-sample geometry of this shard.
@@ -262,14 +283,23 @@ impl ShardReader {
         }
     }
 
+    /// Stamps `self.path` and the failing record index onto an error, so a
+    /// failure deep in a multi-shard stream is attributable.
+    fn record_err(&self, e: io::Error) -> io::Error {
+        io::Error::new(e.kind(), format!("{}: record {}: {e}", self.path.display(), self.read))
+    }
+
     fn read_record(&mut self) -> io::Result<Option<(NdArray, NdArray)>> {
         if self.read == self.count {
             return Ok(None);
         }
+        if let Some(fault) = &self.fault {
+            fault.inject_io(sites::SHARD_READ).map_err(|e| self.record_err(e))?;
+        }
         let mut checksum = [0u8; 8];
-        self.file.read_exact(&mut checksum)?;
+        self.file.read_exact(&mut checksum).map_err(|e| self.record_err(e))?;
         let mut payload = vec![0u8; 4 * self.shapes.payload_floats()];
-        self.file.read_exact(&mut payload)?;
+        self.file.read_exact(&mut payload).map_err(|e| self.record_err(e))?;
         if fnv1a(&payload) != u64::from_le_bytes(checksum) {
             return Err(bad(format!(
                 "{}: checksum mismatch in record {} — shard is corrupt",
@@ -283,9 +313,9 @@ impl ShardReader {
             .collect();
         let n_in = self.shapes.input.iter().product::<usize>();
         let input = NdArray::from_vec(floats[..n_in].to_vec(), &self.shapes.input)
-            .map_err(|e| bad(e.to_string()))?;
+            .map_err(|e| self.record_err(bad(e.to_string())))?;
         let target = NdArray::from_vec(floats[n_in..].to_vec(), &self.shapes.target)
-            .map_err(|e| bad(e.to_string()))?;
+            .map_err(|e| self.record_err(bad(e.to_string())))?;
         self.read += 1;
         Ok(Some((input, target)))
     }
@@ -299,7 +329,7 @@ impl ShardReader {
     pub fn read_to_dataset(mut self) -> io::Result<Dataset> {
         let mut ds = Dataset::with_capacity(usize::try_from(self.count - self.read).unwrap_or(0));
         while let Some((input, target)) = self.read_next()? {
-            ds.push(input, target).map_err(|e| bad(e.to_string()))?;
+            ds.push(input, target).map_err(|e| bad(format!("{}: {e}", self.path.display())))?;
         }
         Ok(ds)
     }
@@ -570,11 +600,39 @@ mod tests {
     }
 
     #[test]
-    fn writer_rejects_wrong_shapes() {
+    fn writer_rejects_wrong_shapes_naming_the_file() {
         let dir = tmp("wrong_shape");
-        let mut w = ShardWriter::create(dir.join(format!("a.{SHARD_EXTENSION}")), shapes()).unwrap();
-        let err = w.push(&NdArray::zeros(&[1, 3, 3]), &NdArray::zeros(&[1, 3, 3]));
-        assert!(err.is_err());
+        let path = dir.join(format!("a.{SHARD_EXTENSION}"));
+        let mut w = ShardWriter::create(&path, shapes()).unwrap();
+        let err = w.push(&NdArray::zeros(&[1, 3, 3]), &NdArray::zeros(&[1, 3, 3])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains(&path.display().to_string()), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_transient_read_fault_names_file_and_record() {
+        let dir = tmp("fault");
+        let path = dir.join(format!("a.{SHARD_EXTENSION}"));
+        let mut w = ShardWriter::create(&path, shapes()).unwrap();
+        for i in 0..3 {
+            let (x, y) = sample(i);
+            w.push(&x, &y).unwrap();
+        }
+        w.finish().unwrap();
+
+        let fault = Arc::new(FaultPlan::parse("shard_read=transient@2", 0).unwrap());
+        let mut reader = ShardReader::open_with_faults(&path, fault).unwrap();
+        assert!(reader.read_next().unwrap().is_some(), "record 1 reads clean");
+        let err = reader.read_next().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        let msg = err.to_string();
+        assert!(msg.contains("transient"), "{msg}");
+        assert!(msg.contains(&path.display().to_string()), "{msg}");
+        assert!(msg.contains("record 1"), "0-based failing record index: {msg}");
+        // The disabled plan leaves reads untouched.
+        let clean = ShardReader::open_with_faults(&path, Arc::new(FaultPlan::disabled())).unwrap();
+        assert_eq!(clean.map(Result::unwrap).count(), 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

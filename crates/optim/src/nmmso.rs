@@ -146,6 +146,21 @@ impl Nmmso {
         bounds: &Bounds,
         rng: &mut impl Rng,
     ) -> NmmsoResult {
+        self.maximize_with_stop(objective, bounds, rng, &|| false)
+    }
+
+    /// [`Nmmso::maximize`] with a cooperative stop predicate, checked once
+    /// per main-loop iteration: when `should_stop` fires, the search stops
+    /// expanding and returns the modes located so far. A predicate that
+    /// never fires leaves the search bit-identical to [`Nmmso::maximize`].
+    #[must_use]
+    pub fn maximize_with_stop(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        rng: &mut impl Rng,
+        should_stop: &dyn Fn() -> bool,
+    ) -> NmmsoResult {
         let cfg = &self.config;
         let merge_dist = bounds.diameter() * cfg.merge_distance_fraction;
         let mut evaluations = 0;
@@ -161,6 +176,9 @@ impl Nmmso {
         let mut swarms = vec![Swarm::seeded(x0, f0)];
 
         while evaluations < cfg.max_evaluations {
+            if should_stop() {
+                break;
+            }
             iterations += 1;
 
             // (a) Merge swarms climbing the same peak.
@@ -454,6 +472,34 @@ mod tests {
         let result = Nmmso::new(cfg).maximize(&obj, &bounds, &mut rng);
         let near = |c: f64| result.modes.iter().any(|m| (m.x[0] - c).abs() < 0.1);
         assert!(near(0.15) && near(0.85), "modes: {:?}", result.modes);
+    }
+
+    #[test]
+    fn stop_predicate_cuts_search_short_and_never_firing_is_identical() {
+        let obj = four_peaks();
+        let bounds = Bounds::new(vec![0.0; 2], vec![1.0; 2]);
+        let cfg = NmmsoConfig { max_evaluations: 2000, ..NmmsoConfig::default() };
+
+        // Stop after the second main-loop iteration: far fewer evaluations
+        // than the budget, but the modes found so far are still returned.
+        use std::cell::Cell;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let iters = Cell::new(0usize);
+        let stop = || {
+            iters.set(iters.get() + 1);
+            iters.get() > 2
+        };
+        let early = Nmmso::new(cfg.clone()).maximize_with_stop(&obj, &bounds, &mut rng, &stop);
+        assert_eq!(early.iterations, 2);
+        assert!(early.evaluations < 2000, "{}", early.evaluations);
+        assert!(!early.modes.is_empty());
+
+        // A predicate that never fires is bit-identical to maximize().
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(11);
+        let a = Nmmso::new(cfg.clone()).maximize(&obj, &bounds, &mut rng_a);
+        let b = Nmmso::new(cfg).maximize_with_stop(&obj, &bounds, &mut rng_b, &|| false);
+        assert_eq!(a, b);
     }
 
     #[test]

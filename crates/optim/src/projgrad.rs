@@ -85,7 +85,16 @@ pub fn maximize_projected_gradient(
         gradient_evaluations += 1;
         history.push(f);
     }
-    SqpResult { x, value: f, iterations, evaluations, gradient_evaluations, converged, history }
+    SqpResult {
+        x,
+        value: f,
+        iterations,
+        evaluations,
+        gradient_evaluations,
+        converged,
+        stopped: false,
+        history,
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,10 @@ pub struct SqpResult {
     pub gradient_evaluations: usize,
     /// Whether the projected-gradient tolerance was reached.
     pub converged: bool,
+    /// Whether the solve was abandoned early because the caller's stop
+    /// predicate fired (see [`SqpSolver::maximize_with_stop`]). The
+    /// returned point is still the best feasible iterate found.
+    pub stopped: bool,
     /// Objective value after each major iteration.
     pub history: Vec<f64>,
 }
@@ -168,6 +172,27 @@ impl SqpSolver {
     /// Panics when `x0.len()` differs from the bound dimension.
     #[must_use]
     pub fn maximize(&self, objective: &dyn Objective, bounds: &Bounds, x0: &[f64]) -> SqpResult {
+        self.maximize_with_stop(objective, bounds, x0, &|| false)
+    }
+
+    /// [`SqpSolver::maximize`] with a cooperative stop predicate, checked
+    /// once per major iteration: when `should_stop` returns `true` the
+    /// solve abandons further iterations and returns the best feasible
+    /// iterate so far with [`SqpResult::stopped`] set. A predicate that
+    /// never fires leaves the trajectory bit-identical to
+    /// [`SqpSolver::maximize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x0.len()` differs from the bound dimension.
+    #[must_use]
+    pub fn maximize_with_stop(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        x0: &[f64],
+        should_stop: &dyn Fn() -> bool,
+    ) -> SqpResult {
         assert_eq!(x0.len(), bounds.dim(), "start point dimension mismatch");
         let cfg = &self.config;
         let mut x = bounds.projected(x0);
@@ -177,9 +202,14 @@ impl SqpSolver {
         let mut lbfgs = Lbfgs::new(cfg.memory);
         let mut history = Vec::with_capacity(cfg.max_iterations);
         let mut converged = false;
+        let mut stopped = false;
         let mut iterations = 0;
 
         for _ in 0..cfg.max_iterations {
+            if should_stop() {
+                stopped = true;
+                break;
+            }
             if bounds.projected_gradient_norm(&x, &g) <= cfg.tolerance {
                 converged = true;
                 break;
@@ -228,7 +258,16 @@ impl SqpSolver {
             history.push(f);
         }
 
-        SqpResult { x, value: f, iterations, evaluations, gradient_evaluations, converged, history }
+        SqpResult {
+            x,
+            value: f,
+            iterations,
+            evaluations,
+            gradient_evaluations,
+            converged,
+            stopped,
+            history,
+        }
     }
 }
 
@@ -317,6 +356,29 @@ mod tests {
         let r = SqpSolver::default().maximize(&obj, &bounds, &[0.5]);
         assert!(r.converged);
         assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn stop_predicate_aborts_mid_optimization() {
+        use std::cell::Cell;
+        // Far-off maximum so the default tolerance is never reached in two
+        // iterations; the predicate must cut the solve short.
+        let obj = neg_quadratic(vec![0.9, 0.9, 0.9]);
+        let bounds = Bounds::new(vec![0.0; 3], vec![1.0; 3]);
+        let calls = Cell::new(0usize);
+        let stop = || {
+            calls.set(calls.get() + 1);
+            calls.get() > 2
+        };
+        let r = SqpSolver::default().maximize_with_stop(&obj, &bounds, &[0.0; 3], &stop);
+        assert!(r.stopped, "{r:?}");
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 2, "stopped at the third iteration check");
+
+        // A predicate that never fires is bit-identical to maximize().
+        let a = SqpSolver::default().maximize(&obj, &bounds, &[0.0; 3]);
+        let b = SqpSolver::default().maximize_with_stop(&obj, &bounds, &[0.0; 3], &|| false);
+        assert_eq!(a, b);
     }
 
     #[test]

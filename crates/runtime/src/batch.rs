@@ -1,4 +1,4 @@
-//! Window-batched surrogate inference server.
+//! Window-batched surrogate inference server, plus its supervisor.
 //!
 //! One dedicated thread owns a hydrated network and answers height
 //! predictions for window samples sent by any number of concurrent jobs.
@@ -7,11 +7,23 @@
 //! dispatch overhead while staying bit-identical per sample (see
 //! `neurfill_nn::batch`). Samples are plain `NdArray`s, so they cross
 //! threads even though the autograd graphs cannot.
+//!
+//! The server thread is a single point of failure for every in-flight
+//! verification, so it runs under a [`BatchSupervisor`]: when the thread
+//! dies (panic, poisoned forward), in-flight requests fail with
+//! [`InferError::Disconnected`], the supervisor restarts the server up to
+//! a budget, and once the budget is exhausted the circuit opens — callers
+//! are told to stop using batched inference and fall back to their own
+//! per-worker forward (same weights, so results stay bit-identical).
 
+use crate::error::InferError;
+use crate::fault::{sites, FaultPlan};
 use crate::registry::ModelBundle;
 use crate::stats::StatsInner;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use neurfill_tensor::NdArray;
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -52,20 +64,28 @@ impl BatchClient {
     ///
     /// # Errors
     ///
-    /// Returns the forward error for the sample's batch, or a message when
-    /// the server is gone.
-    pub fn predict_heights(&self, samples: &[NdArray]) -> Result<Vec<Vec<f64>>, String> {
+    /// [`InferError::Forward`] when the batch's forward failed (the server
+    /// is still alive); [`InferError::Disconnected`] when the server
+    /// thread is gone — shut down, or died mid-request and dropped the
+    /// reply channel.
+    pub fn predict_heights(&self, samples: &[NdArray]) -> Result<Vec<Vec<f64>>, InferError> {
         let mut replies = Vec::with_capacity(samples.len());
         for sample in samples {
             let (reply, rx) = bounded(1);
-            self.tx
-                .send(InferRequest { sample: sample.clone(), reply })
-                .map_err(|_| "batch inference server is shut down".to_string())?;
+            self.tx.send(InferRequest { sample: sample.clone(), reply }).map_err(|_| {
+                InferError::Disconnected("batch inference server is shut down".to_string())
+            })?;
             replies.push(rx);
         }
         replies
             .into_iter()
-            .map(|rx| rx.recv().map_err(|_| "batch inference server dropped a request".to_string())?)
+            .map(|rx| {
+                rx.recv()
+                    .map_err(|_| {
+                        InferError::Disconnected("batch inference server dropped a request".to_string())
+                    })?
+                    .map_err(InferError::Forward)
+            })
             .collect()
     }
 }
@@ -84,14 +104,21 @@ impl BatchServer {
     ///
     /// Propagates the hydration error.
     pub fn spawn(bundle: Arc<ModelBundle>, config: BatchConfig) -> std::io::Result<(Self, BatchClient)> {
-        Self::spawn_with_stats(bundle, config, Arc::new(StatsInner::default()))
+        Self::spawn_with(
+            bundle,
+            config,
+            Arc::new(StatsInner::default()),
+            Arc::new(FaultPlan::disabled()),
+        )
     }
 
-    /// [`BatchServer::spawn`] recording into the pool's shared counters.
-    pub(crate) fn spawn_with_stats(
+    /// [`BatchServer::spawn`] recording into shared counters and checking
+    /// the fault plan's `hydrate` / `batch_forward` sites.
+    pub(crate) fn spawn_with(
         bundle: Arc<ModelBundle>,
         config: BatchConfig,
         stats: Arc<StatsInner>,
+        fault: Arc<FaultPlan>,
     ) -> std::io::Result<(Self, BatchClient)> {
         let (tx, rx) = unbounded::<InferRequest>();
         let (ready_tx, ready_rx) = bounded::<std::io::Result<()>>(1);
@@ -99,23 +126,30 @@ impl BatchServer {
             .name("neurfill-batch".into())
             .spawn(move || {
                 let start = Instant::now();
-                let network = match bundle.hydrate() {
+                let network = match fault.inject_io(sites::HYDRATE).and(bundle.hydrate()) {
                     Ok(n) => n,
                     Err(e) => {
                         let _ = ready_tx.send(Err(e));
                         return;
                     }
                 };
-                stats.hydrations.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats.hydrations.fetch_add(1, Ordering::Relaxed);
                 StatsInner::add_duration(&stats.hydrate_nanos, start.elapsed());
                 let _ = ready_tx.send(Ok(()));
-                serve(&network, &rx, &config, &stats);
+                serve(&network, &rx, &config, &stats, &fault);
             })
-            .expect("spawn batch server thread");
+            .map_err(std::io::Error::other)?;
         ready_rx
             .recv()
             .map_err(|_| std::io::Error::other("batch server died before becoming ready"))??;
         Ok((Self { handle }, BatchClient { tx }))
+    }
+
+    /// Whether the server thread has exited (normally or by panic). A
+    /// `true` here with clients still alive means the thread died.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
     }
 
     /// Waits for the server thread to exit (drop every client first).
@@ -129,6 +163,7 @@ fn serve(
     rx: &Receiver<InferRequest>,
     config: &BatchConfig,
     stats: &StatsInner,
+    fault: &FaultPlan,
 ) {
     let max_batch = config.max_batch.max(1);
     while let Ok(first) = rx.recv() {
@@ -149,13 +184,18 @@ fn serve(
                 }
             }
         }
-        run_batch(network, pending, stats);
+        run_batch(network, pending, stats, fault);
     }
 }
 
 /// Forwards one coalesced batch, grouping by sample shape (jobs over
 /// different layout geometries share the server).
-fn run_batch(network: &neurfill::CmpNeuralNetwork, pending: Vec<InferRequest>, stats: &StatsInner) {
+fn run_batch(
+    network: &neurfill::CmpNeuralNetwork,
+    pending: Vec<InferRequest>,
+    stats: &StatsInner,
+    fault: &FaultPlan,
+) {
     let mut groups: Vec<(Vec<usize>, Vec<InferRequest>)> = Vec::new();
     for req in pending {
         let shape = req.sample.shape().to_vec();
@@ -165,12 +205,28 @@ fn run_batch(network: &neurfill::CmpNeuralNetwork, pending: Vec<InferRequest>, s
         }
     }
     for (_, group) in groups {
+        // Fault site `batch_forward`: a panic here kills the server thread
+        // (reply channels drop → clients see Disconnected → supervisor
+        // restarts); a transient fails this batch only; NaN poisons the
+        // heights so the callers' numeric health guard trips.
+        let poison = match fault.inject(sites::BATCH_FORWARD) {
+            Ok(poison) => poison,
+            Err(e) => {
+                for req in group {
+                    let _ = req.reply.send(Err(e.clone()));
+                }
+                continue;
+            }
+        };
         let samples: Vec<NdArray> = group.iter().map(|r| r.sample.clone()).collect();
-        stats.batches_formed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        stats.samples_inferred.fetch_add(samples.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        stats.batches_formed.fetch_add(1, Ordering::Relaxed);
+        stats.samples_inferred.fetch_add(samples.len() as u64, Ordering::Relaxed);
         match network.predict_heights_batch(&samples) {
             Ok(heights) => {
-                for (req, h) in group.into_iter().zip(heights) {
+                for (req, mut h) in group.into_iter().zip(heights) {
+                    if poison {
+                        h.fill(f64::NAN);
+                    }
                     let _ = req.reply.send(Ok(h));
                 }
             }
@@ -183,6 +239,205 @@ fn run_batch(network: &neurfill::CmpNeuralNetwork, pending: Vec<InferRequest>, s
     }
 }
 
+struct SupervisedState {
+    server: Option<BatchServer>,
+    client: Option<BatchClient>,
+    /// Bumped on every successful restart; a caller reporting a
+    /// disconnect observed under an older generation is told to retry
+    /// with the current client instead of triggering a second restart.
+    generation: u64,
+    restarts_used: u32,
+    circuit_open: bool,
+}
+
+/// Supervises the batch server thread: restarts it when it dies, up to a
+/// budget, then opens the circuit so callers stop routing inference
+/// through batching and use their own network instead.
+pub struct BatchSupervisor {
+    bundle: Arc<ModelBundle>,
+    config: BatchConfig,
+    stats: Arc<StatsInner>,
+    fault: Arc<FaultPlan>,
+    restart_budget: u32,
+    state: Mutex<SupervisedState>,
+}
+
+impl std::fmt::Debug for BatchSupervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        write!(
+            f,
+            "BatchSupervisor(gen {}, {}/{} restarts, circuit {})",
+            st.generation,
+            st.restarts_used,
+            self.restart_budget,
+            if st.circuit_open { "open" } else { "closed" }
+        )
+    }
+}
+
+impl BatchSupervisor {
+    /// Spawns the initial server; `restart_budget` is how many times a
+    /// dead server will be replaced before the circuit opens.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the initial spawn/hydration error (construction is not
+    /// supervised — a bundle that cannot hydrate at all is a fatal
+    /// configuration problem, not a runtime fault).
+    pub fn spawn(
+        bundle: Arc<ModelBundle>,
+        config: BatchConfig,
+        restart_budget: u32,
+    ) -> std::io::Result<Self> {
+        Self::spawn_with(
+            bundle,
+            config,
+            restart_budget,
+            Arc::new(StatsInner::default()),
+            Arc::new(FaultPlan::disabled()),
+        )
+    }
+
+    pub(crate) fn spawn_with(
+        bundle: Arc<ModelBundle>,
+        config: BatchConfig,
+        restart_budget: u32,
+        stats: Arc<StatsInner>,
+        fault: Arc<FaultPlan>,
+    ) -> std::io::Result<Self> {
+        let (server, client) = BatchServer::spawn_with(
+            Arc::clone(&bundle),
+            config.clone(),
+            Arc::clone(&stats),
+            Arc::clone(&fault),
+        )?;
+        Ok(Self {
+            bundle,
+            config,
+            stats,
+            fault,
+            restart_budget,
+            state: Mutex::new(SupervisedState {
+                server: Some(server),
+                client: Some(client),
+                generation: 0,
+                restarts_used: 0,
+                circuit_open: false,
+            }),
+        })
+    }
+
+    /// Whether the restart budget is exhausted and batched inference is
+    /// off — callers should run their own forward instead.
+    #[must_use]
+    pub fn circuit_open(&self) -> bool {
+        self.state.lock().circuit_open
+    }
+
+    /// Restarts consumed so far.
+    #[must_use]
+    pub fn restarts_used(&self) -> u32 {
+        self.state.lock().restarts_used
+    }
+
+    /// [`BatchClient::predict_heights`] through the supervised server:
+    /// a disconnect triggers a restart (budget permitting) and one
+    /// transparent retry per new server generation.
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::Forward`] when the forward failed on a live server;
+    /// [`InferError::Disconnected`] when the circuit is open (or the
+    /// supervisor is shut down) — the caller should fall back to local
+    /// inference.
+    pub fn predict_heights(&self, samples: &[NdArray]) -> Result<Vec<Vec<f64>>, InferError> {
+        loop {
+            let (client, generation) = {
+                let st = self.state.lock();
+                if st.circuit_open {
+                    return Err(InferError::Disconnected("batch inference circuit is open".to_string()));
+                }
+                match &st.client {
+                    Some(c) => (c.clone(), st.generation),
+                    None => {
+                        return Err(InferError::Disconnected(
+                            "batch supervisor is shut down".to_string(),
+                        ))
+                    }
+                }
+            };
+            match client.predict_heights(samples) {
+                Ok(heights) => return Ok(heights),
+                Err(InferError::Disconnected(cause)) => {
+                    if !self.handle_disconnect(generation) {
+                        return Err(InferError::Disconnected(cause));
+                    }
+                }
+                Err(forward) => return Err(forward),
+            }
+        }
+    }
+
+    /// Reacts to a disconnect observed under `generation`. Returns whether
+    /// the caller should retry with the (possibly new) current client.
+    fn handle_disconnect(&self, generation: u64) -> bool {
+        let mut st = self.state.lock();
+        if st.circuit_open || st.client.is_none() {
+            return false;
+        }
+        if st.generation != generation {
+            // Another caller already replaced the dead server.
+            return true;
+        }
+        // Reap the dead thread before replacing it.
+        drop(st.client.take());
+        if let Some(server) = st.server.take() {
+            server.join();
+        }
+        while st.restarts_used < self.restart_budget {
+            st.restarts_used += 1;
+            match BatchServer::spawn_with(
+                Arc::clone(&self.bundle),
+                self.config.clone(),
+                Arc::clone(&self.stats),
+                Arc::clone(&self.fault),
+            ) {
+                Ok((server, client)) => {
+                    st.server = Some(server);
+                    st.client = Some(client);
+                    st.generation += 1;
+                    self.stats.server_restarts.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(_) => continue,
+            }
+        }
+        st.circuit_open = true;
+        self.stats.circuit_opened.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    /// Drops the client handle and joins the server thread. Further
+    /// [`BatchSupervisor::predict_heights`] calls fail cleanly.
+    pub fn shutdown(&self) {
+        let (client, server) = {
+            let mut st = self.state.lock();
+            (st.client.take(), st.server.take())
+        };
+        drop(client);
+        if let Some(server) = server {
+            server.join();
+        }
+    }
+}
+
+impl Drop for BatchSupervisor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,10 +446,11 @@ mod tests {
     fn server(linger: Duration) -> (BatchServer, BatchClient, Arc<StatsInner>) {
         let bundle = Arc::new(ModelBundle::from_network(&tiny_network(1)).unwrap());
         let stats = Arc::new(StatsInner::default());
-        let (server, client) = BatchServer::spawn_with_stats(
+        let (server, client) = BatchServer::spawn_with(
             bundle,
             BatchConfig { max_batch: 8, linger },
             Arc::clone(&stats),
+            Arc::new(FaultPlan::disabled()),
         )
         .unwrap();
         (server, client, stats)
@@ -238,7 +494,8 @@ mod tests {
     fn server_survives_bad_samples() {
         let (server, client, _) = server(Duration::ZERO);
         let bad = NdArray::zeros(&[2, 2]);
-        assert!(client.predict_heights(std::slice::from_ref(&bad)).is_err());
+        let err = client.predict_heights(std::slice::from_ref(&bad)).unwrap_err();
+        assert!(matches!(err, InferError::Forward(_)), "{err}");
         // Still serving afterwards.
         let net = tiny_network(1);
         let layout = crate::test_util::tiny_layout(1);
@@ -246,5 +503,57 @@ mod tests {
         assert!(client.predict_heights(std::slice::from_ref(&sample)).is_ok());
         drop(client);
         server.join();
+    }
+
+    #[test]
+    fn supervisor_restarts_a_killed_server_transparently() {
+        let bundle = Arc::new(ModelBundle::from_network(&tiny_network(1)).unwrap());
+        let stats = Arc::new(StatsInner::default());
+        let fault = Arc::new(FaultPlan::parse("batch_forward=panic@1", 0).unwrap());
+        let sup = BatchSupervisor::spawn_with(
+            bundle,
+            BatchConfig { max_batch: 8, linger: Duration::ZERO },
+            2,
+            Arc::clone(&stats),
+            fault,
+        )
+        .unwrap();
+        let net = tiny_network(1);
+        let layout = crate::test_util::tiny_layout(1);
+        let sample = net.extract_window_sample(&layout, 0).unwrap();
+        // First call kills the server (injected panic); the supervisor
+        // restarts it and the retry succeeds on the new generation.
+        let heights = sup.predict_heights(std::slice::from_ref(&sample)).unwrap();
+        assert_eq!(heights[0], net.predict_layer_heights(&layout, 0).unwrap());
+        assert_eq!(sup.restarts_used(), 1);
+        assert!(!sup.circuit_open());
+        assert_eq!(stats.server_restarts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn exhausted_restart_budget_opens_the_circuit() {
+        let bundle = Arc::new(ModelBundle::from_network(&tiny_network(1)).unwrap());
+        let stats = Arc::new(StatsInner::default());
+        // Every batch forward panics, so each restart dies again on use.
+        let fault = Arc::new(FaultPlan::parse("batch_forward=panic", 0).unwrap());
+        let sup = BatchSupervisor::spawn_with(
+            bundle,
+            BatchConfig { max_batch: 8, linger: Duration::ZERO },
+            2,
+            Arc::clone(&stats),
+            fault,
+        )
+        .unwrap();
+        let net = tiny_network(1);
+        let layout = crate::test_util::tiny_layout(1);
+        let sample = net.extract_window_sample(&layout, 0).unwrap();
+        let err = sup.predict_heights(std::slice::from_ref(&sample)).unwrap_err();
+        assert!(matches!(err, InferError::Disconnected(_)), "{err}");
+        assert!(sup.circuit_open());
+        assert_eq!(sup.restarts_used(), 2, "budget fully consumed");
+        assert_eq!(stats.circuit_opened.load(Ordering::Relaxed), 1);
+        // Once open, calls fail fast without touching any server.
+        let err = sup.predict_heights(std::slice::from_ref(&sample)).unwrap_err();
+        assert!(err.message().contains("circuit"), "{err}");
     }
 }

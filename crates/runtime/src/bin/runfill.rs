@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! runfill --model surrogate.bundle --layouts designs/ [--out reports/]
-//!         [--workers N] [--timeout-s S] [--max-batch B] [--linger-ms M]
+//!         [--workers N] [--timeout-s S] [--retries N] [--max-batch B]
+//!         [--linger-ms M] [--fault-plan SPEC] [--fault-seed N]
 //!         [--fast] [--init-demo N]
 //! ```
 //!
@@ -12,6 +13,8 @@
 //! a small surrogate and saves it there — enough to exercise the full
 //! runtime end to end on a fresh checkout.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use neurfill::extraction::NUM_CHANNELS;
 use neurfill::pipeline::FlowConfig;
 use neurfill::surrogate::{train_surrogate, SurrogateConfig};
@@ -19,10 +22,13 @@ use neurfill_cmpsim::{CmpSimulator, ProcessParams};
 use neurfill_layout::datagen::DataGenConfig;
 use neurfill_layout::{benchmark_designs, io as layout_io, DesignKind, DesignSpec};
 use neurfill_nn::{TrainConfig, UNetConfig};
-use neurfill_runtime::{BatchConfig, JobSpec, JobStatus, ModelRegistry, PoolOptions, RuntimePool};
+use neurfill_runtime::{
+    BatchConfig, FaultPlan, JobSpec, JobStatus, ModelRegistry, PoolOptions, RetryPolicy, RuntimePool,
+};
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -31,8 +37,11 @@ struct Args {
     out: Option<PathBuf>,
     workers: usize,
     timeout: Option<Duration>,
+    retries: u32,
     max_batch: usize,
     linger: Duration,
+    fault_plan: Option<String>,
+    fault_seed: u64,
     fast: bool,
     init_demo: usize,
 }
@@ -40,7 +49,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: runfill --model <bundle> --layouts <dir> [--out <dir>] [--workers N]\n\
-         \x20             [--timeout-s S] [--max-batch B] [--linger-ms M] [--fast] [--init-demo N]"
+         \x20             [--timeout-s S] [--retries N] [--max-batch B] [--linger-ms M]\n\
+         \x20             [--fault-plan SPEC] [--fault-seed N] [--fast] [--init-demo N]"
     );
     std::process::exit(2);
 }
@@ -52,8 +62,11 @@ fn parse_args() -> Args {
         out: None,
         workers: 0,
         timeout: None,
+        retries: 0,
         max_batch: 16,
         linger: Duration::from_millis(2),
+        fault_plan: None,
+        fault_seed: 0,
         fast: false,
         init_demo: 0,
     };
@@ -76,7 +89,12 @@ fn parse_args() -> Args {
                     "--timeout-s",
                 )))
             }
+            "--retries" => args.retries = parse_num(&value(&mut it, "--retries"), "--retries"),
             "--max-batch" => args.max_batch = parse_num(&value(&mut it, "--max-batch"), "--max-batch"),
+            "--fault-plan" => args.fault_plan = Some(value(&mut it, "--fault-plan")),
+            "--fault-seed" => {
+                args.fault_seed = parse_num(&value(&mut it, "--fault-seed"), "--fault-seed")
+            }
             "--linger-ms" => {
                 args.linger =
                     Duration::from_millis(parse_num(&value(&mut it, "--linger-ms"), "--linger-ms"))
@@ -185,27 +203,43 @@ fn run() -> Result<bool, String> {
         return Err(format!("no readable layouts in {}", args.layouts.display()));
     }
 
+    // The fault plan comes from the flag, else the environment
+    // (NEURFILL_FAULT_PLAN / NEURFILL_FAULT_SEED), else stays disabled.
+    let fault = match &args.fault_plan {
+        Some(spec) => FaultPlan::parse(spec, args.fault_seed)?,
+        None => FaultPlan::from_env()?,
+    };
+    if fault.is_enabled() {
+        println!("fault injection enabled (seed {})", args.fault_seed);
+    }
+
     let flow = FlowConfig { process: process_params(&args), ..FlowConfig::default() };
     let options = PoolOptions {
         workers: args.workers,
         batch: BatchConfig { max_batch: args.max_batch.max(1), linger: args.linger },
         default_timeout: args.timeout,
+        retry: RetryPolicy::with_retries(args.retries),
+        fault: Arc::new(fault),
+        ..PoolOptions::default()
     };
     let pool = RuntimePool::new(bundle, flow, options).map_err(|e| e.to_string())?;
 
     let out_dir = args.out.clone().unwrap_or_else(|| args.layouts.join("reports"));
     std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
 
-    let ids: Vec<_> = layouts
-        .into_iter()
-        .map(|(name, layout)| (name.clone(), pool.submit(JobSpec::new(name, layout))))
-        .collect();
+    let mut ids = Vec::new();
+    for (name, layout) in layouts {
+        let id = pool.submit(JobSpec::new(name.clone(), layout))?;
+        ids.push((name, id));
+    }
     println!("submitted {} jobs", ids.len());
 
-    let mut failures = 0usize;
+    let total = ids.len();
+    let mut failed: Vec<(String, String)> = Vec::new();
+    let mut degraded: Vec<(String, String)> = Vec::new();
     for (name, id) in &ids {
         match pool.wait(*id) {
-            JobStatus::Done(report) => {
+            Some(JobStatus::Done(report)) => {
                 let path = out_dir.join(format!("{name}.report.txt"));
                 std::fs::write(&path, report.to_text()).map_err(|e| e.to_string())?;
                 println!(
@@ -215,19 +249,41 @@ fn run() -> Result<bool, String> {
                     report.plan.total(),
                     path.display()
                 );
+                if let Some(reason) = &report.degraded {
+                    degraded.push((name.clone(), reason.clone()));
+                }
             }
-            JobStatus::Failed(e) => {
-                failures += 1;
+            Some(JobStatus::Failed(e)) => {
                 println!("FAIL  {name}: {e}");
+                failed.push((name.clone(), e));
             }
-            JobStatus::Queued | JobStatus::Running => unreachable!("wait returns terminal states"),
+            Some(JobStatus::Queued | JobStatus::Running | JobStatus::Retrying { .. }) => {
+                unreachable!("wait returns terminal states")
+            }
+            None => {
+                let e = "job id unknown to the pool".to_string();
+                println!("FAIL  {name}: {e}");
+                failed.push((name.clone(), e));
+            }
         }
     }
 
     let stats = pool.shutdown();
     println!("{stats}");
     println!("model cache: {} hits, {} misses", registry.cache_hits(), registry.cache_misses());
-    Ok(failures == 0)
+    if !degraded.is_empty() {
+        println!("degraded {} of {total} jobs (golden-simulator verification):", degraded.len());
+        for (name, reason) in &degraded {
+            println!("  {name}: {reason}");
+        }
+    }
+    if !failed.is_empty() {
+        println!("failed {} of {total} jobs:", failed.len());
+        for (name, error) in &failed {
+            println!("  {name}: {error}");
+        }
+    }
+    Ok(failed.is_empty())
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,363 @@
+//! Deterministic fault injection for exercising the runtime's
+//! fault-tolerance paths.
+//!
+//! A [`FaultPlan`] is a set of [`FaultSpec`]s, each naming a *site* (a
+//! stable string like [`sites::SYNTHESIS`] checked at exactly one code
+//! location), a fault kind, and a trigger deciding *which* invocations of
+//! that site fault. Triggers are either explicit 1-based ordinals
+//! (`@1,3`), an ordinal range (`@2-5`), or a seeded probability (`@p0.25`)
+//! — the probabilistic mode hashes `(seed, site, ordinal)`, so a given
+//! plan faults the same invocations on every run regardless of thread
+//! interleaving.
+//!
+//! Plans are test-visible and config/env-constructed:
+//!
+//! ```text
+//! NEURFILL_FAULT_PLAN="synthesis=transient@1;batch_forward=panic@2"
+//! NEURFILL_FAULT_SEED=7
+//! ```
+//!
+//! The spec grammar is `site=kind[@trigger]` joined by `;`, where `kind`
+//! is one of `panic`, `transient`, `nan`, or `delayNN` (NN milliseconds).
+//! An absent trigger fires on every invocation. [`FaultPlan::disabled`]
+//! (the default everywhere) injects nothing and leaves every code path
+//! bit-identical to an unfaulted run.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Stable site names checked by the runtime and data crates.
+pub mod sites {
+    /// Network hydration from bundle bytes (workers and the batch server).
+    pub const HYDRATE: &str = "hydrate";
+    /// The synthesis stage of a job, before `FillingFlow` runs.
+    pub const SYNTHESIS: &str = "synthesis";
+    /// The batch server's multi-sample forward.
+    pub const BATCH_FORWARD: &str = "batch_forward";
+    /// Reading one record from a training-data shard.
+    pub const SHARD_READ: &str = "shard_read";
+}
+
+/// What a firing fault does at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the site (exercises panic isolation / thread supervision).
+    Panic,
+    /// Sleep for the given duration, then continue normally.
+    Delay(Duration),
+    /// Fail the operation with a transient (retryable) error.
+    Transient,
+    /// Poison the site's numeric outputs with NaN (only meaningful at
+    /// sites producing heights; elsewhere it is ignored).
+    Nan,
+}
+
+/// When a spec fires, relative to the per-site invocation counter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultTrigger {
+    /// Fire on these exact 1-based invocation ordinals.
+    Ordinals(Vec<u64>),
+    /// Fire on every ordinal in `from..=to` (inclusive, 1-based).
+    Range {
+        /// First faulting ordinal.
+        from: u64,
+        /// Last faulting ordinal.
+        to: u64,
+    },
+    /// Fire on each invocation independently with this probability,
+    /// decided by a deterministic hash of `(seed, site, ordinal)`.
+    Probability(f64),
+    /// Fire on every invocation.
+    Always,
+}
+
+/// One injection rule: `site=kind@trigger`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// The site this rule applies to (see [`sites`]).
+    pub site: String,
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// Which invocations fault.
+    pub trigger: FaultTrigger,
+}
+
+impl FaultSpec {
+    fn fires(&self, ordinal: u64, seed: u64) -> bool {
+        match &self.trigger {
+            FaultTrigger::Ordinals(list) => list.contains(&ordinal),
+            FaultTrigger::Range { from, to } => (*from..=*to).contains(&ordinal),
+            FaultTrigger::Probability(p) => {
+                let h = splitmix(seed ^ fnv1a(self.site.as_bytes()) ^ ordinal);
+                ((h >> 11) as f64 / (1u64 << 53) as f64) < *p
+            }
+            FaultTrigger::Always => true,
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Marker substring carried by every injected transient error, used by
+/// [`crate::error::classify`] to route the failure into the retry path.
+pub const TRANSIENT_MARKER: &str = "transient fault injected";
+
+/// A seeded, deterministic set of injection rules shared by every thread
+/// of a runtime. The disabled plan (no specs) is the default and injects
+/// nothing.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+    seed: u64,
+    counters: Mutex<HashMap<String, u64>>,
+}
+
+impl FaultPlan {
+    /// The no-op plan: never fires, never perturbs behavior.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A plan from explicit specs and a seed (for probabilistic triggers).
+    #[must_use]
+    pub fn new(specs: Vec<FaultSpec>, seed: u64) -> Self {
+        Self { specs, seed, counters: Mutex::new(HashMap::new()) }
+    }
+
+    /// Parses a plan from the `site=kind[@trigger];...` grammar (see the
+    /// module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message pinpointing the malformed clause.
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut specs = Vec::new();
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let (site, rest) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause {clause:?} is missing '='"))?;
+            let (kind_str, trigger_str) = match rest.split_once('@') {
+                Some((k, t)) => (k.trim(), Some(t.trim())),
+                None => (rest.trim(), None),
+            };
+            let kind = if kind_str == "panic" {
+                FaultKind::Panic
+            } else if kind_str == "transient" {
+                FaultKind::Transient
+            } else if kind_str == "nan" {
+                FaultKind::Nan
+            } else if let Some(ms) = kind_str.strip_prefix("delay") {
+                let ms: u64 =
+                    ms.parse().map_err(|_| format!("bad delay duration {ms:?} in clause {clause:?}"))?;
+                FaultKind::Delay(Duration::from_millis(ms))
+            } else {
+                return Err(format!("unknown fault kind {kind_str:?} in clause {clause:?}"));
+            };
+            let trigger = match trigger_str {
+                None => FaultTrigger::Always,
+                Some(t) => {
+                    if let Some(p) = t.strip_prefix('p') {
+                        let p: f64 = p
+                            .parse()
+                            .map_err(|_| format!("bad probability {p:?} in clause {clause:?}"))?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(format!("probability {p} out of [0,1] in {clause:?}"));
+                        }
+                        FaultTrigger::Probability(p)
+                    } else if let Some((from, to)) = t.split_once('-') {
+                        let parse = |s: &str| {
+                            s.parse::<u64>()
+                                .map_err(|_| format!("bad ordinal {s:?} in clause {clause:?}"))
+                        };
+                        FaultTrigger::Range { from: parse(from)?, to: parse(to)? }
+                    } else {
+                        let ordinals = t
+                            .split(',')
+                            .map(|s| {
+                                s.trim()
+                                    .parse::<u64>()
+                                    .map_err(|_| format!("bad ordinal {s:?} in clause {clause:?}"))
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        FaultTrigger::Ordinals(ordinals)
+                    }
+                }
+            };
+            specs.push(FaultSpec { site: site.trim().to_string(), kind, trigger });
+        }
+        Ok(Self::new(specs, seed))
+    }
+
+    /// Builds a plan from `NEURFILL_FAULT_PLAN` / `NEURFILL_FAULT_SEED`;
+    /// absent or empty env yields the disabled plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors from the env spec.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("NEURFILL_FAULT_PLAN") {
+            Ok(spec) if !spec.trim().is_empty() => {
+                let seed =
+                    std::env::var("NEURFILL_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+                Self::parse(&spec, seed)
+            }
+            _ => Ok(Self::disabled()),
+        }
+    }
+
+    /// Whether the plan has any rules at all (a cheap happy-path gate).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !self.specs.is_empty()
+    }
+
+    /// How many times `site` has been passed so far.
+    #[must_use]
+    pub fn invocations(&self, site: &str) -> u64 {
+        self.counters.lock().get(site).copied().unwrap_or(0)
+    }
+
+    /// The injection point: call once per operation at the named site.
+    ///
+    /// Increments the site's invocation counter, then applies the first
+    /// matching spec: `Delay` sleeps here and continues; `Panic` panics
+    /// here (the caller's supervision is what's under test); `Transient`
+    /// returns an `Err` carrying [`TRANSIENT_MARKER`]; `Nan` returns
+    /// `Ok(true)`, asking the caller to poison its numeric outputs.
+    /// Returns `Ok(false)` when nothing fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected transient error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a `Panic` fault fires (by design).
+    pub fn inject(&self, site: &str) -> Result<bool, String> {
+        if self.specs.is_empty() {
+            return Ok(false);
+        }
+        let ordinal = {
+            let mut counters = self.counters.lock();
+            let c = counters.entry(site.to_string()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        for spec in self.specs.iter().filter(|s| s.site == site) {
+            if !spec.fires(ordinal, self.seed) {
+                continue;
+            }
+            match spec.kind {
+                FaultKind::Panic => {
+                    panic!("fault injected: panic at '{site}' (invocation {ordinal})")
+                }
+                FaultKind::Delay(d) => std::thread::sleep(d),
+                FaultKind::Transient => {
+                    return Err(format!("{TRANSIENT_MARKER} at '{site}' (invocation {ordinal})"))
+                }
+                FaultKind::Nan => return Ok(true),
+            }
+        }
+        Ok(false)
+    }
+
+    /// [`FaultPlan::inject`] adapted to `io::Result` call sites: transient
+    /// faults surface as [`std::io::ErrorKind::Interrupted`] (the kind the
+    /// error classifier treats as retryable).
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected transient error as an I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a `Panic` fault fires (by design).
+    pub fn inject_io(&self, site: &str) -> std::io::Result<bool> {
+        self.inject(site).map_err(|e| std::io::Error::new(std::io::ErrorKind::Interrupted, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires_and_counts_nothing() {
+        let plan = FaultPlan::disabled();
+        for _ in 0..10 {
+            assert_eq!(plan.inject(sites::SYNTHESIS), Ok(false));
+        }
+        assert!(!plan.is_enabled());
+        assert_eq!(plan.invocations(sites::SYNTHESIS), 0, "disabled plan skips counting");
+    }
+
+    #[test]
+    fn ordinal_trigger_fires_exactly_on_listed_invocations() {
+        let plan = FaultPlan::parse("synthesis=transient@1,3", 0).unwrap();
+        assert!(plan.inject(sites::SYNTHESIS).is_err());
+        assert_eq!(plan.inject(sites::SYNTHESIS), Ok(false));
+        assert!(plan.inject(sites::SYNTHESIS).is_err());
+        assert_eq!(plan.inject(sites::SYNTHESIS), Ok(false));
+        // Other sites are untouched.
+        assert_eq!(plan.inject(sites::HYDRATE), Ok(false));
+    }
+
+    #[test]
+    fn range_and_nan_and_delay_parse() {
+        let plan = FaultPlan::parse("batch_forward=nan@2-3; hydrate=delay5@1", 0).unwrap();
+        assert_eq!(plan.inject(sites::BATCH_FORWARD), Ok(false));
+        assert_eq!(plan.inject(sites::BATCH_FORWARD), Ok(true));
+        assert_eq!(plan.inject(sites::BATCH_FORWARD), Ok(true));
+        assert_eq!(plan.inject(sites::BATCH_FORWARD), Ok(false));
+        let t = std::time::Instant::now();
+        assert_eq!(plan.inject(sites::HYDRATE), Ok(false), "delay continues normally");
+        assert!(t.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn probabilistic_trigger_is_deterministic_for_a_seed() {
+        let a = FaultPlan::parse("shard_read=transient@p0.5", 42).unwrap();
+        let b = FaultPlan::parse("shard_read=transient@p0.5", 42).unwrap();
+        let seq_a: Vec<bool> = (0..64).map(|_| a.inject(sites::SHARD_READ).is_err()).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.inject(sites::SHARD_READ).is_err()).collect();
+        assert_eq!(seq_a, seq_b);
+        let fired = seq_a.iter().filter(|f| **f).count();
+        assert!(fired > 8 && fired < 56, "p=0.5 over 64 draws fired {fired} times");
+    }
+
+    #[test]
+    fn panic_fault_panics_at_the_site() {
+        let plan = FaultPlan::parse("synthesis=panic@1", 0).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = plan.inject(sites::SYNTHESIS);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("fault injected"), "{msg}");
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_context() {
+        for bad in ["synthesis", "x=warp", "x=transient@p2.0", "x=delayzz", "x=transient@one"] {
+            let err = FaultPlan::parse(bad, 0).unwrap_err();
+            assert!(!err.is_empty(), "{bad}");
+        }
+        assert!(FaultPlan::parse("", 0).unwrap().specs.is_empty());
+    }
+}

@@ -37,9 +37,17 @@ pub enum JobStatus {
     Queued,
     /// A worker is synthesizing.
     Running,
+    /// A transient failure occurred; the worker is backing off before
+    /// attempt `attempt + 1` (so `attempt: 1` means one retry underway).
+    Retrying {
+        /// The retry about to run (1-based).
+        attempt: u32,
+    },
     /// Finished; the report holds the results.
     Done(Box<JobReport>),
-    /// Failed with an error (synthesis error, panic, or timeout).
+    /// Failed with an error (synthesis error, panic, cancellation or
+    /// timeout) — see `neurfill_runtime::error::classify` for how the
+    /// message maps back to a failure class.
     Failed(String),
 }
 
@@ -73,13 +81,20 @@ pub struct JobReport {
     pub synthesis_runtime: Duration,
     /// Surrogate forward passes spent in synthesis.
     pub evaluations: usize,
+    /// Why the job degraded, when it did: the surrogate's verification
+    /// heights failed the numeric health guard and `predicted` was
+    /// computed by the golden simulator instead. `None` on the normal
+    /// (surrogate-verified) path.
+    pub degraded: Option<String>,
 }
 
 impl JobReport {
     /// Renders the report as the text block `runfill` writes per job.
+    /// A `degraded` line appears only when the job degraded, so reports
+    /// from fault-free runs are byte-identical to earlier versions.
     #[must_use]
     pub fn to_text(&self) -> String {
-        format!(
+        let mut text = format!(
             "job {}\nquality {:.6}\noverall {:.6}\nobjective {:.6}\n\
              fill_total_um2 {:.3}\npredicted_sigma {:.6}\npredicted_sigma_star {:.6}\n\
              synthesis_s {:.3}\nevaluations {}\n",
@@ -92,6 +107,10 @@ impl JobReport {
             self.predicted.sigma_star,
             self.synthesis_runtime.as_secs_f64(),
             self.evaluations,
-        )
+        );
+        if let Some(reason) = &self.degraded {
+            text.push_str(&format!("degraded {reason}\n"));
+        }
+        text
     }
 }

@@ -14,8 +14,12 @@
 //! * [`BatchServer`] / [`BatchClient`] — a dedicated inference thread
 //!   coalescing per-window UNet forwards from concurrent jobs into
 //!   multi-sample `[B, C, H, W]` forwards.
-//! * [`RuntimePool`] — the job queue and worker pool: per-job status and
-//!   timeout, graceful shutdown, and failures that never poison the pool.
+//! * [`RuntimePool`] — the job queue and worker pool: per-job status,
+//!   cooperative deadlines and cancellation, transient-failure retries,
+//!   graceful shutdown, and failures that never poison the pool.
+//! * [`FaultPlan`] — a deterministic fault-injection harness (panics,
+//!   delays, transient errors, NaN-poisoned outputs at named sites) that
+//!   drives the supervision layer's tests and stays inert in production.
 //!
 //! ```no_run
 //! use neurfill::pipeline::FlowConfig;
@@ -26,7 +30,7 @@
 //! let bundle = registry.load("surrogate.bundle")?;
 //! let pool = RuntimePool::new(bundle, FlowConfig::default(), PoolOptions::default())?;
 //! let layout = neurfill_layout::io::load_from_file("design_a.layout")?;
-//! let id = pool.submit(JobSpec::new("design_a", layout));
+//! let id = pool.submit(JobSpec::new("design_a", layout))?;
 //! println!("{:?}", pool.wait(id));
 //! println!("{}", pool.shutdown());
 //! # Ok(())
@@ -34,15 +38,24 @@
 //! ```
 
 #![warn(missing_docs)]
+// The supervision layer must never panic on a recoverable condition;
+// unwrap/expect are banned outside tests (construction-time invariants
+// carry local, justified `allow`s).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batch;
+pub mod error;
+pub mod fault;
 pub mod job;
 pub mod pool;
 pub mod registry;
 mod stats;
 
-pub use batch::{BatchClient, BatchConfig, BatchServer};
+pub use batch::{BatchClient, BatchConfig, BatchServer, BatchSupervisor};
+pub use error::{classify, ErrorClass, InferError, RetryPolicy, RuntimeError};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 pub use job::{JobId, JobReport, JobSpec, JobStatus};
+pub use neurfill::CancelToken;
 pub use pool::{default_workers, parallel_map_ordered, PoolOptions, RuntimePool};
 pub use registry::{ModelBundle, ModelRegistry};
 pub use stats::RuntimeStats;

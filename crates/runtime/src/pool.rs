@@ -1,5 +1,6 @@
 //! The concurrent fill-synthesis pool: a job queue fanned across worker
-//! threads that share one model bundle and one batch inference server.
+//! threads that share one model bundle and one supervised batch inference
+//! server.
 //!
 //! Each worker hydrates its own network from the bundle (the autograd
 //! substrate is thread-local), assembles a [`FillingFlow`] once, and then
@@ -7,14 +8,32 @@
 //! sequential `FillingFlow::run` over the same bundle and configuration —
 //! workers run the same weights, and the batched verification forward is
 //! per-sample identical to single forwards.
+//!
+//! # Failure model
+//!
+//! Jobs are isolated: a panic, error, timeout or cancellation fails that
+//! job only, never its worker or the pool. Transient failures retry under
+//! [`PoolOptions::retry`] with exponential backoff (status
+//! [`JobStatus::Retrying`]); deadlines are enforced *cooperatively* — a
+//! per-job [`CancelToken`] (deadline = submission + timeout) is threaded
+//! into the synthesis optimizer's iteration loops, so an expired or
+//! [`RuntimePool::cancel`]led job aborts mid-optimization instead of
+//! running to completion. When batched inference is unavailable (server
+//! dead and the supervisor's circuit open), workers degrade to per-worker
+//! sequential inference on their own network; when surrogate heights fail
+//! the numeric health guard, verification degrades to the golden
+//! simulator and the job's report says so. All of it is exercised
+//! deterministically through [`crate::fault::FaultPlan`].
 
-use crate::batch::{BatchClient, BatchConfig, BatchServer};
+use crate::batch::{BatchConfig, BatchSupervisor};
+use crate::error::{InferError, RetryPolicy, RuntimeError};
+use crate::fault::{sites, FaultPlan};
 use crate::job::{JobId, JobReport, JobSpec, JobStatus};
 use crate::registry::ModelBundle;
 use crate::stats::{RuntimeStats, StatsInner};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use neurfill::pipeline::{FillingFlow, FlowConfig};
-use neurfill::PlanarityMetrics;
+use neurfill::{CancelToken, HeightNorm, PlanarityMetrics};
 use neurfill_cmpsim::ChipProfile;
 use neurfill_cmpsim::LayerProfile;
 use neurfill_layout::apply_fill;
@@ -28,7 +47,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Pool construction options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PoolOptions {
     /// Worker threads; `0` uses [`default_workers`].
     pub workers: usize,
@@ -36,6 +55,28 @@ pub struct PoolOptions {
     pub batch: BatchConfig,
     /// Deadline applied to jobs that don't carry their own.
     pub default_timeout: Option<Duration>,
+    /// Retry budget and backoff for transiently-failing jobs.
+    pub retry: RetryPolicy,
+    /// How many times a dead batch server is restarted before the
+    /// circuit opens and workers fall back to local inference.
+    pub restart_budget: u32,
+    /// Fault-injection plan (disabled by default; see [`FaultPlan`]).
+    /// With the disabled plan every code path is bit-identical to a
+    /// fault-free runtime.
+    pub fault: Arc<FaultPlan>,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            batch: BatchConfig::default(),
+            default_timeout: None,
+            retry: RetryPolicy::default(),
+            restart_budget: 2,
+            fault: Arc::new(FaultPlan::disabled()),
+        }
+    }
 }
 
 /// The machine's available parallelism, clamped to at least one worker.
@@ -58,6 +99,9 @@ pub fn default_workers() -> usize {
 /// # Panics
 ///
 /// Propagates panics from `f` (the scope joins all threads first).
+// The two `expect`s assert scheduling invariants of the cursor (each index
+// claimed exactly once, every slot filled after the scope joins).
+#[allow(clippy::expect_used)]
 pub fn parallel_map_ordered<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
 where
     T: Send,
@@ -92,11 +136,13 @@ struct Queued {
     id: JobId,
     spec: JobSpec,
     enqueued: Instant,
+    cancel: CancelToken,
 }
 
 #[derive(Default)]
 struct JobTable {
     jobs: Mutex<HashMap<JobId, JobStatus>>,
+    tokens: Mutex<HashMap<JobId, CancelToken>>,
     changed: Condvar,
 }
 
@@ -111,8 +157,7 @@ impl JobTable {
 pub struct RuntimePool {
     tx: Option<Sender<Queued>>,
     workers: Vec<JoinHandle<()>>,
-    server: Option<BatchServer>,
-    client: Option<BatchClient>,
+    supervisor: Arc<BatchSupervisor>,
     table: Arc<JobTable>,
     stats: Arc<StatsInner>,
     next_id: AtomicU64,
@@ -126,26 +171,29 @@ impl std::fmt::Debug for RuntimePool {
 }
 
 impl RuntimePool {
-    /// Starts the pool: spawns the batch server plus `options.workers`
-    /// workers, each hydrating its own network from `bundle` and binding it
-    /// into a flow under `config`.
+    /// Starts the pool: spawns the supervised batch server plus
+    /// `options.workers` workers, each hydrating its own network from
+    /// `bundle` and binding it into a flow under `config`.
     ///
     /// # Errors
     ///
-    /// Returns an error when the batch server cannot hydrate the bundle.
-    /// Worker hydration failures surface per job instead, so a pool is
-    /// never half-constructed.
+    /// Returns an error when the batch server cannot hydrate the bundle or
+    /// a thread cannot be spawned. Worker hydration failures at job time
+    /// surface per job instead, so a pool is never half-constructed.
     pub fn new(
         bundle: Arc<ModelBundle>,
         config: FlowConfig,
         options: PoolOptions,
     ) -> std::io::Result<Self> {
         let stats = Arc::new(StatsInner::default());
-        let (server, client) = BatchServer::spawn_with_stats(
+        let fault = Arc::clone(&options.fault);
+        let supervisor = Arc::new(BatchSupervisor::spawn_with(
             Arc::clone(&bundle),
             options.batch.clone(),
+            options.restart_budget,
             Arc::clone(&stats),
-        )?;
+            Arc::clone(&fault),
+        )?);
         let table = Arc::new(JobTable::default());
         let (tx, rx) = unbounded::<Queued>();
         let worker_count = if options.workers == 0 { default_workers() } else { options.workers };
@@ -156,18 +204,18 @@ impl RuntimePool {
                 let config = config.clone();
                 let table = Arc::clone(&table);
                 let stats = Arc::clone(&stats);
-                let client = client.clone();
-                std::thread::Builder::new()
-                    .name(format!("neurfill-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &bundle, config, &table, &stats, &client))
-                    .expect("spawn worker thread")
+                let supervisor = Arc::clone(&supervisor);
+                let fault = Arc::clone(&fault);
+                let retry = options.retry;
+                std::thread::Builder::new().name(format!("neurfill-worker-{i}")).spawn(move || {
+                    worker_loop(&rx, &bundle, &config, &table, &stats, &supervisor, &fault, retry)
+                })
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
         Ok(Self {
             tx: Some(tx),
             workers,
-            server: Some(server),
-            client: Some(client),
+            supervisor,
             table,
             stats,
             next_id: AtomicU64::new(1),
@@ -177,22 +225,28 @@ impl RuntimePool {
 
     /// Enqueues a job and returns its id immediately.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when called after [`RuntimePool::shutdown`] (the pool is
-    /// consumed there, so this needs `unsafe`-free misuse via a clone —
-    /// practically unreachable).
-    pub fn submit(&self, mut spec: JobSpec) -> JobId {
+    /// Returns an error (instead of accepting the job) when the pool has
+    /// shut down or every worker is gone.
+    pub fn submit(&self, mut spec: JobSpec) -> Result<JobId, String> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err("pool is shut down; job not accepted".to_string());
+        };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         spec.timeout = spec.timeout.or(self.default_timeout);
+        let enqueued = Instant::now();
+        let cancel = CancelToken::with_deadline_opt(spec.timeout.map(|t| enqueued + t));
+        self.table.tokens.lock().insert(id, cancel.clone());
         self.table.set(id, JobStatus::Queued);
         self.stats.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-        self.tx
-            .as_ref()
-            .expect("pool is running")
-            .send(Queued { id, spec, enqueued: Instant::now() })
-            .expect("workers alive while pool is running");
-        id
+        if tx.send(Queued { id, spec, enqueued, cancel }).is_err() {
+            let msg = "pool workers are gone; job not enqueued".to_string();
+            self.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            self.table.set(id, JobStatus::Failed(msg.clone()));
+            return Err(msg);
+        }
+        Ok(id)
     }
 
     /// The job's current status, or `None` for an unknown id.
@@ -201,18 +255,33 @@ impl RuntimePool {
         self.table.jobs.lock().get(&id).cloned()
     }
 
-    /// Blocks until the job reaches a terminal status.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an id this pool never issued.
+    /// Requests cooperative cancellation of a job. Returns whether the
+    /// request landed: `true` for a known, still-active job (it will fail
+    /// with a `cancelled` error at its next cancellation point), `false`
+    /// for unknown ids and jobs that already finished.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let active = matches!(self.table.jobs.lock().get(&id), Some(s) if !s.is_terminal());
+        if !active {
+            return false;
+        }
+        match self.table.tokens.lock().get(&id) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Blocks until the job reaches a terminal status; `None` for an id
+    /// this pool never issued.
     #[must_use]
-    pub fn wait(&self, id: JobId) -> JobStatus {
+    pub fn wait(&self, id: JobId) -> Option<JobStatus> {
         let mut jobs = self.table.jobs.lock();
         loop {
-            let status = jobs.get(&id).expect("job id issued by this pool").clone();
+            let status = jobs.get(&id)?.clone();
             if status.is_terminal() {
-                return status;
+                return Some(status);
             }
             self.table.changed.wait(&mut jobs);
         }
@@ -250,10 +319,7 @@ impl RuntimePool {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        drop(self.client.take());
-        if let Some(server) = self.server.take() {
-            server.join();
-        }
+        self.supervisor.shutdown();
     }
 }
 
@@ -263,26 +329,56 @@ impl Drop for RuntimePool {
     }
 }
 
+/// Hydrates the worker's flow on first use (and again after a faulted
+/// hydration attempt left the slot empty), so hydration failures are
+/// per-attempt and retryable instead of condemning every job the worker
+/// ever takes.
+fn ensure_flow<'a>(
+    slot: &'a mut Option<FillingFlow>,
+    bundle: &ModelBundle,
+    config: &FlowConfig,
+    fault: &FaultPlan,
+    stats: &StatsInner,
+) -> Result<&'a FillingFlow, String> {
+    if slot.is_none() {
+        let start = Instant::now();
+        fault.inject(sites::HYDRATE)?;
+        let network = bundle.hydrate().map_err(|e| format!("failed to hydrate model bundle: {e}"))?;
+        let flow = FillingFlow::with_network(Rc::new(network), config.clone())?;
+        stats.hydrations.fetch_add(1, Ordering::Relaxed);
+        StatsInner::add_duration(&stats.hydrate_nanos, start.elapsed());
+        *slot = Some(flow);
+    }
+    slot.as_ref().ok_or_else(|| "worker flow initialization failed".to_string())
+}
+
+/// Sleeps for `backoff`, clipped so a retry never waits past the job's
+/// deadline.
+fn backoff_within_deadline(backoff: Duration, deadline: Option<Instant>) {
+    let wait = match deadline {
+        Some(d) => backoff.min(d.saturating_duration_since(Instant::now())),
+        None => backoff,
+    };
+    if !wait.is_zero() {
+        std::thread::sleep(wait);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     rx: &Receiver<Queued>,
     bundle: &ModelBundle,
-    config: FlowConfig,
+    config: &FlowConfig,
     table: &JobTable,
     stats: &StatsInner,
-    client: &BatchClient,
+    supervisor: &BatchSupervisor,
+    fault: &FaultPlan,
+    retry: RetryPolicy,
 ) {
-    // One hydration + flow assembly amortized over every job this worker
-    // takes. On failure the worker stays alive and fails its jobs with the
-    // hydration error instead of stalling the queue.
-    let start = Instant::now();
-    let flow = bundle
-        .hydrate()
-        .map_err(|e| format!("failed to hydrate model bundle: {e}"))
-        .and_then(|network| FillingFlow::with_network(Rc::new(network), config));
-    if flow.is_ok() {
-        stats.hydrations.fetch_add(1, Ordering::Relaxed);
-        StatsInner::add_duration(&stats.hydrate_nanos, start.elapsed());
-    }
+    // The flow (one hydration + assembly) is amortized over every job this
+    // worker takes, but built lazily so a faulted/failed hydration can be
+    // retried on the next attempt instead of poisoning the worker.
+    let mut flow: Option<FillingFlow> = None;
 
     while let Ok(job) = rx.recv() {
         let deadline = job.spec.timeout.map(|t| job.enqueued + t);
@@ -290,27 +386,46 @@ fn worker_loop(
             fail(table, stats, job.id, format!("job '{}' timed out in queue", job.spec.name));
             continue;
         }
-        let flow = match &flow {
-            Ok(flow) => flow,
-            Err(e) => {
-                fail(table, stats, job.id, e.clone());
-                continue;
-            }
-        };
-        table.set(job.id, JobStatus::Running);
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(flow, client, &job.spec, stats)));
-        let status = match outcome {
-            Ok(Ok(report)) => {
-                if deadline.is_some_and(|d| Instant::now() > d) {
-                    JobStatus::Failed(format!("job '{}' exceeded its timeout", job.spec.name))
-                } else {
-                    JobStatus::Done(Box::new(report))
+        if job.cancel.cancel_requested() {
+            fail(table, stats, job.id, format!("job '{}' cancelled while queued", job.spec.name));
+            continue;
+        }
+        let mut attempt: u32 = 0;
+        let status = loop {
+            table.set(
+                job.id,
+                if attempt == 0 { JobStatus::Running } else { JobStatus::Retrying { attempt } },
+            );
+            // Panics — the job's own or injected at any site — are caught
+            // here: they fail the job, never the worker.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let flow = ensure_flow(&mut flow, bundle, config, fault, stats)?;
+                run_job(flow, supervisor, &job.spec, &job.cancel, fault, stats)
+            }));
+            break match outcome {
+                Ok(Ok(report)) => {
+                    if deadline.is_some_and(|d| Instant::now() > d) {
+                        JobStatus::Failed(format!("job '{}' exceeded its timeout", job.spec.name))
+                    } else {
+                        JobStatus::Done(Box::new(report))
+                    }
                 }
-            }
-            Ok(Err(e)) => JobStatus::Failed(e),
-            Err(panic) => {
-                JobStatus::Failed(format!("job '{}' panicked: {}", job.spec.name, panic_message(&panic)))
-            }
+                Ok(Err(e)) => {
+                    let err = RuntimeError::from_message(e);
+                    if err.is_retryable() && attempt < retry.max_retries && !job.cancel.is_cancelled() {
+                        attempt += 1;
+                        stats.retries.fetch_add(1, Ordering::Relaxed);
+                        backoff_within_deadline(retry.backoff(attempt), deadline);
+                        continue;
+                    }
+                    JobStatus::Failed(err.message)
+                }
+                Err(panic) => JobStatus::Failed(format!(
+                    "job '{}' panicked: {}",
+                    job.spec.name,
+                    panic_message(&*panic)
+                )),
+            };
         };
         match status {
             JobStatus::Failed(msg) => fail(table, stats, job.id, msg),
@@ -337,16 +452,42 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// One job: synthesis through the worker's own flow, then surrogate
-/// verification of the filled layout through the shared batch server.
+/// Flags surrogate heights that cannot be trusted: non-finite values, or
+/// values implausibly far from the normalization band (|h − offset| >
+/// 10⁴ × scale — a trained surrogate predicts within a few scales).
+fn heights_health_error(heights: &[Vec<f64>], norm: HeightNorm) -> Option<String> {
+    let band = 1e4 * norm.scale_nm;
+    for (layer, layer_heights) in heights.iter().enumerate() {
+        for &h in layer_heights {
+            if !h.is_finite() {
+                return Some(format!("surrogate returned a non-finite height on layer {layer}"));
+            }
+            if (h - norm.offset_nm).abs() > band {
+                return Some(format!(
+                    "surrogate height {h:.3e} nm on layer {layer} is outside the plausible band"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// One job: synthesis through the worker's own flow (under the job's
+/// cancel token), then surrogate verification of the filled layout
+/// through the supervised batch server — degrading to per-worker
+/// inference when batching is unavailable, and to the golden simulator
+/// when the surrogate's heights fail the health guard.
 fn run_job(
     flow: &FillingFlow,
-    client: &BatchClient,
+    supervisor: &BatchSupervisor,
     spec: &JobSpec,
+    cancel: &CancelToken,
+    fault: &FaultPlan,
     stats: &StatsInner,
 ) -> Result<JobReport, String> {
+    fault.inject(sites::SYNTHESIS)?;
     let synth_start = Instant::now();
-    let result = flow.run(&spec.layout)?;
+    let result = flow.run_cancellable(&spec.layout, cancel)?;
     StatsInner::add_duration(&stats.synthesis_nanos, synth_start.elapsed());
 
     // Verification: predict the filled layout's post-CMP profile on the
@@ -360,17 +501,40 @@ fn run_job(
         .map(|l| flow.network().extract_window_sample(&filled, l))
         .collect::<Result<_, _>>()
         .map_err(|e| e.to_string())?;
-    let heights = client.predict_heights(&samples)?;
-    let profile = ChipProfile::new(
-        heights
-            .into_iter()
-            .map(|h| {
-                let zeros = vec![0.0; rows * cols];
-                LayerProfile::new(rows, cols, h, zeros.clone(), zeros)
-            })
-            .collect(),
-    );
-    let predicted = PlanarityMetrics::from_profile(&profile);
+    let heights = match supervisor.predict_heights(&samples) {
+        Ok(heights) => heights,
+        Err(InferError::Forward(e)) => return Err(e),
+        Err(InferError::Disconnected(cause)) => {
+            // Degradation rung 1: batched inference is gone (circuit
+            // open). The worker's own network has the same weights, so
+            // results stay bit-identical — only the coalescing is lost.
+            stats.fallback_batches.fetch_add(1, Ordering::Relaxed);
+            flow.network()
+                .predict_heights_batch(&samples)
+                .map_err(|e| format!("local inference fallback (after: {cause}) failed: {e}"))?
+        }
+    };
+    let (predicted, degraded) = match heights_health_error(&heights, flow.network().height_norm()) {
+        None => {
+            let profile = ChipProfile::new(
+                heights
+                    .into_iter()
+                    .map(|h| {
+                        let zeros = vec![0.0; rows * cols];
+                        LayerProfile::new(rows, cols, h, zeros.clone(), zeros)
+                    })
+                    .collect(),
+            );
+            (PlanarityMetrics::from_profile(&profile), None)
+        }
+        Some(reason) => {
+            // Degradation rung 2: the surrogate's numbers are unusable;
+            // verify on the golden simulator and say so in the report.
+            stats.jobs_degraded.fetch_add(1, Ordering::Relaxed);
+            let profile = flow.simulator().simulate(&filled);
+            (PlanarityMetrics::from_profile(&profile), Some(reason))
+        }
+    };
     StatsInner::add_duration(&stats.verify_nanos, verify_start.elapsed());
 
     Ok(JobReport {
@@ -383,6 +547,7 @@ fn run_job(
         synthesis_runtime: result.synthesis.runtime,
         evaluations: result.synthesis.evaluations,
         plan: result.plan,
+        degraded,
     })
 }
 

@@ -11,6 +11,11 @@ pub(crate) struct StatsInner {
     pub jobs_submitted: AtomicU64,
     pub jobs_completed: AtomicU64,
     pub jobs_failed: AtomicU64,
+    pub jobs_degraded: AtomicU64,
+    pub retries: AtomicU64,
+    pub server_restarts: AtomicU64,
+    pub circuit_opened: AtomicU64,
+    pub fallback_batches: AtomicU64,
     pub batches_formed: AtomicU64,
     pub samples_inferred: AtomicU64,
     pub hydrations: AtomicU64,
@@ -31,6 +36,11 @@ impl StatsInner {
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_degraded: self.jobs_degraded.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            server_restarts: self.server_restarts.load(Ordering::Relaxed),
+            circuit_opened: self.circuit_opened.load(Ordering::Relaxed),
+            fallback_batches: self.fallback_batches.load(Ordering::Relaxed),
             batches_formed: batches,
             samples_inferred: samples,
             mean_batch_occupancy: if batches == 0 { 0.0 } else { samples as f64 / batches as f64 },
@@ -51,6 +61,19 @@ pub struct RuntimeStats {
     pub jobs_completed: u64,
     /// Jobs that failed (error, panic or timeout).
     pub jobs_failed: u64,
+    /// Jobs that completed but fell back to golden-simulator verification
+    /// because the surrogate heights failed the numeric health guard.
+    pub jobs_degraded: u64,
+    /// Job attempts re-run after a transient failure.
+    pub retries: u64,
+    /// Batch-server threads restarted after dying mid-serving.
+    pub server_restarts: u64,
+    /// Times the batch-inference circuit breaker opened (restart budget
+    /// exhausted).
+    pub circuit_opened: u64,
+    /// Verification batches served by a worker's own network because the
+    /// batch-inference circuit was open.
+    pub fallback_batches: u64,
     /// Multi-sample forwards executed by the batch server.
     pub batches_formed: u64,
     /// Window samples served across all batches.
@@ -81,6 +104,16 @@ impl fmt::Display for RuntimeStats {
             f,
             "inference: {} samples in {} batches (occupancy {:.2})",
             self.samples_inferred, self.batches_formed, self.mean_batch_occupancy
+        )?;
+        writeln!(
+            f,
+            "resilience: {} retries, {} degraded, {} server restarts, \
+             {} circuit-opens, {} fallback batches",
+            self.retries,
+            self.jobs_degraded,
+            self.server_restarts,
+            self.circuit_opened,
+            self.fallback_batches
         )?;
         write!(
             f,
@@ -113,8 +146,12 @@ mod tests {
         inner.jobs_submitted.store(7, Ordering::Relaxed);
         inner.samples_inferred.store(21, Ordering::Relaxed);
         inner.batches_formed.store(3, Ordering::Relaxed);
+        inner.retries.store(2, Ordering::Relaxed);
+        inner.jobs_degraded.store(1, Ordering::Relaxed);
         let text = inner.snapshot().to_string();
         assert!(text.contains("7 submitted"));
         assert!(text.contains("occupancy 7.00"));
+        assert!(text.contains("2 retries"));
+        assert!(text.contains("1 degraded"));
     }
 }

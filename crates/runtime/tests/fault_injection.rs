@@ -1,0 +1,281 @@
+//! Deterministic fault-injection tests of the runtime's supervision
+//! layer. Every scenario is driven by a seeded [`FaultPlan`] — no sleeps
+//! as synchronization, no reliance on thread interleaving: the plan
+//! decides exactly which invocation of which site faults.
+
+use neurfill::extraction::NUM_CHANNELS;
+use neurfill::pipeline::{FillingFlow, FlowConfig};
+use neurfill::{CmpNeuralNetwork, CmpNnConfig, HeightNorm, NeurFillConfig};
+use neurfill_cmpsim::ProcessParams;
+use neurfill_layout::{DesignKind, DesignSpec, Layout};
+use neurfill_nn::{UNet, UNetConfig};
+use neurfill_optim::SqpConfig;
+use neurfill_runtime::{
+    BatchConfig, FaultPlan, JobSpec, JobStatus, ModelBundle, PoolOptions, RetryPolicy, RuntimePool,
+};
+use rand::SeedableRng;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn network(seed: u64) -> CmpNeuralNetwork {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let unet = UNet::new(
+        UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 4, depth: 2 },
+        &mut rng,
+    );
+    CmpNeuralNetwork::new(unet, HeightNorm::default(), Default::default(), CmpNnConfig::default())
+}
+
+fn flow_config() -> FlowConfig {
+    FlowConfig {
+        process: ProcessParams::fast(),
+        neurfill: NeurFillConfig {
+            sqp: SqpConfig { max_iterations: 8, ..SqpConfig::default() },
+            ..NeurFillConfig::default()
+        },
+        beta_time_s: 60.0,
+        ..FlowConfig::default()
+    }
+}
+
+fn layout(seed: u64) -> Layout {
+    DesignSpec::new(DesignKind::CmpTest, 8, 8, seed).generate()
+}
+
+fn pool_with(plan: &str, options: PoolOptions) -> RuntimePool {
+    let bundle = Arc::new(ModelBundle::from_network(&network(42)).unwrap());
+    let options = PoolOptions {
+        fault: Arc::new(FaultPlan::parse(plan, 0).unwrap()),
+        batch: BatchConfig { max_batch: 8, linger: Duration::ZERO },
+        ..options
+    };
+    RuntimePool::new(bundle, flow_config(), options).unwrap()
+}
+
+fn done(status: Option<JobStatus>) -> Box<neurfill_runtime::JobReport> {
+    match status {
+        Some(JobStatus::Done(report)) => report,
+        other => panic!("expected a completed job, got {other:?}"),
+    }
+}
+
+fn failed(status: Option<JobStatus>) -> String {
+    match status {
+        Some(JobStatus::Failed(msg)) => msg,
+        other => panic!("expected a failed job, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_panic_fails_only_its_job_and_spares_the_worker() {
+    // The first synthesis panics; the worker must survive and run the
+    // second job to completion on the same thread.
+    let pool = pool_with("synthesis=panic@1", PoolOptions { workers: 1, ..PoolOptions::default() });
+    let first = pool.submit(JobSpec::new("panics", layout(1))).unwrap();
+    let second = pool.submit(JobSpec::new("survives", layout(2))).unwrap();
+
+    let msg = failed(pool.wait(first));
+    assert!(msg.contains("panicked") && msg.contains("fault injected"), "{msg}");
+    let report = done(pool.wait(second));
+    assert!(report.quality.is_finite());
+
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs_failed, 1);
+    assert_eq!(stats.jobs_completed, 1);
+    assert_eq!(stats.retries, 0, "panics are permanent, never retried");
+}
+
+#[test]
+fn transient_synthesis_fault_retries_and_succeeds() {
+    let pool = pool_with(
+        "synthesis=transient@1",
+        PoolOptions {
+            workers: 1,
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            ..PoolOptions::default()
+        },
+    );
+    let id = pool.submit(JobSpec::new("flaky", layout(3))).unwrap();
+    let report = done(pool.wait(id));
+    assert!(report.degraded.is_none(), "retry path is not a degradation");
+    let stats = pool.shutdown();
+    assert_eq!(stats.retries, 1, "exactly the one injected transient");
+    assert_eq!(stats.jobs_completed, 1);
+    assert_eq!(stats.jobs_failed, 0);
+}
+
+#[test]
+fn transient_hydration_fault_is_retried_with_a_fresh_hydration() {
+    let pool = pool_with(
+        "hydrate=transient@2",
+        PoolOptions {
+            workers: 1,
+            retry: RetryPolicy {
+                max_retries: 1,
+                base_backoff: Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            ..PoolOptions::default()
+        },
+    );
+    // Invocation 1 of `hydrate` is the batch server (clean); invocation 2
+    // is the worker's first attempt, which fails transiently and re-runs.
+    let id = pool.submit(JobSpec::new("hydrate-flaky", layout(4))).unwrap();
+    let report = done(pool.wait(id));
+    assert!(report.quality.is_finite());
+    let stats = pool.shutdown();
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.hydrations, 2, "server + the worker's successful second attempt");
+}
+
+#[test]
+fn exhausted_retry_budget_fails_with_the_transient_error() {
+    let pool = pool_with(
+        "synthesis=transient",
+        PoolOptions {
+            workers: 1,
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            ..PoolOptions::default()
+        },
+    );
+    let id = pool.submit(JobSpec::new("always-flaky", layout(5))).unwrap();
+    let msg = failed(pool.wait(id));
+    assert!(msg.contains("transient"), "{msg}");
+    let stats = pool.shutdown();
+    assert_eq!(stats.retries, 2, "full budget consumed");
+    assert_eq!(stats.jobs_failed, 1);
+}
+
+#[test]
+fn mid_job_deadline_aborts_synthesis_cooperatively() {
+    // The injected delay holds the job at the synthesis site well past its
+    // deadline; the cancel token then aborts inside the flow (not at
+    // dequeue — the job had already started).
+    let pool = pool_with("synthesis=delay1000@1", PoolOptions { workers: 1, ..PoolOptions::default() });
+    let id = pool
+        .submit(JobSpec {
+            name: "deadline".into(),
+            layout: layout(6),
+            timeout: Some(Duration::from_millis(250)),
+        })
+        .unwrap();
+    let msg = failed(pool.wait(id));
+    assert!(msg.contains("deadline exceeded"), "cooperative mid-job abort, got: {msg}");
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs_failed, 1);
+    assert_eq!(stats.retries, 0, "deadline errors are not retryable");
+}
+
+#[test]
+fn cancellation_hits_running_and_queued_jobs() {
+    // One worker: job A sleeps 500ms at the synthesis site, job B queues
+    // behind it. Cancelling both while A sleeps exercises the mid-job
+    // cancellation point (A) and the at-dequeue check (B).
+    let pool = pool_with("synthesis=delay500@1", PoolOptions { workers: 1, ..PoolOptions::default() });
+    let a = pool.submit(JobSpec::new("running", layout(7))).unwrap();
+    let b = pool.submit(JobSpec::new("queued", layout(8))).unwrap();
+    assert!(pool.cancel(a), "running job is cancellable");
+    assert!(pool.cancel(b), "queued job is cancellable");
+    assert!(!pool.cancel(9_999), "unknown ids are not");
+
+    let msg_a = failed(pool.wait(a));
+    assert!(msg_a.contains("cancelled"), "{msg_a}");
+    let msg_b = failed(pool.wait(b));
+    assert!(msg_b.contains("cancelled"), "{msg_b}");
+    assert!(!pool.cancel(a), "terminal jobs are no longer cancellable");
+
+    assert!(pool.wait(9_999).is_none(), "unknown ids wait to None");
+    assert!(pool.status(9_999).is_none());
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs_failed, 2);
+}
+
+#[test]
+fn dead_batch_server_is_restarted_within_budget() {
+    // The first batched forward panics, killing the server thread. The
+    // supervisor must restart it and replay the request; both jobs finish.
+    let pool = pool_with(
+        "batch_forward=panic@1",
+        PoolOptions { workers: 1, restart_budget: 2, ..PoolOptions::default() },
+    );
+    let first = pool.submit(JobSpec::new("kills-server", layout(9))).unwrap();
+    let second = pool.submit(JobSpec::new("after-restart", layout(10))).unwrap();
+    assert!(done(pool.wait(first)).quality.is_finite());
+    assert!(done(pool.wait(second)).quality.is_finite());
+    let stats = pool.shutdown();
+    assert_eq!(stats.server_restarts, 1);
+    assert_eq!(stats.circuit_opened, 0);
+    assert_eq!(stats.fallback_batches, 0);
+    assert_eq!(stats.jobs_completed, 2);
+}
+
+#[test]
+fn open_circuit_degrades_to_local_inference_bit_identically() {
+    // Every batched forward panics, so the restart budget drains and the
+    // circuit opens; workers must fall back to their own network — and
+    // because the weights are identical, results match the sequential
+    // flow bit for bit.
+    let bundle = Arc::new(ModelBundle::from_network(&network(42)).unwrap());
+    let config = flow_config();
+    let pool = RuntimePool::new(
+        Arc::clone(&bundle),
+        config.clone(),
+        PoolOptions {
+            workers: 1,
+            restart_budget: 1,
+            batch: BatchConfig { max_batch: 8, linger: Duration::ZERO },
+            fault: Arc::new(FaultPlan::parse("batch_forward=panic", 0).unwrap()),
+            ..PoolOptions::default()
+        },
+    )
+    .unwrap();
+    let jobs: Vec<_> = (0..2)
+        .map(|i| {
+            let l = layout(20 + i);
+            (l.clone(), pool.submit(JobSpec::new(format!("fallback-{i}"), l)).unwrap())
+        })
+        .collect();
+
+    let sequential = FillingFlow::with_network(Rc::new(bundle.hydrate().unwrap()), config).unwrap();
+    for (l, id) in jobs {
+        let report = done(pool.wait(id));
+        let expected = sequential.run(&l).unwrap();
+        assert_eq!(report.plan.as_slice(), expected.plan.as_slice(), "{}", report.name);
+        assert_eq!(report.quality, expected.scored.quality, "{}", report.name);
+        assert!(report.degraded.is_none(), "local inference is a fallback, not a degradation");
+        assert!(report.predicted.sigma.is_finite());
+    }
+    let stats = pool.shutdown();
+    assert_eq!(stats.circuit_opened, 1);
+    assert_eq!(stats.server_restarts, 1, "budget of 1 fully used before opening");
+    assert_eq!(stats.fallback_batches, 2, "both jobs verified locally");
+    assert_eq!(stats.jobs_completed, 2);
+    assert_eq!(stats.jobs_failed, 0);
+}
+
+#[test]
+fn nan_poisoned_heights_degrade_verification_to_the_golden_simulator() {
+    let pool = pool_with("batch_forward=nan", PoolOptions { workers: 1, ..PoolOptions::default() });
+    let id = pool.submit(JobSpec::new("poisoned", layout(11))).unwrap();
+    let report = done(pool.wait(id));
+    let reason = report.degraded.as_deref().expect("health guard must trip on NaN heights");
+    assert!(reason.contains("non-finite"), "{reason}");
+    assert!(
+        report.predicted.sigma.is_finite(),
+        "golden-simulator verification still yields usable metrics"
+    );
+    assert!(report.to_text().contains("degraded"), "report text records the degradation");
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs_degraded, 1);
+    assert_eq!(stats.jobs_completed, 1, "a degraded job still completes");
+    assert_eq!(stats.jobs_failed, 0);
+}

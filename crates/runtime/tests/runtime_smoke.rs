@@ -56,7 +56,7 @@ fn pool_matches_sequential_flow_and_contains_failures() {
         PoolOptions {
             workers: 2,
             batch: BatchConfig { max_batch: 8, linger: Duration::from_millis(2) },
-            default_timeout: None,
+            ..PoolOptions::default()
         },
     )
     .unwrap();
@@ -64,16 +64,17 @@ fn pool_matches_sequential_flow_and_contains_failures() {
     let good: Vec<_> = layouts()
         .into_iter()
         .enumerate()
-        .map(|(i, l)| (l.clone(), pool.submit(JobSpec::new(format!("job-{i}"), l))))
+        .map(|(i, l)| (l.clone(), pool.submit(JobSpec::new(format!("job-{i}"), l)).unwrap()))
         .collect();
     // Deliberate failure: 6x6 is not divisible by the depth-2 UNet's
     // down-sampling factor, so synthesis errors out.
     let bad = pool
-        .submit(JobSpec::new("bad-geometry", DesignSpec::new(DesignKind::CmpTest, 6, 6, 9).generate()));
+        .submit(JobSpec::new("bad-geometry", DesignSpec::new(DesignKind::CmpTest, 6, 6, 9).generate()))
+        .unwrap();
 
     // The failing job reports Failed with its error...
     match pool.wait(bad) {
-        JobStatus::Failed(msg) => assert!(msg.contains("not divisible"), "unexpected: {msg}"),
+        Some(JobStatus::Failed(msg)) => assert!(msg.contains("not divisible"), "unexpected: {msg}"),
         other => panic!("bad job must fail, got {other:?}"),
     }
 
@@ -82,7 +83,7 @@ fn pool_matches_sequential_flow_and_contains_failures() {
     let sequential = FillingFlow::with_network(Rc::new(bundle.hydrate().unwrap()), config).unwrap();
     for (layout, id) in good {
         let report = match pool.wait(id) {
-            JobStatus::Done(report) => report,
+            Some(JobStatus::Done(report)) => report,
             other => panic!("job must complete, got {other:?}"),
         };
         let expected = sequential.run(&layout).unwrap();
@@ -120,19 +121,22 @@ fn zero_timeout_fails_in_queue_without_stalling_the_pool() {
         RuntimePool::new(bundle, flow_config(), PoolOptions { workers: 1, ..PoolOptions::default() })
             .unwrap();
 
-    let expired = pool.submit(JobSpec {
-        name: "expired".into(),
-        layout: DesignSpec::new(DesignKind::CmpTest, 8, 8, 1).generate(),
-        timeout: Some(Duration::ZERO),
-    });
-    let normal =
-        pool.submit(JobSpec::new("normal", DesignSpec::new(DesignKind::Fpga, 8, 8, 2).generate()));
+    let expired = pool
+        .submit(JobSpec {
+            name: "expired".into(),
+            layout: DesignSpec::new(DesignKind::CmpTest, 8, 8, 1).generate(),
+            timeout: Some(Duration::ZERO),
+        })
+        .unwrap();
+    let normal = pool
+        .submit(JobSpec::new("normal", DesignSpec::new(DesignKind::Fpga, 8, 8, 2).generate()))
+        .unwrap();
 
     match pool.wait(expired) {
-        JobStatus::Failed(msg) => assert!(msg.contains("timed out"), "unexpected: {msg}"),
+        Some(JobStatus::Failed(msg)) => assert!(msg.contains("timed out"), "unexpected: {msg}"),
         other => panic!("expired job must fail, got {other:?}"),
     }
-    assert!(matches!(pool.wait(normal), JobStatus::Done(_)));
+    assert!(matches!(pool.wait(normal), Some(JobStatus::Done(_))));
     let stats = pool.shutdown();
     assert_eq!(stats.jobs_completed, 1);
     assert_eq!(stats.jobs_failed, 1);
