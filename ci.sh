@@ -10,10 +10,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# neurfill-runtime denies clippy::unwrap_used / clippy::expect_used at
-# the crate level (lib + bins, tests exempt); this run enforces it.
-echo "== cargo clippy -p neurfill-runtime (no unwrap/expect in lib+bins)"
-cargo clippy -p neurfill-runtime --lib --bins -- -D warnings
+# neurfill-runtime, neurfill (core) and neurfill-obs deny
+# clippy::unwrap_used / clippy::expect_used at the crate level (lib +
+# bins, tests exempt); this run enforces it.
+echo "== cargo clippy -p neurfill-runtime -p neurfill -p neurfill-obs (no unwrap/expect in lib+bins)"
+cargo clippy -p neurfill-runtime -p neurfill -p neurfill-obs --lib --bins -- -D warnings
 
 echo "== cargo build --release"
 cargo build --release
@@ -29,5 +30,9 @@ cargo test --workspace -q
 
 echo "== fault-injection suite"
 cargo test -p neurfill-runtime --test fault_injection -q
+
+echo "== telemetry suite"
+cargo test -p neurfill-obs -q
+cargo test -p neurfill-runtime --test telemetry -q
 
 echo "CI OK"

@@ -1,0 +1,69 @@
+//! Criterion benchmark of telemetry overhead on the instrumented hot
+//! path. Two claims are under test: a disabled handle costs nothing
+//! (noop handles are a branch on a `None`), and an enabled registry
+//! stays under 2% on a real workload — a full golden-simulator pass,
+//! the hottest instrumented loop in the system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neurfill::telemetry::Telemetry;
+use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_layout::{DesignKind, DesignSpec, Layout};
+
+fn layout() -> Layout {
+    DesignSpec::new(DesignKind::CmpTest, 32, 32, 7).generate()
+}
+
+/// The end-to-end claim: simulate the same layout with telemetry off,
+/// and with a live registry recording stage spans and counters.
+fn bench_simulator_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(20);
+    let layout = layout();
+
+    let sim_off = CmpSimulator::new(ProcessParams::fast()).unwrap();
+    group.bench_function("simulate_disabled", |b| {
+        b.iter(|| std::hint::black_box(sim_off.simulate(std::hint::black_box(&layout))));
+    });
+
+    let telemetry = Telemetry::new();
+    let sim_on = CmpSimulator::new(ProcessParams::fast()).unwrap().with_telemetry(telemetry.clone());
+    group.bench_function("simulate_enabled", |b| {
+        b.iter(|| std::hint::black_box(sim_on.simulate(std::hint::black_box(&layout))));
+    });
+    group.finish();
+}
+
+/// The primitive claim: per-operation cost of the handles themselves,
+/// disabled (noop) versus enabled (atomic add / bucketed record).
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_primitives");
+    const OPS: usize = 10_000;
+
+    let disabled = Telemetry::disabled();
+    let noop_counter = disabled.counter("bench.counter");
+    let noop_hist = disabled.histogram("bench.hist");
+    group.bench_function(format!("disabled_count_record_x{OPS}"), |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                noop_counter.inc();
+                noop_hist.record(std::hint::black_box(i as u64));
+            }
+        });
+    });
+
+    let enabled = Telemetry::new();
+    let counter = enabled.counter("bench.counter");
+    let hist = enabled.histogram("bench.hist");
+    group.bench_function(format!("enabled_count_record_x{OPS}"), |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                counter.inc();
+                hist.record(std::hint::black_box(i as u64));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator_overhead, bench_primitives);
+criterion_main!(benches);

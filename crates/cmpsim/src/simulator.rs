@@ -14,6 +14,7 @@ use crate::kernel::PadKernel;
 use crate::params::ProcessParams;
 use crate::profile::{ChipProfile, LayerProfile};
 use neurfill_layout::Layout;
+use neurfill_obs::Telemetry;
 
 /// Extracted per-layer simulator input: the pattern maps of one layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +102,7 @@ pub struct TraceStep {
 pub struct CmpSimulator {
     params: ProcessParams,
     kernel: PadKernel,
+    telemetry: Telemetry,
 }
 
 impl CmpSimulator {
@@ -112,7 +114,20 @@ impl CmpSimulator {
     pub fn new(params: ProcessParams) -> Result<Self, String> {
         params.validate()?;
         let kernel = PadKernel::exponential(params.character_length, params.kernel_radius);
-        Ok(Self { params, kernel })
+        Ok(Self { params, kernel, telemetry: Telemetry::disabled() })
+    }
+
+    /// Attaches a telemetry handle; per-stage timings (`sim.*` histograms)
+    /// and per-layer spans are recorded into it when it is enabled.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry handle in place.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The parameters this simulator runs with.
@@ -146,6 +161,18 @@ impl CmpSimulator {
 
     fn simulate_layer_impl(&self, input: &LayerInput, record: bool) -> (LayerProfile, Vec<TraceStep>) {
         input.validate().expect("valid layer input");
+        let _layer_span = self.telemetry.span("sim.layer_ns");
+        // Pre-registered per-stage histograms: inside the polish loop the
+        // only telemetry cost is clock reads + atomics (none when disabled).
+        let stage_timers = self.telemetry.is_enabled().then(|| {
+            self.telemetry.inc("sim.layers");
+            (
+                self.telemetry.histogram("sim.envelope_ns"),
+                self.telemetry.histogram("sim.contact_ns"),
+                self.telemetry.histogram("sim.dsh_preston_ns"),
+                self.telemetry.histogram("sim.polish_step_ns"),
+            )
+        });
         let p = &self.params;
         let n = input.rows * input.cols;
 
@@ -171,12 +198,15 @@ impl CmpSimulator {
         let mut trace = Vec::new();
         let mut envelope = vec![0.0; n];
         for _ in 0..p.steps {
+            let t0 = self.telemetry.now_ns();
             // (1) Envelope heights, smoothed by the pad.
             envelope.copy_from_slice(&z_up);
             let smoothed = self.kernel.apply(&envelope, input.rows, input.cols);
+            let t1 = self.telemetry.now_ns();
             // (2) Contact-mechanics pressure solve.
             let z_ref = solve_reference_plane(&smoothed, p);
             let pressures = window_pressures(&smoothed, z_ref, p);
+            let t2 = self.telemetry.now_ns();
             // (3) DSH split + (4) Preston removal.
             for i in 0..n {
                 let step = (z_up[i] - z_down[i]).max(0.0);
@@ -188,6 +218,13 @@ impl CmpSimulator {
                 if z_down[i] > z_up[i] {
                     z_down[i] = z_up[i];
                 }
+            }
+            if let Some((envelope_h, contact_h, dsh_h, step_h)) = &stage_timers {
+                let t3 = self.telemetry.now_ns();
+                envelope_h.record(t1.saturating_sub(t0));
+                contact_h.record(t2.saturating_sub(t1));
+                dsh_h.record(t3.saturating_sub(t2));
+                step_h.record(t3.saturating_sub(t0));
             }
             if record {
                 let mean_up = z_up.iter().sum::<f64>() / n as f64;
@@ -348,6 +385,25 @@ mod tests {
             before.max_height_range(),
             after.max_height_range()
         );
+    }
+
+    #[test]
+    fn telemetry_records_stages_without_changing_output() {
+        use neurfill_obs::{FakeClock, Telemetry};
+        let layout = DesignSpec::new(DesignKind::CmpTest, 8, 8, 1).generate();
+        let plain = CmpSimulator::new(ProcessParams::fast()).unwrap();
+        let t = Telemetry::with_clock(std::sync::Arc::new(FakeClock::at(0)));
+        let instrumented = plain.clone().with_telemetry(t.clone());
+        assert_eq!(plain.simulate(&layout), instrumented.simulate(&layout));
+        let snap = t.snapshot();
+        let layers = layout.num_layers() as u64;
+        let steps = plain.params().steps as u64;
+        assert_eq!(snap.counter("sim.layers"), layers);
+        for h in ["sim.envelope_ns", "sim.contact_ns", "sim.dsh_preston_ns", "sim.polish_step_ns"] {
+            assert_eq!(snap.histogram(h).unwrap().count, layers * steps, "{h}");
+        }
+        assert_eq!(snap.histogram("sim.layer_ns").unwrap().count, layers);
+        assert_eq!(snap.events_of_kind("span").len(), layers as usize);
     }
 
     #[test]

@@ -232,6 +232,9 @@ impl CmpNeuralNetwork {
         Ok(self.planarity_impl(layout, x, coeffs, false)?.score)
     }
 
+    // The three `expect`s assert that at least one layer was folded into
+    // the totals — `check_layout` above guarantees a non-empty layout.
+    #[allow(clippy::expect_used)]
     fn planarity_impl(
         &self,
         layout: &Layout,

@@ -43,6 +43,8 @@ impl Default for ExtractionConfig {
 /// # Panics
 ///
 /// Panics when `layer` is out of range.
+// The `expect` asserts the vec length computed from the same dims.
+#[allow(clippy::expect_used)]
 #[must_use]
 pub fn extract_layer_arrays(layout: &Layout, layer: usize, cfg: &ExtractionConfig) -> NdArray {
     let g = layout.layer(layer);
@@ -70,6 +72,9 @@ pub fn extract_layer_arrays(layout: &Layout, layer: usize, cfg: &ExtractionConfi
 /// # Panics
 ///
 /// Panics when `layer` is out of range.
+// The `expect` inside `plane` asserts the vec length computed from the
+// same grid dims.
+#[allow(clippy::expect_used)]
 pub fn extract_layer_tensor(
     layout: &Layout,
     layer: usize,

@@ -134,6 +134,9 @@ impl<'a> FillObjective<'a> {
     }
 }
 
+// The `expect`s assert layout/network geometry compatibility, which
+// `NeurFill::run*` re-checks before constructing the objective.
+#[allow(clippy::expect_used)]
 impl Objective for FillObjective<'_> {
     fn dim(&self) -> usize {
         self.layout.num_windows()
@@ -177,13 +180,23 @@ impl Objective for FillObjective<'_> {
 pub struct NeurFill {
     network: Rc<CmpNeuralNetwork>,
     config: NeurFillConfig,
+    telemetry: neurfill_obs::Telemetry,
 }
 
 impl NeurFill {
     /// Creates the framework around a pre-trained CMP neural network.
     #[must_use]
     pub fn new(network: impl Into<Rc<CmpNeuralNetwork>>, config: NeurFillConfig) -> Self {
-        Self { network: network.into(), config }
+        Self { network: network.into(), config, telemetry: neurfill_obs::Telemetry::disabled() }
+    }
+
+    /// Attaches a telemetry handle; synthesis runs then record
+    /// `synth.runs` and propagate into the SQP / NMMSO solvers'
+    /// `optim.*` metrics.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: neurfill_obs::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The wrapped CMP neural network.
@@ -266,7 +279,7 @@ impl NeurFill {
                     |_| vec![0.0; num_layers],
                 );
                 let reduced_bounds = Bounds::new(vec![0.0; num_layers], vec![1.0; num_layers]);
-                let search = Nmmso::new(nmmso.clone());
+                let search = Nmmso::new(nmmso.clone()).with_telemetry(self.telemetry.clone());
                 let found = search
                     .maximize_with_stop(&reduced, &reduced_bounds, &mut rng, &|| cancel.is_cancelled());
                 let mut starts: Vec<Vec<f64>> = found
@@ -321,7 +334,8 @@ impl NeurFill {
         cancel: &CancelToken,
     ) -> Result<FillOutcome, String> {
         let bounds = Bounds::from_slack(layout.slack_vector());
-        let solver = SqpSolver::new(self.config.sqp.clone());
+        self.telemetry.inc("synth.runs");
+        let solver = SqpSolver::new(self.config.sqp.clone()).with_telemetry(self.telemetry.clone());
         // SQP runs in slack-normalized coordinates: fill amounts span four
         // orders of magnitude across windows, which would wreck the
         // quasi-Newton step geometry in raw µm².

@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baselines;
 pub mod cancel;
@@ -65,6 +66,12 @@ pub mod pkb;
 pub mod report;
 pub mod score;
 pub mod surrogate;
+
+/// Structured telemetry (re-export of `neurfill-obs`): metric handles,
+/// span timing, mergeable snapshots and JSONL export. Attach a
+/// [`telemetry::Telemetry`] through [`pipeline::FlowConfig`] to instrument
+/// a flow end to end.
+pub use neurfill_obs as telemetry;
 
 pub use cancel::CancelToken;
 pub use cmp_nn::{CmpNeuralNetwork, CmpNnConfig, HeightNorm, PlanarityEval};

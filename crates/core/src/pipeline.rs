@@ -14,6 +14,7 @@ use crate::surrogate::{train_surrogate, SurrogateConfig, TrainReport};
 use neurfill_cmpsim::{CmpSimulator, ProcessParams};
 use neurfill_layout::insertion::{realize_fill, InsertionReport, InsertionRules};
 use neurfill_layout::{FillPlan, Layout};
+use neurfill_obs::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::rc::Rc;
@@ -33,6 +34,11 @@ pub struct FlowConfig {
     pub beta_time_s: f64,
     /// Master seed.
     pub seed: u64,
+    /// Telemetry handle; the default (disabled) handle records nothing and
+    /// leaves every output byte-identical. An enabled handle propagates to
+    /// the golden simulator, the synthesis optimizers and the flow's own
+    /// phase spans (`flow.*_ns`).
+    pub telemetry: Telemetry,
 }
 
 impl Default for FlowConfig {
@@ -44,6 +50,7 @@ impl Default for FlowConfig {
             insertion: InsertionRules::default(),
             beta_time_s: 120.0,
             seed: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -83,7 +90,8 @@ impl FillingFlow {
     /// Returns a message when the process parameters are invalid or
     /// training fails (geometry misconfiguration).
     pub fn prepare(sources: &[Layout], config: FlowConfig) -> Result<Self, String> {
-        let sim = CmpSimulator::new(config.process.clone())?;
+        let _prepare_span = config.telemetry.span("flow.prepare_ns");
+        let sim = CmpSimulator::new(config.process.clone())?.with_telemetry(config.telemetry.clone());
         let mut rng = StdRng::seed_from_u64(config.seed);
         let trained =
             train_surrogate(sources, &sim, &config.surrogate, &mut rng).map_err(|e| e.to_string())?;
@@ -100,7 +108,7 @@ impl FillingFlow {
         network: impl Into<Rc<CmpNeuralNetwork>>,
         config: FlowConfig,
     ) -> Result<Self, String> {
-        let sim = CmpSimulator::new(config.process.clone())?;
+        let sim = CmpSimulator::new(config.process.clone())?.with_telemetry(config.telemetry.clone());
         Ok(Self {
             sim,
             network: network.into(),
@@ -169,8 +177,10 @@ impl FillingFlow {
     /// when the token fires.
     pub fn run_cancellable(&self, layout: &Layout, cancel: &CancelToken) -> Result<FlowResult, String> {
         cancel.check("score calibration")?;
-        let coeffs =
-            Coefficients::calibrate(layout, &self.sim.simulate(layout), self.config.beta_time_s);
+        let coeffs = {
+            let _calibration_span = self.config.telemetry.span("flow.calibration_ns");
+            Coefficients::calibrate(layout, &self.sim.simulate(layout), self.config.beta_time_s)
+        };
         self.run_with_coefficients_cancellable(layout, &coeffs, cancel)
     }
 
@@ -202,15 +212,23 @@ impl FillingFlow {
         cancel: &CancelToken,
     ) -> Result<FlowResult, String> {
         // Phase 1: synthesis, on the flow's own network instance.
-        let nf = NeurFill::new(Rc::clone(&self.network), self.config.neurfill.clone());
-        let synthesis = nf.run_cancellable(layout, coeffs, cancel)?;
+        let synthesis = {
+            let _synthesis_span = self.config.telemetry.span("flow.synthesis_ns");
+            let nf = NeurFill::new(Rc::clone(&self.network), self.config.neurfill.clone())
+                .with_telemetry(self.config.telemetry.clone());
+            nf.run_cancellable(layout, coeffs, cancel)?
+        };
 
         // Phase 2: insertion.
         cancel.check("insertion")?;
-        let insertion = realize_fill(layout, &synthesis.plan, &self.config.insertion);
+        let insertion = {
+            let _insertion_span = self.config.telemetry.span("flow.insertion_ns");
+            realize_fill(layout, &synthesis.plan, &self.config.insertion)
+        };
 
         // Phase 3: verification on the *realized* amounts.
         cancel.check("verification")?;
+        let _verification_span = self.config.telemetry.span("flow.verification_ns");
         let mut realized = FillPlan::zeros(layout);
         for (slot, w) in realized.as_mut_slice().iter_mut().zip(&insertion.windows) {
             *slot = w.placed;

@@ -73,6 +73,9 @@ pub struct PkbResult {
 ///
 /// Panics when `config.search_steps` is zero.
 #[must_use]
+// The `expect` asserts the sweep ran at least one step (steps >= 1 is
+// clamped below).
+#[allow(clippy::expect_used)]
 pub fn pkb_starting_point(
     layout: &Layout,
     config: &PkbConfig,

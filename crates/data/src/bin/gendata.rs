@@ -5,7 +5,12 @@
 //! ```text
 //! gendata --out corpus/ [--num N] [--rows R] [--cols C] [--seed S]
 //!         [--workers W] [--samples-per-shard K] [--sources dir/] [--fast]
+//!         [--metrics-out metrics.jsonl]
 //! ```
+//!
+//! `--metrics-out` enables telemetry and writes the run's metrics
+//! snapshot (simulator stage timings, labeling counts, shard writes) as
+//! JSONL; the shard bytes are identical with or without it.
 //!
 //! Output bytes depend only on the configuration (notably `--seed`), never
 //! on `--workers` — rerunning with more threads reproduces the identical
@@ -28,12 +33,14 @@ struct Args {
     samples_per_shard: u64,
     sources: Option<PathBuf>,
     fast: bool,
+    metrics_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: gendata --out <dir> [--num N] [--rows R] [--cols C] [--seed S]\n\
-         \x20             [--workers W] [--samples-per-shard K] [--sources <dir>] [--fast]"
+         \x20             [--workers W] [--samples-per-shard K] [--sources <dir>] [--fast]\n\
+         \x20             [--metrics-out <file>]"
     );
     std::process::exit(2);
 }
@@ -56,6 +63,7 @@ fn parse_args() -> Args {
         samples_per_shard: 64,
         sources: None,
         fast: false,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -78,6 +86,7 @@ fn parse_args() -> Args {
             }
             "--sources" => args.sources = Some(value(&mut it, "--sources").into()),
             "--fast" => args.fast = true,
+            "--metrics-out" => args.metrics_out = Some(value(&mut it, "--metrics-out").into()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -132,6 +141,11 @@ fn run() -> Result<(), String> {
             ..DataGenConfig::default()
         },
         process: if args.fast { ProcessParams::fast() } else { ProcessParams::default() },
+        telemetry: if args.metrics_out.is_some() {
+            neurfill::telemetry::Telemetry::new()
+        } else {
+            neurfill::telemetry::Telemetry::disabled()
+        },
         ..LabelConfig::default()
     };
     let report = generate_labeled_shards(sources, &cfg, &args.out).map_err(|e| e.to_string())?;
@@ -152,6 +166,13 @@ fn run() -> Result<(), String> {
         "height norm: offset {:.3} nm, scale {:.3} nm",
         report.norm.offset_nm, report.norm.scale_nm
     );
+    if let Some(path) = &args.metrics_out {
+        cfg.telemetry
+            .snapshot()
+            .write_jsonl_file(path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
     Ok(())
 }
 

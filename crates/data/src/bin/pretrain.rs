@@ -6,8 +6,11 @@
 //! pretrain --data corpus/ --out surrogate.bundle [--epochs E] [--batch-size B]
 //!          [--lr LR] [--warmup N] [--step-every N] [--step-factor F]
 //!          [--base-channels C] [--depth D] [--seed S] [--val-shards V]
-//!          [--checkpoint ckpt.txt] [--resume]
+//!          [--checkpoint ckpt.txt] [--resume] [--metrics-out metrics.jsonl]
 //! ```
+//!
+//! `--metrics-out` enables telemetry and writes the run's metrics
+//! snapshot (epoch timings, shard reads, loss gauges) as JSONL.
 //!
 //! With `--checkpoint`, the full training state is saved after every shard;
 //! add `--resume` to continue bit-exactly from that file after an
@@ -39,13 +42,15 @@ struct Args {
     val_shards: usize,
     checkpoint: Option<PathBuf>,
     resume: bool,
+    metrics_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pretrain --data <dir> --out <bundle> [--epochs E] [--batch-size B] [--lr LR]\n\
          \x20              [--warmup N] [--step-every N] [--step-factor F] [--base-channels C]\n\
-         \x20              [--depth D] [--seed S] [--val-shards V] [--checkpoint <file>] [--resume]"
+         \x20              [--depth D] [--seed S] [--val-shards V] [--checkpoint <file>] [--resume]\n\
+         \x20              [--metrics-out <file>]"
     );
     std::process::exit(2);
 }
@@ -73,6 +78,7 @@ fn parse_args() -> Args {
         val_shards: 0,
         checkpoint: None,
         resume: false,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -107,6 +113,7 @@ fn parse_args() -> Args {
             }
             "--checkpoint" => args.checkpoint = Some(value(&mut it, "--checkpoint").into()),
             "--resume" => args.resume = true,
+            "--metrics-out" => args.metrics_out = Some(value(&mut it, "--metrics-out").into()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -208,6 +215,11 @@ fn run() -> Result<(), String> {
         _ => None,
     };
 
+    let telemetry = if args.metrics_out.is_some() {
+        neurfill::telemetry::Telemetry::new()
+    } else {
+        neurfill::telemetry::Telemetry::disabled()
+    };
     let cfg = StreamTrainConfig {
         train: TrainConfig {
             epochs: args.epochs,
@@ -218,6 +230,7 @@ fn run() -> Result<(), String> {
         },
         seed: args.seed,
         checkpoint_path: args.checkpoint.clone(),
+        telemetry: telemetry.clone(),
     };
     train_streaming(&unet, &set, val.as_ref(), &cfg, resume, |s| {
         match s.val_loss {
@@ -235,6 +248,13 @@ fn run() -> Result<(), String> {
         CmpNeuralNetwork::new(unet, manifest.norm, manifest.extraction, CmpNnConfig::default());
     neurfill::persist::save_to_file(&network, &args.out).map_err(|e| e.to_string())?;
     println!("wrote {}", args.out.display());
+    if let Some(path) = &args.metrics_out {
+        telemetry
+            .snapshot()
+            .write_jsonl_file(path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
     Ok(())
 }
 

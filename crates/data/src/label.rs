@@ -42,6 +42,11 @@ pub struct LabelConfig {
     /// Height normalization; `None` derives it from the first simulated
     /// layouts exactly as surrogate pre-training does.
     pub norm: Option<HeightNorm>,
+    /// Telemetry handle. The default (disabled) handle records nothing;
+    /// an enabled one counts layouts/samples (`data.label.*`), shard
+    /// writes (`data.shard.*`) and per-stage simulator timings
+    /// (`sim.*`). Shard bytes are identical either way.
+    pub telemetry: neurfill_obs::Telemetry,
 }
 
 impl Default for LabelConfig {
@@ -54,6 +59,7 @@ impl Default for LabelConfig {
             extraction: ExtractionConfig::default(),
             process: ProcessParams::default(),
             norm: None,
+            telemetry: neurfill_obs::Telemetry::disabled(),
         }
     }
 }
@@ -113,7 +119,8 @@ pub fn generate_labeled_shards(
     cfg: &LabelConfig,
     out_dir: impl AsRef<Path>,
 ) -> io::Result<LabelReport> {
-    let sim = CmpSimulator::new(cfg.process.clone()).map_err(bad)?;
+    let _label_span = cfg.telemetry.span("data.label_ns");
+    let sim = CmpSimulator::new(cfg.process.clone()).map_err(bad)?.with_telemetry(cfg.telemetry.clone());
 
     // Step 1+2: sequential, seeded layout generation.
     let mut gen = TrainingLayoutGenerator::new(sources, cfg.datagen.clone());
@@ -134,12 +141,17 @@ pub fn generate_labeled_shards(
         (layout, profile)
     });
     let sim_elapsed = started.elapsed();
+    if cfg.telemetry.is_enabled() {
+        cfg.telemetry.add("data.label.layouts", labeled.len() as u64);
+        cfg.telemetry.counter("data.label.sim_ns").add_duration(sim_elapsed);
+    }
 
     let norm = cfg.norm.unwrap_or_else(|| derive_norm(labeled.iter().map(|(_, p)| p)));
 
     // Ordered shard writes: layout-major, layer-minor.
     let shapes = ShardShapes { input: [NUM_CHANNELS, rows, cols], target: [1, rows, cols] };
-    let mut writer = ShardSetWriter::new(&out_dir, "train", shapes, cfg.samples_per_shard)?;
+    let mut writer = ShardSetWriter::new(&out_dir, "train", shapes, cfg.samples_per_shard)?
+        .with_telemetry(&cfg.telemetry);
     for (layout, profile) in &labeled {
         for l in 0..layout.num_layers() {
             let input = extract_layer_arrays(layout, l, &cfg.extraction);
@@ -167,6 +179,7 @@ pub fn generate_labeled_shards(
         extraction: cfg.extraction.clone(),
     };
     manifest.save(out_dir.as_ref().join(MANIFEST_FILE))?;
+    cfg.telemetry.add("data.label.samples", samples);
 
     Ok(LabelReport { samples, layouts: labeled.len(), shards, norm, workers, sim_elapsed })
 }

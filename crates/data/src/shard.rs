@@ -22,6 +22,7 @@
 //! on a truncated corpus.
 
 use neurfill_nn::Dataset;
+use neurfill_obs::{Counter, Telemetry};
 use neurfill_runtime::fault::{sites, FaultPlan};
 use neurfill_tensor::NdArray;
 use std::fs::File;
@@ -96,6 +97,8 @@ pub struct ShardWriter {
     shapes: ShardShapes,
     count: u64,
     path: PathBuf,
+    records_written: Counter,
+    bytes_written: Counter,
 }
 
 impl ShardWriter {
@@ -119,7 +122,24 @@ impl ShardWriter {
             }
         }
         file.write_all(&COUNT_PLACEHOLDER.to_le_bytes())?;
-        Ok(Self { file, shapes, count: 0, path: path.as_ref().to_path_buf() })
+        Ok(Self {
+            file,
+            shapes,
+            count: 0,
+            path: path.as_ref().to_path_buf(),
+            records_written: Counter::noop(),
+            bytes_written: Counter::noop(),
+        })
+    }
+
+    /// Counts records and payload bytes written into `telemetry`
+    /// (`data.shard.records_written` / `data.shard.bytes_written`). The
+    /// shard bytes themselves are untouched.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.records_written = telemetry.counter("data.shard.records_written");
+        self.bytes_written = telemetry.counter("data.shard.bytes_written");
+        self
     }
 
     /// Appends one `(input, target)` record.
@@ -140,6 +160,8 @@ impl ShardWriter {
         self.file.write_all(&fnv1a(&payload).to_le_bytes())?;
         self.file.write_all(&payload)?;
         self.count += 1;
+        self.records_written.inc();
+        self.bytes_written.add(8 + payload.len() as u64);
         Ok(())
     }
 
@@ -182,6 +204,7 @@ pub struct ShardReader {
     read: u64,
     path: PathBuf,
     fault: Option<Arc<FaultPlan>>,
+    records_read: Counter,
 }
 
 impl ShardReader {
@@ -244,7 +267,15 @@ impl ShardReader {
                 "file is {file_len} bytes but header promises {count} records ({expect_len} bytes)"
             )));
         }
-        Ok(Self { file, shapes, count, read: 0, path, fault })
+        Ok(Self { file, shapes, count, read: 0, path, fault, records_read: Counter::noop() })
+    }
+
+    /// Counts successfully read records into `telemetry`
+    /// (`data.shard.records_read`).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.records_read = telemetry.counter("data.shard.records_read");
+        self
     }
 
     /// Per-sample geometry of this shard.
@@ -317,6 +348,7 @@ impl ShardReader {
         let target = NdArray::from_vec(floats[n_in..].to_vec(), &self.shapes.target)
             .map_err(|e| self.record_err(bad(e.to_string())))?;
         self.read += 1;
+        self.records_read.inc();
         Ok(Some((input, target)))
     }
 
@@ -354,6 +386,7 @@ pub struct ShardSetWriter {
     current: Option<ShardWriter>,
     finished: Vec<(PathBuf, u64)>,
     total: u64,
+    telemetry: Telemetry,
 }
 
 impl ShardSetWriter {
@@ -381,7 +414,16 @@ impl ShardSetWriter {
             current: None,
             finished: Vec::new(),
             total: 0,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle to every shard writer this set rotates
+    /// through (see [`ShardWriter::with_telemetry`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
     }
 
     /// Appends one sample, rotating to a fresh shard when the current one
@@ -405,7 +447,8 @@ impl ShardSetWriter {
         }
         let path =
             self.dir.join(format!("{}-{:05}.{SHARD_EXTENSION}", self.prefix, self.finished.len()));
-        self.current = Some(ShardWriter::create(path, self.shapes.clone())?);
+        self.current =
+            Some(ShardWriter::create(path, self.shapes.clone())?.with_telemetry(&self.telemetry));
         Ok(())
     }
 

@@ -34,6 +34,11 @@ pub struct StreamTrainConfig {
     /// When set, the full training state is checkpointed here after every
     /// shard.
     pub checkpoint_path: Option<PathBuf>,
+    /// Telemetry handle. The default (disabled) handle records nothing;
+    /// an enabled one counts epochs/shards/batches (`data.train.*`) and
+    /// tracks the latest train/validation loss as gauges. Weights are
+    /// bit-identical either way.
+    pub telemetry: neurfill_obs::Telemetry,
 }
 
 /// Per-epoch statistics of a streaming run.
@@ -139,16 +144,25 @@ pub fn train_streaming(
         None => (StdRng::seed_from_u64(cfg.seed), 0, 0),
     };
 
+    // Pre-registered handles: no-ops when telemetry is disabled.
+    let epochs_c = cfg.telemetry.counter("data.train.epochs");
+    let shards_c = cfg.telemetry.counter("data.train.shards");
+    let batches_c = cfg.telemetry.counter("data.train.batches");
+    let loss_g = cfg.telemetry.gauge("data.train.loss");
+    let val_loss_g = cfg.telemetry.gauge("data.train.val_loss");
+
     let guard = EvalOnDrop(model);
     let mut history = Vec::new();
     for epoch in start_epoch..cfg.train.epochs {
+        let _epoch_timer = cfg.telemetry.time("data.train.epoch_ns");
         model.set_training(true);
         let lr = cfg.train.lr_at(epoch);
         opt.set_lr(lr);
         let mut total = 0.0f32;
         let mut batches = 0usize;
         for shard in next_shard..data.num_shards() {
-            let ds = data.load_shard(shard)?;
+            shards_c.inc();
+            let ds = data.open_shard(shard)?.with_telemetry(&cfg.telemetry).read_to_dataset()?;
             for idx in ds.shuffled_batches(cfg.train.batch_size, &mut rng) {
                 let (x, y) = ds.batch(&idx);
                 opt.zero_grad();
@@ -184,6 +198,12 @@ pub fn train_streaming(
             _ => None,
         };
         let stats = StreamEpochStats { epoch, train_loss: total / batches.max(1) as f32, val_loss, lr };
+        epochs_c.inc();
+        batches_c.add(batches as u64);
+        loss_g.set(f64::from(stats.train_loss));
+        if let Some(v) = stats.val_loss {
+            val_loss_g.set(f64::from(v));
+        }
         let go_on = on_epoch(&stats);
         history.push(stats);
         if !go_on {
@@ -243,6 +263,7 @@ mod tests {
             train: TrainConfig { epochs, batch_size: 4, lr: 1e-3, ..TrainConfig::default() },
             seed: 21,
             checkpoint_path: ckpt,
+            ..StreamTrainConfig::default()
         }
     }
 

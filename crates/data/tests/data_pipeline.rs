@@ -56,7 +56,7 @@ fn corpus_to_bundle_end_to_end() {
     let cfg = StreamTrainConfig {
         train: TrainConfig { epochs: 2, batch_size: 4, lr: 2e-3, ..TrainConfig::default() },
         seed: 1,
-        checkpoint_path: None,
+        ..StreamTrainConfig::default()
     };
     let history = train_streaming(&unet, &set, Some(&val), &cfg, None, |_| true).unwrap();
     assert_eq!(history.len(), 2);

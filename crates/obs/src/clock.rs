@@ -1,0 +1,87 @@
+//! Monotonic time sources for span timing.
+//!
+//! Production telemetry uses [`MonotonicClock`] (an [`Instant`] anchor);
+//! tests inject a [`FakeClock`] and advance it explicitly, so span
+//! durations are exact and no test ever sleeps to make time pass.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock. Implementations must never go backwards.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since an arbitrary fixed origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: nanoseconds since the clock's construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock anchored at the moment of construction.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A manually-advanced clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    now: AtomicU64,
+}
+
+impl FakeClock {
+    /// A fake clock starting at `start_ns`.
+    #[must_use]
+    pub fn at(start_ns: u64) -> Self {
+        Self { now: AtomicU64::new(start_ns) }
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_only_moves_when_advanced() {
+        let clock = FakeClock::at(100);
+        assert_eq!(clock.now_ns(), 100);
+        assert_eq!(clock.now_ns(), 100);
+        clock.advance(42);
+        assert_eq!(clock.now_ns(), 142);
+    }
+}

@@ -125,13 +125,22 @@ fn dist(a: &[f64], b: &[f64]) -> f64 {
 #[derive(Debug, Clone, Default)]
 pub struct Nmmso {
     config: NmmsoConfig,
+    telemetry: neurfill_obs::Telemetry,
 }
 
 impl Nmmso {
     /// Creates an optimizer with the given configuration.
     #[must_use]
     pub fn new(config: NmmsoConfig) -> Self {
-        Self { config }
+        Self { config, telemetry: neurfill_obs::Telemetry::disabled() }
+    }
+
+    /// Attaches a telemetry handle; each search then contributes to the
+    /// `optim.nmmso.*` counters and the `optim.nmmso.search_ns` histogram.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: neurfill_obs::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Runs the multi-modal search, returning the located modes sorted by
@@ -161,6 +170,7 @@ impl Nmmso {
         rng: &mut impl Rng,
         should_stop: &dyn Fn() -> bool,
     ) -> NmmsoResult {
+        let _search_timer = self.telemetry.time("optim.nmmso.search_ns");
         let cfg = &self.config;
         let merge_dist = bounds.diameter() * cfg.merge_distance_fraction;
         let mut evaluations = 0;
@@ -305,6 +315,12 @@ impl Nmmso {
         let mut modes: Vec<Mode> =
             swarms.into_iter().map(|s| Mode { x: s.gbest_x, value: s.gbest_f }).collect();
         modes.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+        if self.telemetry.is_enabled() {
+            self.telemetry.inc("optim.nmmso.searches");
+            self.telemetry.add("optim.nmmso.iterations", iterations as u64);
+            self.telemetry.add("optim.nmmso.evaluations", evaluations as u64);
+            self.telemetry.add("optim.nmmso.modes_found", modes.len() as u64);
+        }
         NmmsoResult { modes, evaluations, iterations }
     }
 

@@ -149,13 +149,22 @@ impl Lbfgs {
 #[derive(Debug, Clone, Default)]
 pub struct SqpSolver {
     config: SqpConfig,
+    telemetry: neurfill_obs::Telemetry,
 }
 
 impl SqpSolver {
     /// Creates a solver with the given configuration.
     #[must_use]
     pub fn new(config: SqpConfig) -> Self {
-        Self { config }
+        Self { config, telemetry: neurfill_obs::Telemetry::disabled() }
+    }
+
+    /// Attaches a telemetry handle; each solve then contributes to the
+    /// `optim.sqp.*` counters and the `optim.sqp.solve_ns` histogram.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: neurfill_obs::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The solver's configuration.
@@ -194,6 +203,7 @@ impl SqpSolver {
         should_stop: &dyn Fn() -> bool,
     ) -> SqpResult {
         assert_eq!(x0.len(), bounds.dim(), "start point dimension mismatch");
+        let _solve_timer = self.telemetry.time("optim.sqp.solve_ns");
         let cfg = &self.config;
         let mut x = bounds.projected(x0);
         let (mut f, mut g) = objective.value_and_gradient(&x);
@@ -258,6 +268,12 @@ impl SqpSolver {
             history.push(f);
         }
 
+        if self.telemetry.is_enabled() {
+            self.telemetry.inc("optim.sqp.solves");
+            self.telemetry.add("optim.sqp.iterations", iterations as u64);
+            self.telemetry.add("optim.sqp.evaluations", evaluations as u64);
+            self.telemetry.add("optim.sqp.gradient_evaluations", gradient_evaluations as u64);
+        }
         SqpResult {
             x,
             value: f,

@@ -23,7 +23,6 @@ use crate::stats::StatsInner;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use neurfill_tensor::NdArray;
 use parking_lot::Mutex;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -133,8 +132,8 @@ impl BatchServer {
                         return;
                     }
                 };
-                stats.hydrations.fetch_add(1, Ordering::Relaxed);
-                StatsInner::add_duration(&stats.hydrate_nanos, start.elapsed());
+                stats.hydrations.inc();
+                stats.hydrate_nanos.add_duration(start.elapsed());
                 let _ = ready_tx.send(Ok(()));
                 serve(&network, &rx, &config, &stats, &fault);
             })
@@ -219,8 +218,10 @@ fn run_batch(
             }
         };
         let samples: Vec<NdArray> = group.iter().map(|r| r.sample.clone()).collect();
-        stats.batches_formed.fetch_add(1, Ordering::Relaxed);
-        stats.samples_inferred.fetch_add(samples.len() as u64, Ordering::Relaxed);
+        stats.batches_formed.inc();
+        stats.samples_inferred.add(samples.len() as u64);
+        stats.batch_occupancy.record(samples.len() as u64);
+        let forward_start = stats.events.is_enabled().then(Instant::now);
         match network.predict_heights_batch(&samples) {
             Ok(heights) => {
                 for (req, mut h) in group.into_iter().zip(heights) {
@@ -235,6 +236,9 @@ fn run_batch(
                     let _ = req.reply.send(Err(format!("batched forward failed: {e}")));
                 }
             }
+        }
+        if let Some(t0) = forward_start {
+            stats.batch_forward.record_duration(t0.elapsed());
         }
     }
 }
@@ -407,14 +411,27 @@ impl BatchSupervisor {
                     st.server = Some(server);
                     st.client = Some(client);
                     st.generation += 1;
-                    self.stats.server_restarts.fetch_add(1, Ordering::Relaxed);
+                    self.stats.server_restarts.inc();
+                    self.stats.events.event(
+                        "fault",
+                        "server_restart",
+                        &[
+                            ("generation", st.generation.to_string()),
+                            ("restarts_used", st.restarts_used.to_string()),
+                        ],
+                    );
                     return true;
                 }
                 Err(_) => continue,
             }
         }
         st.circuit_open = true;
-        self.stats.circuit_opened.fetch_add(1, Ordering::Relaxed);
+        self.stats.circuit_opened.inc();
+        self.stats.events.event(
+            "fault",
+            "circuit_open",
+            &[("restarts_used", st.restarts_used.to_string())],
+        );
         false
     }
 
@@ -527,7 +544,7 @@ mod tests {
         assert_eq!(heights[0], net.predict_layer_heights(&layout, 0).unwrap());
         assert_eq!(sup.restarts_used(), 1);
         assert!(!sup.circuit_open());
-        assert_eq!(stats.server_restarts.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.server_restarts.get(), 1);
     }
 
     #[test]
@@ -551,7 +568,7 @@ mod tests {
         assert!(matches!(err, InferError::Disconnected(_)), "{err}");
         assert!(sup.circuit_open());
         assert_eq!(sup.restarts_used(), 2, "budget fully consumed");
-        assert_eq!(stats.circuit_opened.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.circuit_opened.get(), 1);
         // Once open, calls fail fast without touching any server.
         let err = sup.predict_heights(std::slice::from_ref(&sample)).unwrap_err();
         assert!(err.message().contains("circuit"), "{err}");

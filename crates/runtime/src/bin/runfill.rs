@@ -5,8 +5,12 @@
 //! runfill --model surrogate.bundle --layouts designs/ [--out reports/]
 //!         [--workers N] [--timeout-s S] [--retries N] [--max-batch B]
 //!         [--linger-ms M] [--fault-plan SPEC] [--fault-seed N]
-//!         [--fast] [--init-demo N]
+//!         [--fast] [--init-demo N] [--metrics-out metrics.jsonl]
 //! ```
+//!
+//! `--metrics-out` enables telemetry and writes the run's metrics snapshot
+//! (simulator stage timings, per-job spans, batch-server activity, fault
+//! events) as JSONL after all jobs finish.
 //!
 //! `--init-demo N` bootstraps a working directory: generates `N` benchmark
 //! layouts into `--layouts` and, when the `--model` file is missing, trains
@@ -44,13 +48,15 @@ struct Args {
     fault_seed: u64,
     fast: bool,
     init_demo: usize,
+    metrics_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: runfill --model <bundle> --layouts <dir> [--out <dir>] [--workers N]\n\
          \x20             [--timeout-s S] [--retries N] [--max-batch B] [--linger-ms M]\n\
-         \x20             [--fault-plan SPEC] [--fault-seed N] [--fast] [--init-demo N]"
+         \x20             [--fault-plan SPEC] [--fault-seed N] [--fast] [--init-demo N]\n\
+         \x20             [--metrics-out <file>]"
     );
     std::process::exit(2);
 }
@@ -69,6 +75,7 @@ fn parse_args() -> Args {
         fault_seed: 0,
         fast: false,
         init_demo: 0,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -101,6 +108,7 @@ fn parse_args() -> Args {
             }
             "--fast" => args.fast = true,
             "--init-demo" => args.init_demo = parse_num(&value(&mut it, "--init-demo"), "--init-demo"),
+            "--metrics-out" => args.metrics_out = Some(value(&mut it, "--metrics-out").into()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -213,6 +221,11 @@ fn run() -> Result<bool, String> {
         println!("fault injection enabled (seed {})", args.fault_seed);
     }
 
+    let telemetry = if args.metrics_out.is_some() {
+        neurfill::telemetry::Telemetry::new()
+    } else {
+        neurfill::telemetry::Telemetry::disabled()
+    };
     let flow = FlowConfig { process: process_params(&args), ..FlowConfig::default() };
     let options = PoolOptions {
         workers: args.workers,
@@ -220,6 +233,7 @@ fn run() -> Result<bool, String> {
         default_timeout: args.timeout,
         retry: RetryPolicy::with_retries(args.retries),
         fault: Arc::new(fault),
+        telemetry: telemetry.clone(),
         ..PoolOptions::default()
     };
     let pool = RuntimePool::new(bundle, flow, options).map_err(|e| e.to_string())?;
@@ -268,6 +282,12 @@ fn run() -> Result<bool, String> {
         }
     }
 
+    if let Some(path) = &args.metrics_out {
+        pool.metrics_snapshot()
+            .write_jsonl_file(path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
     let stats = pool.shutdown();
     println!("{stats}");
     println!("model cache: {} hits, {} misses", registry.cache_hits(), registry.cache_misses());

@@ -37,6 +37,7 @@ use neurfill::{CancelToken, HeightNorm, PlanarityMetrics};
 use neurfill_cmpsim::ChipProfile;
 use neurfill_cmpsim::LayerProfile;
 use neurfill_layout::apply_fill;
+use neurfill_obs::{MetricsSnapshot, Telemetry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -64,6 +65,13 @@ pub struct PoolOptions {
     /// With the disabled plan every code path is bit-identical to a
     /// fault-free runtime.
     pub fault: Arc<FaultPlan>,
+    /// Telemetry handle. The default (disabled) handle changes nothing:
+    /// the pool's `runtime.*` counters still count (in a private
+    /// registry), but no spans, events or latency histograms are
+    /// recorded. An enabled handle also propagates to each worker's flow
+    /// (unless the [`FlowConfig`] carries its own), so one registry
+    /// covers simulator, optimizer, flow and runtime metrics.
+    pub telemetry: Telemetry,
 }
 
 impl Default for PoolOptions {
@@ -75,6 +83,7 @@ impl Default for PoolOptions {
             retry: RetryPolicy::default(),
             restart_budget: 2,
             fault: Arc::new(FaultPlan::disabled()),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -182,10 +191,16 @@ impl RuntimePool {
     /// surface per job instead, so a pool is never half-constructed.
     pub fn new(
         bundle: Arc<ModelBundle>,
-        config: FlowConfig,
+        mut config: FlowConfig,
         options: PoolOptions,
     ) -> std::io::Result<Self> {
-        let stats = Arc::new(StatsInner::default());
+        // One registry end to end: an enabled pool telemetry reaches the
+        // workers' flows (and through them the simulator and optimizers)
+        // unless the flow config already carries its own handle.
+        if options.telemetry.is_enabled() && !config.telemetry.is_enabled() {
+            config.telemetry = options.telemetry.clone();
+        }
+        let stats = Arc::new(StatsInner::new(&options.telemetry));
         let fault = Arc::clone(&options.fault);
         let supervisor = Arc::new(BatchSupervisor::spawn_with(
             Arc::clone(&bundle),
@@ -239,10 +254,10 @@ impl RuntimePool {
         let cancel = CancelToken::with_deadline_opt(spec.timeout.map(|t| enqueued + t));
         self.table.tokens.lock().insert(id, cancel.clone());
         self.table.set(id, JobStatus::Queued);
-        self.stats.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.stats.jobs_submitted.inc();
         if tx.send(Queued { id, spec, enqueued, cancel }).is_err() {
             let msg = "pool workers are gone; job not enqueued".to_string();
-            self.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            self.stats.jobs_failed.inc();
             self.table.set(id, JobStatus::Failed(msg.clone()));
             return Err(msg);
         }
@@ -306,6 +321,17 @@ impl RuntimePool {
         self.stats.snapshot()
     }
 
+    /// A telemetry snapshot of everything recorded in the registry the
+    /// pool's counters live in. With [`PoolOptions::telemetry`] attached
+    /// this is the whole shared registry — `runtime.*` counters, `job.*`
+    /// and `batch.*` histograms, `sim.*`/`optim.*`/`flow.*` metrics from
+    /// the workers' flows, and degradation events. With the default
+    /// (disabled) handle it still carries the `runtime.*` counters.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.stats.registry_snapshot()
+    }
+
     /// Graceful shutdown: closes the queue, lets workers finish everything
     /// already enqueued, stops the batch server, and returns final stats.
     #[must_use]
@@ -345,8 +371,8 @@ fn ensure_flow<'a>(
         fault.inject(sites::HYDRATE)?;
         let network = bundle.hydrate().map_err(|e| format!("failed to hydrate model bundle: {e}"))?;
         let flow = FillingFlow::with_network(Rc::new(network), config.clone())?;
-        stats.hydrations.fetch_add(1, Ordering::Relaxed);
-        StatsInner::add_duration(&stats.hydrate_nanos, start.elapsed());
+        stats.hydrations.inc();
+        stats.hydrate_nanos.add_duration(start.elapsed());
         *slot = Some(flow);
     }
     slot.as_ref().ok_or_else(|| "worker flow initialization failed".to_string())
@@ -381,6 +407,7 @@ fn worker_loop(
     let mut flow: Option<FillingFlow> = None;
 
     while let Ok(job) = rx.recv() {
+        stats.queue_wait.record_duration(job.enqueued.elapsed());
         let deadline = job.spec.timeout.map(|t| job.enqueued + t);
         if deadline.is_some_and(|d| Instant::now() > d) {
             fail(table, stats, job.id, format!("job '{}' timed out in queue", job.spec.name));
@@ -391,6 +418,9 @@ fn worker_loop(
             continue;
         }
         let mut attempt: u32 = 0;
+        // One span per job (all attempts): records `job.total_ns` and a
+        // span event. Inert when no telemetry is attached.
+        let job_span = stats.events.span("job.total_ns");
         let status = loop {
             table.set(
                 job.id,
@@ -414,7 +444,16 @@ fn worker_loop(
                     let err = RuntimeError::from_message(e);
                     if err.is_retryable() && attempt < retry.max_retries && !job.cancel.is_cancelled() {
                         attempt += 1;
-                        stats.retries.fetch_add(1, Ordering::Relaxed);
+                        stats.retries.inc();
+                        stats.events.event(
+                            "fault",
+                            "retry",
+                            &[
+                                ("job", job.spec.name.clone()),
+                                ("attempt", attempt.to_string()),
+                                ("error", err.message.clone()),
+                            ],
+                        );
                         backoff_within_deadline(retry.backoff(attempt), deadline);
                         continue;
                     }
@@ -427,10 +466,11 @@ fn worker_loop(
                 )),
             };
         };
+        drop(job_span);
         match status {
             JobStatus::Failed(msg) => fail(table, stats, job.id, msg),
             done => {
-                stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                stats.jobs_completed.inc();
                 table.set(job.id, done);
             }
         }
@@ -438,7 +478,7 @@ fn worker_loop(
 }
 
 fn fail(table: &JobTable, stats: &StatsInner, id: JobId, msg: String) {
-    stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    stats.jobs_failed.inc();
     table.set(id, JobStatus::Failed(msg));
 }
 
@@ -488,7 +528,9 @@ fn run_job(
     fault.inject(sites::SYNTHESIS)?;
     let synth_start = Instant::now();
     let result = flow.run_cancellable(&spec.layout, cancel)?;
-    StatsInner::add_duration(&stats.synthesis_nanos, synth_start.elapsed());
+    let synth_elapsed = synth_start.elapsed();
+    stats.synthesis_nanos.add_duration(synth_elapsed);
+    stats.job_synthesis.record_duration(synth_elapsed);
 
     // Verification: predict the filled layout's post-CMP profile on the
     // batch server. Each layer is one window sample; a multi-layer job
@@ -508,7 +550,12 @@ fn run_job(
             // Degradation rung 1: batched inference is gone (circuit
             // open). The worker's own network has the same weights, so
             // results stay bit-identical — only the coalescing is lost.
-            stats.fallback_batches.fetch_add(1, Ordering::Relaxed);
+            stats.fallback_batches.inc();
+            stats.events.event(
+                "fault",
+                "local_fallback",
+                &[("job", spec.name.clone()), ("cause", cause.clone())],
+            );
             flow.network()
                 .predict_heights_batch(&samples)
                 .map_err(|e| format!("local inference fallback (after: {cause}) failed: {e}"))?
@@ -530,12 +577,19 @@ fn run_job(
         Some(reason) => {
             // Degradation rung 2: the surrogate's numbers are unusable;
             // verify on the golden simulator and say so in the report.
-            stats.jobs_degraded.fetch_add(1, Ordering::Relaxed);
+            stats.jobs_degraded.inc();
+            stats.events.event(
+                "fault",
+                "golden_degraded",
+                &[("job", spec.name.clone()), ("reason", reason.clone())],
+            );
             let profile = flow.simulator().simulate(&filled);
             (PlanarityMetrics::from_profile(&profile), Some(reason))
         }
     };
-    StatsInner::add_duration(&stats.verify_nanos, verify_start.elapsed());
+    let verify_elapsed = verify_start.elapsed();
+    stats.verify_nanos.add_duration(verify_elapsed);
+    stats.job_verify.record_duration(verify_elapsed);
 
     Ok(JobReport {
         name: spec.name.clone(),

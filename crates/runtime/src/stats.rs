@@ -1,54 +1,113 @@
 //! Runtime counters, shared lock-free between workers, the batch server
 //! and the caller.
+//!
+//! The counters are telemetry [`Counter`] handles registered under
+//! `runtime.*` names. They always count — when the caller attached no
+//! telemetry they live in a private registry — so [`RuntimeStats`] (and
+//! the stats line every CLI prints) reads identically whether or not
+//! telemetry export is on. Spans, events and latency histograms, by
+//! contrast, go through the caller's own handle ([`StatsInner::events`])
+//! and cost nothing when that handle is disabled.
 
+use neurfill_obs::{Counter, Histogram, MetricsSnapshot, Telemetry};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Internal atomic counters; snapshot through [`RuntimeStats`].
-#[derive(Debug, Default)]
+/// Internal shared handles; snapshot through [`RuntimeStats`].
+#[derive(Debug)]
 pub(crate) struct StatsInner {
-    pub jobs_submitted: AtomicU64,
-    pub jobs_completed: AtomicU64,
-    pub jobs_failed: AtomicU64,
-    pub jobs_degraded: AtomicU64,
-    pub retries: AtomicU64,
-    pub server_restarts: AtomicU64,
-    pub circuit_opened: AtomicU64,
-    pub fallback_batches: AtomicU64,
-    pub batches_formed: AtomicU64,
-    pub samples_inferred: AtomicU64,
-    pub hydrations: AtomicU64,
-    pub hydrate_nanos: AtomicU64,
-    pub synthesis_nanos: AtomicU64,
-    pub verify_nanos: AtomicU64,
+    /// The registry the `runtime.*` counters are registered in (always
+    /// enabled; private unless the caller attached their own handle).
+    registry: Telemetry,
+    /// The caller's telemetry handle for spans, events and latency
+    /// histograms — disabled (free) unless explicitly attached.
+    pub events: Telemetry,
+    pub jobs_submitted: Counter,
+    pub jobs_completed: Counter,
+    pub jobs_failed: Counter,
+    pub jobs_degraded: Counter,
+    pub retries: Counter,
+    pub server_restarts: Counter,
+    pub circuit_opened: Counter,
+    pub fallback_batches: Counter,
+    pub batches_formed: Counter,
+    pub samples_inferred: Counter,
+    pub hydrations: Counter,
+    pub hydrate_nanos: Counter,
+    pub synthesis_nanos: Counter,
+    pub verify_nanos: Counter,
+    pub queue_wait: Histogram,
+    pub job_synthesis: Histogram,
+    pub job_verify: Histogram,
+    pub batch_occupancy: Histogram,
+    pub batch_forward: Histogram,
 }
 
 impl StatsInner {
-    pub fn add_duration(field: &AtomicU64, d: Duration) {
-        field.fetch_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
+    /// Registers the runtime's counters. `telemetry` may be disabled: the
+    /// counters then live in a private enabled registry (so stats always
+    /// count) while histograms and events stay no-ops.
+    pub fn new(telemetry: &Telemetry) -> Self {
+        let registry = telemetry.or_enabled();
+        Self {
+            jobs_submitted: registry.counter("runtime.jobs_submitted"),
+            jobs_completed: registry.counter("runtime.jobs_completed"),
+            jobs_failed: registry.counter("runtime.jobs_failed"),
+            jobs_degraded: registry.counter("runtime.jobs_degraded"),
+            retries: registry.counter("runtime.retries"),
+            server_restarts: registry.counter("runtime.server_restarts"),
+            circuit_opened: registry.counter("runtime.circuit_opened"),
+            fallback_batches: registry.counter("runtime.fallback_batches"),
+            batches_formed: registry.counter("runtime.batches_formed"),
+            samples_inferred: registry.counter("runtime.samples_inferred"),
+            hydrations: registry.counter("runtime.hydrations"),
+            hydrate_nanos: registry.counter("runtime.hydrate_ns"),
+            synthesis_nanos: registry.counter("runtime.synthesis_ns"),
+            verify_nanos: registry.counter("runtime.verify_ns"),
+            queue_wait: telemetry.histogram("job.queue_wait_ns"),
+            job_synthesis: telemetry.histogram("job.synthesis_ns"),
+            job_verify: telemetry.histogram("job.verify_ns"),
+            batch_occupancy: telemetry.histogram("batch.occupancy"),
+            batch_forward: telemetry.histogram("batch.forward_ns"),
+            events: telemetry.clone(),
+            registry,
+        }
+    }
+
+    /// Everything recorded in the registry the counters live in — the
+    /// whole shared registry when the caller attached one (simulator,
+    /// optimizer and flow metrics included), just the `runtime.*` counters
+    /// otherwise.
+    pub fn registry_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     pub fn snapshot(&self) -> RuntimeStats {
-        let batches = self.batches_formed.load(Ordering::Relaxed);
-        let samples = self.samples_inferred.load(Ordering::Relaxed);
+        let batches = self.batches_formed.get();
+        let samples = self.samples_inferred.get();
         RuntimeStats {
-            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
-            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
-            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
-            jobs_degraded: self.jobs_degraded.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            server_restarts: self.server_restarts.load(Ordering::Relaxed),
-            circuit_opened: self.circuit_opened.load(Ordering::Relaxed),
-            fallback_batches: self.fallback_batches.load(Ordering::Relaxed),
+            jobs_submitted: self.jobs_submitted.get(),
+            jobs_completed: self.jobs_completed.get(),
+            jobs_failed: self.jobs_failed.get(),
+            jobs_degraded: self.jobs_degraded.get(),
+            retries: self.retries.get(),
+            server_restarts: self.server_restarts.get(),
+            circuit_opened: self.circuit_opened.get(),
+            fallback_batches: self.fallback_batches.get(),
             batches_formed: batches,
             samples_inferred: samples,
             mean_batch_occupancy: if batches == 0 { 0.0 } else { samples as f64 / batches as f64 },
-            hydrations: self.hydrations.load(Ordering::Relaxed),
-            hydrate: Duration::from_nanos(self.hydrate_nanos.load(Ordering::Relaxed)),
-            synthesis: Duration::from_nanos(self.synthesis_nanos.load(Ordering::Relaxed)),
-            verify: Duration::from_nanos(self.verify_nanos.load(Ordering::Relaxed)),
+            hydrations: self.hydrations.get(),
+            hydrate: Duration::from_nanos(self.hydrate_nanos.get()),
+            synthesis: Duration::from_nanos(self.synthesis_nanos.get()),
+            verify: Duration::from_nanos(self.verify_nanos.get()),
         }
+    }
+}
+
+impl Default for StatsInner {
+    fn default() -> Self {
+        Self::new(&Telemetry::disabled())
     }
 }
 
@@ -133,8 +192,8 @@ mod tests {
     #[test]
     fn occupancy_is_samples_per_batch() {
         let inner = StatsInner::default();
-        inner.batches_formed.store(4, Ordering::Relaxed);
-        inner.samples_inferred.store(10, Ordering::Relaxed);
+        inner.batches_formed.add(4);
+        inner.samples_inferred.add(10);
         let snap = inner.snapshot();
         assert!((snap.mean_batch_occupancy - 2.5).abs() < 1e-12);
         assert_eq!(StatsInner::default().snapshot().mean_batch_occupancy, 0.0);
@@ -143,15 +202,39 @@ mod tests {
     #[test]
     fn display_mentions_every_headline_number() {
         let inner = StatsInner::default();
-        inner.jobs_submitted.store(7, Ordering::Relaxed);
-        inner.samples_inferred.store(21, Ordering::Relaxed);
-        inner.batches_formed.store(3, Ordering::Relaxed);
-        inner.retries.store(2, Ordering::Relaxed);
-        inner.jobs_degraded.store(1, Ordering::Relaxed);
+        inner.jobs_submitted.add(7);
+        inner.samples_inferred.add(21);
+        inner.batches_formed.add(3);
+        inner.retries.add(2);
+        inner.jobs_degraded.add(1);
         let text = inner.snapshot().to_string();
         assert!(text.contains("7 submitted"));
         assert!(text.contains("occupancy 7.00"));
         assert!(text.contains("2 retries"));
         assert!(text.contains("1 degraded"));
+    }
+
+    #[test]
+    fn counters_land_in_an_attached_registry_under_runtime_names() {
+        let t = Telemetry::new();
+        let inner = StatsInner::new(&t);
+        inner.jobs_submitted.inc();
+        inner.retries.add(3);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("runtime.jobs_submitted"), 1);
+        assert_eq!(snap.counter("runtime.retries"), 3);
+        // The registry snapshot is the same registry.
+        assert_eq!(inner.registry_snapshot().counter("runtime.retries"), 3);
+    }
+
+    #[test]
+    fn detached_stats_still_count_but_record_no_events() {
+        let inner = StatsInner::default();
+        inner.jobs_completed.add(2);
+        assert_eq!(inner.snapshot().jobs_completed, 2);
+        assert!(!inner.events.is_enabled());
+        // The private registry still exposes the counters.
+        assert_eq!(inner.registry_snapshot().counter("runtime.jobs_completed"), 2);
+        assert!(inner.registry_snapshot().events.is_empty());
     }
 }
