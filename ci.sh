@@ -10,11 +10,12 @@ cargo fmt --all -- --check
 echo "== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# neurfill-runtime, neurfill (core) and neurfill-obs deny
-# clippy::unwrap_used / clippy::expect_used at the crate level (lib +
-# bins, tests exempt); this run enforces it.
-echo "== cargo clippy -p neurfill-runtime -p neurfill -p neurfill-obs (no unwrap/expect in lib+bins)"
-cargo clippy -p neurfill-runtime -p neurfill -p neurfill-obs --lib --bins -- -D warnings
+# neurfill-runtime, neurfill (core), neurfill-obs, neurfill-tensor and
+# neurfill-cmpsim deny clippy::unwrap_used / clippy::expect_used at the
+# crate level (lib + bins, tests exempt); this run enforces it.
+echo "== cargo clippy (no unwrap/expect in lib+bins)"
+cargo clippy -p neurfill-runtime -p neurfill -p neurfill-obs \
+    -p neurfill-tensor -p neurfill-cmpsim --lib --bins -- -D warnings
 
 echo "== cargo build --release"
 cargo build --release
@@ -34,5 +35,13 @@ cargo test -p neurfill-runtime --test fault_injection -q
 echo "== telemetry suite"
 cargo test -p neurfill-obs -q
 cargo test -p neurfill-runtime --test telemetry -q
+
+echo "== kernel-equivalence suite (bitwise determinism)"
+cargo test -p neurfill-tensor --test gemm_equivalence -q
+cargo test -p neurfill-cmpsim --test kernel_equivalence -q
+cargo test -p neurfill-nn --test determinism -q
+
+echo "== kernel bench (compile-only)"
+cargo bench -p neurfill-bench --bench kernels --no-run
 
 echo "CI OK"

@@ -1,0 +1,274 @@
+//! Micro-benchmark of the optimized compute kernels against their
+//! reference implementations: blocked GEMM, the interior/border pad
+//! convolution split, the galloping contact bracket, and the opt-in
+//! sorted contact solver — plus one end-to-end labeling run so kernel
+//! wins are tied to pipeline wall-clock.
+//!
+//! Hand-rolled harness (no criterion): each op is timed as the best of
+//! several samples after warmup, with the iteration count calibrated so
+//! a sample runs long enough to dominate timer noise. Results go to
+//! stdout as a table and to `BENCH_kernels.json` at the repo root
+//! (override with `NEURFILL_BENCH_OUT`) as machine-readable records:
+//! `{op, shape, ns_per_iter, reference_ns_per_iter, speedup}`.
+//!
+//! The end-to-end entry times the full labeling pipeline on the current
+//! build; its reference column comes from `NEURFILL_BASELINE_LABELING_NS`
+//! (measured on a pre-optimization checkout) when set, else it is null.
+
+use neurfill_cmpsim::contact::{
+    solve_reference_plane, solve_reference_plane_reference, solve_reference_plane_sorted,
+};
+use neurfill_cmpsim::{PadKernel, ProcessParams};
+use neurfill_data::LabelConfig;
+use neurfill_layout::benchmark_designs;
+use neurfill_layout::datagen::DataGenConfig;
+use neurfill_tensor::kernels::{gemm, gemm_reference};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const SAMPLES: usize = 7;
+const TARGET_SAMPLE_NS: u128 = 20_000_000; // 20 ms
+
+/// Iteration count such that one sample runs for ~`TARGET_SAMPLE_NS`,
+/// calibrated from a single warmup call.
+fn calibrate(f: &mut impl FnMut()) -> usize {
+    let t = Instant::now();
+    f();
+    let once = t.elapsed().as_nanos().max(1);
+    ((TARGET_SAMPLE_NS / once) as usize).clamp(1, 1_000_000)
+}
+
+fn sample_ns(f: &mut impl FnMut(), iters: usize) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Best-of-`SAMPLES` wall-clock per iteration.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let iters = calibrate(&mut f);
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        best = best.min(sample_ns(&mut f, iters));
+    }
+    best
+}
+
+/// Times two implementations of the same op with interleaved samples
+/// (ref, opt, ref, opt, …) so machine-wide slowdowns — noisy neighbors,
+/// frequency steps — hit both columns alike instead of skewing the
+/// ratio. Returns `(reference_ns, optimized_ns)`, best-of-`SAMPLES`.
+fn time_pair_ns(mut reference: impl FnMut(), mut optimized: impl FnMut()) -> (f64, f64) {
+    let ref_iters = calibrate(&mut reference);
+    let opt_iters = calibrate(&mut optimized);
+    let (mut best_ref, mut best_opt) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..SAMPLES {
+        best_ref = best_ref.min(sample_ns(&mut reference, ref_iters));
+        best_opt = best_opt.min(sample_ns(&mut optimized, opt_iters));
+    }
+    (best_ref, best_opt)
+}
+
+struct Row {
+    op: &'static str,
+    shape: String,
+    ns: f64,
+    reference_ns: Option<f64>,
+}
+
+impl Row {
+    fn speedup(&self) -> Option<f64> {
+        self.reference_ns.map(|r| r / self.ns)
+    }
+}
+
+fn random_f32(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn random_f64(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-50.0f64..500.0)).collect()
+}
+
+/// The exact pre-optimization `NdArray::matmul` inner loop (i-k-j with
+/// the zero-skip branch) — the baseline this PR's kernel replaced.
+fn gemm_legacy(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let x = a[i * k + p];
+            if x == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += x * bv;
+            }
+        }
+    }
+}
+
+fn bench_gemm(rows: &mut Vec<Row>) {
+    // (m, k, n) triples matching the im2col matmuls of the default UNet
+    // (base 8, depth 2) on 16×16 windows at batch 32: m = out channels,
+    // k = in_channels·kh·kw, n = batch·Ho·Wo.
+    let shapes = [(8usize, 54usize, 8192usize), (16, 72, 2048), (32, 144, 4096), (64, 288, 1024)];
+    let mut rng = StdRng::seed_from_u64(7);
+    for (m, k, n) in shapes {
+        let a = random_f32(&mut rng, m * k);
+        let b = random_f32(&mut rng, k * n);
+        let mut out = vec![0.0f32; m * n];
+        let mut out2 = vec![0.0f32; m * n];
+        let (legacy_ns, ns) =
+            time_pair_ns(|| gemm_legacy(&a, &b, &mut out, m, k, n), || gemm(&a, &b, &mut out2, m, k, n));
+        rows.push(Row { op: "gemm", shape: format!("{m}x{k}x{n}"), ns, reference_ns: Some(legacy_ns) });
+        let reference_ns = time_ns(|| gemm_reference(&a, &b, &mut out, m, k, n));
+        rows.push(Row {
+            op: "gemm_oracle",
+            shape: format!("{m}x{k}x{n}"),
+            ns,
+            reference_ns: Some(reference_ns),
+        });
+    }
+}
+
+fn bench_pad_kernel(rows: &mut Vec<Row>) {
+    let shapes = [(16usize, 16usize, 2usize), (64, 64, 4), (128, 128, 4)];
+    let mut rng = StdRng::seed_from_u64(11);
+    for (r, c, radius) in shapes {
+        let kernel = PadKernel::exponential(1.5, radius);
+        let field = random_f64(&mut rng, r * c);
+        let mut out = vec![0.0f64; r * c];
+        let (reference_ns, ns) = time_pair_ns(
+            || {
+                std::hint::black_box(kernel.apply_reference(&field, r, c));
+            },
+            || kernel.apply_into(&field, r, c, &mut out),
+        );
+        rows.push(Row {
+            op: "pad_kernel",
+            shape: format!("{r}x{c}_r{radius}"),
+            ns,
+            reference_ns: Some(reference_ns),
+        });
+    }
+}
+
+fn bench_contact(rows: &mut Vec<Row>) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let params = ProcessParams::default();
+    for n in [256usize, 4096, 16384] {
+        let heights = random_f64(&mut rng, n);
+        let (reference_ns, ns) = time_pair_ns(
+            || {
+                std::hint::black_box(solve_reference_plane_reference(&heights, &params));
+            },
+            || {
+                std::hint::black_box(solve_reference_plane(&heights, &params));
+            },
+        );
+        rows.push(Row {
+            op: "contact_exact",
+            shape: format!("n{n}"),
+            ns,
+            reference_ns: Some(reference_ns),
+        });
+        let sorted_ns = time_ns(|| {
+            std::hint::black_box(solve_reference_plane_sorted(&heights, &params));
+        });
+        rows.push(Row {
+            op: "contact_sorted",
+            shape: format!("n{n}"),
+            ns: sorted_ns,
+            reference_ns: Some(reference_ns),
+        });
+    }
+}
+
+/// End-to-end: the same corpus generation the `labeling` bench runs —
+/// layout generation → golden simulation → shard writes. Every hot loop
+/// in it goes through the kernels above.
+fn bench_labeling(rows: &mut Vec<Row>) {
+    const LAYOUTS: usize = 8;
+    let sources = benchmark_designs(12, 12, 1);
+    let config = LabelConfig {
+        num_layouts: LAYOUTS,
+        samples_per_shard: 16,
+        workers: 1,
+        datagen: DataGenConfig { rows: 16, cols: 16, seed: 5, ..DataGenConfig::default() },
+        process: ProcessParams::fast(),
+        ..LabelConfig::default()
+    };
+    let dir = std::env::temp_dir().join(format!("nf_bench_kernels_{}", std::process::id()));
+    let ns = time_ns(|| {
+        let report = neurfill_data::generate_labeled_shards(sources.clone(), &config, &dir).unwrap();
+        std::hint::black_box(report.samples);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let baseline =
+        std::env::var("NEURFILL_BASELINE_LABELING_NS").ok().and_then(|v| v.parse::<f64>().ok());
+    rows.push(Row {
+        op: "labeling_end_to_end",
+        shape: format!("{LAYOUTS}_layouts_16x16"),
+        ns,
+        reference_ns: baseline,
+    });
+}
+
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.1}"),
+        None => "null".to_string(),
+    }
+}
+
+fn write_json(rows: &[Row]) -> std::io::Result<std::path::PathBuf> {
+    let path = std::env::var("NEURFILL_BENCH_OUT").map(std::path::PathBuf::from).unwrap_or_else(|_| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_kernels.json")
+    });
+    let mut body = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"ns_per_iter\": {:.1}, \
+             \"reference_ns_per_iter\": {}, \"speedup\": {}}}{}\n",
+            row.op,
+            row.shape,
+            row.ns,
+            json_f64(row.reference_ns),
+            json_f64(row.speedup()),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("]\n");
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+fn main() {
+    // `cargo bench` passes `--bench`; a bare `--no-run` build never gets here.
+    let mut rows = Vec::new();
+    bench_gemm(&mut rows);
+    bench_pad_kernel(&mut rows);
+    bench_contact(&mut rows);
+    bench_labeling(&mut rows);
+
+    println!("{:<20} {:<20} {:>14} {:>16} {:>9}", "op", "shape", "ns/iter", "reference", "speedup");
+    for row in &rows {
+        let speedup = match row.speedup() {
+            Some(s) => format!("{s:.2}x"),
+            None => "-".to_string(),
+        };
+        let reference = match row.reference_ns {
+            Some(r) => format!("{r:.0}"),
+            None => "-".to_string(),
+        };
+        println!("{:<20} {:<20} {:>14.0} {:>16} {:>9}", row.op, row.shape, row.ns, reference, speedup);
+    }
+    match write_json(&rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_kernels.json: {e}"),
+    }
+}

@@ -114,6 +114,7 @@ fn golden_section(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, iterations: u
 /// Panics when `data` is empty, a measurement's height map disagrees with
 /// its pattern dimensions, or `start` is invalid.
 #[must_use]
+#[allow(clippy::expect_used)] // invalid starting params are a documented panic
 pub fn calibrate(
     start: &ProcessParams,
     data: &[Measurement],

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analysis;
 pub mod calibrate;
@@ -44,6 +45,7 @@ pub mod preston;
 mod profile;
 mod simulator;
 
+pub use contact::{ContactSolve, ContactSolveStats};
 pub use kernel::PadKernel;
 pub use numgrad::FiniteDifference;
 pub use params::{ParamsDisplay, ProcessParams};

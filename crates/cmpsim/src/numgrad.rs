@@ -99,6 +99,7 @@ impl FiniteDifference {
             .collect()
     }
 
+    #[allow(clippy::expect_used)] // a panicked worker is unrecoverable; propagate the panic
     fn map_indices(&self, n: usize, work: &(dyn Fn(usize) -> f64 + Sync)) -> Vec<f64> {
         if self.threads <= 1 || n < 2 {
             return (0..n).map(work).collect();

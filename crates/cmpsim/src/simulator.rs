@@ -8,7 +8,9 @@
 //! modifiers); (4) the Preston equation removes material. The loop runs
 //! until the configured total polish time.
 
-use crate::contact::{solve_reference_plane, window_pressures};
+use crate::contact::{
+    solve_reference_plane_sorted_stats, solve_reference_plane_stats, window_pressures, ContactSolve,
+};
 use crate::dsh::split_pressure;
 use crate::kernel::PadKernel;
 use crate::params::ProcessParams;
@@ -103,6 +105,7 @@ pub struct CmpSimulator {
     params: ProcessParams,
     kernel: PadKernel,
     telemetry: Telemetry,
+    contact_solve: ContactSolve,
 }
 
 impl CmpSimulator {
@@ -114,7 +117,22 @@ impl CmpSimulator {
     pub fn new(params: ProcessParams) -> Result<Self, String> {
         params.validate()?;
         let kernel = PadKernel::exponential(params.character_length, params.kernel_radius);
-        Ok(Self { params, kernel, telemetry: Telemetry::disabled() })
+        Ok(Self {
+            params,
+            kernel,
+            telemetry: Telemetry::disabled(),
+            contact_solve: ContactSolve::default(),
+        })
+    }
+
+    /// Selects the reference-plane solver. The default
+    /// ([`ContactSolve::Exact`]) is bit-identical to the pre-optimization
+    /// simulator; [`ContactSolve::SortedPrefix`] trades that for faster
+    /// force evaluations (agreement to bisection tolerance).
+    #[must_use]
+    pub fn with_contact_solve(mut self, solve: ContactSolve) -> Self {
+        self.contact_solve = solve;
+        self
     }
 
     /// Attaches a telemetry handle; per-stage timings (`sim.*` histograms)
@@ -159,11 +177,13 @@ impl CmpSimulator {
         self.simulate_layer_impl(input, false).0
     }
 
+    #[allow(clippy::expect_used)] // validation failure is a documented panic (programmer error)
     fn simulate_layer_impl(&self, input: &LayerInput, record: bool) -> (LayerProfile, Vec<TraceStep>) {
         input.validate().expect("valid layer input");
         let _layer_span = self.telemetry.span("sim.layer_ns");
-        // Pre-registered per-stage histograms: inside the polish loop the
-        // only telemetry cost is clock reads + atomics (none when disabled).
+        // Pre-registered per-stage histograms and kernel counters: inside
+        // the polish loop the only telemetry cost is clock reads + atomics
+        // (none when disabled).
         let stage_timers = self.telemetry.is_enabled().then(|| {
             self.telemetry.inc("sim.layers");
             (
@@ -173,12 +193,24 @@ impl CmpSimulator {
                 self.telemetry.histogram("sim.polish_step_ns"),
             )
         });
+        let kernel_meters = self.telemetry.is_enabled().then(|| {
+            (
+                self.telemetry.histogram("sim.kernel_ns"),
+                self.telemetry.counter("sim.kernel.applies"),
+                self.telemetry.counter("sim.kernel.windows"),
+                self.telemetry.counter("sim.contact.force_evals"),
+            )
+        });
         let p = &self.params;
         let n = input.rows * input.cols;
 
         // Effective (kernel-averaged) pattern density is constant over the
         // polish since the pattern does not change.
         let rho_eff = self.kernel.apply(&input.density, input.rows, input.cols);
+        if let Some((_, applies, windows, _)) = &kernel_meters {
+            applies.inc();
+            windows.add(n as u64);
+        }
 
         // Pressure modifiers from micro-scale pattern parameters.
         let dish_factor: Vec<f64> = input
@@ -197,16 +229,27 @@ impl CmpSimulator {
 
         let mut trace = Vec::new();
         let mut envelope = vec![0.0; n];
+        let mut smoothed = vec![0.0; n];
         for _ in 0..p.steps {
             let t0 = self.telemetry.now_ns();
-            // (1) Envelope heights, smoothed by the pad.
+            // (1) Envelope heights, smoothed by the pad (scratch buffers
+            // reused across steps).
             envelope.copy_from_slice(&z_up);
-            let smoothed = self.kernel.apply(&envelope, input.rows, input.cols);
+            self.kernel.apply_into(&envelope, input.rows, input.cols, &mut smoothed);
             let t1 = self.telemetry.now_ns();
             // (2) Contact-mechanics pressure solve.
-            let z_ref = solve_reference_plane(&smoothed, p);
+            let (z_ref, solve_stats) = match self.contact_solve {
+                ContactSolve::Exact => solve_reference_plane_stats(&smoothed, p),
+                ContactSolve::SortedPrefix => solve_reference_plane_sorted_stats(&smoothed, p),
+            };
             let pressures = window_pressures(&smoothed, z_ref, p);
             let t2 = self.telemetry.now_ns();
+            if let Some((kernel_h, applies, windows, force_evals)) = &kernel_meters {
+                kernel_h.record(t1.saturating_sub(t0));
+                applies.inc();
+                windows.add(n as u64);
+                force_evals.add(solve_stats.force_evals);
+            }
             // (3) DSH split + (4) Preston removal.
             for i in 0..n {
                 let step = (z_up[i] - z_down[i]).max(0.0);

@@ -148,6 +148,8 @@ fn run() -> Result<(), String> {
         },
         ..LabelConfig::default()
     };
+    // Route GEMM counters/timers (`tensor.gemm*`) into the same snapshot.
+    neurfill_tensor::telemetry::install(cfg.telemetry.clone());
     let report = generate_labeled_shards(sources, &cfg, &args.out).map_err(|e| e.to_string())?;
 
     for (path, n) in &report.shards {

@@ -226,6 +226,8 @@ fn run() -> Result<bool, String> {
     } else {
         neurfill::telemetry::Telemetry::disabled()
     };
+    // Route GEMM counters/timers (`tensor.gemm*`) into the same snapshot.
+    neurfill_tensor::telemetry::install(telemetry.clone());
     let flow = FlowConfig { process: process_params(&args), ..FlowConfig::default() };
     let options = PoolOptions {
         workers: args.workers,

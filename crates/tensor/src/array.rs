@@ -718,21 +718,12 @@ impl NdArray {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order keeps the inner loop contiguous in both the
-        // output row and the right-hand row, which matters on this target.
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        let sink = crate::telemetry::handle();
+        let timer = sink.time("tensor.gemm_ns");
+        crate::kernels::gemm(&self.data, &other.data, &mut out, m, k, n);
+        drop(timer);
+        sink.inc("tensor.gemm.calls");
+        sink.add("tensor.gemm.madds", (m as u64) * (k as u64) * (n as u64));
         Ok(Self { shape: vec![m, n], data: out })
     }
 

@@ -35,6 +35,7 @@ impl GradCheckReport {
 /// Panics when `f` fails to produce a scalar or backward fails — gradient
 /// checking is a test utility, failures should abort the test.
 #[must_use]
+#[allow(clippy::expect_used)] // test utility: failures are documented panics
 pub fn check_gradient(x0: &NdArray, eps: f32, f: impl Fn(&Tensor) -> Tensor) -> GradCheckReport {
     let x = Tensor::parameter(x0.clone());
     let y = f(&x);

@@ -43,6 +43,7 @@ pub fn normal(shape: &[usize], std: f32, rng: &mut impl Rng) -> NdArray {
             data.push(r * theta.sin() * std);
         }
     }
+    #[allow(clippy::expect_used)] // length is computed from the shape above
     NdArray::from_vec(data, shape).expect("length computed from shape")
 }
 

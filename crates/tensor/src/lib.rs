@@ -38,13 +38,16 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod array;
 mod error;
 pub mod gradcheck;
 pub mod init;
+pub mod kernels;
 pub mod ops;
 pub mod shape;
+pub mod telemetry;
 mod tensor;
 
 pub use array::NdArray;

@@ -60,6 +60,7 @@ struct SumAxisGrad {
 }
 
 impl GradFn for SumAxisGrad {
+    #[allow(clippy::expect_used)] // shapes were validated in the forward pass
     fn backward(&self, grad: &NdArray) -> Vec<Option<NdArray>> {
         // Re-insert the reduced axis (extent 1) and broadcast back.
         let mut keep_shape = self.in_shape.clone();

@@ -1,0 +1,60 @@
+//! Process-wide telemetry sink for tensor compute kernels.
+//!
+//! The tensor crate sits below the application layers that own a
+//! [`Telemetry`] registry, so instead of threading a handle through every
+//! `matmul` call site it exposes one installable process-wide sink. The
+//! default sink is [`Telemetry::disabled`] — a branch on `None` per
+//! metric call and nothing else — so uninstrumented runs pay (and record)
+//! nothing. CLI entry points with `--metrics-out` call [`install`] with
+//! their registry and GEMM timing shows up under `tensor.gemm*`.
+
+use neurfill_obs::Telemetry;
+use std::sync::{OnceLock, RwLock};
+
+static SINK: OnceLock<RwLock<Telemetry>> = OnceLock::new();
+
+fn sink() -> &'static RwLock<Telemetry> {
+    SINK.get_or_init(|| RwLock::new(Telemetry::disabled()))
+}
+
+/// Installs `telemetry` as the process-wide sink for tensor kernel
+/// metrics (`tensor.gemm.calls`, `tensor.gemm.madds`, `tensor.gemm_ns`).
+/// Replaces any previously installed sink; pass
+/// [`Telemetry::disabled`] to turn recording back off.
+pub fn install(telemetry: Telemetry) {
+    match sink().write() {
+        Ok(mut guard) => *guard = telemetry,
+        Err(poisoned) => *poisoned.into_inner() = telemetry,
+    }
+}
+
+/// A clone of the currently installed sink (disabled unless a CLI
+/// installed one). Clones share the underlying registry.
+#[must_use]
+pub fn handle() -> Telemetry {
+    match sink().read() {
+        Ok(guard) => guard.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sink_is_disabled_and_install_replaces_it() {
+        // Note: process-global state — keep this the only test that
+        // installs, so parallel test threads cannot race on the sink.
+        assert!(!handle().is_enabled());
+        let t = Telemetry::new();
+        install(t.clone());
+        assert!(handle().is_enabled());
+        // A unique metric name: concurrently running matmul tests may
+        // record `tensor.gemm.*` into the installed sink.
+        handle().inc("tensor.test.install_probe");
+        assert_eq!(t.snapshot().counter("tensor.test.install_probe"), 1);
+        install(Telemetry::disabled());
+        assert!(!handle().is_enabled());
+    }
+}
