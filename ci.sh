@@ -10,12 +10,14 @@ cargo fmt --all -- --check
 echo "== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# neurfill-runtime, neurfill (core), neurfill-obs, neurfill-tensor and
-# neurfill-cmpsim deny clippy::unwrap_used / clippy::expect_used at the
-# crate level (lib + bins, tests exempt); this run enforces it.
+# neurfill-runtime, neurfill (core), neurfill-obs, neurfill-tensor,
+# neurfill-cmpsim and neurfill-serve deny clippy::unwrap_used /
+# clippy::expect_used at the crate level (lib + bins, tests exempt);
+# this run enforces it.
 echo "== cargo clippy (no unwrap/expect in lib+bins)"
 cargo clippy -p neurfill-runtime -p neurfill -p neurfill-obs \
-    -p neurfill-tensor -p neurfill-cmpsim --lib --bins -- -D warnings
+    -p neurfill-tensor -p neurfill-cmpsim -p neurfill-serve \
+    --lib --bins -- -D warnings
 
 echo "== cargo build --release"
 cargo build --release
@@ -43,5 +45,12 @@ cargo test -p neurfill-nn --test determinism -q
 
 echo "== kernel bench (compile-only)"
 cargo bench -p neurfill-bench --bench kernels --no-run
+
+echo "== serve service suite"
+cargo test -p neurfill-serve --test service -q
+cargo test -p neurfill-serve --test http_hardening -q
+
+echo "== serve bench (compile-only)"
+cargo bench -p neurfill-bench --bench serve --no-run
 
 echo "CI OK"

@@ -1,0 +1,181 @@
+//! Service-layer latency benchmark: submit→result round-trips over real
+//! loopback HTTP against `neurfill-serve`, at 1, 8 and 64 concurrent
+//! clients. Reports p50/p95/p99 end-to-end latency (admission + queue +
+//! synthesis + transport) and throughput per concurrency level, to
+//! stdout as a table and to `BENCH_serve.json` at the repo root
+//! (override with `NEURFILL_BENCH_OUT`) as machine-readable records:
+//! `{clients, ops, p50_ms, p95_ms, p99_ms, jobs_per_s}`.
+//!
+//! Hand-rolled harness (no criterion): latency distributions under
+//! contention are the object of measurement, so every operation is timed
+//! individually and the percentiles come from the pooled samples.
+
+use neurfill::extraction::NUM_CHANNELS;
+use neurfill::pipeline::FlowConfig;
+use neurfill::{CmpNeuralNetwork, CmpNnConfig, HeightNorm, NeurFillConfig};
+use neurfill_cmpsim::ProcessParams;
+use neurfill_layout::{DesignKind, DesignSpec, Layout};
+use neurfill_nn::{UNet, UNetConfig};
+use neurfill_optim::SqpConfig;
+use neurfill_runtime::{ModelBundle, PoolOptions};
+use neurfill_serve::{
+    Client, FillService, JobRequest, Server, ServerConfig, ServiceConfig, TenantConfig,
+};
+use rand::SeedableRng;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const CONCURRENCY: [usize; 3] = [1, 8, 64];
+/// Total operations per level is at least this many (each client runs
+/// `ceil(MIN_OPS / clients)` round-trips).
+const MIN_OPS: usize = 24;
+
+fn network() -> CmpNeuralNetwork {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let unet = UNet::new(
+        UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 4, depth: 2 },
+        &mut rng,
+    );
+    CmpNeuralNetwork::new(unet, HeightNorm::default(), Default::default(), CmpNnConfig::default())
+}
+
+fn flow_config() -> FlowConfig {
+    FlowConfig {
+        process: ProcessParams::fast(),
+        neurfill: NeurFillConfig {
+            sqp: SqpConfig { max_iterations: 4, ..SqpConfig::default() },
+            ..NeurFillConfig::default()
+        },
+        beta_time_s: 60.0,
+        ..FlowConfig::default()
+    }
+}
+
+fn layout(seed: u64) -> Layout {
+    let kinds = [DesignKind::CmpTest, DesignKind::Fpga, DesignKind::RiscV];
+    DesignSpec::new(kinds[seed as usize % kinds.len()], 8, 8, seed).generate()
+}
+
+struct Row {
+    clients: usize,
+    ops: usize,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    jobs_per_s: f64,
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+/// One level: `clients` threads, each running submit→result round-trips
+/// against the shared server; returns the pooled per-op latencies.
+fn run_level(addr: &str, clients: usize) -> Row {
+    let ops_per_client = MIN_OPS.div_ceil(clients);
+    let barrier = Arc::new(Barrier::new(clients));
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut latencies = Vec::with_capacity(ops_per_client);
+                barrier.wait();
+                for op in 0..ops_per_client {
+                    let seed = (c * 1000 + op) as u64;
+                    let t = Instant::now();
+                    let id = client
+                        .submit(&JobRequest::new(format!("bench-{c}-{op}"), layout(seed)))
+                        .expect("submit");
+                    client.result_text(id, Some(Duration::from_secs(300))).expect("result");
+                    latencies.push(t.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> =
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect();
+    let elapsed = wall.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    Row {
+        clients,
+        ops: latencies.len(),
+        p50_ms: percentile_ms(&latencies, 50.0),
+        p95_ms: percentile_ms(&latencies, 95.0),
+        p99_ms: percentile_ms(&latencies, 99.0),
+        jobs_per_s: latencies.len() as f64 / elapsed.max(1e-9),
+    }
+}
+
+fn write_json(rows: &[Row]) -> std::io::Result<std::path::PathBuf> {
+    let path = std::env::var("NEURFILL_BENCH_OUT").map(std::path::PathBuf::from).unwrap_or_else(|_| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_serve.json")
+    });
+    let mut body = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "  {{\"clients\": {}, \"ops\": {}, \"p50_ms\": {:.1}, \"p95_ms\": {:.1}, \
+             \"p99_ms\": {:.1}, \"jobs_per_s\": {:.2}}}{}\n",
+            r.clients,
+            r.ops,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.jobs_per_s,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("]\n");
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+fn main() {
+    let bundle = Arc::new(ModelBundle::from_network(&network()).expect("bundle"));
+    let service = FillService::start(
+        bundle,
+        ServiceConfig {
+            // Deep queue so the 64-client burst measures latency, not 429s.
+            tenants: vec![TenantConfig { name: "default".to_string(), weight: 1, capacity: 512 }],
+            flow: flow_config(),
+            pool: PoolOptions::default(),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+    let server = Server::bind(service, &ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let run_server = server.clone();
+    let server_thread = std::thread::spawn(move || run_server.run().expect("server run"));
+
+    let mut rows = Vec::new();
+    for &clients in &CONCURRENCY {
+        rows.push(run_level(&addr, clients));
+    }
+
+    server.service().shutdown();
+    server.stop();
+    server_thread.join().expect("server thread");
+
+    println!(
+        "{:>8} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "clients", "ops", "p50_ms", "p95_ms", "p99_ms", "jobs/s"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.2}",
+            r.clients, r.ops, r.p50_ms, r.p95_ms, r.p99_ms, r.jobs_per_s
+        );
+    }
+    match write_json(&rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_serve.json: {e}"),
+    }
+}

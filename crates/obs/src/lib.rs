@@ -35,4 +35,4 @@ pub use jsonl::SCHEMA_VERSION;
 pub use metrics::{
     format_ns, Counter, Event, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, NUM_BUCKETS,
 };
-pub use registry::{Telemetry, Timer, DEFAULT_MAX_EVENTS};
+pub use registry::{Scope, Telemetry, Timer, DEFAULT_MAX_EVENTS};

@@ -225,6 +225,98 @@ impl Telemetry {
     }
 }
 
+/// A name-prefixing view over a [`Telemetry`] handle.
+///
+/// Every metric obtained through a scope is registered under
+/// `<prefix>.<name>` in the underlying registry, so per-entity metric
+/// families (e.g. per-tenant SLO histograms in `neurfill-serve`:
+/// `serve.tenant.<t>.queue_wait_ns`) share one registry and one snapshot
+/// without every call site re-assembling the prefix. Scopes are as cheap
+/// as the handle they wrap: on a disabled handle every operation is still
+/// a no-op and the prefix is never formatted into a registration.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    telemetry: Telemetry,
+    prefix: String,
+}
+
+impl Scope {
+    fn full(&self, name: &str) -> String {
+        let mut full = String::with_capacity(self.prefix.len() + 1 + name.len());
+        full.push_str(&self.prefix);
+        full.push('.');
+        full.push_str(name);
+        full
+    }
+
+    /// The prefix applied to every metric name.
+    #[must_use]
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Whether the underlying handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.telemetry.is_enabled()
+    }
+
+    /// A nested scope: `<prefix>.<sub>`.
+    #[must_use]
+    pub fn scoped(&self, sub: &str) -> Scope {
+        Scope { telemetry: self.telemetry.clone(), prefix: self.full(sub) }
+    }
+
+    /// Gets or registers `<prefix>.<name>` as a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.telemetry.is_enabled() {
+            return Counter::noop();
+        }
+        self.telemetry.counter(&self.full(name))
+    }
+
+    /// Gets or registers `<prefix>.<name>` as a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.telemetry.is_enabled() {
+            return Gauge::noop();
+        }
+        self.telemetry.gauge(&self.full(name))
+    }
+
+    /// Gets or registers `<prefix>.<name>` as a histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if !self.telemetry.is_enabled() {
+            return Histogram::noop();
+        }
+        self.telemetry.histogram(&self.full(name))
+    }
+
+    /// Convenience: `counter(name).inc()`.
+    pub fn inc(&self, name: &str) {
+        if self.telemetry.is_enabled() {
+            self.counter(name).inc();
+        }
+    }
+
+    /// Convenience: `histogram(name).record(v)`.
+    pub fn record(&self, name: &str, v: u64) {
+        if self.telemetry.is_enabled() {
+            self.histogram(name).record(v);
+        }
+    }
+}
+
+impl Telemetry {
+    /// A [`Scope`] registering every metric under `<prefix>.<name>`.
+    #[must_use]
+    pub fn scoped(&self, prefix: impl Into<String>) -> Scope {
+        Scope { telemetry: self.clone(), prefix: prefix.into() }
+    }
+}
+
 fn current_path() -> String {
     SPAN_STACK.with(|s| s.borrow().join("/"))
 }
@@ -351,6 +443,26 @@ mod tests {
         let fresh = Telemetry::disabled().or_enabled();
         assert!(fresh.is_enabled());
         assert_eq!(fresh.snapshot().counter("x"), 0);
+    }
+
+    #[test]
+    fn scoped_handles_prefix_names_and_nest() {
+        let t = Telemetry::new();
+        let tenant = t.scoped("serve.tenant").scoped("acme");
+        tenant.inc("admitted");
+        tenant.counter("admitted").add(2);
+        tenant.record("queue_wait_ns", 40);
+        tenant.gauge("depth").set(3.0);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("serve.tenant.acme.admitted"), 3);
+        assert_eq!(snap.histogram("serve.tenant.acme.queue_wait_ns").map(|h| h.count), Some(1));
+        assert_eq!(tenant.prefix(), "serve.tenant.acme");
+        // A disabled handle's scope is inert.
+        let off = Telemetry::disabled().scoped("x");
+        assert!(!off.is_enabled());
+        off.inc("y");
+        off.record("z", 1);
+        assert_eq!(Telemetry::disabled().snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

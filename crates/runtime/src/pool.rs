@@ -171,6 +171,7 @@ pub struct RuntimePool {
     stats: Arc<StatsInner>,
     next_id: AtomicU64,
     default_timeout: Option<Duration>,
+    bundle_digest: u64,
 }
 
 impl std::fmt::Debug for RuntimePool {
@@ -235,7 +236,16 @@ impl RuntimePool {
             stats,
             next_id: AtomicU64::new(1),
             default_timeout: options.default_timeout,
+            bundle_digest: bundle.digest(),
         })
+    }
+
+    /// Digest of the model bundle this pool serves (see
+    /// [`ModelBundle::digest`]) — lets a front-end report which model is
+    /// live and detect whether a staged bundle would actually change it.
+    #[must_use]
+    pub fn bundle_digest(&self) -> u64 {
+        self.bundle_digest
     }
 
     /// Enqueues a job and returns its id immediately.
@@ -300,6 +310,38 @@ impl RuntimePool {
             }
             self.table.changed.wait(&mut jobs);
         }
+    }
+
+    /// Blocks until the job reaches a terminal status or `timeout`
+    /// elapses, returning the job's status at that point (possibly still
+    /// non-terminal); `None` for an id this pool never issued.
+    ///
+    /// This is the bounded-wait primitive front-ends build long-polling
+    /// on: unlike [`RuntimePool::wait`], a hung or long-running job cannot
+    /// pin the caller forever.
+    #[must_use]
+    pub fn wait_timeout(&self, id: JobId, timeout: Duration) -> Option<JobStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut jobs = self.table.jobs.lock();
+        loop {
+            let status = jobs.get(&id)?.clone();
+            if status.is_terminal() {
+                return Some(status);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Some(status);
+            }
+            let _ = self.table.changed.wait_for(&mut jobs, remaining);
+        }
+    }
+
+    /// How many submitted jobs have not yet reached a terminal status
+    /// (queued, running or retrying). Used by front-ends to drain before
+    /// shutdown and to retire replaced pools.
+    #[must_use]
+    pub fn active_jobs(&self) -> usize {
+        self.table.jobs.lock().values().filter(|s| !s.is_terminal()).count()
     }
 
     /// Blocks until every submitted job is terminal; returns all statuses

@@ -1,16 +1,24 @@
 //! `runfill` — fan a directory of layouts across the concurrent
-//! fill-synthesis pool and write one report per layout.
+//! fill-synthesis pool and write one report per layout, either in-process
+//! or through a running `neurfill-serve` instance.
 //!
 //! ```text
 //! runfill --model surrogate.bundle --layouts designs/ [--out reports/]
 //!         [--workers N] [--timeout-s S] [--retries N] [--max-batch B]
 //!         [--linger-ms M] [--fault-plan SPEC] [--fault-seed N]
 //!         [--fast] [--init-demo N] [--metrics-out metrics.jsonl]
+//! runfill --connect HOST:PORT --layouts designs/ [--out reports/]
+//!         [--tenant NAME] [--priority high|normal|low] [--timeout-s S]
 //! ```
+//!
+//! `--connect` switches to client mode: jobs are submitted to a running
+//! `neurfill-serve` over HTTP, sharing the exact wire format the server
+//! speaks (the body of a submission *is* the on-disk layout file). The
+//! report files written are identical between the two modes.
 //!
 //! `--metrics-out` enables telemetry and writes the run's metrics snapshot
 //! (simulator stage timings, per-job spans, batch-server activity, fault
-//! events) as JSONL after all jobs finish.
+//! events) as JSONL after all jobs finish (in-process mode only).
 //!
 //! `--init-demo N` bootstraps a working directory: generates `N` benchmark
 //! layouts into `--layouts` and, when the `--model` file is missing, trains
@@ -29,6 +37,7 @@ use neurfill_nn::{TrainConfig, UNetConfig};
 use neurfill_runtime::{
     BatchConfig, FaultPlan, JobSpec, JobStatus, ModelRegistry, PoolOptions, RetryPolicy, RuntimePool,
 };
+use neurfill_serve::{Client, JobRequest, Priority};
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -39,6 +48,9 @@ struct Args {
     model: PathBuf,
     layouts: PathBuf,
     out: Option<PathBuf>,
+    connect: Option<String>,
+    tenant: Option<String>,
+    priority: Priority,
     workers: usize,
     timeout: Option<Duration>,
     retries: u32,
@@ -56,7 +68,9 @@ fn usage() -> ! {
         "usage: runfill --model <bundle> --layouts <dir> [--out <dir>] [--workers N]\n\
          \x20             [--timeout-s S] [--retries N] [--max-batch B] [--linger-ms M]\n\
          \x20             [--fault-plan SPEC] [--fault-seed N] [--fast] [--init-demo N]\n\
-         \x20             [--metrics-out <file>]"
+         \x20             [--metrics-out <file>]\n\
+         \x20      runfill --connect HOST:PORT --layouts <dir> [--out <dir>]\n\
+         \x20             [--tenant NAME] [--priority high|normal|low] [--timeout-s S]"
     );
     std::process::exit(2);
 }
@@ -66,6 +80,9 @@ fn parse_args() -> Args {
         model: PathBuf::new(),
         layouts: PathBuf::new(),
         out: None,
+        connect: None,
+        tenant: None,
+        priority: Priority::Normal,
         workers: 0,
         timeout: None,
         retries: 0,
@@ -89,6 +106,15 @@ fn parse_args() -> Args {
             "--model" => args.model = value(&mut it, "--model").into(),
             "--layouts" => args.layouts = value(&mut it, "--layouts").into(),
             "--out" => args.out = Some(value(&mut it, "--out").into()),
+            "--connect" => args.connect = Some(value(&mut it, "--connect")),
+            "--tenant" => args.tenant = Some(value(&mut it, "--tenant")),
+            "--priority" => match Priority::parse(&value(&mut it, "--priority")) {
+                Ok(p) => args.priority = p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+            },
             "--workers" => args.workers = parse_num(&value(&mut it, "--workers"), "--workers"),
             "--timeout-s" => {
                 args.timeout = Some(Duration::from_secs_f64(parse_num(
@@ -116,7 +142,10 @@ fn parse_args() -> Args {
             }
         }
     }
-    if args.model.as_os_str().is_empty() || args.layouts.as_os_str().is_empty() {
+    if args.layouts.as_os_str().is_empty() {
+        usage();
+    }
+    if args.connect.is_none() && args.model.as_os_str().is_empty() {
         usage();
     }
     args
@@ -139,7 +168,7 @@ fn init_demo(args: &Args) -> Result<(), String> {
         layout_io::save_to_file(&layout, &path).map_err(|e| e.to_string())?;
         println!("wrote {}", path.display());
     }
-    if !args.model.exists() {
+    if !args.model.as_os_str().is_empty() && !args.model.exists() {
         println!("training demo surrogate (small budget)...");
         let sim = CmpSimulator::new(process_params(args))?;
         let sources = benchmark_designs(8, 8, 1);
@@ -195,21 +224,79 @@ fn load_layouts(dir: &Path) -> Result<Vec<(String, neurfill_layout::Layout)>, St
     Ok(layouts)
 }
 
+/// Client mode: submit every layout to a running `neurfill-serve` and
+/// collect the reports over HTTP. Same report files as in-process mode.
+fn run_remote(
+    args: &Args,
+    addr: &str,
+    layouts: Vec<(String, neurfill_layout::Layout)>,
+    out_dir: &Path,
+) -> Result<bool, String> {
+    let mut client = Client::connect(addr);
+    let mut ids = Vec::new();
+    for (name, layout) in layouts {
+        let mut req = JobRequest::new(name.clone(), layout);
+        req.tenant = args.tenant.clone();
+        req.priority = args.priority;
+        req.timeout = args.timeout;
+        let id = client.submit(&req).map_err(|e| format!("submitting {name}: {e}"))?;
+        ids.push((name, id));
+    }
+    println!("submitted {} jobs to {addr}", ids.len());
+
+    let total = ids.len();
+    let wait = Some(Duration::from_secs(60));
+    let mut failed: Vec<(String, String)> = Vec::new();
+    for (name, id) in &ids {
+        // Long-poll until terminal; a 202 just means "not yet", so poll on.
+        let report = loop {
+            match client.result_text(*id, wait) {
+                Ok(text) => break Some(text),
+                Err(neurfill_serve::ClientError::Http { status: 202, .. }) => {}
+                Err(e) => {
+                    failed.push((name.clone(), e.to_string()));
+                    break None;
+                }
+            }
+        };
+        if let Some(text) = report {
+            let path = out_dir.join(format!("{name}.report.txt"));
+            std::fs::write(&path, text).map_err(|e| e.to_string())?;
+            println!("done  {name} -> {}", path.display());
+        } else {
+            println!("FAIL  {name}");
+        }
+    }
+    if !failed.is_empty() {
+        println!("failed {} of {total} jobs:", failed.len());
+        for (name, error) in &failed {
+            println!("  {name}: {error}");
+        }
+    }
+    Ok(failed.is_empty())
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args();
     if args.init_demo > 0 {
         init_demo(&args)?;
     }
 
-    let registry = ModelRegistry::new();
-    let bundle =
-        registry.load(&args.model).map_err(|e| format!("loading {}: {e}", args.model.display()))?;
-    println!("model bundle {} (digest {:016x})", args.model.display(), bundle.digest());
-
     let layouts = load_layouts(&args.layouts)?;
     if layouts.is_empty() {
         return Err(format!("no readable layouts in {}", args.layouts.display()));
     }
+    let out_dir = args.out.clone().unwrap_or_else(|| args.layouts.join("reports"));
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+
+    if let Some(addr) = args.connect.clone() {
+        return run_remote(&args, &addr, layouts, &out_dir);
+    }
+
+    let registry = ModelRegistry::new();
+    let bundle =
+        registry.load(&args.model).map_err(|e| format!("loading {}: {e}", args.model.display()))?;
+    println!("model bundle {} (digest {:016x})", args.model.display(), bundle.digest());
 
     // The fault plan comes from the flag, else the environment
     // (NEURFILL_FAULT_PLAN / NEURFILL_FAULT_SEED), else stays disabled.
@@ -239,9 +326,6 @@ fn run() -> Result<bool, String> {
         ..PoolOptions::default()
     };
     let pool = RuntimePool::new(bundle, flow, options).map_err(|e| e.to_string())?;
-
-    let out_dir = args.out.clone().unwrap_or_else(|| args.layouts.join("reports"));
-    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
 
     let mut ids = Vec::new();
     for (name, layout) in layouts {

@@ -1,0 +1,72 @@
+//! Tenant configuration: fair-share weight and queue bound per tenant.
+
+/// Admission-control configuration of one tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Tenant name (matched against the `x-tenant` header).
+    pub name: String,
+    /// Fair-share weight: backlogged tenants are dispatched in
+    /// proportion to their weights (smooth weighted round-robin).
+    pub weight: u32,
+    /// Bound on the tenant's admission queue across all priority
+    /// classes; submissions beyond it are rejected with 429.
+    pub capacity: usize,
+}
+
+impl TenantConfig {
+    /// A tenant with the given name, weight 1 and the default capacity.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), weight: 1, capacity: DEFAULT_CAPACITY }
+    }
+
+    /// Parses `name[:weight[:capacity]]` (the `--tenant` CLI grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed part.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.split(':');
+        let name = parts.next().unwrap_or("").trim();
+        if name.is_empty() {
+            return Err(format!("tenant spec {spec:?} has an empty name"));
+        }
+        let mut tenant = Self::new(name);
+        if let Some(w) = parts.next() {
+            tenant.weight =
+                w.trim().parse().map_err(|_| format!("bad weight {w:?} in tenant spec {spec:?}"))?;
+            if tenant.weight == 0 {
+                return Err(format!("tenant {name:?} weight must be >= 1"));
+            }
+        }
+        if let Some(c) = parts.next() {
+            tenant.capacity =
+                c.trim().parse().map_err(|_| format!("bad capacity {c:?} in tenant spec {spec:?}"))?;
+            if tenant.capacity == 0 {
+                return Err(format!("tenant {name:?} capacity must be >= 1"));
+            }
+        }
+        if parts.next().is_some() {
+            return Err(format!("tenant spec {spec:?} has trailing fields"));
+        }
+        Ok(tenant)
+    }
+}
+
+/// Default per-tenant admission queue bound.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_cli_grammar() {
+        assert_eq!(TenantConfig::parse("acme").unwrap(), TenantConfig::new("acme"));
+        let full = TenantConfig::parse("acme:3:128").unwrap();
+        assert_eq!(full, TenantConfig { name: "acme".to_string(), weight: 3, capacity: 128 });
+        for bad in ["", ":2", "a:zero", "a:1:none", "a:0", "a:1:0", "a:1:2:3"] {
+            assert!(TenantConfig::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+}
