@@ -11,12 +11,13 @@ echo "== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # neurfill-runtime, neurfill (core), neurfill-obs, neurfill-tensor,
-# neurfill-cmpsim and neurfill-serve deny clippy::unwrap_used /
-# clippy::expect_used at the crate level (lib + bins, tests exempt);
-# this run enforces it.
+# neurfill-cmpsim, neurfill-serve and neurfill-chip deny
+# clippy::unwrap_used / clippy::expect_used at the crate level
+# (lib + bins, tests exempt); this run enforces it.
 echo "== cargo clippy (no unwrap/expect in lib+bins)"
 cargo clippy -p neurfill-runtime -p neurfill -p neurfill-obs \
     -p neurfill-tensor -p neurfill-cmpsim -p neurfill-serve \
+    -p neurfill-chip \
     --lib --bins -- -D warnings
 
 echo "== cargo build --release"
@@ -52,5 +53,12 @@ cargo test -p neurfill-serve --test http_hardening -q
 
 echo "== serve bench (compile-only)"
 cargo bench -p neurfill-bench --bench serve --no-run
+
+echo "== chip bit-identity suite (sharded == monolithic, any tiling)"
+cargo test -p neurfill-chip --test bit_identity -q
+cargo test -p neurfill-layout --test tiling_props -q
+
+echo "== fullchip bench (compile-only)"
+cargo bench -p neurfill-bench --bench fullchip --no-run
 
 echo "CI OK"

@@ -1,0 +1,174 @@
+//! Full-chip sharded-simulation benchmark: tiles/s and worker scaling
+//! of the halo-exchange orchestrator, plus one paper-scale design C
+//! (1000×1000 windows) end-to-end run (simulate → model fill → verify).
+//!
+//! Hand-rolled harness (no criterion — each configuration is one long
+//! run, not a microbenchmark). Results go to stdout as a table and to
+//! `BENCH_fullchip.json` at the repo root (override with
+//! `NEURFILL_BENCH_OUT`) as machine-readable records:
+//! `{op, shape, workers, tiles, seconds, tiles_per_s, peak_rss_kb, detail}`.
+//!
+//! The peak-RSS proxy is `VmHWM` from `/proc/self/status`, reset before
+//! each run via `/proc/self/clear_refs` (value 5) where the kernel
+//! allows it; on other platforms the column is null. The bit-identity
+//! suite guarantees every configuration computes the same bytes, so the
+//! wall-clock differences are pure orchestration.
+
+use neurfill_chip::{run_full_chip, ChipRunConfig, ChipSimConfig, ChipSimulator};
+use neurfill_layout::{DesignKind, FullChipSpec};
+use std::time::Instant;
+
+/// Scaling-grid chip edge (windows). Divisible by the tile edge; large
+/// enough that per-tile work dominates orchestration.
+const SCALE_EDGE: usize = 192;
+const SCALE_TILE: usize = 32;
+const SCALE_WORKERS: [usize; 3] = [1, 2, 8];
+
+struct Row {
+    op: &'static str,
+    shape: String,
+    workers: usize,
+    tiles: usize,
+    seconds: f64,
+    tiles_per_s: f64,
+    peak_rss_kb: Option<u64>,
+    detail: String,
+}
+
+/// Resets the kernel's peak-RSS watermark so `VmHWM` reflects this run
+/// alone. Best-effort: a read-only `/proc` just leaves the watermark
+/// monotone.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// `VmHWM` in kB, when the platform exposes it.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_ascii_whitespace().nth(1)?.parse().ok()
+}
+
+/// Worker scaling of the sharded golden simulation on a mid-size chip:
+/// same bytes at every worker count, so tiles/s differences are pure
+/// shard-mapper parallelism (or oversubscription overhead on few cores).
+fn bench_scaling(rows: &mut Vec<Row>) {
+    let design = FullChipSpec::new(DesignKind::RiscV, SCALE_EDGE, SCALE_EDGE, 7).build();
+    for workers in SCALE_WORKERS {
+        let sim =
+            ChipSimulator::new(ChipSimConfig::fast(SCALE_TILE, workers)).expect("fast params are valid");
+        let tiling = sim.tiling_for(&design);
+        let tiles_total = tiling.num_tiles() * design.num_layers();
+        reset_peak_rss();
+        let t0 = Instant::now();
+        let (profile, stats) = sim.simulate(&design).expect("simulation succeeds");
+        let seconds = t0.elapsed().as_secs_f64();
+        std::hint::black_box(profile.max_height_range());
+        rows.push(Row {
+            op: "sim_scaling",
+            shape: format!("C_{SCALE_EDGE}x{SCALE_EDGE}_tile{SCALE_TILE}"),
+            workers,
+            tiles: tiles_total,
+            seconds,
+            tiles_per_s: tiles_total as f64 / seconds.max(1e-9),
+            peak_rss_kb: peak_rss_kb(),
+            detail: format!(
+                "halo_bytes={} peak_in_flight={}",
+                stats.halo_bytes, stats.peak_tiles_in_flight
+            ),
+        });
+    }
+}
+
+/// One paper-scale end-to-end run: design C at its full 1000×1000-window
+/// size through simulate → model fill → verify, all sharded.
+fn bench_end_to_end(rows: &mut Vec<Row>) {
+    let design = FullChipSpec::full_scale(DesignKind::RiscV, 7).build();
+    let tile = 100;
+    let cfg = ChipRunConfig::fast(tile, 0);
+    let sim = ChipSimulator::new(cfg.sim.clone()).expect("fast params are valid");
+    let tiling = sim.tiling_for(&design);
+    // Three sharded passes touch the tile grid: unfilled sim, fill rule,
+    // filled sim.
+    let tiles_total = tiling.num_tiles() * design.num_layers() * 3;
+    reset_peak_rss();
+    let t0 = Instant::now();
+    let result = run_full_chip(&design, &cfg).expect("full-chip run succeeds");
+    let seconds = t0.elapsed().as_secs_f64();
+    rows.push(Row {
+        op: "fullchip_end_to_end",
+        shape: format!("C_{}x{}_tile{tile}", design.rows(), design.cols()),
+        workers: 0,
+        tiles: tiles_total,
+        seconds,
+        tiles_per_s: tiles_total as f64 / seconds.max(1e-9),
+        peak_rss_kb: peak_rss_kb(),
+        detail: format!(
+            "simulate_s={:.3} fill_s={:.3} verify_s={:.3} fill_total_um2={:.0} \
+             unfilled_range_nm={:.3} filled_range_nm={:.3}",
+            result.report.simulate_time.as_secs_f64(),
+            result.report.fill_time.as_secs_f64(),
+            result.report.verify_time.as_secs_f64(),
+            result.report.fill_total_um2,
+            result.report.unfilled_height_range,
+            result.report.filled_height_range,
+        ),
+    });
+}
+
+fn json_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+fn write_json(rows: &[Row]) -> std::io::Result<std::path::PathBuf> {
+    let path = std::env::var("NEURFILL_BENCH_OUT").map(std::path::PathBuf::from).unwrap_or_else(|_| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_fullchip.json")
+    });
+    let mut body = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"workers\": {}, \"tiles\": {}, \
+             \"seconds\": {:.3}, \"tiles_per_s\": {:.1}, \"peak_rss_kb\": {}, \"detail\": \"{}\"}}{}\n",
+            row.op,
+            row.shape,
+            row.workers,
+            row.tiles,
+            row.seconds,
+            row.tiles_per_s,
+            json_u64(row.peak_rss_kb),
+            row.detail,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("]\n");
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    bench_scaling(&mut rows);
+    bench_end_to_end(&mut rows);
+
+    println!(
+        "{:<20} {:<24} {:>7} {:>7} {:>9} {:>10} {:>12}",
+        "op", "shape", "workers", "tiles", "seconds", "tiles/s", "peak_rss_kb"
+    );
+    for row in &rows {
+        println!(
+            "{:<20} {:<24} {:>7} {:>7} {:>9.3} {:>10.1} {:>12}",
+            row.op,
+            row.shape,
+            row.workers,
+            row.tiles,
+            row.seconds,
+            row.tiles_per_s,
+            json_u64(row.peak_rss_kb),
+        );
+        println!("    {}", row.detail);
+    }
+    match write_json(&rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_fullchip.json: {e}"),
+    }
+}

@@ -1,0 +1,259 @@
+//! Chip-level fill plans and the deterministic model-based fill rule.
+//!
+//! The window-level NN/SQP synthesis ([`crate::pool`]) is a global
+//! optimization and therefore not decomposable bit-exactly; the rule
+//! here is its deterministic, kernel-local counterpart, built straight
+//! from the golden simulator's chip height map: each window's height
+//! deficit below the chip's highest window is smoothed by the pad
+//! kernel (matching the length scale over which added metal actually
+//! changes polish), converted to a fill area through a fixed
+//! density-sensitivity, and clamped to the window's slack. Every step
+//! is either pointwise or a kernel application, so the sharded
+//! evaluation over tile extensions is *byte-identical* to the
+//! monolithic one — the fill half of the chip bit-identity suite.
+
+use crate::source::ChipSource;
+use neurfill_cmpsim::{ChipProfile, PadKernel, ProcessParams};
+use neurfill_layout::{DummySpec, FillPlan, Layout, TileRect, Tiling};
+use neurfill_runtime::parallel_map_ordered;
+
+/// Parameters of the model-based fill rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipFillConfig {
+    /// Fraction of the smoothed deficit to compensate (0..=1].
+    pub gain: f64,
+    /// Height response per unit pattern density (nm): a smoothed
+    /// deficit of `d` nm requests `gain · area · d / nm_per_density`
+    /// µm² of fill.
+    pub nm_per_density: f64,
+    /// Dummy-shape model used when applying the plan.
+    pub dummy: DummySpec,
+}
+
+impl Default for ChipFillConfig {
+    fn default() -> Self {
+        Self { gain: 1.0, nm_per_density: 250.0, dummy: DummySpec::default() }
+    }
+}
+
+/// A chip-sized fill plan: `layers × rows × cols` amounts (µm²) in the
+/// flat order `l·(N·M) + r·M + c`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipFillPlan {
+    layers: usize,
+    rows: usize,
+    cols: usize,
+    amounts: Vec<f64>,
+}
+
+impl ChipFillPlan {
+    /// An all-zero plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero.
+    #[must_use]
+    pub fn zeros(layers: usize, rows: usize, cols: usize) -> Self {
+        assert!(layers > 0 && rows > 0 && cols > 0, "plan dimensions must be positive");
+        Self { layers, rows, cols, amounts: vec![0.0; layers * rows * cols] }
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Chip rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Chip columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat offset of `(layer, r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the position is out of range.
+    #[must_use]
+    pub fn idx(&self, layer: usize, r: usize, c: usize) -> usize {
+        assert!(layer < self.layers && r < self.rows && c < self.cols, "position out of range");
+        layer * self.rows * self.cols + r * self.cols + c
+    }
+
+    /// All amounts in flat order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.amounts
+    }
+
+    /// Mutable amounts in flat order.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.amounts
+    }
+
+    /// Total fill area (µm²), folded in flat chip order.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.amounts.iter().sum()
+    }
+
+    /// The plan restricted to a region, as a [`FillPlan`] for the
+    /// region's layout (`sub` must be the layout of `rect`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sub`'s dimensions disagree with `rect` or `rect`
+    /// exceeds the chip.
+    #[must_use]
+    pub fn crop_for(&self, sub: &Layout, rect: TileRect) -> FillPlan {
+        assert_eq!((sub.rows(), sub.cols()), (rect.rows, rect.cols), "layout/region mismatch");
+        assert_eq!(sub.num_layers(), self.layers, "layer count mismatch");
+        assert!(rect.row_end() <= self.rows && rect.col_end() <= self.cols, "region exceeds the chip");
+        let mut amounts = Vec::with_capacity(self.layers * rect.len());
+        for l in 0..self.layers {
+            for r in rect.row0..rect.row_end() {
+                let start = self.idx(l, r, rect.col0);
+                amounts.extend_from_slice(&self.amounts[start..start + rect.cols]);
+            }
+        }
+        FillPlan::from_vec(sub, amounts)
+    }
+
+    /// The whole plan as a [`FillPlan`] for the monolithic chip layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chip`'s dimensions disagree with the plan.
+    #[must_use]
+    pub fn to_fill_plan(&self, chip: &Layout) -> FillPlan {
+        assert_eq!(
+            (chip.num_layers(), chip.rows(), chip.cols()),
+            (self.layers, self.rows, self.cols),
+            "layout/plan dimension mismatch"
+        );
+        FillPlan::from_vec(chip, self.amounts.clone())
+    }
+}
+
+/// Per-window fill amount from a smoothed deficit and the window's
+/// slack — the single pointwise expression both paths share.
+#[inline]
+fn rule(smoothed_deficit: f64, slack: f64, area: f64, cfg: &ChipFillConfig) -> f64 {
+    (cfg.gain * area * smoothed_deficit / cfg.nm_per_density).clamp(0.0, slack)
+}
+
+/// Height deficits of one layer below its highest window (chip-order
+/// max fold).
+fn deficits(heights: &[f64]) -> Vec<f64> {
+    let h_max = heights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    heights.iter().map(|&h| h_max - h).collect()
+}
+
+/// The model-based fill rule evaluated monolithically on the whole
+/// chip layout and its unfilled height profile.
+///
+/// # Panics
+///
+/// Panics when the profile's dimensions disagree with the layout.
+#[must_use]
+pub fn model_fill_monolithic(
+    chip: &Layout,
+    profile: &ChipProfile,
+    params: &ProcessParams,
+    cfg: &ChipFillConfig,
+) -> ChipFillPlan {
+    let (rows, cols) = (chip.rows(), chip.cols());
+    let kernel = PadKernel::exponential(params.character_length, params.kernel_radius);
+    let area = chip.window_area();
+    let mut plan = ChipFillPlan::zeros(chip.num_layers(), rows, cols);
+    for l in 0..chip.num_layers() {
+        let layer = profile.layer(l);
+        assert_eq!((layer.rows(), layer.cols()), (rows, cols), "profile/layout mismatch");
+        let smoothed = kernel.apply(&deficits(layer.heights()), rows, cols);
+        let grid = chip.layer(l);
+        for (i, (sm, w)) in smoothed.iter().zip(grid.iter()).enumerate() {
+            plan.amounts[l * rows * cols + i] = rule(*sm, w.slack, area, cfg);
+        }
+    }
+    plan
+}
+
+/// The same rule evaluated shard-by-shard: the deficit map is gathered
+/// per tile over the halo extension, smoothed locally, and the core
+/// amounts merged — byte-identical to [`model_fill_monolithic`] when
+/// the tiling's halo is at least the kernel radius, at any worker
+/// count (tiles write disjoint core regions).
+///
+/// # Panics
+///
+/// Panics when the profile or tiling dimensions disagree with the
+/// source.
+#[must_use]
+pub fn model_fill_sharded(
+    source: &dyn ChipSource,
+    profile: &ChipProfile,
+    tiling: &Tiling,
+    params: &ProcessParams,
+    cfg: &ChipFillConfig,
+    workers: usize,
+) -> ChipFillPlan {
+    let (rows, cols) = (source.rows(), source.cols());
+    assert_eq!((tiling.rows(), tiling.cols()), (rows, cols), "tiling/source mismatch");
+    let layers = source.num_layers();
+    let kernel = PadKernel::exponential(params.character_length, params.kernel_radius);
+    let area = source.window_area();
+    // Chip-sized deficit boards (one per layer) are the exchange
+    // medium, mirroring the simulator's envelope boards.
+    let boards: Vec<Vec<f64>> = (0..layers)
+        .map(|l| {
+            let layer = profile.layer(l);
+            assert_eq!((layer.rows(), layer.cols()), (rows, cols), "profile/source mismatch");
+            deficits(layer.heights())
+        })
+        .collect();
+    let tiles: Vec<_> = tiling.tiles().collect();
+    let results = parallel_map_ordered(tiles, workers, |t| {
+        let sub = source.tile_layout(t.ext);
+        let mut ext_buf = vec![0.0; t.ext.len()];
+        let mut core_amounts = Vec::with_capacity(layers * t.core.len());
+        for (l, board) in boards.iter().enumerate() {
+            for r in 0..t.ext.rows {
+                let src = (t.ext.row0 + r) * cols + t.ext.col0;
+                ext_buf[r * t.ext.cols..(r + 1) * t.ext.cols]
+                    .copy_from_slice(&board[src..src + t.ext.cols]);
+            }
+            let smoothed = kernel.apply(&ext_buf, t.ext.rows, t.ext.cols);
+            let (dr, dc) = t.core_in_ext();
+            let grid = sub.layer(l);
+            for r in 0..t.core.rows {
+                for c in 0..t.core.cols {
+                    let sm = smoothed[(dr + r) * t.ext.cols + (dc + c)];
+                    let slack = grid.get(dr + r, dc + c).slack;
+                    core_amounts.push(rule(sm, slack, area, cfg));
+                }
+            }
+        }
+        (t, core_amounts)
+    });
+    let mut plan = ChipFillPlan::zeros(layers, rows, cols);
+    for (t, core_amounts) in results {
+        let mut k = 0;
+        for l in 0..layers {
+            for r in 0..t.core.rows {
+                for c in 0..t.core.cols {
+                    let dst = plan.idx(l, t.core.row0 + r, t.core.col0 + c);
+                    plan.amounts[dst] = core_amounts[k];
+                    k += 1;
+                }
+            }
+        }
+    }
+    plan
+}

@@ -1,0 +1,209 @@
+//! Streaming tile synthesis over the runtime worker pool.
+//!
+//! Each halo-padded tile becomes one
+//! [`JobSpec`](neurfill_runtime::JobSpec) on an existing
+//! [`RuntimePool`]; at most `max_in_flight` tiles are submitted at a
+//! time, and a finished tile's fill plan is merged (core region only,
+//! halo and padding discarded) before the next tile is materialized —
+//! so peak resident windows stay O(tiles-in-flight × windows-per-tile)
+//! no matter how large the chip is.
+//!
+//! The NN synthesis is a global optimization, so unlike the golden
+//! sharded path this one is *not* bit-identical to a monolithic whole-
+//! chip job; its invariant (tested) is worker-count and in-flight-cap
+//! independence: the same tiling yields byte-identical merged plans.
+
+use crate::fill::ChipFillPlan;
+use crate::source::ChipSource;
+use neurfill_layout::{Grid, Layout, Tile, Tiling, WindowPattern};
+use neurfill_obs::Telemetry;
+use neurfill_runtime::{JobId, JobSpec, JobStatus, RuntimePool};
+
+/// Options for streaming tiles through the pool.
+#[derive(Debug, Clone)]
+pub struct TileJobOptions {
+    /// Maximum tiles submitted but not yet merged (`0` is treated as 1).
+    pub max_in_flight: usize,
+    /// Tile layouts are padded bottom/right with zero-slack windows to
+    /// a multiple of this in both dimensions, so any tile size meets
+    /// the surrogate's divisibility constraint (`1 << depth`).
+    pub pad_multiple: usize,
+    /// Telemetry sink for `chip.*` metrics (disabled by default).
+    pub telemetry: Telemetry,
+}
+
+impl Default for TileJobOptions {
+    fn default() -> Self {
+        Self { max_in_flight: 4, pad_multiple: 4, telemetry: Telemetry::disabled() }
+    }
+}
+
+/// Result of a streamed tile-synthesis pass.
+#[derive(Debug, Clone)]
+pub struct TileSynthesis {
+    /// Merged chip-level fill plan (zeros where a tile failed).
+    pub plan: ChipFillPlan,
+    /// Tiles submitted.
+    pub tiles: usize,
+    /// `(job name, error)` for every tile that failed.
+    pub failed: Vec<(String, String)>,
+    /// Maximum jobs simultaneously in flight.
+    pub peak_in_flight: usize,
+}
+
+/// Pads a tile layout bottom/right to `multiple`-divisible dimensions
+/// with inert windows ([`WindowPattern::default`]: zero density, zero
+/// slack — synthesis can assign them nothing).
+fn pad_layout(sub: &Layout, multiple: usize) -> Layout {
+    let m = multiple.max(1);
+    let prows = sub.rows().div_ceil(m) * m;
+    let pcols = sub.cols().div_ceil(m) * m;
+    if (prows, pcols) == (sub.rows(), sub.cols()) {
+        return sub.clone();
+    }
+    let layers = (0..sub.num_layers())
+        .map(|l| {
+            let g = sub.layer(l);
+            Grid::from_fn(prows, pcols, |r, c| {
+                if r < sub.rows() && c < sub.cols() {
+                    *g.get(r, c)
+                } else {
+                    WindowPattern::default()
+                }
+            })
+        })
+        .collect();
+    Layout::new(
+        format!("{}~pad{prows}x{pcols}", sub.name()),
+        sub.window_um(),
+        layers,
+        sub.file_size_mb(),
+    )
+}
+
+/// Materializes the halo-padded job layout for one tile: the tile's
+/// ext region, padded to `pad_multiple`-divisible dimensions. This is
+/// exactly the layout [`synthesize_tiles`] submits, exposed so remote
+/// clients (`runfill --connect --full-chip`) can build byte-identical
+/// submissions and merge with [`merge_tile_plan`].
+#[must_use]
+pub fn tile_job_layout(source: &dyn ChipSource, tile: &Tile, pad_multiple: usize) -> Layout {
+    pad_layout(&source.tile_layout(tile.ext), pad_multiple)
+}
+
+/// Merges one tile's synthesized amounts (over the padded ext layout
+/// from [`tile_job_layout`]) into the chip-level plan: the core region
+/// is copied, halo and padding are discarded.
+///
+/// # Panics
+///
+/// Panics when `amounts` is shorter than the padded ext geometry
+/// implies or the tile lies outside `plan`.
+pub fn merge_tile_plan(plan: &mut ChipFillPlan, tile: &Tile, amounts: &[f64], pad_multiple: usize) {
+    // The padded layout keeps the unpadded ext at the same offsets
+    // (padding is bottom/right only), so the core sits at
+    // `core_in_ext()` in the padded grid too.
+    let m = pad_multiple.max(1);
+    let prows = tile.ext.rows.div_ceil(m) * m;
+    let pcols = tile.ext.cols.div_ceil(m) * m;
+    let (dr, dc) = tile.core_in_ext();
+    for l in 0..plan.layers() {
+        for r in 0..tile.core.rows {
+            for c in 0..tile.core.cols {
+                let src = l * prows * pcols + (dr + r) * pcols + (dc + c);
+                let dst = plan.idx(l, tile.core.row0 + r, tile.core.col0 + c);
+                plan.as_mut_slice()[dst] = amounts[src];
+            }
+        }
+    }
+}
+
+/// Streams every tile of `tiling` through `pool` and merges the
+/// per-tile plans into one chip-level plan, halos and padding
+/// discarded. Failed tiles are recorded (their chip region stays
+/// zero-filled) rather than aborting the pass.
+///
+/// # Errors
+///
+/// Returns a message when the pool rejects a submission (shutting
+/// down) or a job vanishes from its table.
+///
+/// # Panics
+///
+/// Panics when `tiling` does not match the source's dimensions.
+pub fn synthesize_tiles(
+    pool: &RuntimePool,
+    source: &dyn ChipSource,
+    tiling: &Tiling,
+    opts: &TileJobOptions,
+) -> Result<TileSynthesis, String> {
+    assert_eq!((tiling.rows(), tiling.cols()), (source.rows(), source.cols()), "tiling/source mismatch");
+    let t = &opts.telemetry;
+    let gauge = t.gauge("chip.pool_tiles_in_flight");
+    let cap = opts.max_in_flight.max(1);
+    let mut plan = ChipFillPlan::zeros(source.num_layers(), source.rows(), source.cols());
+    let mut failed = Vec::new();
+    let mut pending: Vec<(JobId, neurfill_layout::Tile, String)> = Vec::new();
+    let mut peak = 0usize;
+
+    let merge = |id: JobId,
+                 status: JobStatus,
+                 tile: &neurfill_layout::Tile,
+                 name: &str,
+                 plan: &mut ChipFillPlan,
+                 failed: &mut Vec<(String, String)>|
+     -> Result<(), String> {
+        match status {
+            JobStatus::Done(report) => {
+                merge_tile_plan(plan, tile, report.plan.as_slice(), opts.pad_multiple);
+                t.counter("chip.pool_tiles_done").inc();
+                Ok(())
+            }
+            JobStatus::Failed(e) => {
+                failed.push((name.to_string(), e));
+                t.counter("chip.pool_tiles_failed").inc();
+                Ok(())
+            }
+            other => Err(format!("job {id} ({name}) returned non-terminal status {other:?}")),
+        }
+    };
+
+    for tile in tiling.tiles() {
+        while pending.len() >= cap {
+            let ids: Vec<JobId> = pending.iter().map(|(id, _, _)| *id).collect();
+            let (done_id, status) = pool
+                .wait_first(&ids)
+                .ok_or_else(|| "in-flight tile jobs vanished from the pool".to_string())?;
+            let pos = pending
+                .iter()
+                .position(|(id, _, _)| *id == done_id)
+                .ok_or_else(|| format!("pool returned unknown job {done_id}"))?;
+            let (_, done_tile, name) = pending.swap_remove(pos);
+            gauge.set(pending.len() as f64);
+            merge(done_id, status, &done_tile, &name, &mut plan, &mut failed)?;
+        }
+        let sub = source.tile_layout(tile.ext);
+        let padded = pad_layout(&sub, opts.pad_multiple);
+        let name = format!("{}~{}", source.name(), tile.ext.label());
+        let id = pool.submit(JobSpec::new(name.clone(), padded))?;
+        t.counter("chip.pool_tiles_submitted").inc();
+        pending.push((id, tile, name));
+        peak = peak.max(pending.len());
+        gauge.set(pending.len() as f64);
+    }
+    while !pending.is_empty() {
+        let ids: Vec<JobId> = pending.iter().map(|(id, _, _)| *id).collect();
+        let (done_id, status) = pool
+            .wait_first(&ids)
+            .ok_or_else(|| "in-flight tile jobs vanished from the pool".to_string())?;
+        let pos = pending
+            .iter()
+            .position(|(id, _, _)| *id == done_id)
+            .ok_or_else(|| format!("pool returned unknown job {done_id}"))?;
+        let (_, done_tile, name) = pending.swap_remove(pos);
+        gauge.set(pending.len() as f64);
+        merge(done_id, status, &done_tile, &name, &mut plan, &mut failed)?;
+    }
+    t.gauge("chip.pool_peak_tiles_in_flight").set(peak as f64);
+    Ok(TileSynthesis { plan, tiles: tiling.num_tiles(), failed, peak_in_flight: peak })
+}

@@ -43,6 +43,7 @@ mod numgrad;
 mod params;
 pub mod preston;
 mod profile;
+pub mod shard;
 mod simulator;
 
 pub use contact::{ContactSolve, ContactSolveStats};
@@ -50,4 +51,5 @@ pub use kernel::PadKernel;
 pub use numgrad::FiniteDifference;
 pub use params::{ParamsDisplay, ProcessParams};
 pub use profile::{ChipProfile, LayerProfile};
+pub use shard::{map_sequential, simulate_layer_sharded, ShardMap, ShardStats, TileShard};
 pub use simulator::{CmpSimulator, LayerInput, TraceStep};

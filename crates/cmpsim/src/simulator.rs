@@ -11,7 +11,6 @@
 use crate::contact::{
     solve_reference_plane_sorted_stats, solve_reference_plane_stats, window_pressures, ContactSolve,
 };
-use crate::dsh::split_pressure;
 use crate::kernel::PadKernel;
 use crate::params::ProcessParams;
 use crate::profile::{ChipProfile, LayerProfile};
@@ -213,16 +212,8 @@ impl CmpSimulator {
         }
 
         // Pressure modifiers from micro-scale pattern parameters.
-        let dish_factor: Vec<f64> = input
-            .avg_width
-            .iter()
-            .map(|&w| 1.0 + p.dishing_coefficient * w / (w + p.dishing_reference_width))
-            .collect();
-        let erosion_factor: Vec<f64> = input
-            .perimeter
-            .iter()
-            .map(|&per| 1.0 + p.erosion_coefficient * per / p.perimeter_scale)
-            .collect();
+        let (dish_factor, erosion_factor) =
+            crate::shard::dish_erosion_factors(&input.avg_width, &input.perimeter, p);
 
         let mut z_up = vec![p.initial_height; n];
         let mut z_down: Vec<f64> = z_up.iter().map(|z| z - p.initial_step).collect();
@@ -251,17 +242,15 @@ impl CmpSimulator {
                 force_evals.add(solve_stats.force_evals);
             }
             // (3) DSH split + (4) Preston removal.
-            for i in 0..n {
-                let step = (z_up[i] - z_down[i]).max(0.0);
-                let split = split_pressure(pressures[i], rho_eff[i], step, p);
-                let up_rate = split.up * erosion_factor[i];
-                let down_rate = split.down * dish_factor[i];
-                z_up[i] -= p.removal_per_step * up_rate;
-                z_down[i] -= p.removal_per_step * down_rate;
-                if z_down[i] > z_up[i] {
-                    z_down[i] = z_up[i];
-                }
-            }
+            crate::shard::polish_pointwise(
+                &mut z_up,
+                &mut z_down,
+                &pressures,
+                &rho_eff,
+                &dish_factor,
+                &erosion_factor,
+                p,
+            );
             if let Some((envelope_h, contact_h, dsh_h, step_h)) = &stage_timers {
                 let t3 = self.telemetry.now_ns();
                 envelope_h.record(t1.saturating_sub(t0));
@@ -278,17 +267,9 @@ impl CmpSimulator {
             }
         }
 
-        let z_up_max = z_up.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let mut avg_height = vec![0.0; n];
-        let mut dishing = vec![0.0; n];
-        let mut erosion = vec![0.0; n];
-        for i in 0..n {
-            let rho = input.density[i];
-            avg_height[i] = rho * z_up[i] + (1.0 - rho) * z_down[i];
-            dishing[i] = (z_up[i] - z_down[i]).max(0.0);
-            erosion[i] = z_up_max - z_up[i];
-        }
-        (LayerProfile::new(input.rows, input.cols, avg_height, dishing, erosion), trace)
+        let profile =
+            crate::shard::finalize_layer(input.rows, input.cols, &input.density, &z_up, &z_down);
+        (profile, trace)
     }
 
     /// Simulates every layer of a layout.

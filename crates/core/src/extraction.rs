@@ -14,7 +14,7 @@
 //! | 2 | average feature width (scaled) | `(w·m + edge·x)/(m + x)` (rational) |
 //! | 3 | remaining slack fraction | `(slack − x)/area` (linear) |
 
-use neurfill_layout::{DummySpec, Layout};
+use neurfill_layout::{DummySpec, Layout, TileRect};
 use neurfill_tensor::{NdArray, Result, Tensor};
 
 /// Number of layout-parameter channels.
@@ -56,6 +56,124 @@ pub fn extract_layer_arrays(layout: &Layout, layer: usize, cfg: &ExtractionConfi
     data.extend(g.iter().map(|w| (w.avg_width / cfg.width_scale) as f32));
     data.extend(g.iter().map(|w| (w.slack / area) as f32));
     NdArray::from_vec(data, &[NUM_CHANNELS, rows, cols]).expect("sized from dims")
+}
+
+/// Extracts the `[C, rows, cols]` parameter planes of one *region* of a
+/// layer, reading only the windows inside `rect` — the building block of
+/// bounded streaming extraction ([`ExtractionStream`]): unlike
+/// [`extract_layer_arrays`], nothing proportional to the full layer is
+/// allocated.
+///
+/// The planes are bitwise equal to the corresponding region of
+/// [`extract_layer_arrays`] (extraction is pointwise per window).
+///
+/// # Panics
+///
+/// Panics when `layer` is out of range or `rect` exceeds the layer.
+// The `expect` asserts the vec length computed from the same dims.
+#[allow(clippy::expect_used)]
+#[must_use]
+pub fn extract_region_arrays(
+    layout: &Layout,
+    layer: usize,
+    rect: TileRect,
+    cfg: &ExtractionConfig,
+) -> NdArray {
+    let g = layout.layer(layer);
+    assert!(
+        rect.row_end() <= g.rows() && rect.col_end() <= g.cols() && !rect.is_empty(),
+        "region exceeds the layer"
+    );
+    let area = layout.window_area();
+    let mut data = Vec::with_capacity(NUM_CHANNELS * rect.len());
+    let mut plane = |f: &dyn Fn(&neurfill_layout::WindowPattern) -> f32| {
+        for r in rect.row0..rect.row_end() {
+            for c in rect.col0..rect.col_end() {
+                data.push(f(g.get(r, c)));
+            }
+        }
+    };
+    plane(&|w| w.density as f32);
+    plane(&|w| (w.perimeter / cfg.perimeter_scale) as f32);
+    plane(&|w| (w.avg_width / cfg.width_scale) as f32);
+    plane(&|w| (w.slack / area) as f32);
+    NdArray::from_vec(data, &[NUM_CHANNELS, rect.rows, rect.cols]).expect("sized from dims")
+}
+
+/// Bounded streaming extraction over a sequence of tile regions: each
+/// `next()` materializes *one* tile's layout (via the injected
+/// `materialize` closure) and extracts its planes, so peak memory is one
+/// tile's windows plus one tile's planes — never the whole chip's.
+///
+/// For chip-scale sources the closure is typically
+/// `|rect| source.tile_layout(rect)`; for an already-materialized layout
+/// use [`ExtractionStream::over_layout`].
+pub struct ExtractionStream<'a, I, F>
+where
+    I: Iterator<Item = TileRect>,
+    F: FnMut(TileRect) -> Layout,
+{
+    rects: I,
+    materialize: F,
+    layer: usize,
+    cfg: &'a ExtractionConfig,
+}
+
+impl<I, F> std::fmt::Debug for ExtractionStream<'_, I, F>
+where
+    I: Iterator<Item = TileRect>,
+    F: FnMut(TileRect) -> Layout,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtractionStream").field("layer", &self.layer).finish_non_exhaustive()
+    }
+}
+
+impl<'a, I, F> ExtractionStream<'a, I, F>
+where
+    I: Iterator<Item = TileRect>,
+    F: FnMut(TileRect) -> Layout,
+{
+    /// A stream over `rects`, materializing each tile's layout with
+    /// `materialize` (which must return a layout of exactly the rect's
+    /// dimensions).
+    pub fn new(rects: I, materialize: F, layer: usize, cfg: &'a ExtractionConfig) -> Self {
+        Self { rects, materialize, layer, cfg }
+    }
+}
+
+impl<'a, I> ExtractionStream<'a, I, Box<dyn FnMut(TileRect) -> Layout + 'a>>
+where
+    I: Iterator<Item = TileRect>,
+{
+    /// A stream over regions of an already-materialized layout.
+    pub fn over_layout(layout: &'a Layout, rects: I, layer: usize, cfg: &'a ExtractionConfig) -> Self {
+        Self::new(rects, Box::new(move |rect| layout.crop(rect)), layer, cfg)
+    }
+}
+
+impl<I, F> Iterator for ExtractionStream<'_, I, F>
+where
+    I: Iterator<Item = TileRect>,
+    F: FnMut(TileRect) -> Layout,
+{
+    type Item = (TileRect, NdArray);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let rect = self.rects.next()?;
+        let sub = (self.materialize)(rect);
+        assert_eq!(
+            (sub.rows(), sub.cols()),
+            (rect.rows, rect.cols),
+            "materialized tile disagrees with its rect"
+        );
+        let whole = TileRect { row0: 0, col0: 0, rows: rect.rows, cols: rect.cols };
+        Some((rect, extract_region_arrays(&sub, self.layer, whole, self.cfg)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.rects.size_hint()
+    }
 }
 
 /// Builds the differentiable `[1, C, N, M]` parameter tensor of one layer
@@ -204,6 +322,79 @@ mod tests {
         for v in g.as_slice() {
             assert!((v - expect).abs() < 1e-9, "{v} vs {expect}");
         }
+    }
+
+    #[test]
+    fn region_extraction_matches_full_layer_slice() {
+        let l = layout();
+        let cfg = ExtractionConfig::default();
+        let full = extract_layer_arrays(&l, 1, &cfg);
+        let rect = TileRect { row0: 1, col0: 2, rows: 3, cols: 4 };
+        let region = extract_region_arrays(&l, 1, rect, &cfg);
+        assert_eq!(region.shape(), &[NUM_CHANNELS, 3, 4]);
+        for ch in 0..NUM_CHANNELS {
+            for r in 0..rect.rows {
+                for c in 0..rect.cols {
+                    let a = region.as_slice()[(ch * rect.rows + r) * rect.cols + c];
+                    let b = full.as_slice()[(ch * 6 + rect.row0 + r) * 6 + rect.col0 + c];
+                    assert_eq!(a, b, "channel {ch} ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_extraction_covers_a_tiling_lazily() {
+        let l = layout();
+        let cfg = ExtractionConfig::default();
+        let full = extract_layer_arrays(&l, 0, &cfg);
+        let tiling = neurfill_layout::Tiling::square(6, 6, 3, 0);
+        let mut materialized = 0usize;
+        let stream = ExtractionStream::new(
+            tiling.tiles().map(|t| t.core),
+            |rect| {
+                materialized += 1;
+                l.crop(rect)
+            },
+            0,
+            &cfg,
+        );
+        let mut seen = 0usize;
+        for (rect, planes) in stream {
+            assert_eq!(planes.shape(), &[NUM_CHANNELS, rect.rows, rect.cols]);
+            for ch in 0..NUM_CHANNELS {
+                for r in 0..rect.rows {
+                    for c in 0..rect.cols {
+                        let a = planes.as_slice()[(ch * rect.rows + r) * rect.cols + c];
+                        let b = full.as_slice()[(ch * 6 + rect.row0 + r) * 6 + rect.col0 + c];
+                        assert_eq!(a, b);
+                    }
+                }
+            }
+            seen += rect.len();
+        }
+        assert_eq!(seen, 36, "tiles must cover the layer exactly");
+        // One materialization per tile: the stream held one tile at a time.
+        assert_eq!(materialized, tiling.num_tiles());
+
+        // Laziness: nothing is materialized until the stream is polled.
+        let mut count = 0usize;
+        let stream = ExtractionStream::new(
+            tiling.tiles().map(|t| t.core),
+            |rect| {
+                count += 1;
+                l.crop(rect)
+            },
+            0,
+            &cfg,
+        );
+        drop(stream);
+        assert_eq!(count, 0);
+
+        // The boxed-crop convenience agrees with the closure form.
+        let via_layout: Vec<_> =
+            ExtractionStream::over_layout(&l, tiling.tiles().map(|t| t.core), 0, &cfg).collect();
+        assert_eq!(via_layout.len(), tiling.num_tiles());
     }
 
     #[test]

@@ -6,7 +6,15 @@
 //! gendata --out corpus/ [--num N] [--rows R] [--cols C] [--seed S]
 //!         [--workers W] [--samples-per-shard K] [--sources dir/] [--fast]
 //!         [--metrics-out metrics.jsonl]
+//! gendata --out corpus/ --full-chip [--design A|B|C] [--tile-size N]
+//!         [--rows R] [--cols C] [--seed S] [--workers W] [--fast] ...
 //! ```
+//!
+//! `--full-chip` labels one hash-generated full-chip design
+//! tile-at-a-time through the sharded chip simulator instead of random
+//! small layouts; `--rows`/`--cols` set the chip dimensions (omit both
+//! for the design's paper-scale size) and `--tile-size` the per-sample
+//! tile edge.
 //!
 //! `--metrics-out` enables telemetry and writes the run's metrics
 //! snapshot (simulator stage timings, labeling counts, shard writes) as
@@ -17,9 +25,9 @@
 //! corpus, only faster.
 
 use neurfill_cmpsim::ProcessParams;
-use neurfill_data::{generate_labeled_shards, LabelConfig};
+use neurfill_data::{generate_labeled_shards, label_full_chip, ChipLabelConfig, LabelConfig};
 use neurfill_layout::datagen::DataGenConfig;
-use neurfill_layout::{benchmark_designs, io as layout_io, Layout};
+use neurfill_layout::{benchmark_designs, io as layout_io, DesignKind, FullChipSpec, Layout};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -34,15 +42,33 @@ struct Args {
     sources: Option<PathBuf>,
     fast: bool,
     metrics_out: Option<PathBuf>,
+    full_chip: bool,
+    design: DesignKind,
+    tile_size: usize,
+    explicit_dims: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: gendata --out <dir> [--num N] [--rows R] [--cols C] [--seed S]\n\
          \x20             [--workers W] [--samples-per-shard K] [--sources <dir>] [--fast]\n\
-         \x20             [--metrics-out <file>]"
+         \x20             [--metrics-out <file>]\n\
+         \x20      gendata --out <dir> --full-chip [--design A|B|C] [--tile-size N]\n\
+         \x20             [--rows R] [--cols C] [--seed S] [--workers W] [--fast] ..."
     );
     std::process::exit(2);
+}
+
+fn parse_design(s: &str) -> DesignKind {
+    match s {
+        "A" | "a" => DesignKind::CmpTest,
+        "B" | "b" => DesignKind::Fpga,
+        "C" | "c" => DesignKind::RiscV,
+        other => {
+            eprintln!("unknown design {other:?} (expected A, B or C)");
+            usage()
+        }
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
@@ -64,6 +90,10 @@ fn parse_args() -> Args {
         sources: None,
         fast: false,
         metrics_out: None,
+        full_chip: false,
+        design: DesignKind::RiscV,
+        tile_size: 32,
+        explicit_dims: false,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -76,8 +106,14 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--out" => args.out = value(&mut it, "--out").into(),
             "--num" => args.num = parse_num(&value(&mut it, "--num"), "--num"),
-            "--rows" => args.rows = parse_num(&value(&mut it, "--rows"), "--rows"),
-            "--cols" => args.cols = parse_num(&value(&mut it, "--cols"), "--cols"),
+            "--rows" => {
+                args.rows = parse_num(&value(&mut it, "--rows"), "--rows");
+                args.explicit_dims = true;
+            }
+            "--cols" => {
+                args.cols = parse_num(&value(&mut it, "--cols"), "--cols");
+                args.explicit_dims = true;
+            }
             "--seed" => args.seed = parse_num(&value(&mut it, "--seed"), "--seed"),
             "--workers" => args.workers = parse_num(&value(&mut it, "--workers"), "--workers"),
             "--samples-per-shard" => {
@@ -85,6 +121,9 @@ fn parse_args() -> Args {
                     parse_num(&value(&mut it, "--samples-per-shard"), "--samples-per-shard")
             }
             "--sources" => args.sources = Some(value(&mut it, "--sources").into()),
+            "--full-chip" => args.full_chip = true,
+            "--design" => args.design = parse_design(&value(&mut it, "--design")),
+            "--tile-size" => args.tile_size = parse_num(&value(&mut it, "--tile-size"), "--tile-size"),
             "--fast" => args.fast = true,
             "--metrics-out" => args.metrics_out = Some(value(&mut it, "--metrics-out").into()),
             "--help" | "-h" => usage(),
@@ -122,8 +161,62 @@ fn load_sources(dir: &Path) -> Result<Vec<Layout>, String> {
     Ok(named.into_iter().map(|(_, l)| l).collect())
 }
 
+fn run_full_chip(args: &Args) -> Result<(), String> {
+    let spec = if args.explicit_dims {
+        FullChipSpec::new(args.design, args.rows, args.cols, args.seed)
+    } else {
+        FullChipSpec::full_scale(args.design, args.seed)
+    };
+    let design = spec.build();
+    println!(
+        "labeling full chip {} ({}x{} windows, tile {})",
+        design.name(),
+        design.rows(),
+        design.cols(),
+        args.tile_size
+    );
+    let cfg = ChipLabelConfig {
+        tile: args.tile_size,
+        workers: args.workers,
+        samples_per_shard: args.samples_per_shard,
+        process: if args.fast { ProcessParams::fast() } else { ProcessParams::default() },
+        seed: args.seed,
+        telemetry: if args.metrics_out.is_some() {
+            neurfill::telemetry::Telemetry::new()
+        } else {
+            neurfill::telemetry::Telemetry::disabled()
+        },
+        ..ChipLabelConfig::default()
+    };
+    neurfill_tensor::telemetry::install(cfg.telemetry.clone());
+    let report = label_full_chip(&design, &cfg, &args.out).map_err(|e| e.to_string())?;
+    for (path, n) in &report.shards {
+        println!("wrote {} ({n} samples)", path.display());
+    }
+    let secs = report.sim_elapsed.as_secs_f64();
+    println!(
+        "{} samples from {} tiles in {:.2}s simulation ({} halo bytes exchanged)",
+        report.samples, report.tiles, secs, report.halo_bytes
+    );
+    println!(
+        "height norm: offset {:.3} nm, scale {:.3} nm",
+        report.norm.offset_nm, report.norm.scale_nm
+    );
+    if let Some(path) = &args.metrics_out {
+        cfg.telemetry
+            .snapshot()
+            .write_jsonl_file(path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args();
+    if args.full_chip {
+        return run_full_chip(&args);
+    }
     let sources = match &args.sources {
         Some(dir) => load_sources(dir)?,
         None => benchmark_designs(args.rows.max(8), args.cols.max(8), 1),

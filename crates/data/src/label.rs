@@ -122,55 +122,86 @@ pub fn generate_labeled_shards(
     let _label_span = cfg.telemetry.span("data.label_ns");
     let sim = CmpSimulator::new(cfg.process.clone()).map_err(bad)?.with_telemetry(cfg.telemetry.clone());
 
-    // Step 1+2: sequential, seeded layout generation.
-    let mut gen = TrainingLayoutGenerator::new(sources, cfg.datagen.clone());
-    let layouts = gen.generate(cfg.num_layouts);
-    if layouts.is_empty() {
+    if cfg.num_layouts == 0 {
         return Err(bad("num_layouts must be non-zero"));
     }
-    let (rows, cols) = (layouts[0].rows(), layouts[0].cols());
-    let layers = layouts[0].num_layers();
-
-    // Step 3: golden simulation, fanned out across the worker pool. The
-    // map preserves input order, so everything downstream is
-    // worker-count-independent.
+    // Step 1+2: sequential, seeded layout generation — but chunked: only
+    // one chunk of layouts (and their simulated profiles) is ever
+    // resident, so corpus size no longer bounds memory. The generator
+    // stream and the ordered fan-out make the shard bytes identical to
+    // the old all-at-once path at any chunk boundary or worker count.
+    let mut gen = TrainingLayoutGenerator::new(sources, cfg.datagen.clone());
     let workers = if cfg.workers == 0 { neurfill_runtime::default_workers() } else { cfg.workers };
-    let started = std::time::Instant::now();
-    let labeled: Vec<(Layout, ChipProfile)> = parallel_map_ordered(layouts, workers, |layout| {
-        let profile = sim.simulate(&layout);
-        (layout, profile)
-    });
-    let sim_elapsed = started.elapsed();
-    if cfg.telemetry.is_enabled() {
-        cfg.telemetry.add("data.label.layouts", labeled.len() as u64);
-        cfg.telemetry.counter("data.label.sim_ns").add_duration(sim_elapsed);
-    }
+    // At least 8 so norm derivation (first 8 profiles) sees one chunk;
+    // 2× workers keeps every thread busy within a chunk.
+    let chunk_size = 8usize.max(2 * workers);
 
-    let norm = cfg.norm.unwrap_or_else(|| derive_norm(labeled.iter().map(|(_, p)| p)));
+    let mut norm: Option<HeightNorm> = cfg.norm;
+    let mut writer: Option<ShardSetWriter> = None;
+    let mut geometry = (0usize, 0usize, 0usize);
+    let mut sim_elapsed = Duration::ZERO;
+    let mut labeled_count = 0usize;
+    let mut remaining = cfg.num_layouts;
+    while remaining > 0 {
+        let take = remaining.min(chunk_size);
+        remaining -= take;
+        let layouts = gen.generate(take);
 
-    // Ordered shard writes: layout-major, layer-minor.
-    let shapes = ShardShapes { input: [NUM_CHANNELS, rows, cols], target: [1, rows, cols] };
-    let mut writer = ShardSetWriter::new(&out_dir, "train", shapes, cfg.samples_per_shard)?
-        .with_telemetry(&cfg.telemetry);
-    for (layout, profile) in &labeled {
-        for l in 0..layout.num_layers() {
-            let input = extract_layer_arrays(layout, l, &cfg.extraction);
-            let target: Vec<f32> = profile
-                .layer(l)
-                .heights()
-                .iter()
-                .map(|h| ((h - norm.offset_nm) / norm.scale_nm) as f32)
-                .collect();
-            let target = NdArray::from_vec(target, &[1, rows, cols]).map_err(|e| bad(e.to_string()))?;
-            writer.push(&input, &target)?;
+        // Step 3: golden simulation, fanned out across the worker pool.
+        // The map preserves input order, so everything downstream is
+        // worker-count-independent.
+        let started = std::time::Instant::now();
+        let labeled: Vec<(Layout, ChipProfile)> = parallel_map_ordered(layouts, workers, |layout| {
+            let profile = sim.simulate(&layout);
+            (layout, profile)
+        });
+        sim_elapsed += started.elapsed();
+        labeled_count += labeled.len();
+
+        let norm = *norm.get_or_insert_with(|| derive_norm(labeled.iter().map(|(_, p)| p)));
+        let writer = match &mut writer {
+            Some(w) => w,
+            None => {
+                let (rows, cols) = (labeled[0].0.rows(), labeled[0].0.cols());
+                geometry = (rows, cols, labeled[0].0.num_layers());
+                let shapes = ShardShapes { input: [NUM_CHANNELS, rows, cols], target: [1, rows, cols] };
+                writer.insert(
+                    ShardSetWriter::new(&out_dir, "train", shapes, cfg.samples_per_shard)?
+                        .with_telemetry(&cfg.telemetry),
+                )
+            }
+        };
+
+        // Ordered shard writes: layout-major, layer-minor.
+        let (rows, cols) = (geometry.0, geometry.1);
+        for (layout, profile) in &labeled {
+            for l in 0..layout.num_layers() {
+                let input = extract_layer_arrays(layout, l, &cfg.extraction);
+                let target: Vec<f32> = profile
+                    .layer(l)
+                    .heights()
+                    .iter()
+                    .map(|h| ((h - norm.offset_nm) / norm.scale_nm) as f32)
+                    .collect();
+                let target =
+                    NdArray::from_vec(target, &[1, rows, cols]).map_err(|e| bad(e.to_string()))?;
+                writer.push(&input, &target)?;
+            }
         }
     }
+    if cfg.telemetry.is_enabled() {
+        cfg.telemetry.add("data.label.layouts", labeled_count as u64);
+        cfg.telemetry.counter("data.label.sim_ns").add_duration(sim_elapsed);
+    }
+    let (rows, cols, layers) = geometry;
+    let norm = norm.unwrap_or_default();
+    let writer = writer.ok_or_else(|| bad("no layouts generated"))?;
     let samples = writer.total();
     let shards = writer.finish()?;
 
     let manifest = Manifest {
         samples,
-        layouts: labeled.len(),
+        layouts: labeled_count,
         rows,
         cols,
         layers,
@@ -181,7 +212,7 @@ pub fn generate_labeled_shards(
     manifest.save(out_dir.as_ref().join(MANIFEST_FILE))?;
     cfg.telemetry.add("data.label.samples", samples);
 
-    Ok(LabelReport { samples, layouts: labeled.len(), shards, norm, workers, sim_elapsed })
+    Ok(LabelReport { samples, layouts: labeled_count, shards, norm, workers, sim_elapsed })
 }
 
 /// File name of the corpus manifest inside a shard directory.

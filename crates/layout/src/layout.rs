@@ -2,6 +2,7 @@
 //! reproduction) and flat indexing of the `L × N × M` fill variables.
 
 use crate::grid::Grid;
+use crate::tiling::TileRect;
 use crate::window::WindowPattern;
 
 /// Identifies one window `W_{l,i,j}`.
@@ -202,6 +203,37 @@ impl Layout {
     pub fn is_valid(&self) -> bool {
         let area = self.window_area();
         self.layers.iter().all(|g| g.iter().all(|w| w.is_valid(area)))
+    }
+
+    /// Crops the layout to a window region, preserving the window size
+    /// and scaling the nominal file size by the retained area fraction.
+    /// The name gains a `~{rect.label()}` suffix so tile jobs stay
+    /// distinguishable in reports and telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rect` is empty or exceeds the layout bounds.
+    #[must_use]
+    pub fn crop(&self, rect: TileRect) -> Layout {
+        assert!(!rect.is_empty(), "crop region must be non-empty");
+        assert!(
+            rect.row_end() <= self.rows() && rect.col_end() <= self.cols(),
+            "crop region {rect:?} exceeds {}x{} layout",
+            self.rows(),
+            self.cols()
+        );
+        let layers = self
+            .layers
+            .iter()
+            .map(|g| Grid::from_fn(rect.rows, rect.cols, |r, c| *g.get(rect.row0 + r, rect.col0 + c)))
+            .collect();
+        let frac = rect.len() as f64 / (self.rows() * self.cols()) as f64;
+        Layout::new(
+            format!("{}~{}", self.name, rect.label()),
+            self.window_um,
+            layers,
+            self.file_size_mb * frac,
+        )
     }
 
     /// Tiles the layout `reps_rows × reps_cols` times — the paper's §IV-F

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chipgen;
 pub mod datagen;
 pub mod design;
 mod fill;
@@ -36,8 +37,10 @@ pub mod insertion;
 pub mod io;
 mod layout;
 pub mod slack;
+pub mod tiling;
 mod window;
 
+pub use chipgen::{FullChipDesign, FullChipSpec};
 pub use design::{benchmark_designs, DesignKind, DesignSpec};
 pub use fill::{apply_fill, DummySpec, FillPlan};
 pub use geometry::{LayerGeometry, Rect, Shape, WindowStats};
@@ -47,4 +50,5 @@ pub use insertion::{
 };
 pub use layout::{Layout, WindowId};
 pub use slack::{non_overlap_slack, slack_types, SlackTypes};
+pub use tiling::{Tile, TileRect, Tiling};
 pub use window::WindowPattern;

@@ -336,6 +336,34 @@ impl RuntimePool {
         }
     }
 
+    /// Blocks until *any* of the given jobs reaches a terminal status,
+    /// returning the first one found (lowest index in `ids` on ties).
+    /// Ids this pool never issued are skipped; returns `None` when none
+    /// of the ids are known (including an empty slice).
+    ///
+    /// This is the streaming primitive the full-chip tile scheduler
+    /// uses to keep a bounded number of tile jobs in flight: submit up
+    /// to the cap, `wait_first` on the open set, merge, refill.
+    #[must_use]
+    pub fn wait_first(&self, ids: &[JobId]) -> Option<(JobId, JobStatus)> {
+        let mut jobs = self.table.jobs.lock();
+        loop {
+            let mut any_known = false;
+            for &id in ids {
+                if let Some(status) = jobs.get(&id) {
+                    any_known = true;
+                    if status.is_terminal() {
+                        return Some((id, status.clone()));
+                    }
+                }
+            }
+            if !any_known {
+                return None;
+            }
+            self.table.changed.wait(&mut jobs);
+        }
+    }
+
     /// How many submitted jobs have not yet reached a terminal status
     /// (queued, running or retrying). Used by front-ends to drain before
     /// shutdown and to retire replaced pools.

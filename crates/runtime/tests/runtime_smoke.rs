@@ -115,6 +115,39 @@ fn pool_matches_sequential_flow_and_contains_failures() {
 }
 
 #[test]
+fn wait_first_streams_terminal_jobs_without_blocking_on_the_rest() {
+    let bundle = Arc::new(ModelBundle::from_network(&network(11)).unwrap());
+    let pool =
+        RuntimePool::new(bundle, flow_config(), PoolOptions { workers: 2, ..PoolOptions::default() })
+            .unwrap();
+
+    let mut open: Vec<_> = (0..3)
+        .map(|i| {
+            let layout = DesignSpec::new(DesignKind::CmpTest, 8, 8, i).generate();
+            pool.submit(JobSpec::new(format!("stream-{i}"), layout)).unwrap()
+        })
+        .collect();
+
+    // Drain via wait_first: each call yields a terminal job from the
+    // open set until the set is exhausted.
+    let mut completed = 0;
+    while !open.is_empty() {
+        let (id, status) = pool.wait_first(&open).expect("open ids are known");
+        assert!(open.contains(&id));
+        assert!(status.is_terminal(), "{status:?}");
+        assert!(matches!(status, JobStatus::Done(_)));
+        open.retain(|&x| x != id);
+        completed += 1;
+    }
+    assert_eq!(completed, 3);
+
+    // Degenerate sets return None instead of blocking forever.
+    assert!(pool.wait_first(&[]).is_none());
+    assert!(pool.wait_first(&[9999]).is_none());
+    let _ = pool.shutdown();
+}
+
+#[test]
 fn zero_timeout_fails_in_queue_without_stalling_the_pool() {
     let bundle = Arc::new(ModelBundle::from_network(&network(7)).unwrap());
     let pool =

@@ -9,12 +9,24 @@
 //!         [--fast] [--init-demo N] [--metrics-out metrics.jsonl]
 //! runfill --connect HOST:PORT --layouts designs/ [--out reports/]
 //!         [--tenant NAME] [--priority high|normal|low] [--timeout-s S]
+//! runfill --full-chip [--design A|B|C] [--tile-size N] [--rows R] [--cols C]
+//!         [--seed S] [--out reports/] [--workers N] [--fast]
+//!         [--model surrogate.bundle | --connect HOST:PORT] [--max-in-flight K]
 //! ```
 //!
 //! `--connect` switches to client mode: jobs are submitted to a running
 //! `neurfill-serve` over HTTP, sharing the exact wire format the server
 //! speaks (the body of a submission *is* the on-disk layout file). The
 //! report files written are identical between the two modes.
+//!
+//! `--full-chip` runs the sharded full-chip flow on a hash-generated
+//! design instead of a layout directory. Without a model it is the
+//! deterministic golden flow (simulate → model fill → verify, all
+//! sharded with halo exchange); with `--model` the halo-padded tiles
+//! stream through a local runtime pool as NN synthesis jobs; with
+//! `--connect` they stream through a running `neurfill-serve`, each
+//! tile's plan fetched over `GET /v1/jobs/{id}/plan` and merged
+//! client-side. At most `--max-in-flight` tiles are resident at once.
 //!
 //! `--metrics-out` enables telemetry and writes the run's metrics snapshot
 //! (simulator stage timings, per-job spans, batch-server activity, fault
@@ -30,19 +42,27 @@
 use neurfill::extraction::NUM_CHANNELS;
 use neurfill::pipeline::FlowConfig;
 use neurfill::surrogate::{train_surrogate, SurrogateConfig};
-use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_chip::{
+    merge_tile_plan, run_full_chip, synthesize_tiles, tile_job_layout, ChipFillConfig, ChipFillPlan,
+    ChipRunConfig, ChipSimConfig, TileJobOptions,
+};
+use neurfill_cmpsim::{CmpSimulator, ContactSolve, ProcessParams};
 use neurfill_layout::datagen::DataGenConfig;
-use neurfill_layout::{benchmark_designs, io as layout_io, DesignKind, DesignSpec};
+use neurfill_layout::{
+    benchmark_designs, io as layout_io, DesignKind, DesignSpec, FullChipDesign, FullChipSpec, Tile,
+    Tiling,
+};
 use neurfill_nn::{TrainConfig, UNetConfig};
 use neurfill_runtime::{
     BatchConfig, FaultPlan, JobSpec, JobStatus, ModelRegistry, PoolOptions, RetryPolicy, RuntimePool,
 };
-use neurfill_serve::{Client, JobRequest, Priority};
+use neurfill_serve::{Client, ClientError, JobRequest, Priority};
 use rand::SeedableRng;
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct Args {
     model: PathBuf,
@@ -61,6 +81,14 @@ struct Args {
     fast: bool,
     init_demo: usize,
     metrics_out: Option<PathBuf>,
+    full_chip: bool,
+    design: DesignKind,
+    tile_size: usize,
+    rows: usize,
+    cols: usize,
+    seed: u64,
+    explicit_dims: bool,
+    max_in_flight: usize,
 }
 
 fn usage() -> ! {
@@ -70,9 +98,24 @@ fn usage() -> ! {
          \x20             [--fault-plan SPEC] [--fault-seed N] [--fast] [--init-demo N]\n\
          \x20             [--metrics-out <file>]\n\
          \x20      runfill --connect HOST:PORT --layouts <dir> [--out <dir>]\n\
-         \x20             [--tenant NAME] [--priority high|normal|low] [--timeout-s S]"
+         \x20             [--tenant NAME] [--priority high|normal|low] [--timeout-s S]\n\
+         \x20      runfill --full-chip [--design A|B|C] [--tile-size N] [--rows R]\n\
+         \x20             [--cols C] [--seed S] [--out <dir>] [--workers N] [--fast]\n\
+         \x20             [--model <bundle> | --connect HOST:PORT] [--max-in-flight K]"
     );
     std::process::exit(2);
+}
+
+fn parse_design(s: &str) -> DesignKind {
+    match s {
+        "A" | "a" => DesignKind::CmpTest,
+        "B" | "b" => DesignKind::Fpga,
+        "C" | "c" => DesignKind::RiscV,
+        other => {
+            eprintln!("unknown design {other:?} (expected A, B or C)");
+            usage()
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -93,6 +136,14 @@ fn parse_args() -> Args {
         fast: false,
         init_demo: 0,
         metrics_out: None,
+        full_chip: false,
+        design: DesignKind::RiscV,
+        tile_size: 32,
+        rows: 32,
+        cols: 32,
+        seed: 0,
+        explicit_dims: false,
+        max_in_flight: 4,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -132,6 +183,21 @@ fn parse_args() -> Args {
                 args.linger =
                     Duration::from_millis(parse_num(&value(&mut it, "--linger-ms"), "--linger-ms"))
             }
+            "--full-chip" => args.full_chip = true,
+            "--design" => args.design = parse_design(&value(&mut it, "--design")),
+            "--tile-size" => args.tile_size = parse_num(&value(&mut it, "--tile-size"), "--tile-size"),
+            "--rows" => {
+                args.rows = parse_num(&value(&mut it, "--rows"), "--rows");
+                args.explicit_dims = true;
+            }
+            "--cols" => {
+                args.cols = parse_num(&value(&mut it, "--cols"), "--cols");
+                args.explicit_dims = true;
+            }
+            "--seed" => args.seed = parse_num(&value(&mut it, "--seed"), "--seed"),
+            "--max-in-flight" => {
+                args.max_in_flight = parse_num(&value(&mut it, "--max-in-flight"), "--max-in-flight")
+            }
             "--fast" => args.fast = true,
             "--init-demo" => args.init_demo = parse_num(&value(&mut it, "--init-demo"), "--init-demo"),
             "--metrics-out" => args.metrics_out = Some(value(&mut it, "--metrics-out").into()),
@@ -141,6 +207,9 @@ fn parse_args() -> Args {
                 usage();
             }
         }
+    }
+    if args.full_chip {
+        return args; // the chip is generated, not loaded; model is optional
     }
     if args.layouts.as_os_str().is_empty() {
         usage();
@@ -276,8 +345,268 @@ fn run_remote(
     Ok(failed.is_empty())
 }
 
+/// The generated chip named by the `--full-chip` flags (paper-scale
+/// dimensions unless `--rows`/`--cols` were given).
+fn chip_design(args: &Args) -> FullChipDesign {
+    let spec = if args.explicit_dims {
+        FullChipSpec::new(args.design, args.rows, args.cols, args.seed)
+    } else {
+        FullChipSpec::full_scale(args.design, args.seed)
+    };
+    spec.build()
+}
+
+fn chip_telemetry(args: &Args) -> neurfill::telemetry::Telemetry {
+    if args.metrics_out.is_some() {
+        neurfill::telemetry::Telemetry::new()
+    } else {
+        neurfill::telemetry::Telemetry::disabled()
+    }
+}
+
+/// Effective tile edge (`--tile-size 0` means one whole-chip tile).
+fn chip_tile(args: &Args, design: &FullChipDesign) -> usize {
+    if args.tile_size == 0 {
+        design.rows().max(design.cols())
+    } else {
+        args.tile_size
+    }
+}
+
+/// `key value` summary of a tile-synthesis chip pass, in the style of
+/// the golden-flow [`neurfill_chip::ChipReport`].
+#[allow(clippy::too_many_arguments)]
+fn synthesis_summary(
+    design: &FullChipDesign,
+    tiling: &Tiling,
+    tile: usize,
+    cap: usize,
+    peak: usize,
+    failed: usize,
+    plan: &ChipFillPlan,
+    elapsed: Duration,
+) -> String {
+    format!(
+        "chip {}\nwindows {}x{}x{}\ntile {}\ntiles {}\nhalo {}\nin_flight_cap {}\n\
+         peak_tiles_in_flight {}\ntiles_failed {}\nfill_total_um2 {:.3}\nsynthesis_s {:.3}\n",
+        design.name(),
+        design.num_layers(),
+        design.rows(),
+        design.cols(),
+        tile,
+        tiling.num_tiles(),
+        tiling.halo(),
+        cap,
+        peak,
+        failed,
+        plan.total(),
+        elapsed.as_secs_f64(),
+    )
+}
+
+fn write_chip_report(out_dir: &Path, design: &FullChipDesign, text: &str) -> Result<(), String> {
+    let path = out_dir.join(format!("{}.chip.report.txt", design.name()));
+    std::fs::write(&path, text).map_err(|e| e.to_string())?;
+    print!("{text}");
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Long-polls the oldest in-flight tile job, merging its plan into the
+/// chip plan (a failed tile's chip region stays zero-filled).
+fn drain_front(
+    client: &mut Client,
+    pending: &mut VecDeque<(u64, Tile, String)>,
+    plan: &mut ChipFillPlan,
+    failed: &mut Vec<(String, String)>,
+    pad: usize,
+) {
+    let Some((id, tile, name)) = pending.pop_front() else { return };
+    let wait = Some(Duration::from_secs(60));
+    loop {
+        match client.result_plan(id, wait) {
+            Ok(amounts) => {
+                merge_tile_plan(plan, &tile, &amounts, pad);
+                println!("done  {name}");
+                return;
+            }
+            // A 202 just means "not yet", so poll on.
+            Err(ClientError::Http { status: 202, .. }) => {}
+            Err(e) => {
+                println!("FAIL  {name}: {e}");
+                failed.push((name, e.to_string()));
+                return;
+            }
+        }
+    }
+}
+
+/// `--full-chip --connect`: stream halo-padded tiles through a running
+/// `neurfill-serve` with a bounded in-flight window, fetching each
+/// tile's plan over `GET /v1/jobs/{id}/plan` and merging client-side.
+fn run_full_chip_remote(args: &Args, addr: &str, out_dir: &Path) -> Result<bool, String> {
+    let design = chip_design(args);
+    let params = process_params(args);
+    let tile = chip_tile(args, &design);
+    let tiling = Tiling::square(design.rows(), design.cols(), tile, params.kernel_radius);
+    let pad = TileJobOptions::default().pad_multiple;
+    let cap = args.max_in_flight.max(1);
+    println!(
+        "full chip {} ({}x{} windows, {} tiles of {tile}, halo {}) via {addr}",
+        design.name(),
+        design.rows(),
+        design.cols(),
+        tiling.num_tiles(),
+        tiling.halo()
+    );
+
+    let started = Instant::now();
+    let mut client = Client::connect(addr);
+    let mut plan = ChipFillPlan::zeros(design.num_layers(), design.rows(), design.cols());
+    let mut pending: VecDeque<(u64, Tile, String)> = VecDeque::new();
+    let mut failed = Vec::new();
+    let mut peak = 0usize;
+    for t in tiling.tiles() {
+        while pending.len() >= cap {
+            drain_front(&mut client, &mut pending, &mut plan, &mut failed, pad);
+        }
+        let sub = tile_job_layout(&design, &t, pad);
+        let name = format!("{}~{}", design.name(), t.ext.label());
+        let mut req = JobRequest::new(name.clone(), sub);
+        req.tenant = args.tenant.clone();
+        req.priority = args.priority;
+        req.timeout = args.timeout;
+        let id = client.submit(&req).map_err(|e| format!("submitting {name}: {e}"))?;
+        pending.push_back((id, t, name));
+        peak = peak.max(pending.len());
+    }
+    while !pending.is_empty() {
+        drain_front(&mut client, &mut pending, &mut plan, &mut failed, pad);
+    }
+
+    let summary =
+        synthesis_summary(&design, &tiling, tile, cap, peak, failed.len(), &plan, started.elapsed());
+    write_chip_report(out_dir, &design, &summary)?;
+    Ok(failed.is_empty())
+}
+
+/// `--full-chip --model`: stream halo-padded tiles through an
+/// in-process runtime pool as NN synthesis jobs.
+fn run_full_chip_pool(args: &Args, out_dir: &Path) -> Result<bool, String> {
+    let design = chip_design(args);
+    let params = process_params(args);
+    let tile = chip_tile(args, &design);
+    let tiling = Tiling::square(design.rows(), design.cols(), tile, params.kernel_radius);
+    let cap = args.max_in_flight.max(1);
+
+    let registry = ModelRegistry::new();
+    let bundle =
+        registry.load(&args.model).map_err(|e| format!("loading {}: {e}", args.model.display()))?;
+    println!("model bundle {} (digest {:016x})", args.model.display(), bundle.digest());
+    let telemetry = chip_telemetry(args);
+    neurfill_tensor::telemetry::install(telemetry.clone());
+    let flow = FlowConfig { process: params, ..FlowConfig::default() };
+    let options = PoolOptions {
+        workers: args.workers,
+        batch: BatchConfig { max_batch: args.max_batch.max(1), linger: args.linger },
+        default_timeout: args.timeout,
+        retry: RetryPolicy::with_retries(args.retries),
+        telemetry: telemetry.clone(),
+        ..PoolOptions::default()
+    };
+    let pool = RuntimePool::new(bundle, flow, options).map_err(|e| e.to_string())?;
+    println!(
+        "full chip {} ({}x{} windows, {} tiles of {tile}, halo {}, cap {cap})",
+        design.name(),
+        design.rows(),
+        design.cols(),
+        tiling.num_tiles(),
+        tiling.halo()
+    );
+
+    let started = Instant::now();
+    let out = synthesize_tiles(
+        &pool,
+        &design,
+        &tiling,
+        &TileJobOptions {
+            max_in_flight: cap,
+            telemetry: telemetry.clone(),
+            ..TileJobOptions::default()
+        },
+    )?;
+    let elapsed = started.elapsed();
+    if let Some(path) = &args.metrics_out {
+        pool.metrics_snapshot()
+            .write_jsonl_file(path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    let _ = pool.shutdown();
+    for (name, e) in &out.failed {
+        println!("FAIL  {name}: {e}");
+    }
+
+    let summary = synthesis_summary(
+        &design,
+        &tiling,
+        tile,
+        cap,
+        out.peak_in_flight,
+        out.failed.len(),
+        &out.plan,
+        elapsed,
+    );
+    write_chip_report(out_dir, &design, &summary)?;
+    Ok(out.failed.is_empty())
+}
+
+/// `--full-chip` without a model: the deterministic sharded golden flow
+/// (simulate → model fill → verify), byte-identical to a monolithic run
+/// at any tile size and worker count.
+fn run_full_chip_golden(args: &Args, out_dir: &Path) -> Result<bool, String> {
+    let design = chip_design(args);
+    let telemetry = chip_telemetry(args);
+    let cfg = ChipRunConfig {
+        sim: ChipSimConfig {
+            params: process_params(args),
+            tile: args.tile_size,
+            workers: args.workers,
+            contact_solve: ContactSolve::Exact,
+            telemetry: telemetry.clone(),
+        },
+        fill: ChipFillConfig::default(),
+    };
+    println!(
+        "full chip {} ({}x{} windows, tile {}, golden sharded flow)",
+        design.name(),
+        design.rows(),
+        design.cols(),
+        args.tile_size
+    );
+    let result = run_full_chip(&design, &cfg)?;
+    write_chip_report(out_dir, &design, &result.report.to_text())?;
+    if let Some(path) = &args.metrics_out {
+        telemetry
+            .snapshot()
+            .write_jsonl_file(path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(true)
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args();
+    if args.full_chip {
+        let out_dir = args.out.clone().unwrap_or_else(|| PathBuf::from("chip-reports"));
+        std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+        return match (args.connect.clone(), args.model.as_os_str().is_empty()) {
+            (Some(addr), _) => run_full_chip_remote(&args, &addr, &out_dir),
+            (None, false) => run_full_chip_pool(&args, &out_dir),
+            (None, true) => run_full_chip_golden(&args, &out_dir),
+        };
+    }
     if args.init_demo > 0 {
         init_demo(&args)?;
     }

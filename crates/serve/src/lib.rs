@@ -8,7 +8,8 @@
 //! * **Job lifecycle** — `POST /v1/jobs` (layout body + `x-*` attribute
 //!   headers), `GET /v1/jobs/{id}` (status incl. retrying/degraded, with
 //!   `?wait_ms=` long-poll), `GET /v1/jobs/{id}/result`,
-//!   `DELETE /v1/jobs/{id}`.
+//!   `GET /v1/jobs/{id}/plan` (exact round-trip fill amounts, for
+//!   client-side full-chip tile merging), `DELETE /v1/jobs/{id}`.
 //! * **Fair-share admission** — bounded per-tenant queues with priority
 //!   classes, smooth weighted-round-robin dispatch, and backpressure via
 //!   `429` + `Retry-After`; the service never buffers without bound.
@@ -43,4 +44,4 @@ pub use client::{Client, ClientError};
 pub use server::{Server, ServerConfig};
 pub use service::{FillService, ResultFetch, ServiceConfig, StageError, SubmitError};
 pub use tenant::TenantConfig;
-pub use wire::{JobRequest, Priority, StatusView, WireState};
+pub use wire::{encode_plan, parse_plan, JobRequest, Priority, StatusView, WireState};

@@ -9,6 +9,9 @@ pub enum Route {
     JobStatus(u64),
     /// `GET /v1/jobs/{id}/result` — finished job's report.
     JobResult(u64),
+    /// `GET /v1/jobs/{id}/plan` — finished job's fill plan (exact
+    /// round-trip amounts, for client-side merging).
+    JobPlan(u64),
     /// `DELETE /v1/jobs/{id}` — cancel a job.
     CancelJob(u64),
     /// `POST /v1/models` — stage a bundle for canary verification.
@@ -35,6 +38,7 @@ pub fn route(method: &str, path: &str) -> Route {
         ("POST", ["v1", "jobs"]) => Route::SubmitJob,
         ("GET", ["v1", "jobs", id]) => parse_id(id).map_or(Route::NotFound, Route::JobStatus),
         ("GET", ["v1", "jobs", id, "result"]) => parse_id(id).map_or(Route::NotFound, Route::JobResult),
+        ("GET", ["v1", "jobs", id, "plan"]) => parse_id(id).map_or(Route::NotFound, Route::JobPlan),
         ("DELETE", ["v1", "jobs", id]) => parse_id(id).map_or(Route::NotFound, Route::CancelJob),
         ("POST", ["v1", "models"]) => Route::StageModel,
         ("GET", ["v1", "models"]) => Route::ModelInfo,
@@ -45,7 +49,9 @@ pub fn route(method: &str, path: &str) -> Route {
             _,
             ["v1", "jobs"] | ["v1", "models"] | ["metrics"] | ["healthz"] | ["v1", "admin", "shutdown"],
         ) => Route::MethodNotAllowed,
-        (_, ["v1", "jobs", id] | ["v1", "jobs", id, "result"]) if parse_id(id).is_some() => {
+        (_, ["v1", "jobs", id] | ["v1", "jobs", id, "result"] | ["v1", "jobs", id, "plan"])
+            if parse_id(id).is_some() =>
+        {
             Route::MethodNotAllowed
         }
         _ => Route::NotFound,
@@ -65,6 +71,7 @@ mod tests {
         assert_eq!(route("POST", "/v1/jobs"), Route::SubmitJob);
         assert_eq!(route("GET", "/v1/jobs/42"), Route::JobStatus(42));
         assert_eq!(route("GET", "/v1/jobs/42/result"), Route::JobResult(42));
+        assert_eq!(route("GET", "/v1/jobs/42/plan"), Route::JobPlan(42));
         assert_eq!(route("DELETE", "/v1/jobs/42"), Route::CancelJob(42));
         assert_eq!(route("POST", "/v1/models"), Route::StageModel);
         assert_eq!(route("GET", "/v1/models"), Route::ModelInfo);
@@ -77,6 +84,8 @@ mod tests {
     fn rejects_bad_paths_and_methods() {
         assert_eq!(route("GET", "/v1/jobs"), Route::MethodNotAllowed);
         assert_eq!(route("PUT", "/v1/jobs/42"), Route::MethodNotAllowed);
+        assert_eq!(route("POST", "/v1/jobs/42/plan"), Route::MethodNotAllowed);
+        assert_eq!(route("GET", "/v1/jobs/nope/plan"), Route::NotFound);
         assert_eq!(route("DELETE", "/metrics"), Route::MethodNotAllowed);
         assert_eq!(route("GET", "/v1/jobs/not-a-number"), Route::NotFound);
         assert_eq!(route("GET", "/"), Route::NotFound);

@@ -204,6 +204,17 @@ fn handle(server: &Server, req: &Request) -> Response {
                 ResultFetch::Unavailable(view) => Response::text(410, view.to_text()),
             }
         }
+        Route::JobPlan(id) => {
+            if let Some(wait) = wait_param(req) {
+                let _ = service.wait_terminal(id, wait);
+            }
+            match service.result_plan(id) {
+                ResultFetch::NotFound => Response::text(404, format!("no job {id}\n")),
+                ResultFetch::NotDone(view) => Response::text(202, view.to_text()),
+                ResultFetch::Done(text) => Response::text(200, text),
+                ResultFetch::Unavailable(view) => Response::text(410, view.to_text()),
+            }
+        }
         Route::CancelJob(id) => match service.cancel(id) {
             Some(cancelled) => Response::text(200, format!("cancelled {cancelled}\n")),
             None => Response::text(404, format!("no job {id}\n")),

@@ -380,6 +380,34 @@ impl FillService {
         }
     }
 
+    /// Fetches a finished job's fill plan, encoded with
+    /// [`crate::wire::encode_plan`] (exact round-trip amounts).
+    #[must_use]
+    pub fn result_plan(&self, id: u64) -> ResultFetch {
+        let s = self.inner.state.lock();
+        let Some(view) = status_locked(&s, id) else { return ResultFetch::NotFound };
+        match &view.state {
+            WireState::Done => {}
+            WireState::Failed | WireState::Cancelled => return ResultFetch::Unavailable(view),
+            _ => return ResultFetch::NotDone(view),
+        }
+        let Some(job) = s.jobs.get(&id) else { return ResultFetch::NotFound };
+        let plan = match &job.state {
+            JobState::Finished(JobStatus::Done(report)) => {
+                Some(crate::wire::encode_plan(report.plan.as_slice()))
+            }
+            JobState::Dispatched { pool, pool_id } => match pool.status(*pool_id) {
+                Some(JobStatus::Done(report)) => Some(crate::wire::encode_plan(report.plan.as_slice())),
+                _ => None,
+            },
+            _ => None,
+        };
+        match plan {
+            Some(text) => ResultFetch::Done(text),
+            None => ResultFetch::Unavailable(view),
+        }
+    }
+
     /// Cancels a job: removes it from the admission queue, or requests
     /// cooperative cancellation if already dispatched. `None` for an
     /// unknown id; `Some(false)` when it was already terminal.

@@ -370,6 +370,61 @@ fn canary_promotes_verified_bundle_and_swaps_the_pool() {
 }
 
 #[test]
+fn full_chip_tile_plans_merge_identically_over_the_wire() {
+    use neurfill_chip::{
+        merge_tile_plan, synthesize_tiles, tile_job_layout, ChipFillPlan, TileJobOptions,
+    };
+    use neurfill_layout::{FullChipSpec, Tiling};
+
+    let design = FullChipSpec::new(DesignKind::Fpga, 16, 16, 9).build();
+    let tiling = Tiling::square(16, 16, 8, ProcessParams::fast().kernel_radius);
+    let pad = TileJobOptions::default().pad_multiple;
+
+    // Reference: the in-process streaming path on an identical pool.
+    let pool = RuntimePool::new(
+        bundle(42),
+        flow_config(),
+        PoolOptions { workers: 1, ..PoolOptions::default() },
+    )
+    .unwrap();
+    let reference = synthesize_tiles(&pool, &design, &tiling, &TileJobOptions::default()).unwrap();
+    let _ = pool.shutdown();
+    assert!(reference.failed.is_empty(), "{:?}", reference.failed);
+
+    // Remote: the same padded tile layouts as HTTP submissions, plans
+    // fetched through `GET /v1/jobs/{id}/plan` and merged client-side —
+    // the `runfill --connect --full-chip` codepath.
+    let harness = Harness::start(config_with(&[("default", 1, 16)], 1, "", CanaryConfig::default()));
+    let mut client = harness.client();
+    let mut plan = ChipFillPlan::zeros(design.num_layers(), design.rows(), design.cols());
+    for tile in tiling.tiles() {
+        let sub = tile_job_layout(&design, &tile, pad);
+        let name = format!("{}~{}", design.name(), tile.ext.label());
+        let id = client.submit(&JobRequest::new(name, sub)).unwrap();
+        let amounts = loop {
+            match client.result_plan(id, Some(Duration::from_secs(60))) {
+                Ok(a) => break a,
+                Err(ClientError::Http { status: 202, .. }) => {}
+                Err(e) => panic!("tile plan fetch failed: {e}"),
+            }
+        };
+        merge_tile_plan(&mut plan, &tile, &amounts, pad);
+    }
+    assert_eq!(
+        plan.as_slice(),
+        reference.plan.as_slice(),
+        "plans merged over the wire must match the in-process pool bit-for-bit"
+    );
+
+    match client.result_plan(999_999, None) {
+        Err(ClientError::Http { status: 404, .. }) => {}
+        other => panic!("unknown job's plan must be 404, got {other:?}"),
+    }
+
+    harness.stop();
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_work_and_rejects_new_submissions() {
     let harness = Harness::start(config_with(
         &[("default", 1, 16)],
