@@ -11,13 +11,13 @@ echo "== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # neurfill-runtime, neurfill (core), neurfill-obs, neurfill-tensor,
-# neurfill-cmpsim, neurfill-serve and neurfill-chip deny
+# neurfill-cmpsim, neurfill-serve, neurfill-chip and neurfill-data deny
 # clippy::unwrap_used / clippy::expect_used at the crate level
 # (lib + bins, tests exempt); this run enforces it.
 echo "== cargo clippy (no unwrap/expect in lib+bins)"
 cargo clippy -p neurfill-runtime -p neurfill -p neurfill-obs \
     -p neurfill-tensor -p neurfill-cmpsim -p neurfill-serve \
-    -p neurfill-chip \
+    -p neurfill-chip -p neurfill-data \
     --lib --bins -- -D warnings
 
 echo "== cargo build --release"
@@ -60,5 +60,16 @@ cargo test -p neurfill-layout --test tiling_props -q
 
 echo "== fullchip bench (compile-only)"
 cargo bench -p neurfill-bench --bench fullchip --no-run
+
+echo "== durability suite (append log, journal, shard finalize)"
+cargo test -p neurfill-data -q
+
+echo "== chaos/recovery suite (kill-at-every-ordinal, bit-identical resume)"
+cargo test -p neurfill-runtime --test wait_first -q
+cargo test -p neurfill-chip --test checkpoint_resume -q
+cargo test -p neurfill-serve --test recovery -q
+
+echo "== recovery bench (compile-only)"
+cargo bench -p neurfill-bench --bench recovery --no-run
 
 echo "CI OK"

@@ -1,0 +1,239 @@
+//! Durability-cost benchmark: what the crash-recovery layer costs when
+//! nothing crashes, and what it saves when something does.
+//!
+//! 1. **Journal-append overhead** — p50/p95/p99 of `FillService::submit`
+//!    with and without `--journal`, over several hundred submissions
+//!    into a plugged service (the dispatch slot is pinned by a
+//!    deterministic fault delay so synthesis work never competes with
+//!    the measurement). The journal adds one buffered append per
+//!    submit; the acceptance bar is < 10% of the ~1 ms submit baseline.
+//! 2. **Resume vs scratch** — design-A full-chip pool synthesis wall
+//!    time from scratch vs resumed from a complete tile checkpoint.
+//!
+//! Results go to stdout and are merged into `BENCH_serve.json` at the
+//! repo root (override with `NEURFILL_BENCH_OUT`) as records tagged
+//! `"bench": "recovery"`, alongside the serve bench's latency rows.
+
+use neurfill::extraction::NUM_CHANNELS;
+use neurfill::pipeline::FlowConfig;
+use neurfill::{CmpNeuralNetwork, CmpNnConfig, HeightNorm, NeurFillConfig};
+use neurfill_chip::{chip_run_meta, synthesize_tiles_checkpointed, TileCheckpoint, TileJobOptions};
+use neurfill_cmpsim::ProcessParams;
+use neurfill_layout::{DesignKind, DesignSpec, FullChipSpec, Layout, Tiling};
+use neurfill_nn::{UNet, UNetConfig};
+use neurfill_optim::SqpConfig;
+use neurfill_runtime::{FaultPlan, ModelBundle, PoolOptions, RuntimePool};
+use neurfill_serve::{FillService, JobRequest, ServiceConfig, TenantConfig};
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SUBMITS: usize = 400;
+
+fn network() -> CmpNeuralNetwork {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let unet = UNet::new(
+        UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 4, depth: 2 },
+        &mut rng,
+    );
+    CmpNeuralNetwork::new(unet, HeightNorm::default(), Default::default(), CmpNnConfig::default())
+}
+
+fn bundle() -> Arc<ModelBundle> {
+    Arc::new(ModelBundle::from_network(&network()).expect("bundle"))
+}
+
+fn flow_config() -> FlowConfig {
+    FlowConfig {
+        process: ProcessParams::fast(),
+        neurfill: NeurFillConfig {
+            sqp: SqpConfig { max_iterations: 4, ..SqpConfig::default() },
+            ..NeurFillConfig::default()
+        },
+        beta_time_s: 60.0,
+        ..FlowConfig::default()
+    }
+}
+
+fn layout(seed: u64) -> Layout {
+    DesignSpec::new(DesignKind::CmpTest, 8, 8, seed).generate()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("neurfill-bench-recovery-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e6
+}
+
+/// Measures `SUBMITS` service-level submit calls. The single dispatch
+/// slot is pinned by a 2 s delay on the first synthesis, so the queue
+/// only fills and the measurement sees admission + (optional) journal
+/// append + ack, never synthesis work.
+fn submit_latencies(journal: Option<PathBuf>) -> Vec<Duration> {
+    let service = FillService::start(
+        bundle(),
+        ServiceConfig {
+            tenants: vec![TenantConfig {
+                name: "default".to_string(),
+                weight: 1,
+                capacity: SUBMITS + 8,
+            }],
+            slots: 1,
+            drain_timeout: Duration::from_millis(100),
+            flow: flow_config(),
+            pool: PoolOptions {
+                workers: 1,
+                fault: Arc::new(FaultPlan::parse("synthesis=delay2000@1", 0).expect("plan")),
+                ..PoolOptions::default()
+            },
+            journal,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+    service.submit(JobRequest::new("plug", layout(0))).expect("plug");
+
+    let body = layout(1);
+    let mut latencies = Vec::with_capacity(SUBMITS);
+    for i in 0..SUBMITS {
+        let req = JobRequest::new(format!("bench-{i}"), body.clone());
+        let t = Instant::now();
+        let id = service.submit(req).expect("submit");
+        latencies.push(t.elapsed());
+        let _ = id;
+    }
+    service.shutdown();
+    latencies.sort_unstable();
+    latencies
+}
+
+/// Design-A pool-mode full-chip pass; returns (wall, resumed tiles).
+fn design_a_pass(checkpoint: Option<&TileCheckpoint>) -> (Duration, usize) {
+    let design = FullChipSpec::new(DesignKind::CmpTest, 16, 16, 3).build();
+    let tiling = Tiling::square(16, 16, 8, ProcessParams::fast().kernel_radius);
+    let pool =
+        RuntimePool::new(bundle(), flow_config(), PoolOptions { workers: 2, ..PoolOptions::default() })
+            .expect("pool");
+    let t = Instant::now();
+    let out =
+        synthesize_tiles_checkpointed(&pool, &design, &tiling, &TileJobOptions::default(), checkpoint)
+            .expect("synthesis");
+    let wall = t.elapsed();
+    let _ = pool.shutdown();
+    assert!(out.failed.is_empty(), "no tile may fail: {:?}", out.failed);
+    (wall, out.resumed)
+}
+
+/// Merges recovery records into `BENCH_serve.json`, preserving the
+/// serve bench's rows (records are one per line; previous recovery
+/// records are replaced).
+fn merge_json(records: &[String]) -> std::io::Result<std::path::PathBuf> {
+    let path = std::env::var("NEURFILL_BENCH_OUT").map(std::path::PathBuf::from).unwrap_or_else(|_| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_serve.json")
+    });
+    let mut items: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let item = line.trim().trim_end_matches(',');
+            if item.starts_with('{') && !item.contains("\"bench\": \"recovery\"") {
+                items.push(item.to_string());
+            }
+        }
+    }
+    items.extend(records.iter().cloned());
+    let mut body = String::from("[\n");
+    for (i, item) in items.iter().enumerate() {
+        body.push_str("  ");
+        body.push_str(item);
+        body.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("]\n");
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+fn main() {
+    // -- journal-append overhead on the submit path --------------------
+    let baseline = submit_latencies(None);
+    let dir = tmp_dir("journal");
+    let journaled = submit_latencies(Some(dir.clone()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (b50, b95, b99) =
+        (percentile_us(&baseline, 50.0), percentile_us(&baseline, 95.0), percentile_us(&baseline, 99.0));
+    let (j50, j95, j99) = (
+        percentile_us(&journaled, 50.0),
+        percentile_us(&journaled, 95.0),
+        percentile_us(&journaled, 99.0),
+    );
+    let overhead_us = (j50 - b50).max(0.0);
+    // The acceptance bar is relative to the ~1 ms service submit
+    // baseline; measure against the larger of the measured baseline and
+    // 1 ms so a fast machine cannot inflate the percentage.
+    let pct = 100.0 * overhead_us / b50.max(1000.0);
+
+    println!("{:>22} {:>6} {:>10} {:>10} {:>10}", "submit", "ops", "p50_us", "p95_us", "p99_us");
+    println!("{:>22} {:>6} {:>10.1} {:>10.1} {:>10.1}", "no journal", baseline.len(), b50, b95, b99);
+    println!("{:>22} {:>6} {:>10.1} {:>10.1} {:>10.1}", "journal", journaled.len(), j50, j95, j99);
+    println!("journal append overhead: {overhead_us:.1} us p50 ({pct:.2}% of the 1 ms submit baseline)");
+
+    // -- design-A resume vs scratch ------------------------------------
+    let design = FullChipSpec::new(DesignKind::CmpTest, 16, 16, 3).build();
+    let tiling = Tiling::square(16, 16, 8, ProcessParams::fast().kernel_radius);
+    let meta = chip_run_meta(&design, &tiling, "pool");
+    let dir = tmp_dir("checkpoint");
+    let cp = TileCheckpoint::open(&dir, &meta, Arc::new(FaultPlan::disabled())).expect("checkpoint");
+    let (scratch, resumed) = design_a_pass(Some(&cp));
+    assert_eq!(resumed, 0, "the scratch pass starts from an empty checkpoint");
+    let cp = TileCheckpoint::open(&dir, &meta, Arc::new(FaultPlan::disabled())).expect("checkpoint");
+    let (resume, resumed) = design_a_pass(Some(&cp));
+    assert_eq!(resumed, 4, "the resume pass restores every tile");
+    let _ = std::fs::remove_dir_all(&dir);
+    let speedup = scratch.as_secs_f64() / resume.as_secs_f64().max(1e-9);
+    println!(
+        "design A full chip: scratch {:.3} s, resume {:.3} s ({speedup:.1}x)",
+        scratch.as_secs_f64(),
+        resume.as_secs_f64()
+    );
+
+    let records = vec![
+        format!(
+            "{{\"bench\": \"recovery\", \"metric\": \"submit\", \"journal\": false, \"ops\": {}, \
+             \"p50_us\": {b50:.1}, \"p95_us\": {b95:.1}, \"p99_us\": {b99:.1}}}",
+            baseline.len()
+        ),
+        format!(
+            "{{\"bench\": \"recovery\", \"metric\": \"submit\", \"journal\": true, \"ops\": {}, \
+             \"p50_us\": {j50:.1}, \"p95_us\": {j95:.1}, \"p99_us\": {j99:.1}}}",
+            journaled.len()
+        ),
+        format!(
+            "{{\"bench\": \"recovery\", \"metric\": \"journal_append_overhead\", \
+             \"p50_us\": {overhead_us:.1}, \"pct_of_submit_baseline\": {pct:.2}}}"
+        ),
+        format!(
+            "{{\"bench\": \"recovery\", \"metric\": \"fullchip_design_a\", \"mode\": \"scratch\", \
+             \"wall_s\": {:.3}}}",
+            scratch.as_secs_f64()
+        ),
+        format!(
+            "{{\"bench\": \"recovery\", \"metric\": \"fullchip_design_a\", \"mode\": \"resume\", \
+             \"wall_s\": {:.3}, \"speedup\": {speedup:.1}}}",
+            resume.as_secs_f64()
+        ),
+    ];
+    match merge_json(&records) {
+        Ok(path) => println!("\nmerged into {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_serve.json: {e}"),
+    }
+}

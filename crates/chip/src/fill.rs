@@ -12,9 +12,10 @@
 //! evaluation over tile extensions is *byte-identical* to the
 //! monolithic one — the fill half of the chip bit-identity suite.
 
+use crate::checkpoint::TileCheckpoint;
 use crate::source::ChipSource;
 use neurfill_cmpsim::{ChipProfile, PadKernel, ProcessParams};
-use neurfill_layout::{DummySpec, FillPlan, Layout, TileRect, Tiling};
+use neurfill_layout::{DummySpec, FillPlan, Layout, Tile, TileRect, Tiling};
 use neurfill_runtime::parallel_map_ordered;
 
 /// Parameters of the model-based fill rule.
@@ -102,6 +103,26 @@ impl ChipFillPlan {
     #[must_use]
     pub fn total(&self) -> f64 {
         self.amounts.iter().sum()
+    }
+
+    /// Writes one tile's core amounts (layer-major, then row, then
+    /// column — the order every tile path produces and the checkpoint
+    /// stores) into the tile's owned chip region.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `core` does not match the tile's core geometry times
+    /// the plan's layer count, or the tile lies outside the plan.
+    pub fn merge_core(&mut self, tile: &Tile, core: &[f64]) {
+        assert_eq!(core.len(), self.layers * tile.core.len(), "core amounts/tile mismatch");
+        let mut k = 0;
+        for l in 0..self.layers {
+            for r in 0..tile.core.rows {
+                let dst = self.idx(l, tile.core.row0 + r, tile.core.col0);
+                self.amounts[dst..dst + tile.core.cols].copy_from_slice(&core[k..k + tile.core.cols]);
+                k += tile.core.cols;
+            }
+        }
     }
 
     /// The plan restricted to a region, as a [`FillPlan`] for the
@@ -204,6 +225,38 @@ pub fn model_fill_sharded(
     cfg: &ChipFillConfig,
     workers: usize,
 ) -> ChipFillPlan {
+    match model_fill_sharded_checkpointed(source, profile, tiling, params, cfg, workers, None) {
+        Ok((plan, _)) => plan,
+        // The only fallible step is checkpoint finalization.
+        Err(e) => unreachable!("checkpoint-free sharded fill cannot fail: {e}"),
+    }
+}
+
+/// [`model_fill_sharded`] with tile-granular checkpoint/resume: tiles
+/// already finalized in `checkpoint` are merged from their stored core
+/// amounts (a bit-exact decimal round-trip) instead of being recomputed,
+/// and every freshly computed tile is finalized — in row-major tile
+/// order, so checkpoint-write fault ordinals are deterministic — before
+/// it is merged. Returns the plan and the number of tiles resumed.
+///
+/// # Errors
+///
+/// Returns a message when a checkpoint finalize fails (I/O or injected
+/// fault); completed tiles remain durable for the next attempt.
+///
+/// # Panics
+///
+/// Panics when the profile or tiling dimensions disagree with the
+/// source.
+pub fn model_fill_sharded_checkpointed(
+    source: &dyn ChipSource,
+    profile: &ChipProfile,
+    tiling: &Tiling,
+    params: &ProcessParams,
+    cfg: &ChipFillConfig,
+    workers: usize,
+    checkpoint: Option<&TileCheckpoint>,
+) -> Result<(ChipFillPlan, usize), String> {
     let (rows, cols) = (source.rows(), source.cols());
     assert_eq!((tiling.rows(), tiling.cols()), (rows, cols), "tiling/source mismatch");
     let layers = source.num_layers();
@@ -218,8 +271,18 @@ pub fn model_fill_sharded(
             deficits(layer.heights())
         })
         .collect();
-    let tiles: Vec<_> = tiling.tiles().collect();
-    let results = parallel_map_ordered(tiles, workers, |t| {
+    let mut plan = ChipFillPlan::zeros(layers, rows, cols);
+    let mut resumed = 0usize;
+    let mut todo = Vec::new();
+    for t in tiling.tiles() {
+        if let Some(amounts) = checkpoint.and_then(|cp| cp.amounts(&t, layers)) {
+            plan.merge_core(&t, amounts);
+            resumed += 1;
+        } else {
+            todo.push(t);
+        }
+    }
+    let results = parallel_map_ordered(todo, workers, |t| {
         let sub = source.tile_layout(t.ext);
         let mut ext_buf = vec![0.0; t.ext.len()];
         let mut core_amounts = Vec::with_capacity(layers * t.core.len());
@@ -242,18 +305,11 @@ pub fn model_fill_sharded(
         }
         (t, core_amounts)
     });
-    let mut plan = ChipFillPlan::zeros(layers, rows, cols);
     for (t, core_amounts) in results {
-        let mut k = 0;
-        for l in 0..layers {
-            for r in 0..t.core.rows {
-                for c in 0..t.core.cols {
-                    let dst = plan.idx(l, t.core.row0 + r, t.core.col0 + c);
-                    plan.amounts[dst] = core_amounts[k];
-                    k += 1;
-                }
-            }
+        if let Some(cp) = checkpoint {
+            cp.store(&t, layers, &core_amounts)?;
         }
+        plan.merge_core(&t, &core_amounts);
     }
-    plan
+    Ok((plan, resumed))
 }

@@ -30,6 +30,7 @@
 #![warn(missing_debug_implementations)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod checkpoint;
 pub mod fill;
 pub mod pool;
 pub mod report;
@@ -37,8 +38,15 @@ pub mod run;
 pub mod sim;
 pub mod source;
 
-pub use fill::{model_fill_monolithic, model_fill_sharded, ChipFillConfig, ChipFillPlan};
-pub use pool::{merge_tile_plan, synthesize_tiles, tile_job_layout, TileJobOptions, TileSynthesis};
+pub use checkpoint::{chip_run_meta, TileCheckpoint};
+pub use fill::{
+    model_fill_monolithic, model_fill_sharded, model_fill_sharded_checkpointed, ChipFillConfig,
+    ChipFillPlan,
+};
+pub use pool::{
+    extract_core_amounts, merge_tile_plan, synthesize_tiles, synthesize_tiles_checkpointed,
+    synthesize_tiles_into, tile_job_layout, TileJobOptions, TilePassStats, TileSynthesis,
+};
 pub use report::ChipReport;
 pub use run::{run_full_chip, ChipRunConfig, ChipRunResult};
 pub use sim::{ChipSimConfig, ChipSimStats, ChipSimulator};

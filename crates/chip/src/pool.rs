@@ -13,6 +13,7 @@
 //! chip job; its invariant (tested) is worker-count and in-flight-cap
 //! independence: the same tiling yields byte-identical merged plans.
 
+use crate::checkpoint::TileCheckpoint;
 use crate::fill::ChipFillPlan;
 use crate::source::ChipSource;
 use neurfill_layout::{Grid, Layout, Tile, Tiling, WindowPattern};
@@ -43,10 +44,21 @@ impl Default for TileJobOptions {
 pub struct TileSynthesis {
     /// Merged chip-level fill plan (zeros where a tile failed).
     pub plan: ChipFillPlan,
-    /// Tiles submitted.
+    /// Tiles in the pass (resumed + submitted).
     pub tiles: usize,
+    /// Tiles restored from the checkpoint instead of synthesized.
+    pub resumed: usize,
     /// `(job name, error)` for every tile that failed.
     pub failed: Vec<(String, String)>,
+    /// Maximum jobs simultaneously in flight.
+    pub peak_in_flight: usize,
+}
+
+/// Counters a [`synthesize_tiles_into`] pass reports back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TilePassStats {
+    /// Tiles restored from the checkpoint instead of synthesized.
+    pub resumed: usize,
     /// Maximum jobs simultaneously in flight.
     pub peak_in_flight: usize,
 }
@@ -91,6 +103,39 @@ pub fn tile_job_layout(source: &dyn ChipSource, tile: &Tile, pad_multiple: usize
     pad_layout(&source.tile_layout(tile.ext), pad_multiple)
 }
 
+/// Extracts one tile's core amounts (layer-major, the checkpoint and
+/// [`ChipFillPlan::merge_core`] order) from a synthesized plan over the
+/// padded ext layout of [`tile_job_layout`], discarding halo and
+/// padding.
+///
+/// # Panics
+///
+/// Panics when `amounts` is shorter than the padded ext geometry
+/// implies.
+#[must_use]
+pub fn extract_core_amounts(
+    tile: &Tile,
+    amounts: &[f64],
+    pad_multiple: usize,
+    layers: usize,
+) -> Vec<f64> {
+    // The padded layout keeps the unpadded ext at the same offsets
+    // (padding is bottom/right only), so the core sits at
+    // `core_in_ext()` in the padded grid too.
+    let m = pad_multiple.max(1);
+    let prows = tile.ext.rows.div_ceil(m) * m;
+    let pcols = tile.ext.cols.div_ceil(m) * m;
+    let (dr, dc) = tile.core_in_ext();
+    let mut core = Vec::with_capacity(layers * tile.core.len());
+    for l in 0..layers {
+        for r in 0..tile.core.rows {
+            let src = l * prows * pcols + (dr + r) * pcols + dc;
+            core.extend_from_slice(&amounts[src..src + tile.core.cols]);
+        }
+    }
+    core
+}
+
 /// Merges one tile's synthesized amounts (over the padded ext layout
 /// from [`tile_job_layout`]) into the chip-level plan: the core region
 /// is copied, halo and padding are discarded.
@@ -100,22 +145,8 @@ pub fn tile_job_layout(source: &dyn ChipSource, tile: &Tile, pad_multiple: usize
 /// Panics when `amounts` is shorter than the padded ext geometry
 /// implies or the tile lies outside `plan`.
 pub fn merge_tile_plan(plan: &mut ChipFillPlan, tile: &Tile, amounts: &[f64], pad_multiple: usize) {
-    // The padded layout keeps the unpadded ext at the same offsets
-    // (padding is bottom/right only), so the core sits at
-    // `core_in_ext()` in the padded grid too.
-    let m = pad_multiple.max(1);
-    let prows = tile.ext.rows.div_ceil(m) * m;
-    let pcols = tile.ext.cols.div_ceil(m) * m;
-    let (dr, dc) = tile.core_in_ext();
-    for l in 0..plan.layers() {
-        for r in 0..tile.core.rows {
-            for c in 0..tile.core.cols {
-                let src = l * prows * pcols + (dr + r) * pcols + (dc + c);
-                let dst = plan.idx(l, tile.core.row0 + r, tile.core.col0 + c);
-                plan.as_mut_slice()[dst] = amounts[src];
-            }
-        }
-    }
+    let core = extract_core_amounts(tile, amounts, pad_multiple, plan.layers());
+    plan.merge_core(tile, &core);
 }
 
 /// Streams every tile of `tiling` through `pool` and merges the
@@ -137,25 +168,90 @@ pub fn synthesize_tiles(
     tiling: &Tiling,
     opts: &TileJobOptions,
 ) -> Result<TileSynthesis, String> {
+    synthesize_tiles_checkpointed(pool, source, tiling, opts, None)
+}
+
+/// [`synthesize_tiles`] with tile-granular checkpoint/resume: tiles
+/// already finalized in `checkpoint` are merged from their stored core
+/// amounts (bit-exact) instead of submitted, and each completed tile is
+/// finalized before its merge — an interrupted run resumes from its
+/// last completed tile with a byte-identical final plan.
+///
+/// # Errors
+///
+/// Returns a message when the pool rejects a submission, a job
+/// vanishes, or a checkpoint finalize fails (I/O or injected fault);
+/// completed tiles remain durable for the next attempt.
+///
+/// # Panics
+///
+/// Panics when `tiling` does not match the source's dimensions.
+pub fn synthesize_tiles_checkpointed(
+    pool: &RuntimePool,
+    source: &dyn ChipSource,
+    tiling: &Tiling,
+    opts: &TileJobOptions,
+    checkpoint: Option<&TileCheckpoint>,
+) -> Result<TileSynthesis, String> {
     assert_eq!((tiling.rows(), tiling.cols()), (source.rows(), source.cols()), "tiling/source mismatch");
+    let mut plan = ChipFillPlan::zeros(source.num_layers(), source.rows(), source.cols());
+    let mut failed = Vec::new();
+    let tiles: Vec<Tile> = tiling.tiles().collect();
+    let stats = synthesize_tiles_into(pool, source, &tiles, opts, checkpoint, &mut plan, &mut failed)?;
+    Ok(TileSynthesis {
+        plan,
+        tiles: tiling.num_tiles(),
+        resumed: stats.resumed,
+        failed,
+        peak_in_flight: stats.peak_in_flight,
+    })
+}
+
+/// The streaming core shared by [`synthesize_tiles_checkpointed`] and
+/// the remote client's local-failover rung: synthesizes exactly `tiles`
+/// (any subset of a tiling) through `pool`, merging into a
+/// caller-provided plan. Checkpointed tiles are restored, completed
+/// tiles are finalized before merging, failures are appended to
+/// `failed` with their region left untouched in `plan`.
+///
+/// # Errors
+///
+/// Returns a message when the pool rejects a submission, a job
+/// vanishes, or a checkpoint finalize fails.
+///
+/// # Panics
+///
+/// Panics when a tile lies outside `plan`.
+pub fn synthesize_tiles_into(
+    pool: &RuntimePool,
+    source: &dyn ChipSource,
+    tiles: &[Tile],
+    opts: &TileJobOptions,
+    checkpoint: Option<&TileCheckpoint>,
+    plan: &mut ChipFillPlan,
+    failed: &mut Vec<(String, String)>,
+) -> Result<TilePassStats, String> {
     let t = &opts.telemetry;
     let gauge = t.gauge("chip.pool_tiles_in_flight");
     let cap = opts.max_in_flight.max(1);
-    let mut plan = ChipFillPlan::zeros(source.num_layers(), source.rows(), source.cols());
-    let mut failed = Vec::new();
-    let mut pending: Vec<(JobId, neurfill_layout::Tile, String)> = Vec::new();
-    let mut peak = 0usize;
+    let layers = plan.layers();
+    let mut pending: Vec<(JobId, Tile, String)> = Vec::new();
+    let mut stats = TilePassStats::default();
 
     let merge = |id: JobId,
                  status: JobStatus,
-                 tile: &neurfill_layout::Tile,
+                 tile: &Tile,
                  name: &str,
                  plan: &mut ChipFillPlan,
                  failed: &mut Vec<(String, String)>|
      -> Result<(), String> {
         match status {
             JobStatus::Done(report) => {
-                merge_tile_plan(plan, tile, report.plan.as_slice(), opts.pad_multiple);
+                let core = extract_core_amounts(tile, report.plan.as_slice(), opts.pad_multiple, layers);
+                if let Some(cp) = checkpoint {
+                    cp.store(tile, layers, &core)?;
+                }
+                plan.merge_core(tile, &core);
                 t.counter("chip.pool_tiles_done").inc();
                 Ok(())
             }
@@ -167,31 +263,10 @@ pub fn synthesize_tiles(
             other => Err(format!("job {id} ({name}) returned non-terminal status {other:?}")),
         }
     };
-
-    for tile in tiling.tiles() {
-        while pending.len() >= cap {
-            let ids: Vec<JobId> = pending.iter().map(|(id, _, _)| *id).collect();
-            let (done_id, status) = pool
-                .wait_first(&ids)
-                .ok_or_else(|| "in-flight tile jobs vanished from the pool".to_string())?;
-            let pos = pending
-                .iter()
-                .position(|(id, _, _)| *id == done_id)
-                .ok_or_else(|| format!("pool returned unknown job {done_id}"))?;
-            let (_, done_tile, name) = pending.swap_remove(pos);
-            gauge.set(pending.len() as f64);
-            merge(done_id, status, &done_tile, &name, &mut plan, &mut failed)?;
-        }
-        let sub = source.tile_layout(tile.ext);
-        let padded = pad_layout(&sub, opts.pad_multiple);
-        let name = format!("{}~{}", source.name(), tile.ext.label());
-        let id = pool.submit(JobSpec::new(name.clone(), padded))?;
-        t.counter("chip.pool_tiles_submitted").inc();
-        pending.push((id, tile, name));
-        peak = peak.max(pending.len());
-        gauge.set(pending.len() as f64);
-    }
-    while !pending.is_empty() {
+    let drain_one = |pending: &mut Vec<(JobId, Tile, String)>,
+                     plan: &mut ChipFillPlan,
+                     failed: &mut Vec<(String, String)>|
+     -> Result<(), String> {
         let ids: Vec<JobId> = pending.iter().map(|(id, _, _)| *id).collect();
         let (done_id, status) = pool
             .wait_first(&ids)
@@ -202,8 +277,31 @@ pub fn synthesize_tiles(
             .ok_or_else(|| format!("pool returned unknown job {done_id}"))?;
         let (_, done_tile, name) = pending.swap_remove(pos);
         gauge.set(pending.len() as f64);
-        merge(done_id, status, &done_tile, &name, &mut plan, &mut failed)?;
+        merge(done_id, status, &done_tile, &name, plan, failed)
+    };
+
+    for &tile in tiles {
+        if let Some(amounts) = checkpoint.and_then(|cp| cp.amounts(&tile, layers)) {
+            plan.merge_core(&tile, amounts);
+            stats.resumed += 1;
+            t.counter("chip.pool_tiles_resumed").inc();
+            continue;
+        }
+        while pending.len() >= cap {
+            drain_one(&mut pending, plan, failed)?;
+        }
+        let sub = source.tile_layout(tile.ext);
+        let padded = pad_layout(&sub, opts.pad_multiple);
+        let name = format!("{}~{}", source.name(), tile.ext.label());
+        let id = pool.submit(JobSpec::new(name.clone(), padded))?;
+        t.counter("chip.pool_tiles_submitted").inc();
+        pending.push((id, tile, name));
+        stats.peak_in_flight = stats.peak_in_flight.max(pending.len());
+        gauge.set(pending.len() as f64);
     }
-    t.gauge("chip.pool_peak_tiles_in_flight").set(peak as f64);
-    Ok(TileSynthesis { plan, tiles: tiling.num_tiles(), failed, peak_in_flight: peak })
+    while !pending.is_empty() {
+        drain_one(&mut pending, plan, failed)?;
+    }
+    t.gauge("chip.pool_peak_tiles_in_flight").set(stats.peak_in_flight as f64);
+    Ok(stats)
 }

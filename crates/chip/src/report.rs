@@ -19,6 +19,8 @@ pub struct ChipReport {
     pub tile: usize,
     /// Tiles per layer after decomposition.
     pub tiles: usize,
+    /// Fill tiles restored from a checkpoint instead of recomputed.
+    pub tiles_resumed: usize,
     /// Halo width in windows (the pad kernel radius).
     pub halo: usize,
     /// Shard-mapper workers.
@@ -47,7 +49,7 @@ impl ChipReport {
     #[must_use]
     pub fn to_text(&self) -> String {
         format!(
-            "chip {}\nwindows {}x{}x{}\ntile {}\ntiles {}\nhalo {}\nworkers {}\n\
+            "chip {}\nwindows {}x{}x{}\ntile {}\ntiles {}\ntiles_resumed {}\nhalo {}\nworkers {}\n\
              halo_bytes {}\npeak_tiles_in_flight {}\n\
              unfilled_range_nm {:.6}\nfilled_range_nm {:.6}\nfill_total_um2 {:.3}\n\
              simulate_s {:.3}\nfill_s {:.3}\nverify_s {:.3}\n",
@@ -57,6 +59,7 @@ impl ChipReport {
             self.cols,
             self.tile,
             self.tiles,
+            self.tiles_resumed,
             self.halo,
             self.workers,
             self.halo_bytes,

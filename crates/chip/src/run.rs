@@ -1,10 +1,14 @@
 //! The end-to-end full-chip flow: simulate → model-fill → verify.
 
-use crate::fill::{model_fill_sharded, ChipFillConfig, ChipFillPlan};
+use crate::checkpoint::{chip_run_meta, TileCheckpoint};
+use crate::fill::{model_fill_sharded_checkpointed, ChipFillConfig, ChipFillPlan};
 use crate::report::ChipReport;
 use crate::sim::{ChipSimConfig, ChipSimulator};
 use crate::source::{ChipSource, FilledChipSource};
 use neurfill_cmpsim::ChipProfile;
+use neurfill_runtime::FaultPlan;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of a full-chip run.
@@ -14,13 +18,24 @@ pub struct ChipRunConfig {
     pub sim: ChipSimConfig,
     /// Model-based fill rule settings.
     pub fill: ChipFillConfig,
+    /// Tile checkpoint directory: when set, each completed fill tile is
+    /// finalized there and a rerun resumes from the completed set with
+    /// a byte-identical plan.
+    pub checkpoint: Option<PathBuf>,
+    /// Fault plan driving the `checkpoint_write` site (chaos testing).
+    pub fault: Arc<FaultPlan>,
 }
 
 impl ChipRunConfig {
     /// Fast-parameter run config with the given tile edge and workers.
     #[must_use]
     pub fn fast(tile: usize, workers: usize) -> Self {
-        Self { sim: ChipSimConfig::fast(tile, workers), fill: ChipFillConfig::default() }
+        Self {
+            sim: ChipSimConfig::fast(tile, workers),
+            fill: ChipFillConfig::default(),
+            checkpoint: None,
+            fault: Arc::new(FaultPlan::disabled()),
+        }
     }
 }
 
@@ -50,14 +65,29 @@ pub struct ChipRunResult {
 pub fn run_full_chip(source: &dyn ChipSource, cfg: &ChipRunConfig) -> Result<ChipRunResult, String> {
     let sim = ChipSimulator::new(cfg.sim.clone())?;
     let tiling = sim.tiling_for(source);
+    let checkpoint = match &cfg.checkpoint {
+        Some(dir) => Some(TileCheckpoint::open(
+            dir,
+            &chip_run_meta(source, &tiling, "golden"),
+            Arc::clone(&cfg.fault),
+        )?),
+        None => None,
+    };
 
     let t0 = Instant::now();
     let (unfilled, stats0) = sim.simulate(source)?;
     let simulate_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let plan =
-        model_fill_sharded(source, &unfilled, &tiling, &cfg.sim.params, &cfg.fill, cfg.sim.workers);
+    let (plan, tiles_resumed) = model_fill_sharded_checkpointed(
+        source,
+        &unfilled,
+        &tiling,
+        &cfg.sim.params,
+        &cfg.fill,
+        cfg.sim.workers,
+        checkpoint.as_ref(),
+    )?;
     let fill_time = t1.elapsed();
 
     let t2 = Instant::now();
@@ -72,6 +102,7 @@ pub fn run_full_chip(source: &dyn ChipSource, cfg: &ChipRunConfig) -> Result<Chi
         layers: source.num_layers(),
         tile: cfg.sim.tile,
         tiles: tiling.num_tiles(),
+        tiles_resumed,
         halo: tiling.halo(),
         workers: cfg.sim.workers,
         halo_bytes: stats0.halo_bytes + stats1.halo_bytes,

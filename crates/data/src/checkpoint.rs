@@ -147,8 +147,10 @@ pub fn load_checkpoint<R: Read>(model: &dyn Module, r: R) -> io::Result<TrainChe
         }
         sections.push(moments);
     }
-    let v = sections.pop().expect("two sections pushed");
-    let m = sections.pop().expect("two sections pushed");
+    let (m, v) = match (sections.pop(), sections.pop()) {
+        (Some(v), Some(m)) => (m, v),
+        _ => unreachable!("two sections pushed"),
+    };
 
     serialize::load_parameters(model, reader)?;
     Ok(TrainCheckpoint { epoch, shard_cursor, rng_state, adam: AdamState { t, m, v } })

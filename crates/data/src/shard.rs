@@ -20,6 +20,12 @@
 //! written only by [`ShardWriter::finish`] — a crash mid-write leaves the
 //! all-ones placeholder and the reader rejects the file instead of training
 //! on a truncated corpus.
+//!
+//! Writers stage the whole shard at a `.tmp` sibling path and only
+//! `finish` moves it to its final name (flush → patch count → fsync →
+//! rename), so a crash at *any* point of the write — including
+//! mid-finalize, which previously could leave a half-patched header at
+//! the final path — leaves either no shard file or a complete one.
 
 use neurfill_nn::Dataset;
 use neurfill_obs::{Counter, Telemetry};
@@ -38,6 +44,22 @@ const COUNT_PLACEHOLDER: u64 = u64::MAX;
 
 /// File extension used for shards.
 pub const SHARD_EXTENSION: &str = "nfshard";
+
+/// `u32` from a little-endian slice the caller guarantees is 4 bytes.
+fn le_u32(bytes: &[u8]) -> u32 {
+    match bytes.try_into() {
+        Ok(array) => u32::from_le_bytes(array),
+        Err(_) => unreachable!("caller slices exactly 4 bytes"),
+    }
+}
+
+/// `u64` from a little-endian slice the caller guarantees is 8 bytes.
+fn le_u64(bytes: &[u8]) -> u64 {
+    match bytes.try_into() {
+        Ok(array) => u64::from_le_bytes(array),
+        Err(_) => unreachable!("caller slices exactly 8 bytes"),
+    }
+}
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -89,21 +111,36 @@ impl ShardShapes {
 /// Append-only writer of one shard file.
 ///
 /// Records are only ever appended; the header's sample count is patched
-/// once, by [`ShardWriter::finish`]. Dropping the writer without calling
-/// `finish` leaves the placeholder count in place, which readers reject.
+/// once, by [`ShardWriter::finish`]. The whole shard is staged at a
+/// `.tmp` sibling of `path` until `finish` renames it into place, so the
+/// final path only ever holds a complete, finalized shard. Dropping the
+/// writer without calling `finish` leaves only the staging file behind,
+/// which [`ShardSet::open_dir`] skips (wrong extension) and whose
+/// placeholder count readers reject.
 #[derive(Debug)]
 pub struct ShardWriter {
     file: BufWriter<File>,
     shapes: ShardShapes,
     count: u64,
     path: PathBuf,
+    tmp_path: PathBuf,
     records_written: Counter,
     bytes_written: Counter,
 }
 
+/// The staging path `finish` renames from: `path` with `.tmp` appended to
+/// the file name (`a.nfshard` → `a.nfshard.tmp`).
+fn staging_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(std::ffi::OsStr::to_os_string).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
 impl ShardWriter {
-    /// Creates a shard at `path` (truncating any existing file) and writes
-    /// the header with a placeholder count.
+    /// Creates a shard destined for `path`, staging its bytes at a `.tmp`
+    /// sibling (truncating any existing staging file) and writing the
+    /// header with a placeholder count. Nothing appears at `path` itself
+    /// until [`ShardWriter::finish`].
     ///
     /// # Errors
     ///
@@ -112,7 +149,9 @@ impl ShardWriter {
         if shapes.input.contains(&0) || shapes.target.contains(&0) {
             return Err(bad(format!("zero-sized sample shape {shapes:?}")));
         }
-        let mut file = BufWriter::new(File::create(&path)?);
+        let path = path.as_ref().to_path_buf();
+        let tmp_path = staging_path(&path);
+        let mut file = BufWriter::new(File::create(&tmp_path)?);
         file.write_all(MAGIC)?;
         file.write_all(&VERSION.to_le_bytes())?;
         for dims in [&shapes.input, &shapes.target] {
@@ -126,7 +165,8 @@ impl ShardWriter {
             file,
             shapes,
             count: 0,
-            path: path.as_ref().to_path_buf(),
+            path,
+            tmp_path,
             records_written: Counter::noop(),
             bytes_written: Counter::noop(),
         })
@@ -177,19 +217,30 @@ impl ShardWriter {
         self.count == 0
     }
 
-    /// Finalizes the shard: flushes records and patches the header's sample
-    /// count. Returns the path and record count.
+    /// Finalizes the shard: flushes records, patches the header's sample
+    /// count, fsyncs, and renames the staging file to the final path.
+    /// Returns the path and record count.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors; the file stays unreadable (placeholder count)
-    /// when finalization fails.
+    /// Propagates I/O errors; on failure nothing appears at the final path
+    /// and the staging file (placeholder count, rejected by readers) is
+    /// what a crash would leave.
     pub fn finish(self) -> io::Result<(PathBuf, u64)> {
-        let Self { file, count, path, .. } = self;
+        let Self { file, count, path, tmp_path, .. } = self;
         let mut file = file.into_inner().map_err(|e| e.into_error())?;
         file.seek(SeekFrom::Start(COUNT_OFFSET))?;
         file.write_all(&count.to_le_bytes())?;
         file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp_path, &path)?;
+        // Best-effort directory sync so the rename itself is durable; not
+        // all filesystems support opening a directory for sync.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
         Ok((path, count))
     }
 }
@@ -246,25 +297,24 @@ impl ShardReader {
         if &header[0..8] != MAGIC {
             return Err(ctx("not a neurfill shard (bad magic)".into()));
         }
-        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        let version = le_u32(&header[8..12]);
         if version != VERSION {
             return Err(ctx(format!("unsupported shard version {version}")));
         }
-        let dim = |i: usize| -> usize {
-            u32::from_le_bytes(header[12 + 4 * i..16 + 4 * i].try_into().expect("4 bytes")) as usize
-        };
+        let dim = |i: usize| -> usize { le_u32(&header[12 + 4 * i..16 + 4 * i]) as usize };
         let shapes = ShardShapes { input: [dim(0), dim(1), dim(2)], target: [dim(3), dim(4), dim(5)] };
         if shapes.input.contains(&0) || shapes.target.contains(&0) {
             return Err(ctx(format!("zero-sized sample shape {shapes:?}")));
         }
-        let count = u64::from_le_bytes(header[36..44].try_into().expect("8 bytes"));
+        let count = le_u64(&header[36..44]);
         if count == COUNT_PLACEHOLDER {
             return Err(ctx("shard was never finalized (writer crashed mid-write?)".into()));
         }
-        let expect_len = HEADER_LEN + count * shapes.record_len();
-        if file_len != expect_len {
+        let expect_len =
+            count.checked_mul(shapes.record_len()).and_then(|records| records.checked_add(HEADER_LEN));
+        if expect_len != Some(file_len) {
             return Err(ctx(format!(
-                "file is {file_len} bytes but header promises {count} records ({expect_len} bytes)"
+                "file is {file_len} bytes but header promises {count} records (torn header?)"
             )));
         }
         Ok(Self { file, shapes, count, read: 0, path, fault, records_read: Counter::noop() })
@@ -338,10 +388,7 @@ impl ShardReader {
                 self.read
             )));
         }
-        let floats: Vec<f32> = payload
-            .chunks_exact(4)
-            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
-            .collect();
+        let floats: Vec<f32> = payload.chunks_exact(4).map(|c| f32::from_bits(le_u32(c))).collect();
         let n_in = self.shapes.input.iter().product::<usize>();
         let input = NdArray::from_vec(floats[..n_in].to_vec(), &self.shapes.input)
             .map_err(|e| self.record_err(bad(e.to_string())))?;
@@ -436,7 +483,10 @@ impl ShardSetWriter {
         if self.current.as_ref().is_none_or(|w| w.len() == self.samples_per_shard) {
             self.rotate()?;
         }
-        self.current.as_mut().expect("rotate created a writer").push(input, target)?;
+        match self.current.as_mut() {
+            Some(writer) => writer.push(input, target)?,
+            None => unreachable!("rotate() always installs a writer"),
+        }
         self.total += 1;
         Ok(())
     }
@@ -518,7 +568,8 @@ impl ShardSet {
             }
             counts.push(reader.len());
         }
-        Ok(Self { paths, counts, shapes: shapes.expect("at least one shard") })
+        let Some(shapes) = shapes else { unreachable!("paths is non-empty, so shapes was set") };
+        Ok(Self { paths, counts, shapes })
     }
 
     /// Number of shards.
@@ -680,16 +731,53 @@ mod tests {
     }
 
     #[test]
-    fn unfinalized_shard_is_rejected() {
+    fn unfinalized_shard_never_appears_at_the_final_path() {
         let dir = tmp("unfinalized");
         let path = dir.join(format!("a.{SHARD_EXTENSION}"));
         let mut w = ShardWriter::create(&path, shapes()).unwrap();
         let (x, y) = sample(0);
         w.push(&x, &y).unwrap();
-        drop(w); // no finish()
+        drop(w); // no finish(): the crash leaves only the staging file
+        assert!(!path.exists(), "final path must stay absent without finish()");
+        let staged = staging_path(&path);
+        assert!(staged.exists(), "staging file is the crash residue");
+        // The staging residue is rejected both by a direct open (placeholder
+        // count) and by directory scans (wrong extension).
+        let err = ShardReader::open(&staged).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("finalized"), "{err}");
+        assert!(ShardSet::open_dir(&dir).is_err(), "scan must not pick up .tmp residue");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_header_at_the_final_path_is_rejected() {
+        // Regression for the pre-rename finalize: a crash mid-finalize
+        // could leave a half-patched count at the final path. Construct
+        // that exact file and assert the reader refuses it.
+        let dir = tmp("torn_header");
+        let path = dir.join(format!("a.{SHARD_EXTENSION}"));
+        let mut w = ShardWriter::create(&path, shapes()).unwrap();
+        let (x, y) = sample(0);
+        w.push(&x, &y).unwrap();
+        w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+
+        // Placeholder count (finalize never started).
+        bytes[COUNT_OFFSET as usize..COUNT_OFFSET as usize + 8]
+            .copy_from_slice(&COUNT_PLACEHOLDER.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
         let err = ShardReader::open(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("finalized"), "{err}");
+
+        // Torn count (finalize wrote some but not all count bytes before
+        // the crash): the claimed count no longer matches the file size.
+        bytes[COUNT_OFFSET as usize..COUNT_OFFSET as usize + 8]
+            .copy_from_slice(&[0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ShardReader::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

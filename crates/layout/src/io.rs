@@ -10,6 +10,10 @@
 //! dims <layers> <rows> <cols>
 //! w <density> <perimeter> <avg_width> <slack>    # L·N·M lines, flat order
 //! ```
+//!
+//! [`write_layout_bits`]/[`read_layout_bits`] are the compact bit-exact
+//! sibling (text header, raw little-endian `f64` window records) for
+//! hot paths like the serve journal's write-ahead admit records.
 
 use crate::grid::Grid;
 use crate::layout::Layout;
@@ -82,6 +86,123 @@ pub fn read_layout<R: Read>(r: R) -> io::Result<Layout> {
                 .collect::<io::Result<_>>()?;
             let [density, perimeter, avg_width, slack] = vals[..] else {
                 return Err(bad(format!("window needs 4 values: {line:?}")));
+            };
+            data.push(WindowPattern { density, perimeter, avg_width, slack });
+        }
+        grids.push(Grid::from_vec(rows, cols, data));
+    }
+    Ok(Layout::new(name, window_um, grids, file_size_mb))
+}
+
+const BITS_MAGIC: &str = "neurfill-layout-bits v1";
+
+/// Upper bound on `layers * rows * cols` accepted by
+/// [`read_layout_bits`] — rejects corrupt headers before they turn into
+/// multi-gigabyte allocations.
+const MAX_BITS_WINDOWS: usize = 1 << 28;
+
+/// Writes `layout` in the compact bit-exact encoding: the same header
+/// fields as [`write_layout`] (scalars as `f64::to_bits` hex), then one
+/// 32-byte little-endian record per window (density, perimeter,
+/// avg_width, slack).
+///
+/// Round-trips every bit pattern and is an order of magnitude cheaper
+/// to produce than the text form — the serve journal's admit records
+/// use it on the latency-critical submit path.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_layout_bits<W: Write>(layout: &Layout, mut w: W) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(96 + layout.name().len() + layout.num_windows() * 32);
+    writeln!(buf, "{BITS_MAGIC}")?;
+    writeln!(buf, "name {}", layout.name())?;
+    writeln!(
+        buf,
+        "meta {:016x} {:016x}",
+        layout.window_um().to_bits(),
+        layout.file_size_mb().to_bits()
+    )?;
+    writeln!(buf, "dims {} {} {}", layout.num_layers(), layout.rows(), layout.cols())?;
+    for id in layout.window_ids() {
+        let p = layout.window(id);
+        for v in [p.density, p.perimeter, p.avg_width, p.slack] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    w.write_all(&buf)
+}
+
+/// Reads a layout written by [`write_layout_bits`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any format violation or truncation.
+pub fn read_layout_bits<R: Read>(r: R) -> io::Result<Layout> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut reader = BufReader::new(r);
+    let mut line = String::new();
+    let mut next = |reader: &mut BufReader<R>, what: &str| -> io::Result<String> {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad(format!("unexpected end of file, expected {what}")));
+        }
+        Ok(line.trim_end().to_string())
+    };
+    if next(&mut reader, "magic")? != BITS_MAGIC {
+        return Err(bad("not a neurfill layout-bits file".into()));
+    }
+    let name = next(&mut reader, "name")?
+        .strip_prefix("name ")
+        .ok_or_else(|| bad("missing name".into()))?
+        .to_string();
+    let meta_line = next(&mut reader, "meta")?;
+    let meta: Vec<f64> = meta_line
+        .strip_prefix("meta ")
+        .ok_or_else(|| bad(format!("bad meta line {meta_line:?}")))?
+        .split_whitespace()
+        .map(|t| {
+            u64::from_str_radix(t, 16)
+                .map(f64::from_bits)
+                .map_err(|e| bad(format!("bad meta word {t:?}: {e}")))
+        })
+        .collect::<io::Result<_>>()?;
+    let [window_um, file_size_mb] = meta[..] else {
+        return Err(bad(format!("meta needs 2 words, got {}", meta.len())));
+    };
+    let dims_line = next(&mut reader, "dims")?;
+    let dims: Vec<usize> = dims_line
+        .strip_prefix("dims ")
+        .ok_or_else(|| bad(format!("bad dims line {dims_line:?}")))?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| bad(format!("bad dim {t:?}: {e}"))))
+        .collect::<io::Result<_>>()?;
+    let [layers, rows, cols] = dims[..] else {
+        return Err(bad(format!("dims needs 3 values, got {dims:?}")));
+    };
+    if layers == 0 || rows == 0 || cols == 0 {
+        return Err(bad("dims must be positive".into()));
+    }
+    let total = layers
+        .checked_mul(rows)
+        .and_then(|n| n.checked_mul(cols))
+        .filter(|&n| n <= MAX_BITS_WINDOWS)
+        .ok_or_else(|| bad(format!("implausible dims {layers}x{rows}x{cols}")))?;
+    let mut body = vec![0u8; total * 32];
+    reader.read_exact(&mut body).map_err(|e| bad(format!("truncated window records: {e}")))?;
+    let mut words = body.chunks_exact(8).map(|c| {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(c);
+        f64::from_le_bytes(raw)
+    });
+    let mut grids = Vec::with_capacity(layers);
+    for _ in 0..layers {
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            let (Some(density), Some(perimeter), Some(avg_width), Some(slack)) =
+                (words.next(), words.next(), words.next(), words.next())
+            else {
+                unreachable!("body holds exactly total * 4 words")
             };
             data.push(WindowPattern { density, perimeter, avg_width, slack });
         }
@@ -209,6 +330,37 @@ mod tests {
         let other = DesignSpec::new(DesignKind::Fpga, 5, 4, 3).generate();
         assert!(read_plan(&other, buf.as_slice()).is_err());
         assert!(read_plan(&l, b"junk".as_slice()).is_err());
+    }
+
+    #[test]
+    fn bits_roundtrip_is_bit_exact() {
+        let mut l = DesignSpec::new(DesignKind::RiscV, 6, 7, 5).generate();
+        // Exercise bit patterns plain-text formatting struggles with.
+        l.layer_mut(0).get_mut(0, 0).density = f64::MIN_POSITIVE / 4.0; // subnormal
+        l.layer_mut(0).get_mut(0, 1).perimeter = -0.0;
+        l.layer_mut(0).get_mut(0, 2).avg_width = 1.0 / 3.0;
+        let mut buf = Vec::new();
+        write_layout_bits(&l, &mut buf).unwrap();
+        let back = read_layout_bits(buf.as_slice()).unwrap();
+        assert_eq!(l, back);
+        assert_eq!(back.window(back.window_id(1)).perimeter.to_bits(), (-0.0f64).to_bits());
+        let mut again = Vec::new();
+        write_layout_bits(&back, &mut again).unwrap();
+        assert_eq!(buf, again, "bits persistence must be a fixed point");
+    }
+
+    #[test]
+    fn bits_rejects_garbage_truncation_and_huge_dims() {
+        assert!(read_layout_bits(b"hello".as_slice()).is_err());
+        assert!(read_layout_bits(b"".as_slice()).is_err());
+        let l = DesignSpec::new(DesignKind::CmpTest, 4, 4, 0).generate();
+        let mut buf = Vec::new();
+        write_layout_bits(&l, &mut buf).unwrap();
+        for cut in [3, 40, buf.len() / 2, buf.len() - 5] {
+            assert!(read_layout_bits(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+        let huge = b"neurfill-layout-bits v1\nname x\nmeta 0 0\ndims 99999 99999 99999\n";
+        assert!(read_layout_bits(huge.as_slice()).is_err(), "implausible dims must not allocate");
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! ```
 //!
 //! The spec grammar is `site=kind[@trigger]` joined by `;`, where `kind`
-//! is one of `panic`, `transient`, `nan`, or `delayNN` (NN milliseconds).
+//! is one of `panic`, `transient`, `nan`, `delayNN` (NN milliseconds), or
+//! one of the durable-write kinds `short_write`, `torn_record`, and
+//! `crash` (checked only at write sites via [`FaultPlan::inject_write`]).
 //! An absent trigger fires on every invocation. [`FaultPlan::disabled`]
 //! (the default everywhere) injects nothing and leaves every code path
 //! bit-identical to an unfaulted run.
@@ -37,6 +39,14 @@ pub mod sites {
     pub const BATCH_FORWARD: &str = "batch_forward";
     /// Reading one record from a training-data shard.
     pub const SHARD_READ: &str = "shard_read";
+    /// Appending one record to the service's write-ahead job journal.
+    pub const JOURNAL_WRITE: &str = "journal_write";
+    /// Finalizing one tile checkpoint of a full-chip run.
+    pub const CHECKPOINT_WRITE: &str = "checkpoint_write";
+    /// Dispatching one tile of a full-chip run to a remote service.
+    pub const TILE_DISPATCH: &str = "tile_dispatch";
+    /// Opening or reusing a client connection to a remote service.
+    pub const CONN_DROP: &str = "conn_drop";
 }
 
 /// What a firing fault does at its site.
@@ -51,6 +61,18 @@ pub enum FaultKind {
     /// Poison the site's numeric outputs with NaN (only meaningful at
     /// sites producing heights; elsewhere it is ignored).
     Nan,
+    /// Interrupt a durable write partway through (the write self-heals in
+    /// place — exercises retry logic, not recovery). Only meaningful at
+    /// write sites checked via [`FaultPlan::inject_write`].
+    ShortWrite,
+    /// Leave a torn (truncated / corrupted) final record on disk while
+    /// the writer believes the write succeeded — the state a real crash
+    /// leaves behind when it lands mid-record. Write sites only.
+    TornRecord,
+    /// Abort-at-ordinal: freeze the durable layer as a kill at this exact
+    /// write would, leaving a torn prefix on disk and failing this and
+    /// every later write. Write sites only.
+    Crash,
 }
 
 /// When a spec fires, relative to the per-site invocation counter.
@@ -117,6 +139,20 @@ fn splitmix(mut z: u64) -> u64 {
 /// [`crate::error::classify`] to route the failure into the retry path.
 pub const TRANSIENT_MARKER: &str = "transient fault injected";
 
+/// A durable-write fault returned by [`FaultPlan::inject_write`], telling
+/// the write site *how* to damage its own output. The site owns the
+/// mechanics (what bytes land on disk); this enum only names the shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Truncate the in-progress write, then redo it (self-healing).
+    ShortWrite,
+    /// Persist a torn final record but report success to the caller.
+    TornRecord,
+    /// Persist a torn prefix, then fail this and all later writes — the
+    /// on-disk state of a process killed at this exact ordinal.
+    Crash,
+}
+
 /// A seeded, deterministic set of injection rules shared by every thread
 /// of a runtime. The disabled plan (no specs) is the default and injects
 /// nothing.
@@ -162,6 +198,12 @@ impl FaultPlan {
                 FaultKind::Transient
             } else if kind_str == "nan" {
                 FaultKind::Nan
+            } else if kind_str == "short_write" {
+                FaultKind::ShortWrite
+            } else if kind_str == "torn_record" {
+                FaultKind::TornRecord
+            } else if kind_str == "crash" {
+                FaultKind::Crash
             } else if let Some(ms) = kind_str.strip_prefix("delay") {
                 let ms: u64 =
                     ms.parse().map_err(|_| format!("bad delay duration {ms:?} in clause {clause:?}"))?;
@@ -272,9 +314,58 @@ impl FaultPlan {
                     return Err(format!("{TRANSIENT_MARKER} at '{site}' (invocation {ordinal})"))
                 }
                 FaultKind::Nan => return Ok(true),
+                // Durable-write kinds are only meaningful at write sites
+                // (checked via `inject_write`); elsewhere they no-op so a
+                // plan written for a write site cannot corrupt others.
+                FaultKind::ShortWrite | FaultKind::TornRecord | FaultKind::Crash => {}
             }
         }
         Ok(false)
+    }
+
+    /// The injection point for durable-write sites (journal appends,
+    /// checkpoint finalizes). Behaves like [`FaultPlan::inject`] for
+    /// `panic`/`delay`/`transient` faults, and additionally surfaces the
+    /// durable-write kinds: `Ok(Some(fault))` asks the caller to damage
+    /// its write as described by the returned [`WriteFault`]. `Nan` is
+    /// ignored here. Returns `Ok(None)` when nothing fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected transient error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a `Panic` fault fires (by design).
+    pub fn inject_write(&self, site: &str) -> Result<Option<WriteFault>, String> {
+        if self.specs.is_empty() {
+            return Ok(None);
+        }
+        let ordinal = {
+            let mut counters = self.counters.lock();
+            let c = counters.entry(site.to_string()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        for spec in self.specs.iter().filter(|s| s.site == site) {
+            if !spec.fires(ordinal, self.seed) {
+                continue;
+            }
+            match spec.kind {
+                FaultKind::Panic => {
+                    panic!("fault injected: panic at '{site}' (invocation {ordinal})")
+                }
+                FaultKind::Delay(d) => std::thread::sleep(d),
+                FaultKind::Transient => {
+                    return Err(format!("{TRANSIENT_MARKER} at '{site}' (invocation {ordinal})"))
+                }
+                FaultKind::Nan => {}
+                FaultKind::ShortWrite => return Ok(Some(WriteFault::ShortWrite)),
+                FaultKind::TornRecord => return Ok(Some(WriteFault::TornRecord)),
+                FaultKind::Crash => return Ok(Some(WriteFault::Crash)),
+            }
+        }
+        Ok(None)
     }
 
     /// [`FaultPlan::inject`] adapted to `io::Result` call sites: transient
@@ -350,6 +441,36 @@ mod tests {
         .unwrap_err();
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("fault injected"), "{msg}");
+    }
+
+    #[test]
+    fn write_faults_fire_only_through_inject_write() {
+        let plan = FaultPlan::parse(
+            "journal_write=crash@2; checkpoint_write=torn_record@1; shard_read=short_write",
+            0,
+        )
+        .unwrap();
+        // inject() treats durable-write kinds as no-ops (but still counts).
+        assert_eq!(plan.inject(sites::SHARD_READ), Ok(false));
+        assert_eq!(plan.invocations(sites::SHARD_READ), 1);
+        // inject_write() surfaces them with their trigger semantics.
+        assert_eq!(plan.inject_write(sites::JOURNAL_WRITE), Ok(None));
+        assert_eq!(plan.inject_write(sites::JOURNAL_WRITE), Ok(Some(WriteFault::Crash)));
+        assert_eq!(plan.inject_write(sites::JOURNAL_WRITE), Ok(None));
+        assert_eq!(plan.inject_write(sites::CHECKPOINT_WRITE), Ok(Some(WriteFault::TornRecord)));
+        assert_eq!(plan.inject_write(sites::CHECKPOINT_WRITE), Ok(None));
+        assert_eq!(plan.inject_write(sites::SHARD_READ), Ok(Some(WriteFault::ShortWrite)));
+    }
+
+    #[test]
+    fn inject_write_shares_transient_and_counter_semantics_with_inject() {
+        let plan = FaultPlan::parse("journal_write=transient@2", 0).unwrap();
+        assert_eq!(plan.inject_write(sites::JOURNAL_WRITE), Ok(None));
+        assert!(plan.inject_write(sites::JOURNAL_WRITE).is_err());
+        assert_eq!(plan.invocations(sites::JOURNAL_WRITE), 2);
+        let disabled = FaultPlan::disabled();
+        assert_eq!(disabled.inject_write(sites::JOURNAL_WRITE), Ok(None));
+        assert_eq!(disabled.invocations(sites::JOURNAL_WRITE), 0);
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod stats;
 
 pub use batch::{BatchClient, BatchConfig, BatchServer, BatchSupervisor};
 pub use error::{classify, ErrorClass, InferError, RetryPolicy, RuntimeError};
-pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultTrigger};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultTrigger, WriteFault};
 pub use job::{JobId, JobReport, JobSpec, JobStatus};
 pub use neurfill::CancelToken;
 pub use pool::{default_workers, parallel_map_ordered, PoolOptions, RuntimePool};

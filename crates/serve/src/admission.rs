@@ -131,6 +131,14 @@ impl Admission {
         Ok(())
     }
 
+    /// Re-admits a journal-recovered submission, bypassing the capacity
+    /// bound: a job acknowledged before a restart must never be lost to
+    /// it, even when the recovered backlog exceeds the configured queue
+    /// capacity. New submissions still go through [`Admission::enqueue`].
+    pub fn restore(&mut self, index: usize, pending: Pending) {
+        self.tenants[index].classes[pending.priority.index()].push_back(pending);
+    }
+
     /// Picks the next submission to dispatch: smooth WRR across tenants
     /// with queued work, strict priority order within the picked tenant.
     /// Returns `None` when every queue is empty.

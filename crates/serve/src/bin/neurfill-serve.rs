@@ -6,12 +6,18 @@
 //!                [--workers N] [--slots N] [--timeout-s S] [--retries N]
 //!                [--canary-samples N] [--canary-sigma-tol T]
 //!                [--drain-timeout-s S] [--metrics-out metrics.jsonl]
-//!                [--fault-plan SPEC] [--fault-seed N] [--fast]
+//!                [--journal DIR] [--fault-plan SPEC] [--fault-seed N] [--fast]
 //! ```
 //!
 //! Runs until `POST /v1/admin/shutdown` drains it; `--metrics-out` then
 //! flushes the final metrics snapshot (schema-v1 JSONL) before exit.
 //! Tenants default to a single `default:1:64` when none are given.
+//!
+//! `--journal DIR` turns on the crash-durable write-ahead job journal:
+//! every acknowledged submission, dispatch and terminal transition is
+//! appended to `DIR/jobs.nflog` before the client sees it, and a
+//! restarted server replays the journal — re-queueing interrupted jobs
+//! and serving recovered results with a `recovered true` status line.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
@@ -37,6 +43,7 @@ struct Args {
     canary_sigma_tol: Option<f64>,
     drain_timeout: Duration,
     metrics_out: Option<PathBuf>,
+    journal: Option<PathBuf>,
     fault_plan: Option<String>,
     fault_seed: u64,
     fast: bool,
@@ -48,7 +55,8 @@ fn usage() -> ! {
          \x20      [--tenant name[:weight[:capacity]]]... [--default-tenant NAME]\n\
          \x20      [--workers N] [--slots N] [--timeout-s S] [--retries N]\n\
          \x20      [--canary-samples N] [--canary-sigma-tol T] [--drain-timeout-s S]\n\
-         \x20      [--metrics-out <file>] [--fault-plan SPEC] [--fault-seed N] [--fast]"
+         \x20      [--metrics-out <file>] [--journal DIR]\n\
+         \x20      [--fault-plan SPEC] [--fault-seed N] [--fast]"
     );
     std::process::exit(2);
 }
@@ -74,6 +82,7 @@ fn parse_args() -> Args {
         canary_sigma_tol: None,
         drain_timeout: Duration::from_secs(30),
         metrics_out: None,
+        journal: None,
         fault_plan: None,
         fault_seed: 0,
         fast: false,
@@ -123,6 +132,7 @@ fn parse_args() -> Args {
                 ))
             }
             "--metrics-out" => args.metrics_out = Some(value(&mut it, "--metrics-out").into()),
+            "--journal" => args.journal = Some(value(&mut it, "--journal").into()),
             "--fault-plan" => args.fault_plan = Some(value(&mut it, "--fault-plan")),
             "--fault-seed" => {
                 args.fault_seed = parse_num(&value(&mut it, "--fault-seed"), "--fault-seed")
@@ -174,6 +184,7 @@ fn run() -> Result<(), String> {
                 ..CanaryConfig::default()
             },
             flow,
+            journal: args.journal.clone(),
             pool: PoolOptions {
                 workers: args.workers,
                 default_timeout: args.timeout,

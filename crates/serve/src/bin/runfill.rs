@@ -43,22 +43,22 @@ use neurfill::extraction::NUM_CHANNELS;
 use neurfill::pipeline::FlowConfig;
 use neurfill::surrogate::{train_surrogate, SurrogateConfig};
 use neurfill_chip::{
-    merge_tile_plan, run_full_chip, synthesize_tiles, tile_job_layout, ChipFillConfig, ChipFillPlan,
-    ChipRunConfig, ChipSimConfig, TileJobOptions,
+    chip_run_meta, run_full_chip, synthesize_tiles_checkpointed, ChipFillConfig, ChipFillPlan,
+    ChipRunConfig, ChipSimConfig, TileCheckpoint, TileJobOptions,
 };
 use neurfill_cmpsim::{CmpSimulator, ContactSolve, ProcessParams};
 use neurfill_layout::datagen::DataGenConfig;
 use neurfill_layout::{
-    benchmark_designs, io as layout_io, DesignKind, DesignSpec, FullChipDesign, FullChipSpec, Tile,
-    Tiling,
+    benchmark_designs, io as layout_io, DesignKind, DesignSpec, FullChipDesign, FullChipSpec, Tiling,
 };
 use neurfill_nn::{TrainConfig, UNetConfig};
 use neurfill_runtime::{
     BatchConfig, FaultPlan, JobSpec, JobStatus, ModelRegistry, PoolOptions, RetryPolicy, RuntimePool,
 };
-use neurfill_serve::{Client, ClientError, JobRequest, Priority};
+use neurfill_serve::{
+    synthesize_chip_remote, ChipClientOptions, Client, FailoverConfig, JobRequest, Priority,
+};
 use rand::SeedableRng;
-use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -82,6 +82,7 @@ struct Args {
     init_demo: usize,
     metrics_out: Option<PathBuf>,
     full_chip: bool,
+    checkpoint: Option<PathBuf>,
     design: DesignKind,
     tile_size: usize,
     rows: usize,
@@ -101,7 +102,8 @@ fn usage() -> ! {
          \x20             [--tenant NAME] [--priority high|normal|low] [--timeout-s S]\n\
          \x20      runfill --full-chip [--design A|B|C] [--tile-size N] [--rows R]\n\
          \x20             [--cols C] [--seed S] [--out <dir>] [--workers N] [--fast]\n\
-         \x20             [--model <bundle> | --connect HOST:PORT] [--max-in-flight K]"
+         \x20             [--model <bundle> | --connect HOST:PORT] [--max-in-flight K]\n\
+         \x20             [--checkpoint <dir>] [--fault-plan SPEC] [--fault-seed N]"
     );
     std::process::exit(2);
 }
@@ -137,6 +139,7 @@ fn parse_args() -> Args {
         init_demo: 0,
         metrics_out: None,
         full_chip: false,
+        checkpoint: None,
         design: DesignKind::RiscV,
         tile_size: 32,
         rows: 32,
@@ -184,6 +187,7 @@ fn parse_args() -> Args {
                     Duration::from_millis(parse_num(&value(&mut it, "--linger-ms"), "--linger-ms"))
             }
             "--full-chip" => args.full_chip = true,
+            "--checkpoint" => args.checkpoint = Some(value(&mut it, "--checkpoint").into()),
             "--design" => args.design = parse_design(&value(&mut it, "--design")),
             "--tile-size" => args.tile_size = parse_num(&value(&mut it, "--tile-size"), "--tile-size"),
             "--rows" => {
@@ -382,19 +386,22 @@ fn synthesis_summary(
     tile: usize,
     cap: usize,
     peak: usize,
+    resumed: usize,
     failed: usize,
     plan: &ChipFillPlan,
     elapsed: Duration,
 ) -> String {
     format!(
-        "chip {}\nwindows {}x{}x{}\ntile {}\ntiles {}\nhalo {}\nin_flight_cap {}\n\
-         peak_tiles_in_flight {}\ntiles_failed {}\nfill_total_um2 {:.3}\nsynthesis_s {:.3}\n",
+        "chip {}\nwindows {}x{}x{}\ntile {}\ntiles {}\ntiles_resumed {}\nhalo {}\n\
+         in_flight_cap {}\npeak_tiles_in_flight {}\ntiles_failed {}\nfill_total_um2 {:.3}\n\
+         synthesis_s {:.3}\n",
         design.name(),
         design.num_layers(),
         design.rows(),
         design.cols(),
         tile,
         tiling.num_tiles(),
+        resumed,
         tiling.halo(),
         cap,
         peak,
@@ -412,45 +419,63 @@ fn write_chip_report(out_dir: &Path, design: &FullChipDesign, text: &str) -> Res
     Ok(())
 }
 
-/// Long-polls the oldest in-flight tile job, merging its plan into the
-/// chip plan (a failed tile's chip region stays zero-filled).
-fn drain_front(
-    client: &mut Client,
-    pending: &mut VecDeque<(u64, Tile, String)>,
-    plan: &mut ChipFillPlan,
-    failed: &mut Vec<(String, String)>,
-    pad: usize,
-) {
-    let Some((id, tile, name)) = pending.pop_front() else { return };
-    let wait = Some(Duration::from_secs(60));
-    loop {
-        match client.result_plan(id, wait) {
-            Ok(amounts) => {
-                merge_tile_plan(plan, &tile, &amounts, pad);
-                println!("done  {name}");
-                return;
-            }
-            // A 202 just means "not yet", so poll on.
-            Err(ClientError::Http { status: 202, .. }) => {}
-            Err(e) => {
-                println!("FAIL  {name}: {e}");
-                failed.push((name, e.to_string()));
-                return;
-            }
-        }
+/// The fault plan for full-chip runs: the flag, else the environment
+/// (`NEURFILL_FAULT_PLAN` / `NEURFILL_FAULT_SEED`), else disabled.
+fn chip_fault(args: &Args) -> Result<Arc<FaultPlan>, String> {
+    let fault = match &args.fault_plan {
+        Some(spec) => FaultPlan::parse(spec, args.fault_seed)?,
+        None => FaultPlan::from_env()?,
+    };
+    if fault.is_enabled() {
+        println!("fault injection enabled (seed {})", args.fault_seed);
     }
+    Ok(Arc::new(fault))
 }
 
 /// `--full-chip --connect`: stream halo-padded tiles through a running
 /// `neurfill-serve` with a bounded in-flight window, fetching each
 /// tile's plan over `GET /v1/jobs/{id}/plan` and merging client-side.
+/// `--checkpoint` makes completed tiles durable/resumable, and adding
+/// `--model` arms the local-pool failover rung: if the server becomes
+/// unreachable mid-chip, the remaining tiles finish in-process.
 fn run_full_chip_remote(args: &Args, addr: &str, out_dir: &Path) -> Result<bool, String> {
     let design = chip_design(args);
     let params = process_params(args);
     let tile = chip_tile(args, &design);
     let tiling = Tiling::square(design.rows(), design.cols(), tile, params.kernel_radius);
-    let pad = TileJobOptions::default().pad_multiple;
     let cap = args.max_in_flight.max(1);
+    let telemetry = chip_telemetry(args);
+    let failover = if args.model.as_os_str().is_empty() {
+        None
+    } else {
+        let registry = ModelRegistry::new();
+        let bundle =
+            registry.load(&args.model).map_err(|e| format!("loading {}: {e}", args.model.display()))?;
+        println!("failover bundle {} (digest {:016x})", args.model.display(), bundle.digest());
+        Some(FailoverConfig {
+            bundle,
+            flow: FlowConfig { process: params.clone(), ..FlowConfig::default() },
+            pool: PoolOptions {
+                workers: args.workers,
+                batch: BatchConfig { max_batch: args.max_batch.max(1), linger: args.linger },
+                default_timeout: args.timeout,
+                retry: RetryPolicy::with_retries(args.retries),
+                telemetry: telemetry.clone(),
+                ..PoolOptions::default()
+            },
+        })
+    };
+    let opts = ChipClientOptions {
+        max_in_flight: cap,
+        tenant: args.tenant.clone(),
+        priority: args.priority,
+        timeout: args.timeout,
+        checkpoint: args.checkpoint.clone(),
+        fault: chip_fault(args)?,
+        failover,
+        telemetry: telemetry.clone(),
+        ..ChipClientOptions::default()
+    };
     println!(
         "full chip {} ({}x{} windows, {} tiles of {tile}, halo {}) via {addr}",
         design.name(),
@@ -461,33 +486,35 @@ fn run_full_chip_remote(args: &Args, addr: &str, out_dir: &Path) -> Result<bool,
     );
 
     let started = Instant::now();
-    let mut client = Client::connect(addr);
-    let mut plan = ChipFillPlan::zeros(design.num_layers(), design.rows(), design.cols());
-    let mut pending: VecDeque<(u64, Tile, String)> = VecDeque::new();
-    let mut failed = Vec::new();
-    let mut peak = 0usize;
-    for t in tiling.tiles() {
-        while pending.len() >= cap {
-            drain_front(&mut client, &mut pending, &mut plan, &mut failed, pad);
-        }
-        let sub = tile_job_layout(&design, &t, pad);
-        let name = format!("{}~{}", design.name(), t.ext.label());
-        let mut req = JobRequest::new(name.clone(), sub);
-        req.tenant = args.tenant.clone();
-        req.priority = args.priority;
-        req.timeout = args.timeout;
-        let id = client.submit(&req).map_err(|e| format!("submitting {name}: {e}"))?;
-        pending.push_back((id, t, name));
-        peak = peak.max(pending.len());
+    let out = synthesize_chip_remote(addr, &design, &tiling, &opts)?;
+    for (name, e) in &out.failed {
+        println!("FAIL  {name}: {e}");
     }
-    while !pending.is_empty() {
-        drain_front(&mut client, &mut pending, &mut plan, &mut failed, pad);
+    if out.circuit_opened {
+        println!("circuit opened: {} tiles finished on the local failover pool", out.failed_over);
     }
 
-    let summary =
-        synthesis_summary(&design, &tiling, tile, cap, peak, failed.len(), &plan, started.elapsed());
+    let mut summary = synthesis_summary(
+        &design,
+        &tiling,
+        tile,
+        cap,
+        out.peak_in_flight,
+        out.resumed,
+        out.failed.len(),
+        &out.plan,
+        started.elapsed(),
+    );
+    summary.push_str(&format!("tiles_failed_over {}\n", out.failed_over));
     write_chip_report(out_dir, &design, &summary)?;
-    Ok(failed.is_empty())
+    if let Some(path) = &args.metrics_out {
+        telemetry
+            .snapshot()
+            .write_jsonl_file(path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(out.failed.is_empty())
 }
 
 /// `--full-chip --model`: stream halo-padded tiles through an
@@ -515,6 +542,15 @@ fn run_full_chip_pool(args: &Args, out_dir: &Path) -> Result<bool, String> {
         ..PoolOptions::default()
     };
     let pool = RuntimePool::new(bundle, flow, options).map_err(|e| e.to_string())?;
+    let fault = chip_fault(args)?;
+    let checkpoint = match &args.checkpoint {
+        Some(dir) => Some(TileCheckpoint::open(
+            dir,
+            &chip_run_meta(&design, &tiling, "pool"),
+            Arc::clone(&fault),
+        )?),
+        None => None,
+    };
     println!(
         "full chip {} ({}x{} windows, {} tiles of {tile}, halo {}, cap {cap})",
         design.name(),
@@ -525,7 +561,7 @@ fn run_full_chip_pool(args: &Args, out_dir: &Path) -> Result<bool, String> {
     );
 
     let started = Instant::now();
-    let out = synthesize_tiles(
+    let out = synthesize_tiles_checkpointed(
         &pool,
         &design,
         &tiling,
@@ -534,6 +570,7 @@ fn run_full_chip_pool(args: &Args, out_dir: &Path) -> Result<bool, String> {
             telemetry: telemetry.clone(),
             ..TileJobOptions::default()
         },
+        checkpoint.as_ref(),
     )?;
     let elapsed = started.elapsed();
     if let Some(path) = &args.metrics_out {
@@ -553,6 +590,7 @@ fn run_full_chip_pool(args: &Args, out_dir: &Path) -> Result<bool, String> {
         tile,
         cap,
         out.peak_in_flight,
+        out.resumed,
         out.failed.len(),
         &out.plan,
         elapsed,
@@ -576,6 +614,8 @@ fn run_full_chip_golden(args: &Args, out_dir: &Path) -> Result<bool, String> {
             telemetry: telemetry.clone(),
         },
         fill: ChipFillConfig::default(),
+        checkpoint: args.checkpoint.clone(),
+        fault: chip_fault(args)?,
     };
     println!(
         "full chip {} ({}x{} windows, tile {}, golden sharded flow)",

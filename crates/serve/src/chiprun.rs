@@ -1,0 +1,419 @@
+//! Client-side full-chip tile streaming over a running `neurfill-serve`,
+//! with tile checkpoint/resume and a local-pool failover rung.
+//!
+//! This is the library form of `runfill --full-chip --connect`: every
+//! halo-padded tile becomes one remote job, at most `max_in_flight` are
+//! resident at a time, and each fetched plan has its core merged
+//! client-side ([`neurfill_chip::extract_core_amounts`] /
+//! [`ChipFillPlan::merge_core`]).
+//!
+//! Two durability mechanisms ride the stream:
+//!
+//! * **Checkpoint/resume** — with [`ChipClientOptions::checkpoint`] set,
+//!   each completed tile is finalized in a
+//!   [`TileCheckpoint`] before its merge; a re-run skips the completed
+//!   set and still produces a byte-identical chip plan.
+//! * **Failover rung** — transport failures (including injected
+//!   [`CONN_DROP`](neurfill_runtime::fault::sites::CONN_DROP) faults)
+//!   are retried; [`ChipClientOptions::conn_failures_to_open`]
+//!   *consecutive* failures open the circuit, after which no further
+//!   remote calls are made and — when a [`FailoverConfig`] is present —
+//!   the remaining tiles finish on a local runtime pool
+//!   ([`neurfill_chip::synthesize_tiles_into`]). Without a failover
+//!   pool the run aborts, with every completed tile already durable in
+//!   the checkpoint.
+//!
+//! Degradation order for a remote chip run is therefore: retry the
+//! connection → circuit-open → local pool → (caller's choice) golden
+//! flow, extending the service's existing retry → restart →
+//! degrade ladder to full-chip scale.
+
+use crate::client::{Client, ClientError};
+use crate::wire::{JobRequest, Priority};
+use neurfill::pipeline::FlowConfig;
+use neurfill_chip::source::ChipSource;
+use neurfill_chip::{
+    chip_run_meta, extract_core_amounts, synthesize_tiles_into, tile_job_layout, ChipFillPlan,
+    TileCheckpoint, TileJobOptions,
+};
+use neurfill_layout::{Tile, Tiling};
+use neurfill_obs::Telemetry;
+use neurfill_runtime::fault::sites;
+use neurfill_runtime::{FaultPlan, ModelBundle, PoolOptions, RuntimePool};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything needed to stand up a local runtime pool when the remote
+/// service becomes unreachable mid-chip.
+#[derive(Clone)]
+pub struct FailoverConfig {
+    /// Model bundle the local pool hydrates.
+    pub bundle: Arc<ModelBundle>,
+    /// Flow configuration for the local workers.
+    pub flow: FlowConfig,
+    /// Local pool sizing/retry options.
+    pub pool: PoolOptions,
+}
+
+impl std::fmt::Debug for FailoverConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailoverConfig").field("bundle_digest", &self.bundle.digest()).finish()
+    }
+}
+
+/// Options for a remote full-chip tile stream.
+#[derive(Debug, Clone)]
+pub struct ChipClientOptions {
+    /// Maximum tiles submitted but not yet merged (`0` is treated as 1).
+    pub max_in_flight: usize,
+    /// Padding multiple for tile job layouts (the surrogate's
+    /// divisibility constraint).
+    pub pad_multiple: usize,
+    /// Tenant header for submissions (server default when `None`).
+    pub tenant: Option<String>,
+    /// Priority class for submissions.
+    pub priority: Priority,
+    /// Per-job deadline forwarded to the server.
+    pub timeout: Option<Duration>,
+    /// Tile checkpoint directory (resume + crash durability) when set.
+    pub checkpoint: Option<PathBuf>,
+    /// Fault plan driving the `conn_drop` and `checkpoint_write` sites.
+    pub fault: Arc<FaultPlan>,
+    /// Local failover pool; without one, an opened circuit aborts the
+    /// run (completed tiles stay durable in the checkpoint).
+    pub failover: Option<FailoverConfig>,
+    /// Consecutive transport failures that open the circuit.
+    pub conn_failures_to_open: usize,
+    /// Telemetry sink for `chip.remote_*` metrics.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ChipClientOptions {
+    fn default() -> Self {
+        let tile_opts = TileJobOptions::default();
+        Self {
+            max_in_flight: tile_opts.max_in_flight,
+            pad_multiple: tile_opts.pad_multiple,
+            tenant: None,
+            priority: Priority::Normal,
+            timeout: None,
+            checkpoint: None,
+            fault: Arc::new(FaultPlan::disabled()),
+            failover: None,
+            conn_failures_to_open: 3,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Result of a remote full-chip tile stream.
+#[derive(Debug, Clone)]
+pub struct ChipClientReport {
+    /// Merged chip-level fill plan (zeros where a tile failed).
+    pub plan: ChipFillPlan,
+    /// Tiles in the pass (resumed + remote + failed over).
+    pub tiles: usize,
+    /// Tiles restored from the checkpoint instead of synthesized.
+    pub resumed: usize,
+    /// Tiles finished on the local failover pool after circuit-open.
+    pub failed_over: usize,
+    /// `(job name, error)` for every tile that failed server-side.
+    pub failed: Vec<(String, String)>,
+    /// Maximum remote jobs simultaneously in flight.
+    pub peak_in_flight: usize,
+    /// Whether consecutive connection failures opened the circuit.
+    pub circuit_opened: bool,
+}
+
+/// One remote fetch outcome.
+enum Fetch {
+    /// The tile's synthesized (padded-ext) amounts.
+    Plan(Vec<f64>),
+    /// The job failed server-side (e.g. synthesis error, job gone).
+    Failed(String),
+    /// The circuit opened while talking to the server.
+    CircuitOpen,
+}
+
+/// Transport-failure accounting around one persistent client.
+struct RemoteConn<'a> {
+    client: Client,
+    fault: &'a FaultPlan,
+    telemetry: &'a Telemetry,
+    threshold: usize,
+    consecutive: usize,
+    open: bool,
+}
+
+impl RemoteConn<'_> {
+    fn failure(&mut self, err: &str) {
+        self.consecutive += 1;
+        self.telemetry.counter("chip.remote_conn_failures").inc();
+        if self.consecutive >= self.threshold && !self.open {
+            self.open = true;
+            self.telemetry.event(
+                "chip",
+                "circuit_open",
+                &[("consecutive", self.consecutive.to_string()), ("error", err.to_string())],
+            );
+        }
+    }
+
+    fn ok(&mut self) {
+        self.consecutive = 0;
+    }
+
+    /// Applies the `conn_drop` fault site; `true` means this call is
+    /// dropped (and counted as a transport failure).
+    fn injected_drop(&mut self) -> bool {
+        match self.fault.inject(sites::CONN_DROP) {
+            Ok(_) => false,
+            Err(e) => {
+                self.failure(&e);
+                true
+            }
+        }
+    }
+
+    /// Submits one tile job, retrying transport failures until success
+    /// or circuit-open (`Ok(None)`).
+    ///
+    /// Server-answered errors (bad tenant, full queue, draining) are
+    /// fatal for the run — the server is reachable, so failover would
+    /// be the wrong rung.
+    fn submit(&mut self, req: &JobRequest) -> Result<Option<u64>, String> {
+        while !self.open {
+            if self.injected_drop() {
+                continue;
+            }
+            match self.client.submit(req) {
+                Ok(id) => {
+                    self.ok();
+                    return Ok(Some(id));
+                }
+                Err(ClientError::Io(e)) => self.failure(&e),
+                Err(e @ ClientError::Http { .. }) => {
+                    return Err(format!("submitting {}: {e}", req.name))
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Long-polls one tile's plan until terminal, circuit-open, or a
+    /// server-side failure.
+    fn fetch_plan(&mut self, id: u64) -> Fetch {
+        let wait = Some(Duration::from_secs(60));
+        while !self.open {
+            if self.injected_drop() {
+                continue;
+            }
+            match self.client.result_plan(id, wait) {
+                Ok(amounts) => {
+                    self.ok();
+                    return Fetch::Plan(amounts);
+                }
+                // A 202 just means "not yet", so poll on.
+                Err(ClientError::Http { status: 202, .. }) => self.ok(),
+                Err(ClientError::Io(e)) => self.failure(&e),
+                Err(e @ ClientError::Http { .. }) => {
+                    self.ok();
+                    return Fetch::Failed(e.to_string());
+                }
+            }
+        }
+        Fetch::CircuitOpen
+    }
+}
+
+/// Streams every tile of `tiling` through the `neurfill-serve` at
+/// `addr`, with checkpoint/resume and circuit-breaker failover as
+/// configured (see the module docs).
+///
+/// # Errors
+///
+/// Returns a message when the checkpoint cannot be opened or finalized,
+/// the server answers a submission with a non-transport error, the
+/// failover pool cannot start, or the circuit opens with no failover
+/// configured.
+///
+/// # Panics
+///
+/// Panics when `tiling` does not match the source's dimensions.
+pub fn synthesize_chip_remote(
+    addr: &str,
+    source: &dyn ChipSource,
+    tiling: &Tiling,
+    opts: &ChipClientOptions,
+) -> Result<ChipClientReport, String> {
+    assert_eq!((tiling.rows(), tiling.cols()), (source.rows(), source.cols()), "tiling/source mismatch");
+    let layers = source.num_layers();
+    let t = &opts.telemetry;
+    let checkpoint = match &opts.checkpoint {
+        Some(dir) => Some(TileCheckpoint::open(
+            dir,
+            &chip_run_meta(source, tiling, "remote"),
+            Arc::clone(&opts.fault),
+        )?),
+        None => None,
+    };
+
+    let mut conn = RemoteConn {
+        client: Client::connect(addr),
+        fault: &opts.fault,
+        telemetry: t,
+        threshold: opts.conn_failures_to_open.max(1),
+        consecutive: 0,
+        open: false,
+    };
+    let cap = opts.max_in_flight.max(1);
+    let mut plan = ChipFillPlan::zeros(layers, source.rows(), source.cols());
+    let mut pending: VecDeque<(u64, Tile, String)> = VecDeque::new();
+    let mut failed: Vec<(String, String)> = Vec::new();
+    let mut leftovers: Vec<Tile> = Vec::new();
+    let mut resumed = 0usize;
+    let mut peak = 0usize;
+
+    // Fetch-and-merge the oldest in-flight tile; an opened circuit puts
+    // the tile into `leftovers` for the failover rung.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_front(
+        conn: &mut RemoteConn<'_>,
+        pending: &mut VecDeque<(u64, Tile, String)>,
+        plan: &mut ChipFillPlan,
+        failed: &mut Vec<(String, String)>,
+        leftovers: &mut Vec<Tile>,
+        checkpoint: Option<&TileCheckpoint>,
+        pad_multiple: usize,
+        layers: usize,
+        t: &Telemetry,
+    ) -> Result<(), String> {
+        let Some((id, tile, name)) = pending.pop_front() else { return Ok(()) };
+        match conn.fetch_plan(id) {
+            Fetch::Plan(amounts) => {
+                let core = extract_core_amounts(&tile, &amounts, pad_multiple, layers);
+                if let Some(cp) = checkpoint {
+                    cp.store(&tile, layers, &core)?;
+                }
+                plan.merge_core(&tile, &core);
+                t.counter("chip.remote_tiles_done").inc();
+            }
+            Fetch::Failed(e) => {
+                failed.push((name, e));
+                t.counter("chip.remote_tiles_failed").inc();
+            }
+            Fetch::CircuitOpen => leftovers.push(tile),
+        }
+        Ok(())
+    }
+
+    for tile in tiling.tiles() {
+        if let Some(amounts) = checkpoint.as_ref().and_then(|cp| cp.amounts(&tile, layers)) {
+            plan.merge_core(&tile, amounts);
+            resumed += 1;
+            t.counter("chip.remote_tiles_resumed").inc();
+            continue;
+        }
+        if conn.open {
+            leftovers.push(tile);
+            continue;
+        }
+        while pending.len() >= cap && !conn.open {
+            drain_front(
+                &mut conn,
+                &mut pending,
+                &mut plan,
+                &mut failed,
+                &mut leftovers,
+                checkpoint.as_ref(),
+                opts.pad_multiple,
+                layers,
+                t,
+            )?;
+        }
+        if conn.open {
+            leftovers.push(tile);
+            continue;
+        }
+        let sub = tile_job_layout(source, &tile, opts.pad_multiple);
+        let name = format!("{}~{}", source.name(), tile.ext.label());
+        let mut req = JobRequest::new(name.clone(), sub);
+        req.tenant = opts.tenant.clone();
+        req.priority = opts.priority;
+        req.timeout = opts.timeout;
+        match conn.submit(&req)? {
+            Some(id) => {
+                t.counter("chip.remote_tiles_submitted").inc();
+                pending.push_back((id, tile, name));
+                peak = peak.max(pending.len());
+            }
+            None => leftovers.push(tile),
+        }
+    }
+    while !pending.is_empty() {
+        drain_front(
+            &mut conn,
+            &mut pending,
+            &mut plan,
+            &mut failed,
+            &mut leftovers,
+            checkpoint.as_ref(),
+            opts.pad_multiple,
+            layers,
+            t,
+        )?;
+    }
+
+    let mut failed_over = 0usize;
+    if !leftovers.is_empty() {
+        match &opts.failover {
+            Some(f) => {
+                t.counter("chip.remote_tiles_failed_over").add(leftovers.len() as u64);
+                let pool = RuntimePool::new(Arc::clone(&f.bundle), f.flow.clone(), f.pool.clone())
+                    .map_err(|e| format!("starting failover pool: {e}"))?;
+                let tile_opts = TileJobOptions {
+                    max_in_flight: cap,
+                    pad_multiple: opts.pad_multiple,
+                    telemetry: t.clone(),
+                };
+                let stats = synthesize_tiles_into(
+                    &pool,
+                    source,
+                    &leftovers,
+                    &tile_opts,
+                    checkpoint.as_ref(),
+                    &mut plan,
+                    &mut failed,
+                )?;
+                resumed += stats.resumed;
+                failed_over = leftovers.len();
+                let _ = pool.shutdown();
+            }
+            None => {
+                return Err(format!(
+                    "circuit open after {} consecutive connection failures to {addr}; \
+                     {} tiles incomplete{}",
+                    conn.consecutive,
+                    leftovers.len(),
+                    if checkpoint.is_some() {
+                        " (completed tiles are checkpointed; rerun to resume)"
+                    } else {
+                        ""
+                    },
+                ))
+            }
+        }
+    }
+
+    Ok(ChipClientReport {
+        plan,
+        tiles: tiling.num_tiles(),
+        resumed,
+        failed_over,
+        failed,
+        peak_in_flight: peak,
+        circuit_opened: conn.open,
+    })
+}

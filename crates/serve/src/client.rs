@@ -200,15 +200,17 @@ impl Client {
         crate::wire::parse_plan(&text).map_err(ClientError::Io)
     }
 
-    /// Cancels a job; `Ok(true)` when the cancellation was accepted.
+    /// Cancels a job; `Ok(true)` when the cancellation was accepted
+    /// (200), `Ok(false)` for the idempotent repeat (204, already
+    /// cancelled) and for an already-done/failed job (409).
     ///
     /// # Errors
     ///
     /// See [`ClientError`].
     pub fn cancel(&mut self, id: u64) -> Result<bool, ClientError> {
         let resp = self.request("DELETE", &format!("/v1/jobs/{id}"), &[], &[])?;
-        let text = Self::expect(resp, &[200])?.text();
-        Ok(text.contains("cancelled true"))
+        let resp = Self::expect(resp, &[200, 204, 409])?;
+        Ok(resp.status == 200)
     }
 
     /// Scrapes `/metrics` (schema-v1 JSONL).

@@ -31,8 +31,10 @@
 
 pub mod admission;
 pub mod canary;
+pub mod chiprun;
 pub mod client;
 pub mod http;
+pub mod journal;
 pub mod router;
 pub mod server;
 pub mod service;
@@ -40,8 +42,10 @@ pub mod tenant;
 pub mod wire;
 
 pub use canary::{CanaryConfig, CanaryReport};
+pub use chiprun::{synthesize_chip_remote, ChipClientOptions, ChipClientReport, FailoverConfig};
 pub use client::{Client, ClientError};
+pub use journal::{JobJournal, RecoveredJob, RecoveredState};
 pub use server::{Server, ServerConfig};
-pub use service::{FillService, ResultFetch, ServiceConfig, StageError, SubmitError};
+pub use service::{CancelOutcome, FillService, ResultFetch, ServiceConfig, StageError, SubmitError};
 pub use tenant::TenantConfig;
 pub use wire::{encode_plan, parse_plan, JobRequest, Priority, StatusView, WireState};

@@ -9,7 +9,7 @@
 
 use crate::http::{read_request, HttpLimits, ReadOutcome, Request, Response};
 use crate::router::{route, Route};
-use crate::service::{FillService, ResultFetch, StageError, SubmitError};
+use crate::service::{CancelOutcome, FillService, ResultFetch, StageError, SubmitError};
 use crate::wire::JobRequest;
 use std::io::{self, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -216,7 +216,13 @@ fn handle(server: &Server, req: &Request) -> Response {
             }
         }
         Route::CancelJob(id) => match service.cancel(id) {
-            Some(cancelled) => Response::text(200, format!("cancelled {cancelled}\n")),
+            Some(CancelOutcome::Cancelled) => Response::text(200, "cancelled true\n"),
+            // Idempotent repeat: the job is already cancelled, nothing
+            // changed — 204 with an empty body.
+            Some(CancelOutcome::AlreadyCancelled) => Response::text(204, ""),
+            // Done/failed jobs cannot be cancelled; the conflict answers
+            // 409 so callers can distinguish it from the idempotent case.
+            Some(CancelOutcome::Terminal) => Response::text(409, "job already terminal\n"),
             None => Response::text(404, format!("no job {id}\n")),
         },
         Route::StageModel => match service.stage_model(req.body.clone()) {
@@ -285,5 +291,8 @@ fn handle_submit(service: &FillService, req: &Request) -> Response {
                 .header("retry-after", retry_after_s.to_string())
         }
         Err(SubmitError::Draining) => draining_response(),
+        Err(SubmitError::Journal(m)) => {
+            Response::text(503, format!("journal unavailable: {m}\n")).header("retry-after", "1")
+        }
     }
 }

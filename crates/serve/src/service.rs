@@ -28,6 +28,7 @@
 
 use crate::admission::{Admission, AdmitError, Pending};
 use crate::canary::{verify_bundle, CanaryConfig, CanaryReport};
+use crate::journal::{JobJournal, RecoveredState};
 use crate::tenant::TenantConfig;
 use crate::wire::{JobRequest, StatusView, WireState};
 use neurfill::pipeline::FlowConfig;
@@ -68,6 +69,10 @@ pub struct ServiceConfig {
     /// Options for the live pool (telemetry is force-enabled so
     /// `/metrics` always has content).
     pub pool: PoolOptions,
+    /// Directory for the write-ahead job journal. `None` (the default)
+    /// serves without durability; `Some(dir)` write-ahead-logs every job
+    /// transition and recovers jobs from the journal at startup.
+    pub journal: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +86,7 @@ impl Default for ServiceConfig {
             canary: CanaryConfig::default(),
             flow: FlowConfig::default(),
             pool: PoolOptions::default(),
+            journal: None,
         }
     }
 }
@@ -99,6 +105,23 @@ pub enum SubmitError {
     },
     /// The service is draining or stopped (→ 503).
     Draining,
+    /// The write-ahead journal refused the admit record, so the
+    /// submission cannot be acknowledged (→ 503). "Acknowledged implies
+    /// journaled" is what makes restarts lossless.
+    Journal(String),
+}
+
+/// What a cancel request found (`DELETE /v1/jobs/{id}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was dequeued, or cooperative cancellation was requested
+    /// on its in-flight pool job (→ 200).
+    Cancelled,
+    /// The job was already cancelled — the idempotent repeat (→ 204).
+    AlreadyCancelled,
+    /// The job already finished or failed; there is nothing left to
+    /// cancel (→ 409).
+    Terminal,
 }
 
 /// Why a bundle could not be staged.
@@ -145,6 +168,9 @@ enum JobState {
     Cancelled,
     /// The pool refused the submission.
     FailedLocal(String),
+    /// Finished on a *previous* service timeline; the result is served
+    /// from the journal (no live pool ever saw this incarnation).
+    RecoveredDone { degraded: Option<String>, report: String, plan: Vec<f64> },
 }
 
 #[derive(Debug)]
@@ -152,6 +178,8 @@ struct ServiceJob {
     tenant: usize,
     state: JobState,
     submitted: Instant,
+    /// Whether this job's state came from journal replay after a restart.
+    recovered: bool,
 }
 
 struct State {
@@ -164,6 +192,7 @@ struct State {
     phase: Phase,
     samples: VecDeque<(String, Layout)>,
     staging: bool,
+    journal: Option<JobJournal>,
 }
 
 struct Inner {
@@ -232,24 +261,94 @@ impl FillService {
         let tenant_root = telemetry.scoped("serve.tenant");
         let tenant_scopes: Vec<Scope> =
             config.tenants.iter().map(|t| tenant_root.scoped(&t.name)).collect();
-        let admission = Admission::new(config.tenants);
+        let mut admission = Admission::new(config.tenants);
         let registry = ModelRegistry::new();
         registry.insert(format!("live/{:016x}", bundle.digest()), bundle);
+
+        // Replay the journal before the dispatcher exists: recovered
+        // pending jobs are re-enqueued (bypassing the capacity bound — an
+        // accepted job must never be lost to a restart), terminal jobs
+        // become servable snapshots, and ids continue where the previous
+        // incarnation stopped.
+        let serve_scope = telemetry.scoped("serve");
+        let mut jobs: HashMap<u64, ServiceJob> = HashMap::new();
+        let mut next_id = 1u64;
+        let mut journal = None;
+        if let Some(dir) = &config.journal {
+            let (j, recovered) = JobJournal::open(dir, Arc::clone(&pool_options.fault))?;
+            let mut redispatched = 0u64;
+            let mut results = 0u64;
+            for job in recovered {
+                next_id = next_id.max(job.id + 1);
+                let Some(tenant) = admission.tenant_index(&job.tenant) else {
+                    serve_scope.inc("recovered_unknown_tenant");
+                    continue;
+                };
+                let state = match job.state {
+                    RecoveredState::Pending { .. } => {
+                        admission.restore(
+                            tenant,
+                            Pending {
+                                job_id: job.id,
+                                name: job.name,
+                                layout: job.layout,
+                                timeout: job.timeout,
+                                priority: job.priority,
+                                enqueued: Instant::now(),
+                            },
+                        );
+                        redispatched += 1;
+                        JobState::Queued
+                    }
+                    RecoveredState::Done { degraded, report, plan } => {
+                        results += 1;
+                        JobState::RecoveredDone { degraded, report, plan }
+                    }
+                    RecoveredState::Failed { error } => {
+                        results += 1;
+                        JobState::FailedLocal(error)
+                    }
+                    RecoveredState::Cancelled => {
+                        results += 1;
+                        JobState::Cancelled
+                    }
+                };
+                serve_scope.inc("recovered_jobs");
+                jobs.insert(
+                    job.id,
+                    ServiceJob { tenant, state, submitted: Instant::now(), recovered: true },
+                );
+            }
+            serve_scope.counter("recovered_results").add(results);
+            serve_scope.counter("redispatched_jobs").add(redispatched);
+            telemetry.event(
+                "serve",
+                "recover",
+                &[
+                    ("jobs", jobs.len().to_string()),
+                    ("redispatched", redispatched.to_string()),
+                    ("results", results.to_string()),
+                ],
+            );
+            journal = Some(j);
+        }
+
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 admission,
-                jobs: HashMap::new(),
-                next_id: 1,
+                jobs,
+                next_id,
                 pool,
                 generation: 1,
                 free_slots: slots_total,
                 phase: Phase::Running,
                 samples: VecDeque::new(),
                 staging: false,
+                journal,
             }),
             work: Condvar::new(),
             jobs_changed: Condvar::new(),
-            serve: telemetry.scoped("serve"),
+            serve: serve_scope,
             telemetry,
             tenant_scopes,
             default_tenant: default_name,
@@ -302,6 +401,12 @@ impl FillService {
             return Err(SubmitError::UnknownTenant(name));
         };
         let id = s.next_id;
+        // The journal needs the attributes after `pending` is moved into
+        // the queue; clone only when journaling is on.
+        let journal_copy = s
+            .journal
+            .is_some()
+            .then(|| (req.name.clone(), req.layout.clone(), req.priority, req.timeout));
         let pending = Pending {
             job_id: id,
             name: req.name,
@@ -321,8 +426,26 @@ impl FillService {
                 return Err(SubmitError::UnknownTenant(t));
             }
         }
+        // Write-ahead: the admit record must be durable before the id is
+        // acknowledged. Capacity was checked first so a rejected submit
+        // never leaves a journal record to resurrect.
+        if let Some((name, layout, priority, timeout)) = journal_copy {
+            let tenant_name = s.admission.tenant(tenant).name.clone();
+            let append = s
+                .journal
+                .as_mut()
+                .map(|j| j.record_admit(id, &tenant_name, &name, priority, timeout, &layout));
+            if let Some(Err(e)) = append {
+                s.admission.remove(id);
+                inner.serve.inc("journal_errors");
+                return Err(SubmitError::Journal(e.to_string()));
+            }
+        }
         s.next_id += 1;
-        s.jobs.insert(id, ServiceJob { tenant, state: JobState::Queued, submitted: Instant::now() });
+        s.jobs.insert(
+            id,
+            ServiceJob { tenant, state: JobState::Queued, submitted: Instant::now(), recovered: false },
+        );
         inner.tenant_scopes[tenant].inc("admitted");
         inner.serve.inc("jobs_submitted");
         inner.work.notify_all();
@@ -368,6 +491,7 @@ impl FillService {
         let Some(job) = s.jobs.get(&id) else { return ResultFetch::NotFound };
         let report = match &job.state {
             JobState::Finished(JobStatus::Done(report)) => Some(report.to_text()),
+            JobState::RecoveredDone { report, .. } => Some(report.clone()),
             JobState::Dispatched { pool, pool_id } => match pool.status(*pool_id) {
                 Some(JobStatus::Done(report)) => Some(report.to_text()),
                 _ => None,
@@ -396,6 +520,7 @@ impl FillService {
             JobState::Finished(JobStatus::Done(report)) => {
                 Some(crate::wire::encode_plan(report.plan.as_slice()))
             }
+            JobState::RecoveredDone { plan, .. } => Some(crate::wire::encode_plan(plan)),
             JobState::Dispatched { pool, pool_id } => match pool.status(*pool_id) {
                 Some(JobStatus::Done(report)) => Some(crate::wire::encode_plan(report.plan.as_slice())),
                 _ => None,
@@ -410,8 +535,11 @@ impl FillService {
 
     /// Cancels a job: removes it from the admission queue, or requests
     /// cooperative cancellation if already dispatched. `None` for an
-    /// unknown id; `Some(false)` when it was already terminal.
-    pub fn cancel(&self, id: u64) -> Option<bool> {
+    /// unknown id. Repeating a cancel is idempotent
+    /// ([`CancelOutcome::AlreadyCancelled`]); cancelling a done/failed
+    /// job reports [`CancelOutcome::Terminal`]. A queued-side cancel is
+    /// journaled, so it survives a restart.
+    pub fn cancel(&self, id: u64) -> Option<CancelOutcome> {
         let inner = &*self.inner;
         let mut s = inner.state.lock();
         let job = s.jobs.get(&id)?;
@@ -423,16 +551,32 @@ impl FillService {
                     if let Some(job) = s.jobs.get_mut(&id) {
                         job.state = JobState::Cancelled;
                     }
+                    if let Some(journal) = s.journal.as_mut() {
+                        if journal.record_cancel(id).is_err() {
+                            inner.serve.inc("journal_errors");
+                        }
+                    }
                     inner.tenant_scopes[tenant].inc("cancelled");
                     inner.jobs_changed.notify_all();
+                    Some(CancelOutcome::Cancelled)
+                } else {
+                    // Queued but not in the queue cannot happen on one
+                    // timeline; answer as terminal defensively.
+                    Some(CancelOutcome::Terminal)
                 }
-                Some(removed)
             }
             JobState::Dispatched { pool, pool_id } => {
                 let (pool, pool_id) = (Arc::clone(pool), *pool_id);
-                Some(pool.cancel(pool_id))
+                if pool.cancel(pool_id) {
+                    Some(CancelOutcome::Cancelled)
+                } else {
+                    Some(CancelOutcome::Terminal)
+                }
             }
-            JobState::Finished(_) | JobState::Cancelled | JobState::FailedLocal(_) => Some(false),
+            JobState::Cancelled => Some(CancelOutcome::AlreadyCancelled),
+            JobState::Finished(_) | JobState::FailedLocal(_) | JobState::RecoveredDone { .. } => {
+                Some(CancelOutcome::Terminal)
+            }
         }
     }
 
@@ -609,6 +753,9 @@ impl FillService {
                 let _ = inner.work.wait_for(&mut s, remaining);
             }
             s.phase = Phase::Stopped;
+            if let Some(journal) = s.journal.as_mut() {
+                let _ = journal.sync();
+            }
             inner.work.notify_all();
             inner.jobs_changed.notify_all();
         }
@@ -632,9 +779,10 @@ fn status_locked(s: &State, id: u64) -> Option<StatusView> {
         JobState::Cancelled => (WireState::Cancelled, None, None),
         JobState::FailedLocal(e) => (WireState::Failed, Some(e.clone()), None),
         JobState::Finished(status) => wire_of_pool_status(Some(status.clone())),
+        JobState::RecoveredDone { degraded, .. } => (WireState::Done, None, degraded.clone()),
         JobState::Dispatched { pool, pool_id } => wire_of_pool_status(pool.status(*pool_id)),
     };
-    Some(StatusView { id, tenant, state, error, degraded })
+    Some(StatusView { id, tenant, state, error, degraded, recovered: job.recovered })
 }
 
 fn wire_of_pool_status(status: Option<JobStatus>) -> (WireState, Option<String>, Option<String>) {
@@ -661,6 +809,11 @@ fn dispatch_loop(inner: &Arc<Inner>) {
         }
         let Some((tenant, pending)) = s.admission.dequeue() else { continue };
         s.free_slots -= 1;
+        if let Some(journal) = s.journal.as_mut() {
+            if journal.record_dispatch(pending.job_id).is_err() {
+                inner.serve.inc("journal_errors");
+            }
+        }
         inner.tenant_scopes[tenant].record("queue_wait_ns", nanos(pending.enqueued.elapsed()));
         inner.telemetry.event(
             "serve",
@@ -727,6 +880,25 @@ fn watch_job(
             }
         }
         _ => inner.tenant_scopes[tenant].inc("failed"),
+    }
+    // Journal the terminal transition (best-effort: a journal failure
+    // here only costs re-running the job after a restart).
+    if let Some(journal) = s.journal.as_mut() {
+        let appended = match &status {
+            Some(JobStatus::Done(report)) => journal.record_done(
+                job_id,
+                report.degraded.as_deref(),
+                &report.to_text(),
+                report.plan.as_slice(),
+            ),
+            Some(JobStatus::Failed(e)) => journal.record_failed(job_id, e),
+            Some(JobStatus::Queued | JobStatus::Running | JobStatus::Retrying { .. }) | None => {
+                journal.record_failed(job_id, "job lost by the pool")
+            }
+        };
+        if appended.is_err() {
+            inner.serve.inc("journal_errors");
+        }
     }
     inner.tenant_scopes[tenant].record("e2e_ns", nanos(submitted_at.elapsed()));
     if let Some(job) = s.jobs.get_mut(&job_id) {

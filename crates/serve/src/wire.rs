@@ -247,6 +247,10 @@ pub struct StatusView {
     /// Degradation reason (`state done` only, when the job degraded to
     /// golden-simulator verification).
     pub degraded: Option<String>,
+    /// Whether this job's state was recovered from the write-ahead
+    /// journal after a service restart (its result, if terminal, is
+    /// served from the journal rather than a live pool run).
+    pub recovered: bool,
 }
 
 impl StatusView {
@@ -264,6 +268,10 @@ impl StatusView {
         if let Some(reason) = &self.degraded {
             text.push_str(&format!("degraded {}\n", reason.replace('\n', " ")));
         }
+        // Emitted only when set, so pre-journal clients parse unchanged.
+        if self.recovered {
+            text.push_str("recovered true\n");
+        }
         text
     }
 
@@ -279,6 +287,7 @@ impl StatusView {
         let mut attempt = 0u32;
         let mut error = None;
         let mut degraded = None;
+        let mut recovered = false;
         for line in text.lines() {
             let (key, value) = line.split_once(' ').unwrap_or((line, ""));
             match key {
@@ -288,6 +297,7 @@ impl StatusView {
                 "attempt" => attempt = value.parse().map_err(|_| format!("bad attempt {value:?}"))?,
                 "error" => error = Some(value.to_string()),
                 "degraded" => degraded = Some(value.to_string()),
+                "recovered" => recovered = value.trim() == "true",
                 _ => {}
             }
         }
@@ -306,6 +316,7 @@ impl StatusView {
             state,
             error,
             degraded,
+            recovered,
         })
     }
 
@@ -404,6 +415,7 @@ mod tests {
                 state: WireState::Retrying(2),
                 error: None,
                 degraded: None,
+                recovered: false,
             },
             StatusView {
                 id: 9,
@@ -411,6 +423,7 @@ mod tests {
                 state: WireState::Failed,
                 error: Some("synthesis exploded".to_string()),
                 degraded: None,
+                recovered: false,
             },
             StatusView {
                 id: 3,
@@ -418,11 +431,15 @@ mod tests {
                 state: WireState::Done,
                 error: None,
                 degraded: Some("surrogate returned a non-finite height".to_string()),
+                recovered: true,
             },
         ] {
             let back = StatusView::parse(&view.to_text()).unwrap();
             assert_eq!(back, view);
         }
         assert!(StatusView::parse("state nonsense\n").is_err());
+        // Pre-journal status bodies (no `recovered` line) still parse.
+        let legacy = StatusView::parse("id 1\ntenant t\nstate done\n").unwrap();
+        assert!(!legacy.recovered);
     }
 }

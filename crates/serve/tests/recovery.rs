@@ -1,0 +1,350 @@
+//! Crash-durable recovery chaos suite.
+//!
+//! The write-ahead job journal is killed at *every* append ordinal over
+//! a multi-tenant job mix; after each kill the service restarts on the
+//! same journal directory and every acknowledged job must be present
+//! and reach a terminal state — "acknowledged implies journaled" means
+//! an accepted job is never lost, whichever record the crash landed on.
+//! Crashes are emulated in-process by the fault plan's durable-write
+//! faults, which leave exactly the bytes a killed process would have
+//! left and fail every later append.
+//!
+//! Also pinned here: `DELETE /v1/jobs/{id}` idempotency status codes
+//! (200 → 204 → 409) and cancel surviving a restart, and the remote
+//! full-chip client's circuit-breaker failover + checkpoint resume.
+
+use neurfill::extraction::NUM_CHANNELS;
+use neurfill::pipeline::FlowConfig;
+use neurfill::{CmpNeuralNetwork, CmpNnConfig, HeightNorm, NeurFillConfig};
+use neurfill_chip::{synthesize_tiles, TileJobOptions};
+use neurfill_cmpsim::ProcessParams;
+use neurfill_layout::{DesignKind, DesignSpec, FullChipSpec, Layout, Tiling};
+use neurfill_nn::{UNet, UNetConfig};
+use neurfill_optim::SqpConfig;
+use neurfill_runtime::fault::sites;
+use neurfill_runtime::{FaultPlan, ModelBundle, PoolOptions, RuntimePool};
+use neurfill_serve::{
+    synthesize_chip_remote, ChipClientOptions, FailoverConfig, FillService, JobRequest, Priority,
+    Server, ServerConfig, ServiceConfig, SubmitError, TenantConfig, WireState,
+};
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn network(seed: u64) -> CmpNeuralNetwork {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let unet = UNet::new(
+        UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 4, depth: 2 },
+        &mut rng,
+    );
+    CmpNeuralNetwork::new(unet, HeightNorm::default(), Default::default(), CmpNnConfig::default())
+}
+
+fn bundle() -> Arc<ModelBundle> {
+    Arc::new(ModelBundle::from_network(&network(42)).unwrap())
+}
+
+fn flow_config() -> FlowConfig {
+    FlowConfig {
+        process: ProcessParams::fast(),
+        neurfill: NeurFillConfig {
+            sqp: SqpConfig { max_iterations: 2, ..SqpConfig::default() },
+            ..NeurFillConfig::default()
+        },
+        beta_time_s: 60.0,
+        ..FlowConfig::default()
+    }
+}
+
+fn layout(seed: u64) -> Layout {
+    let kinds = [DesignKind::CmpTest, DesignKind::Fpga, DesignKind::RiscV];
+    DesignSpec::new(kinds[seed as usize % kinds.len()], 8, 8, seed).generate()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("neurfill-recover-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn service_config(journal: &Path, fault: Arc<FaultPlan>) -> ServiceConfig {
+    ServiceConfig {
+        tenants: vec![
+            TenantConfig { name: "acme".to_string(), weight: 2, capacity: 8 },
+            TenantConfig { name: "beta".to_string(), weight: 1, capacity: 8 },
+        ],
+        slots: 1,
+        drain_timeout: Duration::from_secs(60),
+        flow: flow_config(),
+        pool: PoolOptions { workers: 1, fault, ..PoolOptions::default() },
+        journal: Some(journal.to_path_buf()),
+        ..ServiceConfig::default()
+    }
+}
+
+/// The multi-tenant job mix every incarnation submits: two tenants,
+/// mixed priorities. Returns the ids that were *acknowledged*.
+fn submit_mix(service: &FillService) -> Vec<u64> {
+    let mix =
+        [("acme", Priority::High, 1u64), ("beta", Priority::Normal, 2), ("acme", Priority::Low, 3)];
+    let mut acked = Vec::new();
+    for (tenant, priority, seed) in mix {
+        let mut req = JobRequest::new(format!("{tenant}-{seed}"), layout(seed));
+        req.tenant = Some(tenant.to_string());
+        req.priority = priority;
+        match service.submit(req) {
+            Ok(id) => acked.push(id),
+            // A dead journal refuses the ack — the client knows the job
+            // was NOT accepted, so it is not owed recovery.
+            Err(SubmitError::Journal(_)) => {}
+            Err(other) => panic!("unexpected submit refusal: {other:?}"),
+        }
+    }
+    acked
+}
+
+#[test]
+fn journal_kill_at_every_ordinal_loses_no_acknowledged_job() {
+    // Count the journal-append ordinals of a clean pass with a plan
+    // that is enabled but can never fire (probability 0).
+    let counter = Arc::new(FaultPlan::parse("journal_write=crash@p0", 0).unwrap());
+    let dir = tmp_dir("count");
+    let service = FillService::start(bundle(), service_config(&dir, Arc::clone(&counter))).unwrap();
+    let acked = submit_mix(&service);
+    assert_eq!(acked.len(), 3, "the clean pass must ack every submission");
+    for &id in &acked {
+        let view = service.wait_terminal(id, Duration::from_secs(60)).expect("job must finish");
+        assert_eq!(view.state, WireState::Done, "job {id}: {view:?}");
+    }
+    service.shutdown();
+    // 3 admits + 3 dispatches + 3 terminals.
+    let total = counter.invocations(sites::JOURNAL_WRITE);
+    assert_eq!(total, 9, "the job mix must produce one append per transition");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for k in 1..=total {
+        let dir = tmp_dir(&format!("k{k}"));
+        let crash = Arc::new(FaultPlan::parse(&format!("journal_write=crash@{k}"), 0).unwrap());
+        let service = FillService::start(bundle(), service_config(&dir, crash)).unwrap();
+        let acked = submit_mix(&service);
+        // Whatever the journal state, acknowledged jobs still run to
+        // completion in this incarnation (terminal journaling is
+        // best-effort once the log is dead).
+        for &id in &acked {
+            service.wait_terminal(id, Duration::from_secs(60)).expect("job must finish");
+        }
+        service.shutdown();
+
+        // "Restart" on the same directory with a clean fault plan:
+        // every acknowledged job must exist and be (or become) Done —
+        // recovered from the journal, or re-dispatched and re-run.
+        let service =
+            FillService::start(bundle(), service_config(&dir, Arc::new(FaultPlan::disabled()))).unwrap();
+        for &id in &acked {
+            let view = service
+                .wait_terminal(id, Duration::from_secs(60))
+                .unwrap_or_else(|| panic!("kill at ordinal {k}: acked job {id} was lost"));
+            assert_eq!(view.state, WireState::Done, "kill at ordinal {k}, job {id}: {view:?}");
+            match service.result_text(id) {
+                neurfill_serve::ResultFetch::Done(report) => {
+                    assert!(!report.is_empty(), "job {id} must serve a report after restart")
+                }
+                other => panic!("kill at ordinal {k}: job {id} has no result: {other:?}"),
+            }
+        }
+        // New submissions keep working on the recovered journal.
+        let fresh = submit_mix(&service);
+        assert_eq!(fresh.len(), 3, "the restarted service must accept new work");
+        for &id in &fresh {
+            let view = service.wait_terminal(id, Duration::from_secs(60)).expect("job must finish");
+            assert_eq!(view.state, WireState::Done);
+            assert!(!view.recovered, "fresh jobs are not recovered jobs");
+        }
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Raw HTTP DELETE so the exact status code is pinned (the typed client
+/// collapses 204/409).
+fn raw_delete(addr: &str, id: u64) -> u16 {
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(stream, "DELETE /v1/jobs/{id} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response.split_whitespace().nth(1).unwrap().parse().unwrap()
+}
+
+#[test]
+fn delete_is_idempotent_and_cancel_survives_restart() {
+    let dir = tmp_dir("cancel");
+    // One slot + a deterministic 400 ms delay on the first synthesis:
+    // the plug job pins the slot, so the victim is still queued when
+    // cancelled.
+    let mut config =
+        service_config(&dir, Arc::new(FaultPlan::parse("synthesis=delay400@1", 0).unwrap()));
+    config.pool.fault = Arc::new(FaultPlan::parse("synthesis=delay400@1", 0).unwrap());
+    let service = FillService::start(bundle(), config).unwrap();
+    let server = Server::bind(service, &ServerConfig::default()).unwrap();
+    let run_server = server.clone();
+    let run_thread = std::thread::spawn(move || run_server.run().unwrap());
+    let addr = server.local_addr().unwrap().to_string();
+
+    let plug = {
+        let mut req = JobRequest::new("plug", layout(1));
+        req.tenant = Some("acme".to_string());
+        server.service().submit(req).unwrap()
+    };
+    let victim = {
+        let mut req = JobRequest::new("victim", layout(2));
+        req.tenant = Some("acme".to_string());
+        server.service().submit(req).unwrap()
+    };
+
+    // 200 the first time, 204 on the idempotent repeat.
+    assert_eq!(raw_delete(&addr, victim), 200, "first cancel");
+    assert_eq!(raw_delete(&addr, victim), 204, "repeated cancel is idempotent");
+    // A finished job answers 409: nothing left to cancel.
+    let view = server.service().wait_terminal(plug, Duration::from_secs(60)).unwrap();
+    assert_eq!(view.state, WireState::Done);
+    assert_eq!(raw_delete(&addr, plug), 409, "terminal job");
+    assert_eq!(raw_delete(&addr, 9999), 404, "unknown job");
+
+    server.service().shutdown();
+    server.stop();
+    run_thread.join().unwrap();
+
+    // The cancel was journaled: after a restart the victim is still
+    // cancelled (not resurrected into the queue) and the repeat still
+    // answers "already cancelled".
+    let service =
+        FillService::start(bundle(), service_config(&dir, Arc::new(FaultPlan::disabled()))).unwrap();
+    let view = service.status(victim).expect("cancelled job must survive the restart");
+    assert_eq!(view.state, WireState::Cancelled);
+    assert!(view.recovered, "the cancelled state must come from the journal");
+    assert_eq!(
+        service.cancel(victim),
+        Some(neurfill_serve::CancelOutcome::AlreadyCancelled),
+        "idempotent across restarts"
+    );
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- remote full-chip client -------------------------------------------
+
+fn chip_fixture() -> (neurfill_layout::FullChipDesign, Tiling) {
+    let design = FullChipSpec::new(DesignKind::Fpga, 16, 16, 9).build();
+    let tiling = Tiling::square(16, 16, 8, ProcessParams::fast().kernel_radius);
+    (design, tiling)
+}
+
+fn chip_server() -> (Server, std::thread::JoinHandle<()>, String) {
+    let config = ServiceConfig {
+        tenants: vec![TenantConfig { name: "default".to_string(), weight: 1, capacity: 16 }],
+        slots: 2,
+        flow: flow_config(),
+        pool: PoolOptions { workers: 2, ..PoolOptions::default() },
+        ..ServiceConfig::default()
+    };
+    let service = FillService::start(bundle(), config).unwrap();
+    let server = Server::bind(service, &ServerConfig::default()).unwrap();
+    let run_server = server.clone();
+    let run_thread = std::thread::spawn(move || run_server.run().unwrap());
+    let addr = server.local_addr().unwrap().to_string();
+    (server, run_thread, addr)
+}
+
+/// The reference plan: the same tiles through a local pool on the same
+/// bundle and flow (the pool path is deterministic for a fixed tiling).
+fn local_reference() -> Vec<u64> {
+    let (design, tiling) = chip_fixture();
+    let pool =
+        RuntimePool::new(bundle(), flow_config(), PoolOptions { workers: 2, ..PoolOptions::default() })
+            .unwrap();
+    let out = synthesize_tiles(&pool, &design, &tiling, &TileJobOptions::default()).unwrap();
+    let _ = pool.shutdown();
+    assert!(out.failed.is_empty());
+    out.plan.as_slice().iter().map(|a| a.to_bits()).collect()
+}
+
+#[test]
+fn remote_chip_failover_finishes_on_the_local_pool() {
+    let (design, tiling) = chip_fixture();
+    let reference = local_reference();
+    let (server, run_thread, addr) = chip_server();
+
+    // Every client call from ordinal 4 onward is dropped: the circuit
+    // opens after 3 consecutive transport failures and the remaining
+    // tiles must finish on the local failover pool.
+    let dir = tmp_dir("failover");
+    let opts = ChipClientOptions {
+        max_in_flight: 2,
+        fault: Arc::new(FaultPlan::parse("conn_drop=transient@4-100000", 0).unwrap()),
+        checkpoint: Some(dir.clone()),
+        failover: Some(FailoverConfig {
+            bundle: bundle(),
+            flow: flow_config(),
+            pool: PoolOptions { workers: 2, ..PoolOptions::default() },
+        }),
+        ..ChipClientOptions::default()
+    };
+    let report = synthesize_chip_remote(&addr, &design, &tiling, &opts).unwrap();
+    assert!(report.circuit_opened, "the injected drops must open the circuit");
+    assert!(report.failed_over > 0, "some tiles must have failed over");
+    assert!(report.failed.is_empty(), "every tile must complete: {:?}", report.failed);
+    assert_eq!(report.tiles, 4);
+    let got: Vec<u64> = report.plan.as_slice().iter().map(|a| a.to_bits()).collect();
+    assert_eq!(got, reference, "failover must not change the merged plan");
+
+    // The checkpointed run resumes everything without a live server.
+    let opts = ChipClientOptions { checkpoint: Some(dir.clone()), ..ChipClientOptions::default() };
+    let resumed = synthesize_chip_remote(&addr, &design, &tiling, &opts).unwrap();
+    assert_eq!(resumed.resumed, 4, "every tile must restore from the checkpoint");
+    assert!(!resumed.circuit_opened);
+    let got: Vec<u64> = resumed.plan.as_slice().iter().map(|a| a.to_bits()).collect();
+    assert_eq!(got, reference, "resume must be bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    server.service().shutdown();
+    server.stop();
+    run_thread.join().unwrap();
+}
+
+#[test]
+fn remote_chip_without_failover_keeps_completed_tiles_durable() {
+    let (design, tiling) = chip_fixture();
+    let reference = local_reference();
+    let (server, run_thread, addr) = chip_server();
+
+    // First pass: drops from ordinal 4 on, no failover pool — the run
+    // must abort, but tiles completed before the circuit opened stay
+    // durable in the checkpoint.
+    let dir = tmp_dir("no-failover");
+    let opts = ChipClientOptions {
+        max_in_flight: 1,
+        fault: Arc::new(FaultPlan::parse("conn_drop=transient@4-100000", 0).unwrap()),
+        checkpoint: Some(dir.clone()),
+        ..ChipClientOptions::default()
+    };
+    let err = synthesize_chip_remote(&addr, &design, &tiling, &opts)
+        .expect_err("an opened circuit with no failover must abort");
+    assert!(err.contains("circuit open"), "got: {err}");
+    assert!(err.contains("checkpointed"), "the abort must point at the checkpoint: {err}");
+
+    // Second pass with a healthy connection resumes the durable tiles
+    // and lands on the reference bits.
+    let opts = ChipClientOptions { checkpoint: Some(dir.clone()), ..ChipClientOptions::default() };
+    let report = synthesize_chip_remote(&addr, &design, &tiling, &opts).unwrap();
+    assert!(report.resumed >= 1, "the pre-circuit tile must have been durable");
+    assert!(report.failed.is_empty());
+    let got: Vec<u64> = report.plan.as_slice().iter().map(|a| a.to_bits()).collect();
+    assert_eq!(got, reference, "recovery must be bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    server.service().shutdown();
+    server.stop();
+    run_thread.join().unwrap();
+}
