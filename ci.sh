@@ -44,6 +44,11 @@ cargo test -p neurfill-tensor --test gemm_equivalence -q
 cargo test -p neurfill-cmpsim --test kernel_equivalence -q
 cargo test -p neurfill-nn --test determinism -q
 
+echo "== numerics-tier certification suite (exact pinned, fast within tolerance)"
+cargo test -p neurfill-cmpsim --test tier_equivalence -q
+cargo test -p neurfill --test downstream_equivalence -q
+cargo test -p neurfill-chip --test fast_tier -q
+
 echo "== kernel bench (compile-only)"
 cargo bench -p neurfill-bench --bench kernels --no-run
 

@@ -9,7 +9,13 @@
 //! a sample runs long enough to dominate timer noise. Results go to
 //! stdout as a table and to `BENCH_kernels.json` at the repo root
 //! (override with `NEURFILL_BENCH_OUT`) as machine-readable records:
-//! `{op, shape, ns_per_iter, reference_ns_per_iter, speedup}`.
+//! `{op, shape, tier, ns_per_iter, reference_ns_per_iter, speedup}`.
+//!
+//! `tier` tracks the numerics tier a row certifies: `exact` rows compare
+//! the bit-exact optimized kernels against their references; `fast` rows
+//! compare the certified fast kernels (FFT pad convolution, FMA GEMM)
+//! against the exact tier, so the exact/fast gap per shape is recorded
+//! alongside the exact-kernel wins.
 //!
 //! The end-to-end entry times the full labeling pipeline on the current
 //! build; its reference column comes from `NEURFILL_BASELINE_LABELING_NS`
@@ -18,11 +24,11 @@
 use neurfill_cmpsim::contact::{
     solve_reference_plane, solve_reference_plane_reference, solve_reference_plane_sorted,
 };
-use neurfill_cmpsim::{PadKernel, ProcessParams};
+use neurfill_cmpsim::{NumericsTier, PadKernel, ProcessParams};
 use neurfill_data::LabelConfig;
 use neurfill_layout::benchmark_designs;
 use neurfill_layout::datagen::DataGenConfig;
-use neurfill_tensor::kernels::{gemm, gemm_reference};
+use neurfill_tensor::kernels::{gemm, gemm_reference, gemm_tiered};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -75,6 +81,7 @@ fn time_pair_ns(mut reference: impl FnMut(), mut optimized: impl FnMut()) -> (f6
 struct Row {
     op: &'static str,
     shape: String,
+    tier: &'static str,
     ns: f64,
     reference_ns: Option<f64>,
 }
@@ -124,13 +131,31 @@ fn bench_gemm(rows: &mut Vec<Row>) {
         let mut out2 = vec![0.0f32; m * n];
         let (legacy_ns, ns) =
             time_pair_ns(|| gemm_legacy(&a, &b, &mut out, m, k, n), || gemm(&a, &b, &mut out2, m, k, n));
-        rows.push(Row { op: "gemm", shape: format!("{m}x{k}x{n}"), ns, reference_ns: Some(legacy_ns) });
+        rows.push(Row {
+            op: "gemm",
+            shape: format!("{m}x{k}x{n}"),
+            tier: "exact",
+            ns,
+            reference_ns: Some(legacy_ns),
+        });
         let reference_ns = time_ns(|| gemm_reference(&a, &b, &mut out, m, k, n));
         rows.push(Row {
             op: "gemm_oracle",
             shape: format!("{m}x{k}x{n}"),
+            tier: "exact",
             ns,
             reference_ns: Some(reference_ns),
+        });
+        // Fast tier: the FMA-contracted micro-kernel against the exact
+        // blocked kernel (single thread each; reference = exact tier).
+        let exact_ns = time_ns(|| gemm_tiered(&a, &b, &mut out, m, k, n, 1, NumericsTier::Exact));
+        let fast_ns = time_ns(|| gemm_tiered(&a, &b, &mut out2, m, k, n, 1, NumericsTier::Fast));
+        rows.push(Row {
+            op: "gemm",
+            shape: format!("{m}x{k}x{n}"),
+            tier: "fast",
+            ns: fast_ns,
+            reference_ns: Some(exact_ns),
         });
     }
 }
@@ -151,8 +176,35 @@ fn bench_pad_kernel(rows: &mut Vec<Row>) {
         rows.push(Row {
             op: "pad_kernel",
             shape: format!("{r}x{c}_r{radius}"),
+            tier: "exact",
             ns,
             reference_ns: Some(reference_ns),
+        });
+    }
+}
+
+/// Fast tier: FFT pad convolution against the exact spatial kernel at
+/// large radii — the regime the tier exists for. The acceptance bar is
+/// >= 2x at radius >= 32.
+fn bench_pad_fft(rows: &mut Vec<Row>) {
+    let shapes = [(64usize, 64usize, 8usize), (64, 64, 32), (128, 128, 32), (128, 128, 64)];
+    let mut rng = StdRng::seed_from_u64(17);
+    for (r, c, radius) in shapes {
+        let kernel = PadKernel::exponential(0.06 * radius as f64, radius);
+        let fast = kernel.clone().with_tier(NumericsTier::Fast);
+        let field = random_f64(&mut rng, r * c);
+        let mut out = vec![0.0f64; r * c];
+        let mut out2 = vec![0.0f64; r * c];
+        let (spatial_ns, fft_ns) = time_pair_ns(
+            || kernel.apply_into(&field, r, c, &mut out),
+            || fast.apply_into(&field, r, c, &mut out2),
+        );
+        rows.push(Row {
+            op: "pad_kernel",
+            shape: format!("{r}x{c}_r{radius}"),
+            tier: "fast",
+            ns: fft_ns,
+            reference_ns: Some(spatial_ns),
         });
     }
 }
@@ -173,6 +225,7 @@ fn bench_contact(rows: &mut Vec<Row>) {
         rows.push(Row {
             op: "contact_exact",
             shape: format!("n{n}"),
+            tier: "exact",
             ns,
             reference_ns: Some(reference_ns),
         });
@@ -182,6 +235,7 @@ fn bench_contact(rows: &mut Vec<Row>) {
         rows.push(Row {
             op: "contact_sorted",
             shape: format!("n{n}"),
+            tier: "fast",
             ns: sorted_ns,
             reference_ns: Some(reference_ns),
         });
@@ -213,6 +267,7 @@ fn bench_labeling(rows: &mut Vec<Row>) {
     rows.push(Row {
         op: "labeling_end_to_end",
         shape: format!("{LAYOUTS}_layouts_16x16"),
+        tier: "exact",
         ns,
         reference_ns: baseline,
     });
@@ -232,10 +287,11 @@ fn write_json(rows: &[Row]) -> std::io::Result<std::path::PathBuf> {
     let mut body = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
         body.push_str(&format!(
-            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"ns_per_iter\": {:.1}, \
+            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"tier\": \"{}\", \"ns_per_iter\": {:.1}, \
              \"reference_ns_per_iter\": {}, \"speedup\": {}}}{}\n",
             row.op,
             row.shape,
+            row.tier,
             row.ns,
             json_f64(row.reference_ns),
             json_f64(row.speedup()),
@@ -252,10 +308,14 @@ fn main() {
     let mut rows = Vec::new();
     bench_gemm(&mut rows);
     bench_pad_kernel(&mut rows);
+    bench_pad_fft(&mut rows);
     bench_contact(&mut rows);
     bench_labeling(&mut rows);
 
-    println!("{:<20} {:<20} {:>14} {:>16} {:>9}", "op", "shape", "ns/iter", "reference", "speedup");
+    println!(
+        "{:<20} {:<20} {:<6} {:>14} {:>16} {:>9}",
+        "op", "shape", "tier", "ns/iter", "reference", "speedup"
+    );
     for row in &rows {
         let speedup = match row.speedup() {
             Some(s) => format!("{s:.2}x"),
@@ -265,7 +325,10 @@ fn main() {
             Some(r) => format!("{r:.0}"),
             None => "-".to_string(),
         };
-        println!("{:<20} {:<20} {:>14.0} {:>16} {:>9}", row.op, row.shape, row.ns, reference, speedup);
+        println!(
+            "{:<20} {:<20} {:<6} {:>14.0} {:>16} {:>9}",
+            row.op, row.shape, row.tier, row.ns, reference, speedup
+        );
     }
     match write_json(&rows) {
         Ok(path) => println!("\nwrote {}", path.display()),

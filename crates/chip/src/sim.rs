@@ -13,7 +13,8 @@
 
 use crate::source::ChipSource;
 use neurfill_cmpsim::{
-    simulate_layer_sharded, ChipProfile, ContactSolve, LayerInput, PadKernel, ProcessParams, TileShard,
+    simulate_layer_sharded, ChipProfile, ContactSolve, LayerInput, NumericsTier, PadKernel,
+    ProcessParams, TileShard,
 };
 use neurfill_obs::Telemetry;
 use neurfill_runtime::parallel_map_ordered;
@@ -31,12 +32,20 @@ pub struct ChipSimConfig {
     pub workers: usize,
     /// Reference-plane solver variant.
     pub contact_solve: ContactSolve,
+    /// Numerics tier of the pad-smoothing kernel. `Exact` (the default)
+    /// keeps the byte-identical-to-monolithic contract; `Fast` opts into
+    /// the certified FFT convolution (pair it with
+    /// [`ContactSolve::SortedPrefix`], e.g. via
+    /// [`ChipSimConfig::with_numerics`], for the full fast tier).
+    pub numerics: NumericsTier,
     /// Telemetry sink for `chip.*` metrics (disabled by default).
     pub telemetry: Telemetry,
 }
 
 impl ChipSimConfig {
     /// Fast-parameter config with the given tile edge and worker count.
+    /// ("Fast" here means cheap *process parameters*; the numerics tier
+    /// stays `Exact`.)
     #[must_use]
     pub fn fast(tile: usize, workers: usize) -> Self {
         Self {
@@ -44,8 +53,19 @@ impl ChipSimConfig {
             tile,
             workers,
             contact_solve: ContactSolve::Exact,
+            numerics: NumericsTier::Exact,
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Selects a numerics tier: sets the kernel tier and the tier's
+    /// default contact solver ([`ContactSolve::for_tier`]). Set
+    /// `contact_solve` afterwards to override the solver alone.
+    #[must_use]
+    pub fn with_numerics(mut self, tier: NumericsTier) -> Self {
+        self.numerics = tier;
+        self.contact_solve = ContactSolve::for_tier(tier);
+        self
     }
 }
 
@@ -79,7 +99,8 @@ impl ChipSimulator {
     /// Returns a message when the parameters are invalid.
     pub fn new(cfg: ChipSimConfig) -> Result<Self, String> {
         cfg.params.validate()?;
-        let kernel = PadKernel::exponential(cfg.params.character_length, cfg.params.kernel_radius);
+        let kernel = PadKernel::exponential(cfg.params.character_length, cfg.params.kernel_radius)
+            .with_tier(cfg.numerics);
         Ok(Self { cfg, kernel })
     }
 

@@ -1,0 +1,127 @@
+//! Certification harness for the Fast numerics tier at full-chip scale.
+//!
+//! The sharded chip flow's contract is byte-identity to the monolithic
+//! simulator; the Fast tier (FFT pad convolution + sorted contact)
+//! relaxes that to a certified tolerance while *keeping* bit-determinism
+//! across tile grids and worker counts. This suite pins both sides:
+//!
+//! * `--numerics exact` (the default config) is untouched — byte-identical
+//!   to the monolithic exact simulator, exactly as before the tier existed;
+//! * `--numerics fast` tiled output tracks the monolithic simulator
+//!   within `TOL_HEIGHTS` at {2×2, 4×4} tile grids × {1, 8} workers
+//!   (each tile FFT runs on its own padded extent, so tiled and
+//!   monolithic rounding differ within the certified bound), while
+//!   staying *bit-identical across worker counts* at any fixed tiling
+//!   (tiles are pure functions of their inputs; the sorted contact sum
+//!   runs in canonical order).
+
+use neurfill_chip::{ChipSimConfig, ChipSimulator};
+use neurfill_cmpsim::{
+    ChipProfile, CmpSimulator, ContactSolve, NumericsTier, ProcessParams, FFT_MIN_RADIUS,
+};
+use neurfill_layout::{DesignKind, DesignSpec, Layout};
+
+/// Fast-vs-exact height tolerance (same contract as the cmpsim tier
+/// suite: FFT rounding + sorted-contact bisection drift over all steps).
+const TOL_HEIGHTS: f64 = 1e-5;
+
+/// 16×16 chip: tile edge 8 → 2×2 grid, tile edge 4 → 4×4 grid.
+const TILE_GRIDS: [usize; 2] = [8, 4];
+const WORKERS: [usize; 2] = [1, 8];
+
+/// Process parameters at an FFT-engaging radius so the Fast tier
+/// genuinely swaps kernels (`ProcessParams::fast` has radius 2, below
+/// the crossover — the tier switch would be a no-op there).
+fn fft_params() -> ProcessParams {
+    ProcessParams {
+        steps: 10,
+        kernel_radius: FFT_MIN_RADIUS,
+        character_length: 3.0,
+        ..ProcessParams::default()
+    }
+}
+
+fn chip_sim(tier: NumericsTier, tile: usize, workers: usize) -> ChipSimulator {
+    let cfg = ChipSimConfig {
+        params: fft_params(),
+        tile,
+        workers,
+        contact_solve: ContactSolve::Exact,
+        numerics: NumericsTier::Exact,
+        telemetry: neurfill_obs::Telemetry::disabled(),
+    }
+    .with_numerics(tier);
+    ChipSimulator::new(cfg).unwrap()
+}
+
+fn assert_heights_close(a: &ChipProfile, b: &ChipProfile, tol: f64, label: &str) {
+    assert_eq!(a.num_layers(), b.num_layers(), "{label}: layer count");
+    for l in 0..a.num_layers() {
+        for (i, (x, y)) in a.layer(l).heights().iter().zip(b.layer(l).heights()).enumerate() {
+            assert!((x - y).abs() <= tol, "{label}: layer {l} window {i}: {x} vs {y}");
+        }
+    }
+}
+
+fn designs() -> Vec<Layout> {
+    [(DesignKind::CmpTest, 21u64), (DesignKind::Fpga, 22), (DesignKind::RiscV, 23)]
+        .into_iter()
+        .map(|(kind, seed)| DesignSpec::new(kind, 16, 16, seed).generate())
+        .collect()
+}
+
+/// The Exact-tier full-chip output is byte-identical to the monolithic
+/// exact simulator — i.e. to pre-tier behavior — at every tile grid and
+/// worker count. `with_numerics(Exact)` must also leave a config's
+/// byte-identity contract untouched.
+#[test]
+fn exact_tier_full_chip_is_byte_identical_to_monolithic() {
+    let mono = CmpSimulator::new(fft_params()).unwrap();
+    for layout in designs() {
+        let want = mono.simulate(&layout);
+        for tile in TILE_GRIDS {
+            for workers in WORKERS {
+                let (got, _) = chip_sim(NumericsTier::Exact, tile, workers).simulate(&layout).unwrap();
+                assert_eq!(got, want, "{} tile={tile} workers={workers}", layout.name());
+            }
+        }
+    }
+}
+
+/// Fast-tier tiled output tracks both the fast and the exact monolithic
+/// simulators within `TOL_HEIGHTS` at {2×2, 4×4} grids × {1, 8} workers.
+/// (Tiled and monolithic fast runs are *not* bitwise comparable: each
+/// tile's FFT runs on its own padded extent, so rounding differs — by an
+/// amount the per-kernel bound caps.)
+#[test]
+fn fast_tier_tiled_matches_monolithic_within_tolerance() {
+    let exact_mono = CmpSimulator::new(fft_params()).unwrap();
+    let fast_mono = exact_mono.clone().with_numerics(NumericsTier::Fast);
+    for layout in designs() {
+        let exact = exact_mono.simulate(&layout);
+        let fast = fast_mono.simulate(&layout);
+        assert_heights_close(&fast, &exact, TOL_HEIGHTS, layout.name());
+        for tile in TILE_GRIDS {
+            for workers in WORKERS {
+                let (tiled, _) = chip_sim(NumericsTier::Fast, tile, workers).simulate(&layout).unwrap();
+                let label = format!("{} tile={tile} workers={workers}", layout.name());
+                assert_heights_close(&tiled, &fast, TOL_HEIGHTS, &label);
+                assert_heights_close(&tiled, &exact, TOL_HEIGHTS, &label);
+            }
+        }
+    }
+}
+
+/// The Fast tier's sorted contact solve is bit-stable between 1 and 8
+/// workers on its own (independent of the monolithic comparison above):
+/// the canonical summation order makes worker count invisible.
+#[test]
+fn fast_tier_is_bit_identical_across_worker_counts() {
+    for layout in designs() {
+        for tile in TILE_GRIDS {
+            let (one, _) = chip_sim(NumericsTier::Fast, tile, 1).simulate(&layout).unwrap();
+            let (eight, _) = chip_sim(NumericsTier::Fast, tile, 8).simulate(&layout).unwrap();
+            assert_eq!(one, eight, "{} tile={tile}", layout.name());
+        }
+    }
+}

@@ -53,6 +53,19 @@ pub enum ContactSolve {
     SortedPrefix,
 }
 
+impl ContactSolve {
+    /// The solver each numerics tier uses by default: `Exact` keeps the
+    /// bit-identical solver, `Fast` takes the sorted prefix solver.
+    #[must_use]
+    pub fn for_tier(tier: neurfill_tensor::NumericsTier) -> Self {
+        if tier.is_fast() {
+            Self::SortedPrefix
+        } else {
+            Self::Exact
+        }
+    }
+}
+
 /// Solves for the pad reference plane `z_ref` so that
 /// `mean_i k·⟨z_i − z_ref⟩^e = applied_pressure`.
 ///
@@ -298,8 +311,17 @@ pub fn solve_reference_plane_sorted_stats(
     // NaN heights contribute zero force in the reference model
     // (`(NaN).max(0.0) == 0.0`); drop them from the sorted view but keep
     // the original count as the mean's denominator.
-    let mut sorted: Vec<f64> = heights.iter().copied().filter(|z| !z.is_nan()).collect();
-    sorted.sort_unstable_by(|a, b| b.total_cmp(a)); // descending
+    //
+    // The sort key is (height descending, original index ascending): the
+    // index tie-break pins one canonical summation order by construction,
+    // so the solver's result cannot depend on how `sort_unstable_by`
+    // happens to arrange equal keys — the prefix sums, and through them
+    // `z_ref`, are bit-identical however the caller assembled `heights`
+    // (monolithic, or merged from any worker count).
+    let mut indexed: Vec<(f64, usize)> =
+        heights.iter().copied().enumerate().filter(|(_, z)| !z.is_nan()).map(|(i, z)| (z, i)).collect();
+    indexed.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    let sorted: Vec<f64> = indexed.into_iter().map(|(z, _)| z).collect();
     let n = heights.len() as f64;
     if sorted.is_empty() {
         return (f64::NAN, ContactSolveStats::default());

@@ -1,0 +1,379 @@
+//! Real-to-complex radix-2 FFT convolution for the pad kernel (Fast tier).
+//!
+//! The spatial pad-kernel pass costs O(rows·cols·r²); at the paper's
+//! 20–100 µm character lengths (`r` in the tens of windows) the r² factor
+//! dominates the whole simulator. This module evaluates the same truncated
+//! radial convolution as a pointwise product in the frequency domain:
+//!
+//! 1. zero-pad the board into a `P × Q` scratch plane, `P`/`Q` the next
+//!    powers of two ≥ `rows + 2r` / `cols + 2r` (large enough that the
+//!    circular convolution cannot wrap back onto the output region);
+//! 2. forward transform: a real-to-complex FFT along each row (a
+//!    half-length complex FFT plus the standard even/odd untangling keeps
+//!    only the `Q/2 + 1` non-redundant bins), then a complex FFT down each
+//!    retained bin column;
+//! 3. multiply pointwise with the kernel's precomputed spectrum (the
+//!    weights embedded at the origin with negative offsets wrapped, so the
+//!    product realizes the reference *correlation* indexing);
+//! 4. inverse transform and read the `rows × cols` numerator back out.
+//!
+//! Only the numerator goes through the FFT. The per-pixel renormalization
+//! denominator (dropped-weight rescaling at chip edges) is evaluated by
+//! the exact clip-class machinery in [`crate::kernel`], so edge handling
+//! is *identical* to the spatial path and the only tier difference is
+//! FFT rounding in the numerator — a few ULPs relative to the field scale
+//! (the `tier_equivalence` suite asserts
+//! `|fft − spatial| ≤ 1e-9 · (|spatial| + max|field|)` per pixel).
+//!
+//! A [`ConvPlan`] caches everything shape-dependent (twiddle tables,
+//! bit-reversal permutations, the kernel spectrum) and is itself cached
+//! per board shape inside [`crate::kernel::PadKernel`], so steady-state
+//! applications only pay the transforms.
+
+/// One complex value (`f64` re/im). Minimal arithmetic, no dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct Complex {
+    re: f64,
+    im: f64,
+}
+
+impl Complex {
+    const ZERO: Self = Self { re: 0.0, im: 0.0 };
+
+    fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    fn add(self, o: Self) -> Self {
+        Self::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.re - o.re, self.im - o.im)
+    }
+
+    fn mul(self, o: Self) -> Self {
+        Self::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+}
+
+/// Precomputed machinery for complex FFTs of one power-of-two length:
+/// bit-reversal permutation plus the forward twiddle table
+/// `w[j] = exp(−2πi·j/n)` for `j < n/2` (the inverse conjugates it).
+#[derive(Debug)]
+struct Radix2 {
+    n: usize,
+    rev: Vec<u32>,
+    twiddles: Vec<Complex>,
+}
+
+impl Radix2 {
+    fn new(n: usize) -> Self {
+        debug_assert!(n.is_power_of_two());
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits.max(1))).collect();
+        let rev = if n == 1 { vec![0] } else { rev };
+        let twiddles = (0..n / 2)
+            .map(|j| {
+                let ang = -2.0 * std::f64::consts::PI * j as f64 / n as f64;
+                Complex::new(ang.cos(), ang.sin())
+            })
+            .collect();
+        Self { n, rev, twiddles }
+    }
+
+    /// In-place forward (`INVERSE = false`) or unscaled inverse
+    /// (`INVERSE = true`) transform of `buf` at stride 1.
+    fn transform<const INVERSE: bool>(&self, buf: &mut [Complex]) {
+        let n = self.n;
+        debug_assert_eq!(buf.len(), n);
+        if n <= 1 {
+            return;
+        }
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            let mut base = 0;
+            while base < n {
+                for j in 0..half {
+                    let w = self.twiddles[j * step];
+                    let w = if INVERSE { w.conj() } else { w };
+                    let u = buf[base + j];
+                    let v = buf[base + j + half].mul(w);
+                    buf[base + j] = u.add(v);
+                    buf[base + j + half] = u.sub(v);
+                }
+                base += len;
+            }
+            len *= 2;
+        }
+    }
+}
+
+/// A cached convolution plan for one `(rows, cols)` board shape under one
+/// kernel: padded extents, per-axis transform tables, the row-FFT
+/// untangling twiddles, and the kernel spectrum.
+#[derive(Debug)]
+pub(crate) struct ConvPlan {
+    rows: usize,
+    cols: usize,
+    /// Padded row count (power of two ≥ `rows + 2r`).
+    p: usize,
+    /// Padded column count (power of two ≥ `cols + 2r`).
+    q: usize,
+    /// Retained spectrum width: `q/2 + 1` non-redundant bins per row.
+    qh: usize,
+    /// Half-length complex FFT backing the real row transform.
+    row_fft: Radix2,
+    /// Full complex FFT down each retained spectrum column.
+    col_fft: Radix2,
+    /// `exp(−2πi·k/q)` for `k ≤ q/2`: the row-FFT untangling twiddles.
+    row_tw: Vec<Complex>,
+    /// Kernel spectrum, `p` rows × `qh` bins, row-major.
+    kspec: Vec<Complex>,
+}
+
+impl ConvPlan {
+    /// Builds the plan for a `rows × cols` board and the `(2r+1)²` weight
+    /// window (row-major, correlation indexing as in the spatial path).
+    pub(crate) fn new(rows: usize, cols: usize, radius: usize, weights: &[f64]) -> Self {
+        let size = 2 * radius + 1;
+        debug_assert_eq!(weights.len(), size * size);
+        let p = (rows + 2 * radius).max(2).next_power_of_two();
+        let q = (cols + 2 * radius).max(2).next_power_of_two();
+        let qh = q / 2 + 1;
+        let row_fft = Radix2::new(q / 2);
+        let col_fft = Radix2::new(p);
+        let row_tw = (0..=q / 2)
+            .map(|k| {
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / q as f64;
+                Complex::new(ang.cos(), ang.sin())
+            })
+            .collect();
+        let mut plan = Self { rows, cols, p, q, qh, row_fft, col_fft, row_tw, kspec: Vec::new() };
+        // Embed the window with the center tap at (0, 0): offset
+        // (dy − r, dx − r) lands at ((r − dy) mod p, (r − dx) mod q), so
+        // the circular product reproduces the reference correlation
+        // `Σ w[dy][dx] · f[i + dy − r][j + dx − r]`.
+        let mut kpad = vec![0.0f64; p * q];
+        for dy in 0..size {
+            let row = (p + radius - dy) % p;
+            for dx in 0..size {
+                let col = (q + radius - dx) % q;
+                kpad[row * q + col] = weights[dy * size + dx];
+            }
+        }
+        plan.kspec = plan.forward(&kpad);
+        plan
+    }
+
+    /// Board shape this plan serves.
+    pub(crate) fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Real-to-complex FFT of one padded row already packed as `q/2`
+    /// complex values (`z[j] = x[2j] + i·x[2j+1]`), untangled into the
+    /// `qh` non-redundant bins.
+    fn rfft_row(&self, packed: &mut [Complex], out: &mut [Complex]) {
+        let m = self.q / 2;
+        self.row_fft.transform::<false>(packed);
+        for k in 0..=m {
+            let zk = packed[k % m];
+            let zmk = packed[(m - k) % m].conj();
+            let even = zk.add(zmk).scale(0.5);
+            let odd = zk.sub(zmk).scale(0.5);
+            let odd = Complex::new(odd.im, -odd.re); // −i · odd
+            out[k] = even.add(self.row_tw[k].mul(odd));
+        }
+    }
+
+    /// Inverse of [`ConvPlan::rfft_row`]: spectrum bins back to `q` real
+    /// samples (written as `q/2` packed complex values, fully scaled).
+    fn irfft_row(&self, spec: &[Complex], packed: &mut [Complex]) {
+        let m = self.q / 2;
+        for k in 0..m {
+            let xk = spec[k];
+            let xmk = spec[m - k].conj();
+            let even = xk.add(xmk).scale(0.5);
+            let odd = xk.sub(xmk).scale(0.5).mul(self.row_tw[k].conj());
+            let odd = Complex::new(-odd.im, odd.re); // i · odd
+            packed[k] = even.add(odd);
+        }
+        self.row_fft.transform::<true>(packed);
+        let s = 1.0 / m as f64;
+        for v in packed.iter_mut() {
+            *v = v.scale(s);
+        }
+    }
+
+    /// Forward 2-D real FFT of a `p × q` real plane into `p × qh` bins.
+    fn forward(&self, plane: &[f64]) -> Vec<Complex> {
+        let (p, q, qh) = (self.p, self.q, self.qh);
+        let mut spec = vec![Complex::ZERO; p * qh];
+        let mut packed = vec![Complex::ZERO; q / 2];
+        for r in 0..p {
+            let row = &plane[r * q..(r + 1) * q];
+            for (j, v) in packed.iter_mut().enumerate() {
+                *v = Complex::new(row[2 * j], row[2 * j + 1]);
+            }
+            self.rfft_row(&mut packed, &mut spec[r * qh..(r + 1) * qh]);
+        }
+        let mut col = vec![Complex::ZERO; p];
+        for c in 0..qh {
+            for (r, v) in col.iter_mut().enumerate() {
+                *v = spec[r * qh + c];
+            }
+            self.col_fft.transform::<false>(&mut col);
+            for (r, v) in col.iter().enumerate() {
+                spec[r * qh + c] = *v;
+            }
+        }
+        spec
+    }
+
+    /// Convolution numerator: zero-pads `field`, transforms, multiplies
+    /// with the kernel spectrum, inverse-transforms, and writes the
+    /// un-renormalized `rows × cols` correlation sums into `out`.
+    pub(crate) fn convolve_into(&self, field: &[f64], out: &mut [f64]) {
+        let (p, q, qh) = (self.p, self.q, self.qh);
+        debug_assert_eq!(field.len(), self.rows * self.cols);
+        debug_assert_eq!(out.len(), self.rows * self.cols);
+        let mut plane = vec![0.0f64; p * q];
+        for r in 0..self.rows {
+            plane[r * q..r * q + self.cols].copy_from_slice(&field[r * self.cols..(r + 1) * self.cols]);
+        }
+        let mut spec = self.forward(&plane);
+        for (s, k) in spec.iter_mut().zip(&self.kspec) {
+            *s = s.mul(*k);
+        }
+        // Inverse: columns first (undo the second forward pass), scaled by
+        // 1/p; then each row back to real samples.
+        let mut col = vec![Complex::ZERO; p];
+        let sp = 1.0 / p as f64;
+        for c in 0..qh {
+            for (r, v) in col.iter_mut().enumerate() {
+                *v = spec[r * qh + c];
+            }
+            self.col_fft.transform::<true>(&mut col);
+            for (r, v) in col.iter().enumerate() {
+                spec[r * qh + c] = v.scale(sp);
+            }
+        }
+        let mut packed = vec![Complex::ZERO; q / 2];
+        for r in 0..self.rows {
+            self.irfft_row(&spec[r * qh..(r + 1) * qh], &mut packed);
+            let orow = &mut out[r * self.cols..(r + 1) * self.cols];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let z = packed[j / 2];
+                *o = if j % 2 == 0 { z.re } else { z.im };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct O(n²) DFT oracle for the row transform.
+    fn dft(x: &[f64]) -> Vec<Complex> {
+        let n = x.len();
+        (0..=n / 2)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc = acc.add(Complex::new(ang.cos(), ang.sin()).scale(v));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rfft_matches_direct_dft() {
+        for q in [4usize, 8, 16, 64] {
+            let plan = ConvPlan::new(1, q - 2, 1, &[0.0; 9]);
+            assert_eq!(plan.q, q);
+            let x: Vec<f64> = (0..q).map(|i| ((i * 37 + 11) % 17) as f64 / 3.0 - 2.0).collect();
+            let mut packed: Vec<Complex> =
+                (0..q / 2).map(|j| Complex::new(x[2 * j], x[2 * j + 1])).collect();
+            let mut got = vec![Complex::ZERO; q / 2 + 1];
+            plan.rfft_row(&mut packed, &mut got);
+            let want = dft(&x);
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g.re - w.re).abs() < 1e-9 && (g.im - w.im).abs() < 1e-9,
+                    "bin {k}: got ({}, {}), want ({}, {})",
+                    g.re,
+                    g.im,
+                    w.re,
+                    w.im
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn irfft_round_trips() {
+        let q = 32usize;
+        let plan = ConvPlan::new(1, q - 2, 1, &[0.0; 9]);
+        let x: Vec<f64> = (0..q).map(|i| ((i * 53 + 7) % 23) as f64 / 5.0 - 2.0).collect();
+        let mut packed: Vec<Complex> =
+            (0..q / 2).map(|j| Complex::new(x[2 * j], x[2 * j + 1])).collect();
+        let mut spec = vec![Complex::ZERO; q / 2 + 1];
+        plan.rfft_row(&mut packed, &mut spec);
+        let mut back = vec![Complex::ZERO; q / 2];
+        plan.irfft_row(&spec, &mut back);
+        for j in 0..q / 2 {
+            assert!((back[j].re - x[2 * j]).abs() < 1e-12, "even {j}");
+            assert!((back[j].im - x[2 * j + 1]).abs() < 1e-12, "odd {j}");
+        }
+    }
+
+    #[test]
+    fn convolution_matches_direct_correlation() {
+        let (rows, cols, r) = (7usize, 9usize, 2usize);
+        let size = 2 * r + 1;
+        let weights: Vec<f64> =
+            (0..size * size).map(|i| 1.0 + ((i * 31 + 3) % 11) as f64 / 7.0).collect();
+        let field: Vec<f64> =
+            (0..rows * cols).map(|i| ((i * 29 + 13) % 19) as f64 / 4.0 - 2.0).collect();
+        let plan = ConvPlan::new(rows, cols, r, &weights);
+        let mut got = vec![0.0f64; rows * cols];
+        plan.convolve_into(&field, &mut got);
+        for i in 0..rows as isize {
+            for j in 0..cols as isize {
+                let mut want = 0.0;
+                for dy in -(r as isize)..=r as isize {
+                    for dx in -(r as isize)..=r as isize {
+                        let (y, x) = (i + dy, j + dx);
+                        if y < 0 || y >= rows as isize || x < 0 || x >= cols as isize {
+                            continue;
+                        }
+                        want += weights[((dy + r as isize) * size as isize + dx + r as isize) as usize]
+                            * field[(y * cols as isize + x) as usize];
+                    }
+                }
+                let got = got[(i * cols as isize + j) as usize];
+                assert!((got - want).abs() < 1e-10, "pixel ({i},{j}): got {got}, want {want}");
+            }
+        }
+    }
+}

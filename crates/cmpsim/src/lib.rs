@@ -38,6 +38,7 @@ pub mod analysis;
 pub mod calibrate;
 pub mod contact;
 pub mod dsh;
+mod fft;
 pub mod kernel;
 mod numgrad;
 mod params;
@@ -47,7 +48,9 @@ pub mod shard;
 mod simulator;
 
 pub use contact::{ContactSolve, ContactSolveStats};
-pub use kernel::PadKernel;
+pub use kernel::{PadKernel, FFT_MIN_RADIUS};
+/// Re-exported from `neurfill-tensor`: the workspace-wide numerics tier.
+pub use neurfill_tensor::NumericsTier;
 pub use numgrad::FiniteDifference;
 pub use params::{ParamsDisplay, ProcessParams};
 pub use profile::{ChipProfile, LayerProfile};

@@ -16,6 +16,7 @@ use crate::params::ProcessParams;
 use crate::profile::{ChipProfile, LayerProfile};
 use neurfill_layout::Layout;
 use neurfill_obs::Telemetry;
+use neurfill_tensor::NumericsTier;
 
 /// Extracted per-layer simulator input: the pattern maps of one layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,6 +133,26 @@ impl CmpSimulator {
     pub fn with_contact_solve(mut self, solve: ContactSolve) -> Self {
         self.contact_solve = solve;
         self
+    }
+
+    /// Switches the simulator's numerics tier as one knob:
+    /// [`NumericsTier::Exact`] (the construction default) keeps the
+    /// bit-identical kernel and contact paths; [`NumericsTier::Fast`]
+    /// puts the pad kernel on the FFT path (at radii ≥
+    /// [`crate::FFT_MIN_RADIUS`]) and takes [`ContactSolve::SortedPrefix`]
+    /// as the solver. Apply [`CmpSimulator::with_contact_solve`] *after*
+    /// this to override the solver choice while keeping the tiered kernel.
+    #[must_use]
+    pub fn with_numerics(mut self, tier: NumericsTier) -> Self {
+        self.kernel = self.kernel.with_tier(tier);
+        self.contact_solve = ContactSolve::for_tier(tier);
+        self
+    }
+
+    /// The numerics tier the simulator's pad kernel runs in.
+    #[must_use]
+    pub fn numerics(&self) -> NumericsTier {
+        self.kernel.tier()
     }
 
     /// Attaches a telemetry handle; per-stage timings (`sim.*` histograms)

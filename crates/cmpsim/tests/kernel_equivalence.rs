@@ -10,7 +10,7 @@
 use neurfill_cmpsim::contact::{
     solve_reference_plane, solve_reference_plane_reference, solve_reference_plane_sorted,
 };
-use neurfill_cmpsim::{CmpSimulator, ContactSolve, PadKernel, ProcessParams};
+use neurfill_cmpsim::{CmpSimulator, ContactSolve, NumericsTier, PadKernel, ProcessParams};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -76,6 +76,55 @@ proptest! {
         let want = solve_reference_plane_reference(&heights, &params);
         let got = solve_reference_plane(&heights, &params);
         prop_assert_eq!(want.to_bits(), got.to_bits(), "{} vs {}", want, got);
+    }
+
+    // Fast-tier FFT path vs the spatial path on random grids — every
+    // clip class (boards smaller than the window are all border), odd
+    // and even extents — within the documented per-pixel tolerance
+    // |fft − spatial| ≤ 1e-9 · (|spatial| + max|field|).
+    #[test]
+    fn fft_kernel_tracks_spatial_kernel(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        radius in 0usize..6,
+        character_length in 0.4f64..4.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfff7_0001);
+        let field = random_field(&mut rng, rows * cols);
+        let fmax = field.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let kernel = PadKernel::exponential(character_length, radius);
+        let spatial = kernel.apply(&field, rows, cols);
+        let fft = kernel.apply_fft(&field, rows, cols);
+        for (i, (s, f)) in spatial.iter().zip(&fft).enumerate() {
+            let bound = 1e-9 * (s.abs() + fmax);
+            prop_assert!(
+                (s - f).abs() <= bound,
+                "{}x{} r={} element {}: spatial {} vs fft {} (bound {:e})",
+                rows, cols, radius, i, s, f, bound
+            );
+        }
+    }
+
+    // A Fast-tier kernel below the FFT crossover radius shares the
+    // spatial path bit for bit — the tier switch alone must not change
+    // small-radius results.
+    #[test]
+    fn fast_tier_below_crossover_is_bitwise_spatial(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        radius in 0usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0dd5_eed5);
+        let field = random_field(&mut rng, rows * cols);
+        let exact = PadKernel::exponential(1.5, radius);
+        let fast = exact.clone().with_tier(NumericsTier::Fast);
+        let a = exact.apply(&field, rows, cols);
+        let b = fast.apply(&field, rows, cols);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     // Sorted prefix-sum solver agrees with the exact solver to bisection

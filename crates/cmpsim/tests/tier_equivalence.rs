@@ -1,0 +1,239 @@
+//! Certification harness for the Fast numerics tier (per-kernel layer).
+//!
+//! The Fast tier swaps three kernels — FFT pad convolution, the
+//! FMA-contracted GEMM (certified in `neurfill-tensor`), and the sorted
+//! prefix contact solver — behind [`NumericsTier`]. This suite pins the
+//! cmpsim side of the contract:
+//!
+//! * **FFT vs spatial**: per pixel, `|fft − spatial| ≤ TOL_FFT ·
+//!   (|spatial| + max|field|)` with `TOL_FFT = 1e-9`, across all clip
+//!   classes, odd/even board extents, and radii {1, 3, 17, 64};
+//! * **Sorted contact**: summation order is canonical (sort key ties
+//!   broken by original index), so `z_ref` is bit-identical however the
+//!   heights were assembled — pinned by permutation invariance and by
+//!   1-vs-8-worker bit-equality of a Fast-tier sharded simulation;
+//! * **Exact is default and unchanged**: the tier switch itself, at
+//!   `Exact`, is byte-invisible everywhere;
+//! * **Fast-tier simulator drift** on designs A/B/C stays within
+//!   `TOL_HEIGHTS` of the exact tier after full polish loops.
+
+use neurfill_cmpsim::contact::{solve_reference_plane_sorted, ContactSolve};
+use neurfill_cmpsim::{
+    map_sequential, simulate_layer_sharded, CmpSimulator, LayerInput, NumericsTier, PadKernel,
+    ProcessParams, TileShard, FFT_MIN_RADIUS,
+};
+use neurfill_layout::{DesignKind, DesignSpec, Tiling};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// Documented FFT-vs-spatial tolerance (see `cmpsim::kernel` docs):
+/// relative to the output magnitude plus the field scale.
+const TOL_FFT: f64 = 1e-9;
+
+/// Fast-vs-exact full-simulation height tolerance on designs A/B/C
+/// (FFT rounding + sorted-contact bisection drift, compounded over all
+/// polish steps, stays orders of magnitude below this).
+const TOL_HEIGHTS: f64 = 1e-5;
+
+fn random_field(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-50.0f64..500.0)).collect()
+}
+
+fn assert_fft_close(kernel: &PadKernel, field: &[f64], rows: usize, cols: usize, what: &str) {
+    let fmax = field.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let spatial = kernel.apply(field, rows, cols);
+    let fft = kernel.apply_fft(field, rows, cols);
+    for (i, (s, f)) in spatial.iter().zip(&fft).enumerate() {
+        let bound = TOL_FFT * (s.abs() + fmax);
+        assert!(
+            (s - f).abs() <= bound,
+            "{what}: pixel {i} spatial={s} fft={f} |Δ|={:e} bound={bound:e}",
+            (s - f).abs()
+        );
+    }
+}
+
+/// FFT vs spatial at the satellite's radii {1, 3, 17, 64}. Board shapes
+/// are chosen per radius so each case exercises interior + all four
+/// border sides, odd and even extents, strips, and boards smaller than
+/// the kernel window (all-border: every pixel clips on both axes).
+#[test]
+fn fft_matches_spatial_at_certified_radii() {
+    let mut rng = StdRng::seed_from_u64(0x71e5);
+    for &(radius, boards) in &[
+        (1usize, &[(8usize, 8usize), (9, 13), (1, 20), (20, 1), (2, 2)][..]),
+        (3, &[(16, 16), (9, 9), (7, 15), (2, 5), (1, 1)][..]),
+        (17, &[(48, 48), (35, 41), (17, 64), (10, 10), (1, 40)][..]),
+        (64, &[(20, 20), (48, 33), (1, 80), (80, 1)][..]),
+    ] {
+        let kernel = PadKernel::exponential(0.04 * (radius as f64).max(10.0), radius);
+        for &(rows, cols) in boards {
+            let field = random_field(&mut rng, rows * cols);
+            assert_fft_close(&kernel, &field, rows, cols, &format!("r={radius} {rows}x{cols}"));
+        }
+    }
+}
+
+/// Plan caching: repeated applications on the same board shape (and on a
+/// second shape through the same kernel) keep producing in-tolerance
+/// results — the cached plan is shape-keyed, not last-use state.
+#[test]
+fn fft_plan_cache_serves_multiple_shapes() {
+    let mut rng = StdRng::seed_from_u64(0x9141);
+    let kernel = PadKernel::exponential(2.0, 9);
+    for _ in 0..3 {
+        for &(rows, cols) in &[(24usize, 24usize), (17, 31), (24, 24)] {
+            let field = random_field(&mut rng, rows * cols);
+            assert_fft_close(&kernel, &field, rows, cols, &format!("cached {rows}x{cols}"));
+        }
+    }
+}
+
+/// The Fast tier dispatches `apply` itself (not just `apply_fft`) through
+/// the FFT above the crossover radius, and the result honors the bound.
+#[test]
+fn fast_tier_apply_dispatches_to_fft_within_bound() {
+    let mut rng = StdRng::seed_from_u64(0xd15b);
+    let radius = FFT_MIN_RADIUS;
+    let exact = PadKernel::exponential(1.5, radius);
+    let fast = exact.clone().with_tier(NumericsTier::Fast);
+    let (rows, cols) = (30usize, 26usize);
+    let field = random_field(&mut rng, rows * cols);
+    let want_fft = exact.apply_fft(&field, rows, cols);
+    let got = fast.apply(&field, rows, cols);
+    for (w, g) in want_fft.iter().zip(&got) {
+        assert_eq!(w.to_bits(), g.to_bits(), "fast apply must take the FFT path verbatim");
+    }
+    assert_fft_close(&exact, &field, rows, cols, "fast dispatch");
+}
+
+/// Sorted-prefix solver: the (height desc, index asc) sort key makes the
+/// summation order canonical, so any permutation of the same multiset of
+/// heights — in particular any worker count's assembly order — yields a
+/// bit-identical `z_ref`, including fields riddled with exact ties.
+#[test]
+fn sorted_solver_is_permutation_invariant_bitwise() {
+    let params = ProcessParams::default();
+    let mut rng = StdRng::seed_from_u64(0x5027ed);
+    // Heights drawn from a tiny value set: ~32 duplicates per value.
+    let mut heights: Vec<f64> =
+        (0..256).map(|_| 500.0 + f64::from(rng.gen_range(0u32..8)) * 2.5).collect();
+    let want = solve_reference_plane_sorted(&heights, &params).to_bits();
+    for shuffle in 0..10 {
+        heights.shuffle(&mut rng);
+        let got = solve_reference_plane_sorted(&heights, &params).to_bits();
+        assert_eq!(want, got, "shuffle {shuffle} changed z_ref");
+    }
+}
+
+/// A chunked threaded shard map (the same disjoint-chunk pattern the chip
+/// crate's worker pool uses), for the worker-count bit-equality pin.
+fn map_threaded(
+    workers: usize,
+) -> impl Fn(Vec<TileShard>, &(dyn Fn(TileShard) -> TileShard + Sync)) -> Vec<TileShard> {
+    move |shards, f| {
+        let len = shards.len();
+        let mut slots: Vec<Option<TileShard>> = shards.into_iter().map(Some).collect();
+        let chunk = len.div_ceil(workers).max(1);
+        std::thread::scope(|scope| {
+            for group in slots.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for slot in group {
+                        if let Some(s) = slot.take() {
+                            *slot = Some(f(s));
+                        }
+                    }
+                });
+            }
+        });
+        slots.into_iter().flatten().collect()
+    }
+}
+
+/// Fast-tier sharded simulation (FFT smoothing + sorted contact) is
+/// bit-identical between 1 and 8 workers: tile results are pure
+/// functions of their inputs and the contact solve runs on the assembled
+/// chip board in canonical order, so parallelism cannot reorder a sum.
+#[test]
+fn fast_tier_sharded_is_bit_identical_across_worker_counts() {
+    let params = ProcessParams {
+        kernel_radius: FFT_MIN_RADIUS,
+        character_length: 3.0,
+        steps: 4,
+        ..ProcessParams::default()
+    };
+    let layout = DesignSpec::new(DesignKind::Fpga, 24, 24, 7).generate();
+    let kernel = PadKernel::exponential(params.character_length, params.kernel_radius)
+        .with_tier(NumericsTier::Fast);
+    let tiling = Tiling::square(24, 24, 6, params.kernel_radius);
+    let build = || -> Vec<TileShard> {
+        tiling
+            .tiles()
+            .map(|t| {
+                let sub = layout.crop(t.ext);
+                TileShard::new(t, &LayerInput::from_layout(&sub, 0), &kernel, &params).unwrap()
+            })
+            .collect()
+    };
+    let (seq, _, _) = simulate_layer_sharded(
+        build(),
+        24,
+        24,
+        &params,
+        &kernel,
+        ContactSolve::SortedPrefix,
+        &map_sequential,
+    );
+    for workers in [1usize, 8] {
+        let map = map_threaded(workers);
+        let (par, _, _) =
+            simulate_layer_sharded(build(), 24, 24, &params, &kernel, ContactSolve::SortedPrefix, &map);
+        assert_eq!(seq, par, "fast tier diverged at {workers} workers");
+    }
+}
+
+/// `with_numerics(Exact)` is byte-invisible: same kernel path, same
+/// solver, bit-identical full simulation — the Exact tier IS today's
+/// behavior, pinned against a simulator that never heard of tiers.
+#[test]
+fn exact_tier_is_default_and_byte_identical() {
+    assert_eq!(NumericsTier::default(), NumericsTier::Exact);
+    assert_eq!(ContactSolve::for_tier(NumericsTier::Exact), ContactSolve::Exact);
+    assert_eq!(ContactSolve::for_tier(NumericsTier::Fast), ContactSolve::SortedPrefix);
+    let layout = DesignSpec::new(DesignKind::CmpTest, 12, 12, 3).generate();
+    let plain = CmpSimulator::new(ProcessParams::fast()).unwrap();
+    let tiered = plain.clone().with_numerics(NumericsTier::Exact);
+    assert_eq!(plain.numerics(), NumericsTier::Exact);
+    assert_eq!(plain.simulate(&layout), tiered.simulate(&layout));
+}
+
+/// Fast-tier full simulation tracks the exact tier within `TOL_HEIGHTS`
+/// on designs A/B/C at an FFT-engaging radius.
+#[test]
+fn fast_tier_simulation_tracks_exact_on_designs_abc() {
+    let params = ProcessParams {
+        kernel_radius: FFT_MIN_RADIUS,
+        character_length: 3.0,
+        steps: 8,
+        ..ProcessParams::default()
+    };
+    for (kind, seed) in [(DesignKind::CmpTest, 1u64), (DesignKind::Fpga, 2), (DesignKind::RiscV, 3)] {
+        let layout = DesignSpec::new(kind, 24, 24, seed).generate();
+        let exact = CmpSimulator::new(params.clone()).unwrap().simulate(&layout);
+        let fast = CmpSimulator::new(params.clone())
+            .unwrap()
+            .with_numerics(NumericsTier::Fast)
+            .simulate(&layout);
+        assert_eq!(exact.num_layers(), fast.num_layers());
+        for l in 0..exact.num_layers() {
+            for (i, (a, b)) in exact.layer(l).heights().iter().zip(fast.layer(l).heights()).enumerate() {
+                assert!(
+                    (a - b).abs() <= TOL_HEIGHTS,
+                    "{kind:?} layer {l} window {i}: exact={a} fast={b}"
+                );
+            }
+        }
+        // ΔH (the planarity figure of merit) agrees to the same tolerance.
+        assert!((exact.max_height_range() - fast.max_height_range()).abs() <= 2.0 * TOL_HEIGHTS);
+    }
+}

@@ -76,4 +76,8 @@ pub use neurfill_obs as telemetry;
 pub use cancel::CancelToken;
 pub use cmp_nn::{CmpNeuralNetwork, CmpNnConfig, HeightNorm, PlanarityEval};
 pub use framework::{FillObjective, FillOutcome, NeurFill, NeurFillConfig, StartMode};
+/// Re-exported from `neurfill-cmpsim`: the workspace-wide numerics tier
+/// selecting between bit-exact reference kernels and the certified fast
+/// (FFT / FMA / sorted-contact) kernels.
+pub use neurfill_cmpsim::NumericsTier;
 pub use score::{Alphas, Coefficients, PlanarityMetrics, ScoreBreakdown};

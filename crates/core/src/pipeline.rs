@@ -11,7 +11,7 @@ use crate::framework::{FillOutcome, NeurFill, NeurFillConfig};
 use crate::report::{evaluate_plan, MethodResult};
 use crate::score::Coefficients;
 use crate::surrogate::{train_surrogate, SurrogateConfig, TrainReport};
-use neurfill_cmpsim::{CmpSimulator, ProcessParams};
+use neurfill_cmpsim::{CmpSimulator, NumericsTier, ProcessParams};
 use neurfill_layout::insertion::{realize_fill, InsertionReport, InsertionRules};
 use neurfill_layout::{FillPlan, Layout};
 use neurfill_obs::Telemetry;
@@ -34,6 +34,12 @@ pub struct FlowConfig {
     pub beta_time_s: f64,
     /// Master seed.
     pub seed: u64,
+    /// Numerics tier of the golden simulator. `Exact` (the default) keeps
+    /// every output bit-identical to the reference kernels; `Fast` opts
+    /// into the certified FFT/FMA/sorted-contact kernels (see the
+    /// `neurfill_cmpsim::kernel` and `neurfill_tensor::numerics` docs for
+    /// the tolerance contracts).
+    pub numerics: NumericsTier,
     /// Telemetry handle; the default (disabled) handle records nothing and
     /// leaves every output byte-identical. An enabled handle propagates to
     /// the golden simulator, the synthesis optimizers and the flow's own
@@ -50,6 +56,7 @@ impl Default for FlowConfig {
             insertion: InsertionRules::default(),
             beta_time_s: 120.0,
             seed: 0,
+            numerics: NumericsTier::Exact,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -91,7 +98,9 @@ impl FillingFlow {
     /// training fails (geometry misconfiguration).
     pub fn prepare(sources: &[Layout], config: FlowConfig) -> Result<Self, String> {
         let _prepare_span = config.telemetry.span("flow.prepare_ns");
-        let sim = CmpSimulator::new(config.process.clone())?.with_telemetry(config.telemetry.clone());
+        let sim = CmpSimulator::new(config.process.clone())?
+            .with_numerics(config.numerics)
+            .with_telemetry(config.telemetry.clone());
         let mut rng = StdRng::seed_from_u64(config.seed);
         let trained =
             train_surrogate(sources, &sim, &config.surrogate, &mut rng).map_err(|e| e.to_string())?;
@@ -108,7 +117,9 @@ impl FillingFlow {
         network: impl Into<Rc<CmpNeuralNetwork>>,
         config: FlowConfig,
     ) -> Result<Self, String> {
-        let sim = CmpSimulator::new(config.process.clone())?.with_telemetry(config.telemetry.clone());
+        let sim = CmpSimulator::new(config.process.clone())?
+            .with_numerics(config.numerics)
+            .with_telemetry(config.telemetry.clone());
         Ok(Self {
             sim,
             network: network.into(),

@@ -24,7 +24,7 @@
 //! on `--workers` — rerunning with more threads reproduces the identical
 //! corpus, only faster.
 
-use neurfill_cmpsim::ProcessParams;
+use neurfill_cmpsim::{NumericsTier, ProcessParams};
 use neurfill_data::{generate_labeled_shards, label_full_chip, ChipLabelConfig, LabelConfig};
 use neurfill_layout::datagen::DataGenConfig;
 use neurfill_layout::{benchmark_designs, io as layout_io, DesignKind, FullChipSpec, Layout};
@@ -46,15 +46,17 @@ struct Args {
     design: DesignKind,
     tile_size: usize,
     explicit_dims: bool,
+    numerics: NumericsTier,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: gendata --out <dir> [--num N] [--rows R] [--cols C] [--seed S]\n\
          \x20             [--workers W] [--samples-per-shard K] [--sources <dir>] [--fast]\n\
-         \x20             [--metrics-out <file>]\n\
+         \x20             [--numerics exact|fast] [--metrics-out <file>]\n\
          \x20      gendata --out <dir> --full-chip [--design A|B|C] [--tile-size N]\n\
-         \x20             [--rows R] [--cols C] [--seed S] [--workers W] [--fast] ..."
+         \x20             [--rows R] [--cols C] [--seed S] [--workers W] [--fast]\n\
+         \x20             [--numerics exact|fast] ..."
     );
     std::process::exit(2);
 }
@@ -94,6 +96,7 @@ fn parse_args() -> Args {
         design: DesignKind::RiscV,
         tile_size: 32,
         explicit_dims: false,
+        numerics: NumericsTier::Exact,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -125,6 +128,13 @@ fn parse_args() -> Args {
             "--design" => args.design = parse_design(&value(&mut it, "--design")),
             "--tile-size" => args.tile_size = parse_num(&value(&mut it, "--tile-size"), "--tile-size"),
             "--fast" => args.fast = true,
+            "--numerics" => match NumericsTier::parse(&value(&mut it, "--numerics")) {
+                Ok(tier) => args.numerics = tier,
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+            },
             "--metrics-out" => args.metrics_out = Some(value(&mut it, "--metrics-out").into()),
             "--help" | "-h" => usage(),
             other => {
@@ -180,6 +190,7 @@ fn run_full_chip(args: &Args) -> Result<(), String> {
         workers: args.workers,
         samples_per_shard: args.samples_per_shard,
         process: if args.fast { ProcessParams::fast() } else { ProcessParams::default() },
+        numerics: args.numerics,
         seed: args.seed,
         telemetry: if args.metrics_out.is_some() {
             neurfill::telemetry::Telemetry::new()
@@ -234,6 +245,7 @@ fn run() -> Result<(), String> {
             ..DataGenConfig::default()
         },
         process: if args.fast { ProcessParams::fast() } else { ProcessParams::default() },
+        numerics: args.numerics,
         telemetry: if args.metrics_out.is_some() {
             neurfill::telemetry::Telemetry::new()
         } else {

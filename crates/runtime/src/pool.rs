@@ -38,6 +38,7 @@ use neurfill_cmpsim::ChipProfile;
 use neurfill_cmpsim::LayerProfile;
 use neurfill_layout::apply_fill;
 use neurfill_obs::{MetricsSnapshot, Telemetry};
+use neurfill_tensor::NumericsTier;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -72,6 +73,13 @@ pub struct PoolOptions {
     /// (unless the [`FlowConfig`] carries its own), so one registry
     /// covers simulator, optimizer, flow and runtime metrics.
     pub telemetry: Telemetry,
+    /// Numerics tier the pool runs at. `Exact` (the default) is
+    /// bit-identical to the reference kernels; `Fast` opts into the
+    /// certified FFT/FMA/sorted-contact kernels. The pool installs the
+    /// tier process-wide (for the GEMM dispatch behind `NdArray::matmul`)
+    /// and propagates it to each worker's flow unless the [`FlowConfig`]
+    /// already selects `Fast` itself.
+    pub numerics: NumericsTier,
 }
 
 impl Default for PoolOptions {
@@ -84,6 +92,7 @@ impl Default for PoolOptions {
             restart_budget: 2,
             fault: Arc::new(FaultPlan::disabled()),
             telemetry: Telemetry::disabled(),
+            numerics: NumericsTier::Exact,
         }
     }
 }
@@ -201,6 +210,13 @@ impl RuntimePool {
         if options.telemetry.is_enabled() && !config.telemetry.is_enabled() {
             config.telemetry = options.telemetry.clone();
         }
+        // Same propagation shape for the numerics tier: a Fast pool runs
+        // Fast flows (unless the flow opted in on its own), and the
+        // process-global GEMM tier follows the pool.
+        if options.numerics.is_fast() && !config.numerics.is_fast() {
+            config.numerics = options.numerics;
+        }
+        neurfill_tensor::set_numerics_tier(config.numerics);
         let stats = Arc::new(StatsInner::new(&options.telemetry));
         let fault = Arc::clone(&options.fault);
         let supervisor = Arc::new(BatchSupervisor::spawn_with(

@@ -7,6 +7,7 @@
 //!                [--canary-samples N] [--canary-sigma-tol T]
 //!                [--drain-timeout-s S] [--metrics-out metrics.jsonl]
 //!                [--journal DIR] [--fault-plan SPEC] [--fault-seed N] [--fast]
+//!                [--numerics exact|fast]
 //! ```
 //!
 //! Runs until `POST /v1/admin/shutdown` drains it; `--metrics-out` then
@@ -22,7 +23,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use neurfill::pipeline::FlowConfig;
-use neurfill_cmpsim::ProcessParams;
+use neurfill_cmpsim::{NumericsTier, ProcessParams};
 use neurfill_runtime::{FaultPlan, ModelRegistry, PoolOptions, RetryPolicy};
 use neurfill_serve::{CanaryConfig, FillService, Server, ServerConfig, ServiceConfig, TenantConfig};
 use std::path::PathBuf;
@@ -47,6 +48,7 @@ struct Args {
     fault_plan: Option<String>,
     fault_seed: u64,
     fast: bool,
+    numerics: NumericsTier,
 }
 
 fn usage() -> ! {
@@ -56,7 +58,7 @@ fn usage() -> ! {
          \x20      [--workers N] [--slots N] [--timeout-s S] [--retries N]\n\
          \x20      [--canary-samples N] [--canary-sigma-tol T] [--drain-timeout-s S]\n\
          \x20      [--metrics-out <file>] [--journal DIR]\n\
-         \x20      [--fault-plan SPEC] [--fault-seed N] [--fast]"
+         \x20      [--fault-plan SPEC] [--fault-seed N] [--fast] [--numerics exact|fast]"
     );
     std::process::exit(2);
 }
@@ -86,6 +88,7 @@ fn parse_args() -> Args {
         fault_plan: None,
         fault_seed: 0,
         fast: false,
+        numerics: NumericsTier::Exact,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -138,6 +141,13 @@ fn parse_args() -> Args {
                 args.fault_seed = parse_num(&value(&mut it, "--fault-seed"), "--fault-seed")
             }
             "--fast" => args.fast = true,
+            "--numerics" => match NumericsTier::parse(&value(&mut it, "--numerics")) {
+                Ok(tier) => args.numerics = tier,
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -170,7 +180,7 @@ fn run() -> Result<(), String> {
     let telemetry = neurfill::telemetry::Telemetry::new();
     neurfill_tensor::telemetry::install(telemetry.clone());
     let process = if args.fast { ProcessParams::fast() } else { ProcessParams::default() };
-    let flow = FlowConfig { process, ..FlowConfig::default() };
+    let flow = FlowConfig { process, numerics: args.numerics, ..FlowConfig::default() };
     let service = FillService::start(
         bundle,
         ServiceConfig {
@@ -191,6 +201,7 @@ fn run() -> Result<(), String> {
                 retry: RetryPolicy::with_retries(args.retries),
                 fault: Arc::new(fault),
                 telemetry,
+                numerics: args.numerics,
                 ..PoolOptions::default()
             },
             ..ServiceConfig::default()

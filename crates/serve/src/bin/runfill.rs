@@ -46,7 +46,7 @@ use neurfill_chip::{
     chip_run_meta, run_full_chip, synthesize_tiles_checkpointed, ChipFillConfig, ChipFillPlan,
     ChipRunConfig, ChipSimConfig, TileCheckpoint, TileJobOptions,
 };
-use neurfill_cmpsim::{CmpSimulator, ContactSolve, ProcessParams};
+use neurfill_cmpsim::{CmpSimulator, ContactSolve, NumericsTier, ProcessParams};
 use neurfill_layout::datagen::DataGenConfig;
 use neurfill_layout::{
     benchmark_designs, io as layout_io, DesignKind, DesignSpec, FullChipDesign, FullChipSpec, Tiling,
@@ -90,6 +90,7 @@ struct Args {
     seed: u64,
     explicit_dims: bool,
     max_in_flight: usize,
+    numerics: NumericsTier,
 }
 
 fn usage() -> ! {
@@ -97,13 +98,14 @@ fn usage() -> ! {
         "usage: runfill --model <bundle> --layouts <dir> [--out <dir>] [--workers N]\n\
          \x20             [--timeout-s S] [--retries N] [--max-batch B] [--linger-ms M]\n\
          \x20             [--fault-plan SPEC] [--fault-seed N] [--fast] [--init-demo N]\n\
-         \x20             [--metrics-out <file>]\n\
+         \x20             [--numerics exact|fast] [--metrics-out <file>]\n\
          \x20      runfill --connect HOST:PORT --layouts <dir> [--out <dir>]\n\
          \x20             [--tenant NAME] [--priority high|normal|low] [--timeout-s S]\n\
          \x20      runfill --full-chip [--design A|B|C] [--tile-size N] [--rows R]\n\
          \x20             [--cols C] [--seed S] [--out <dir>] [--workers N] [--fast]\n\
          \x20             [--model <bundle> | --connect HOST:PORT] [--max-in-flight K]\n\
-         \x20             [--checkpoint <dir>] [--fault-plan SPEC] [--fault-seed N]"
+         \x20             [--checkpoint <dir>] [--fault-plan SPEC] [--fault-seed N]\n\
+         \x20             [--numerics exact|fast]"
     );
     std::process::exit(2);
 }
@@ -147,6 +149,7 @@ fn parse_args() -> Args {
         seed: 0,
         explicit_dims: false,
         max_in_flight: 4,
+        numerics: NumericsTier::Exact,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -202,6 +205,13 @@ fn parse_args() -> Args {
             "--max-in-flight" => {
                 args.max_in_flight = parse_num(&value(&mut it, "--max-in-flight"), "--max-in-flight")
             }
+            "--numerics" => match NumericsTier::parse(&value(&mut it, "--numerics")) {
+                Ok(tier) => args.numerics = tier,
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+            },
             "--fast" => args.fast = true,
             "--init-demo" => args.init_demo = parse_num(&value(&mut it, "--init-demo"), "--init-demo"),
             "--metrics-out" => args.metrics_out = Some(value(&mut it, "--metrics-out").into()),
@@ -243,7 +253,7 @@ fn init_demo(args: &Args) -> Result<(), String> {
     }
     if !args.model.as_os_str().is_empty() && !args.model.exists() {
         println!("training demo surrogate (small budget)...");
-        let sim = CmpSimulator::new(process_params(args))?;
+        let sim = CmpSimulator::new(process_params(args))?.with_numerics(args.numerics);
         let sources = benchmark_designs(8, 8, 1);
         let config = SurrogateConfig {
             unet: UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 4, depth: 2 },
@@ -454,13 +464,18 @@ fn run_full_chip_remote(args: &Args, addr: &str, out_dir: &Path) -> Result<bool,
         println!("failover bundle {} (digest {:016x})", args.model.display(), bundle.digest());
         Some(FailoverConfig {
             bundle,
-            flow: FlowConfig { process: params.clone(), ..FlowConfig::default() },
+            flow: FlowConfig {
+                process: params.clone(),
+                numerics: args.numerics,
+                ..FlowConfig::default()
+            },
             pool: PoolOptions {
                 workers: args.workers,
                 batch: BatchConfig { max_batch: args.max_batch.max(1), linger: args.linger },
                 default_timeout: args.timeout,
                 retry: RetryPolicy::with_retries(args.retries),
                 telemetry: telemetry.clone(),
+                numerics: args.numerics,
                 ..PoolOptions::default()
             },
         })
@@ -532,13 +547,14 @@ fn run_full_chip_pool(args: &Args, out_dir: &Path) -> Result<bool, String> {
     println!("model bundle {} (digest {:016x})", args.model.display(), bundle.digest());
     let telemetry = chip_telemetry(args);
     neurfill_tensor::telemetry::install(telemetry.clone());
-    let flow = FlowConfig { process: params, ..FlowConfig::default() };
+    let flow = FlowConfig { process: params, numerics: args.numerics, ..FlowConfig::default() };
     let options = PoolOptions {
         workers: args.workers,
         batch: BatchConfig { max_batch: args.max_batch.max(1), linger: args.linger },
         default_timeout: args.timeout,
         retry: RetryPolicy::with_retries(args.retries),
         telemetry: telemetry.clone(),
+        numerics: args.numerics,
         ..PoolOptions::default()
     };
     let pool = RuntimePool::new(bundle, flow, options).map_err(|e| e.to_string())?;
@@ -610,7 +626,8 @@ fn run_full_chip_golden(args: &Args, out_dir: &Path) -> Result<bool, String> {
             params: process_params(args),
             tile: args.tile_size,
             workers: args.workers,
-            contact_solve: ContactSolve::Exact,
+            contact_solve: ContactSolve::for_tier(args.numerics),
+            numerics: args.numerics,
             telemetry: telemetry.clone(),
         },
         fill: ChipFillConfig::default(),
@@ -638,6 +655,10 @@ fn run_full_chip_golden(args: &Args, out_dir: &Path) -> Result<bool, String> {
 
 fn run() -> Result<bool, String> {
     let args = parse_args();
+    // Install the tier process-wide up front so every path — including
+    // in-process demo training and the golden sharded flow — runs the
+    // selected kernels (the pool re-installs the same value).
+    neurfill_tensor::set_numerics_tier(args.numerics);
     if args.full_chip {
         let out_dir = args.out.clone().unwrap_or_else(|| PathBuf::from("chip-reports"));
         std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
@@ -684,7 +705,8 @@ fn run() -> Result<bool, String> {
     };
     // Route GEMM counters/timers (`tensor.gemm*`) into the same snapshot.
     neurfill_tensor::telemetry::install(telemetry.clone());
-    let flow = FlowConfig { process: process_params(&args), ..FlowConfig::default() };
+    let flow =
+        FlowConfig { process: process_params(&args), numerics: args.numerics, ..FlowConfig::default() };
     let options = PoolOptions {
         workers: args.workers,
         batch: BatchConfig { max_batch: args.max_batch.max(1), linger: args.linger },
@@ -692,6 +714,7 @@ fn run() -> Result<bool, String> {
         retry: RetryPolicy::with_retries(args.retries),
         fault: Arc::new(fault),
         telemetry: telemetry.clone(),
+        numerics: args.numerics,
         ..PoolOptions::default()
     };
     let pool = RuntimePool::new(bundle, flow, options).map_err(|e| e.to_string())?;
