@@ -11,13 +11,13 @@ echo "== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # neurfill-runtime, neurfill (core), neurfill-obs, neurfill-tensor,
-# neurfill-cmpsim, neurfill-serve, neurfill-chip and neurfill-data deny
-# clippy::unwrap_used / clippy::expect_used at the crate level
-# (lib + bins, tests exempt); this run enforces it.
+# neurfill-nn, neurfill-cmpsim, neurfill-serve, neurfill-chip and
+# neurfill-data deny clippy::unwrap_used / clippy::expect_used at the
+# crate level (lib + bins, tests exempt); this run enforces it.
 echo "== cargo clippy (no unwrap/expect in lib+bins)"
 cargo clippy -p neurfill-runtime -p neurfill -p neurfill-obs \
-    -p neurfill-tensor -p neurfill-cmpsim -p neurfill-serve \
-    -p neurfill-chip -p neurfill-data \
+    -p neurfill-tensor -p neurfill-nn -p neurfill-cmpsim \
+    -p neurfill-serve -p neurfill-chip -p neurfill-data \
     --lib --bins -- -D warnings
 
 echo "== cargo build --release"
@@ -51,6 +51,15 @@ cargo test -p neurfill-chip --test fast_tier -q
 
 echo "== kernel bench (compile-only)"
 cargo bench -p neurfill-bench --bench kernels --no-run
+
+echo "== quantized-backend certification suite (seam, calibration, serve canary)"
+cargo test -p neurfill-tensor -q quant
+cargo test -p neurfill-nn -q quant
+cargo test -p neurfill --test downstream_equivalence -q backend
+cargo test -p neurfill-serve --test quant_canary -q
+
+echo "== infer bench (compile-only)"
+cargo bench -p neurfill-bench --bench infer --no-run
 
 echo "== serve service suite"
 cargo test -p neurfill-serve --test service -q

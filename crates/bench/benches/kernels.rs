@@ -9,18 +9,26 @@
 //! a sample runs long enough to dominate timer noise. Results go to
 //! stdout as a table and to `BENCH_kernels.json` at the repo root
 //! (override with `NEURFILL_BENCH_OUT`) as machine-readable records:
-//! `{op, shape, tier, ns_per_iter, reference_ns_per_iter, speedup}`.
+//! `{op, shape, tier, backend, ns_per_iter, reference_ns_per_iter,
+//! speedup}`. The write merges: rows owned by other benches (`infer`'s
+//! `unet_infer`) are preserved.
 //!
 //! `tier` tracks the numerics tier a row certifies: `exact` rows compare
 //! the bit-exact optimized kernels against their references; `fast` rows
 //! compare the certified fast kernels (FFT pad convolution, FMA GEMM)
 //! against the exact tier, so the exact/fast gap per shape is recorded
-//! alongside the exact-kernel wins.
+//! alongside the exact-kernel wins. `backend` is the tensor backend the
+//! row ran on — every kernel here is the f32 `cpu` backend; quantized
+//! rows come from the `infer` bench.
 //!
-//! The end-to-end entry times the full labeling pipeline on the current
-//! build; its reference column comes from `NEURFILL_BASELINE_LABELING_NS`
-//! (measured on a pre-optimization checkout) when set, else it is null.
+//! The end-to-end entries time the full labeling pipeline on the current
+//! build: the `exact` row's reference column comes from
+//! `NEURFILL_BASELINE_LABELING_NS` (measured on a pre-optimization
+//! checkout) when set, else it is null; the `fast` row re-runs the same
+//! corpus under the fast numerics tier with the exact-tier run as its
+//! reference.
 
+use neurfill_bench::records::{merge_into, output_path, print_table, BenchRecord};
 use neurfill_cmpsim::contact::{
     solve_reference_plane, solve_reference_plane_reference, solve_reference_plane_sorted,
 };
@@ -78,17 +86,16 @@ fn time_pair_ns(mut reference: impl FnMut(), mut optimized: impl FnMut()) -> (f6
     (best_ref, best_opt)
 }
 
-struct Row {
-    op: &'static str,
-    shape: String,
-    tier: &'static str,
-    ns: f64,
-    reference_ns: Option<f64>,
-}
-
-impl Row {
-    fn speedup(&self) -> Option<f64> {
-        self.reference_ns.map(|r| r / self.ns)
+/// Shorthand constructor: every row in this bench runs on the f32 `cpu`
+/// backend.
+fn row(op: &str, shape: String, tier: &str, ns: f64, reference_ns: Option<f64>) -> BenchRecord {
+    BenchRecord {
+        op: op.to_string(),
+        shape,
+        tier: tier.to_string(),
+        backend: "cpu".to_string(),
+        ns,
+        reference_ns,
     }
 }
 
@@ -118,7 +125,7 @@ fn gemm_legacy(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
     }
 }
 
-fn bench_gemm(rows: &mut Vec<Row>) {
+fn bench_gemm(rows: &mut Vec<BenchRecord>) {
     // (m, k, n) triples matching the im2col matmuls of the default UNet
     // (base 8, depth 2) on 16×16 windows at batch 32: m = out channels,
     // k = in_channels·kh·kw, n = batch·Ho·Wo.
@@ -131,36 +138,18 @@ fn bench_gemm(rows: &mut Vec<Row>) {
         let mut out2 = vec![0.0f32; m * n];
         let (legacy_ns, ns) =
             time_pair_ns(|| gemm_legacy(&a, &b, &mut out, m, k, n), || gemm(&a, &b, &mut out2, m, k, n));
-        rows.push(Row {
-            op: "gemm",
-            shape: format!("{m}x{k}x{n}"),
-            tier: "exact",
-            ns,
-            reference_ns: Some(legacy_ns),
-        });
+        rows.push(row("gemm", format!("{m}x{k}x{n}"), "exact", ns, Some(legacy_ns)));
         let reference_ns = time_ns(|| gemm_reference(&a, &b, &mut out, m, k, n));
-        rows.push(Row {
-            op: "gemm_oracle",
-            shape: format!("{m}x{k}x{n}"),
-            tier: "exact",
-            ns,
-            reference_ns: Some(reference_ns),
-        });
+        rows.push(row("gemm_oracle", format!("{m}x{k}x{n}"), "exact", ns, Some(reference_ns)));
         // Fast tier: the FMA-contracted micro-kernel against the exact
         // blocked kernel (single thread each; reference = exact tier).
         let exact_ns = time_ns(|| gemm_tiered(&a, &b, &mut out, m, k, n, 1, NumericsTier::Exact));
         let fast_ns = time_ns(|| gemm_tiered(&a, &b, &mut out2, m, k, n, 1, NumericsTier::Fast));
-        rows.push(Row {
-            op: "gemm",
-            shape: format!("{m}x{k}x{n}"),
-            tier: "fast",
-            ns: fast_ns,
-            reference_ns: Some(exact_ns),
-        });
+        rows.push(row("gemm", format!("{m}x{k}x{n}"), "fast", fast_ns, Some(exact_ns)));
     }
 }
 
-fn bench_pad_kernel(rows: &mut Vec<Row>) {
+fn bench_pad_kernel(rows: &mut Vec<BenchRecord>) {
     let shapes = [(16usize, 16usize, 2usize), (64, 64, 4), (128, 128, 4)];
     let mut rng = StdRng::seed_from_u64(11);
     for (r, c, radius) in shapes {
@@ -173,20 +162,14 @@ fn bench_pad_kernel(rows: &mut Vec<Row>) {
             },
             || kernel.apply_into(&field, r, c, &mut out),
         );
-        rows.push(Row {
-            op: "pad_kernel",
-            shape: format!("{r}x{c}_r{radius}"),
-            tier: "exact",
-            ns,
-            reference_ns: Some(reference_ns),
-        });
+        rows.push(row("pad_kernel", format!("{r}x{c}_r{radius}"), "exact", ns, Some(reference_ns)));
     }
 }
 
 /// Fast tier: FFT pad convolution against the exact spatial kernel at
 /// large radii — the regime the tier exists for. The acceptance bar is
 /// >= 2x at radius >= 32.
-fn bench_pad_fft(rows: &mut Vec<Row>) {
+fn bench_pad_fft(rows: &mut Vec<BenchRecord>) {
     let shapes = [(64usize, 64usize, 8usize), (64, 64, 32), (128, 128, 32), (128, 128, 64)];
     let mut rng = StdRng::seed_from_u64(17);
     for (r, c, radius) in shapes {
@@ -199,17 +182,11 @@ fn bench_pad_fft(rows: &mut Vec<Row>) {
             || kernel.apply_into(&field, r, c, &mut out),
             || fast.apply_into(&field, r, c, &mut out2),
         );
-        rows.push(Row {
-            op: "pad_kernel",
-            shape: format!("{r}x{c}_r{radius}"),
-            tier: "fast",
-            ns: fft_ns,
-            reference_ns: Some(spatial_ns),
-        });
+        rows.push(row("pad_kernel", format!("{r}x{c}_r{radius}"), "fast", fft_ns, Some(spatial_ns)));
     }
 }
 
-fn bench_contact(rows: &mut Vec<Row>) {
+fn bench_contact(rows: &mut Vec<BenchRecord>) {
     let mut rng = StdRng::seed_from_u64(13);
     let params = ProcessParams::default();
     for n in [256usize, 4096, 16384] {
@@ -222,86 +199,53 @@ fn bench_contact(rows: &mut Vec<Row>) {
                 std::hint::black_box(solve_reference_plane(&heights, &params));
             },
         );
-        rows.push(Row {
-            op: "contact_exact",
-            shape: format!("n{n}"),
-            tier: "exact",
-            ns,
-            reference_ns: Some(reference_ns),
-        });
+        rows.push(row("contact_exact", format!("n{n}"), "exact", ns, Some(reference_ns)));
         let sorted_ns = time_ns(|| {
             std::hint::black_box(solve_reference_plane_sorted(&heights, &params));
         });
-        rows.push(Row {
-            op: "contact_sorted",
-            shape: format!("n{n}"),
-            tier: "fast",
-            ns: sorted_ns,
-            reference_ns: Some(reference_ns),
-        });
+        rows.push(row("contact_sorted", format!("n{n}"), "fast", sorted_ns, Some(reference_ns)));
     }
 }
 
 /// End-to-end: the same corpus generation the `labeling` bench runs —
 /// layout generation → golden simulation → shard writes. Every hot loop
 /// in it goes through the kernels above.
-fn bench_labeling(rows: &mut Vec<Row>) {
+fn bench_labeling(rows: &mut Vec<BenchRecord>) {
     const LAYOUTS: usize = 8;
     let sources = benchmark_designs(12, 12, 1);
-    let config = LabelConfig {
+    let config = |numerics: NumericsTier| LabelConfig {
         num_layouts: LAYOUTS,
         samples_per_shard: 16,
         workers: 1,
         datagen: DataGenConfig { rows: 16, cols: 16, seed: 5, ..DataGenConfig::default() },
         process: ProcessParams::fast(),
+        numerics,
         ..LabelConfig::default()
     };
     let dir = std::env::temp_dir().join(format!("nf_bench_kernels_{}", std::process::id()));
+    let exact = config(NumericsTier::Exact);
     let ns = time_ns(|| {
-        let report = neurfill_data::generate_labeled_shards(sources.clone(), &config, &dir).unwrap();
+        let report = neurfill_data::generate_labeled_shards(sources.clone(), &exact, &dir).unwrap();
+        std::hint::black_box(report.samples);
+    });
+    let baseline =
+        std::env::var("NEURFILL_BASELINE_LABELING_NS").ok().and_then(|v| v.parse::<f64>().ok());
+    rows.push(row("labeling_end_to_end", format!("{LAYOUTS}_layouts_16x16"), "exact", ns, baseline));
+    // Fast tier: same corpus through the certified fast kernels, judged
+    // against the exact-tier run above.
+    let fast = config(NumericsTier::Fast);
+    let fast_ns = time_ns(|| {
+        let report = neurfill_data::generate_labeled_shards(sources.clone(), &fast, &dir).unwrap();
         std::hint::black_box(report.samples);
     });
     let _ = std::fs::remove_dir_all(&dir);
-    let baseline =
-        std::env::var("NEURFILL_BASELINE_LABELING_NS").ok().and_then(|v| v.parse::<f64>().ok());
-    rows.push(Row {
-        op: "labeling_end_to_end",
-        shape: format!("{LAYOUTS}_layouts_16x16"),
-        tier: "exact",
-        ns,
-        reference_ns: baseline,
-    });
+    rows.push(row("labeling_end_to_end", format!("{LAYOUTS}_layouts_16x16"), "fast", fast_ns, Some(ns)));
 }
 
-fn json_f64(v: Option<f64>) -> String {
-    match v {
-        Some(x) => format!("{x:.1}"),
-        None => "null".to_string(),
-    }
-}
-
-fn write_json(rows: &[Row]) -> std::io::Result<std::path::PathBuf> {
-    let path = std::env::var("NEURFILL_BENCH_OUT").map(std::path::PathBuf::from).unwrap_or_else(|_| {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_kernels.json")
-    });
-    let mut body = String::from("[\n");
-    for (i, row) in rows.iter().enumerate() {
-        body.push_str(&format!(
-            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"tier\": \"{}\", \"ns_per_iter\": {:.1}, \
-             \"reference_ns_per_iter\": {}, \"speedup\": {}}}{}\n",
-            row.op,
-            row.shape,
-            row.tier,
-            row.ns,
-            json_f64(row.reference_ns),
-            json_f64(row.speedup()),
-            if i + 1 < rows.len() { "," } else { "" },
-        ));
-    }
-    body.push_str("]\n");
-    std::fs::write(&path, body)?;
-    Ok(path)
-}
+/// The ops this bench owns in `BENCH_kernels.json`; other benches' rows
+/// (`unet_infer`) survive the merge.
+const OWNED_OPS: &[&str] =
+    &["gemm", "gemm_oracle", "pad_kernel", "contact_exact", "contact_sorted", "labeling_end_to_end"];
 
 fn main() {
     // `cargo bench` passes `--bench`; a bare `--no-run` build never gets here.
@@ -312,26 +256,10 @@ fn main() {
     bench_contact(&mut rows);
     bench_labeling(&mut rows);
 
-    println!(
-        "{:<20} {:<20} {:<6} {:>14} {:>16} {:>9}",
-        "op", "shape", "tier", "ns/iter", "reference", "speedup"
-    );
-    for row in &rows {
-        let speedup = match row.speedup() {
-            Some(s) => format!("{s:.2}x"),
-            None => "-".to_string(),
-        };
-        let reference = match row.reference_ns {
-            Some(r) => format!("{r:.0}"),
-            None => "-".to_string(),
-        };
-        println!(
-            "{:<20} {:<20} {:<6} {:>14.0} {:>16} {:>9}",
-            row.op, row.shape, row.tier, row.ns, reference, speedup
-        );
-    }
-    match write_json(&rows) {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("failed to write BENCH_kernels.json: {e}"),
+    print_table(&rows);
+    let path = output_path(env!("CARGO_MANIFEST_DIR"), "BENCH_kernels.json");
+    match merge_into(&path, OWNED_OPS, &rows) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
 }

@@ -9,3 +9,4 @@
 
 pub mod costmodel;
 pub mod harness;
+pub mod records;

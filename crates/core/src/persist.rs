@@ -9,12 +9,16 @@
 use crate::cmp_nn::{CmpNeuralNetwork, CmpNnConfig, HeightNorm};
 use crate::extraction::{ExtractionConfig, NUM_CHANNELS};
 use neurfill_layout::DummySpec;
-use neurfill_nn::{serialize, Module, UNet, UNetConfig};
+use neurfill_nn::{serialize, CalibrationScales, Module, UNet, UNetConfig};
 use rand::SeedableRng;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::path::Path;
 
 const MAGIC: &str = "neurfill-surrogate v1";
+/// A calibration section starts on its own line with the
+/// [`CalibrationScales`] magic; weight lines are 8-hex-digit values and
+/// `param/buffer` headers, so the marker cannot occur inside the weights.
+const CALIBRATION_MARKER: &str = "\nneurfill-calibration v1\n";
 
 /// Writes a trained network bundle to `w`.
 ///
@@ -35,7 +39,11 @@ pub fn save_network<W: Write>(network: &CmpNeuralNetwork, mut w: W) -> io::Resul
         "extraction {} {} {} {}",
         ex.perimeter_scale, ex.width_scale, ex.dummy.edge_um, ex.dummy.bytes_per_dummy
     )?;
-    serialize::save_parameters(network.unet(), w)
+    serialize::save_parameters(network.unet(), &mut w)?;
+    if let Some(cal) = network.calibration() {
+        cal.write_to(&mut w)?;
+    }
+    Ok(())
 }
 
 /// Reads a bundle written by [`save_network`].
@@ -102,14 +110,31 @@ pub fn load_network<R: Read>(r: R) -> io::Result<CmpNeuralNetwork> {
         UNetConfig { in_channels: in_c, out_channels: out_c, base_channels: base, depth },
         &mut rng,
     );
-    serialize::load_parameters(&unet, reader)?;
+    // The weight parser buffers internally, so the remainder of the bundle
+    // — weights plus an optional calibration section — is read whole and
+    // split at the calibration magic. Unknown trailing sections after the
+    // calibration block are ignored by its parser (forward compatibility).
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest)?;
+    let (weights, calibration_text) = match rest.find(CALIBRATION_MARKER) {
+        Some(pos) => {
+            let (w, c) = rest.split_at(pos + 1);
+            (w, Some(c))
+        }
+        None => (rest.as_str(), None),
+    };
+    serialize::load_parameters(&unet, weights.as_bytes())?;
     unet.set_training(false);
-    Ok(CmpNeuralNetwork::new(
+    let network = CmpNeuralNetwork::new(
         unet,
         HeightNorm { offset_nm, scale_nm },
         ExtractionConfig { perimeter_scale, width_scale, dummy: DummySpec { edge_um, bytes_per_dummy } },
         CmpNnConfig::default(),
-    ))
+    );
+    match calibration_text {
+        Some(text) => Ok(network.with_calibration(CalibrationScales::parse(text)?)),
+        None => Ok(network),
+    }
 }
 
 /// Saves a network bundle to a file path.
@@ -214,6 +239,68 @@ mod tests {
             .expect("bundle contains hex weight lines");
         let mangled = text.replacen(weight_line, "zzzzzzzz", 1);
         assert!(load_network(mangled.as_bytes()).is_err());
+    }
+
+    fn calibrated_network() -> CmpNeuralNetwork {
+        // depth 2 → 4·2+3 = 11 conv inputs, one scale each.
+        let scales: Vec<f32> = (0..11).map(|i| 0.01 * (i + 1) as f32).collect();
+        network().with_calibration(CalibrationScales::new(scales))
+    }
+
+    #[test]
+    fn calibrated_save_load_save_is_byte_identical() {
+        let net = calibrated_network();
+        let mut first = Vec::new();
+        save_network(&net, &mut first).unwrap();
+        let reloaded = load_network(first.as_slice()).unwrap();
+        let back = reloaded.calibration().expect("scales survive the roundtrip");
+        assert_eq!(back.scales(), net.calibration().unwrap().scales());
+        let mut second = Vec::new();
+        save_network(&reloaded, &mut second).unwrap();
+        assert_eq!(first, second, "calibrated persistence must be a fixed point");
+    }
+
+    #[test]
+    fn bundles_without_scales_still_load() {
+        // The pre-calibration format is a strict prefix of the new one:
+        // bundles written before this section existed keep loading, with no
+        // scales attached.
+        let net = network();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let back = load_network(buf.as_slice()).unwrap();
+        assert!(back.calibration().is_none());
+    }
+
+    #[test]
+    fn unknown_trailing_section_is_ignored() {
+        let net = calibrated_network();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        buf.extend_from_slice(b"neurfill-future-section v9\nopaque payload\n");
+        let back = load_network(buf.as_slice()).unwrap();
+        assert_eq!(back.calibration().unwrap().scales(), net.calibration().unwrap().scales());
+    }
+
+    #[test]
+    fn corrupt_calibration_is_rejected_cleanly() {
+        let net = calibrated_network();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+
+        // A flipped checksum must be InvalidData, not a silent mis-scale.
+        let pos = text.rfind("checksum ").expect("calibration carries a checksum");
+        let digit = text.as_bytes()[pos + "checksum ".len()];
+        let flipped = if digit == b'0' { "1" } else { "0" };
+        let mut mangled = text.clone();
+        mangled.replace_range(pos + "checksum ".len()..pos + "checksum ".len() + 1, flipped);
+        let err = load_network(mangled.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Truncation inside the calibration section errors too.
+        let cut = text.len() - 4;
+        assert!(load_network(&text.as_bytes()[..cut]).is_err());
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct FlowConfig {
     /// `neurfill_cmpsim::kernel` and `neurfill_tensor::numerics` docs for
     /// the tolerance contracts).
     pub numerics: NumericsTier,
+    /// Tensor backend of the surrogate's inference paths. `Cpu` (the
+    /// default) keeps every UNet output bit-identical to the f32 reference;
+    /// `QuantCpu` opts into the certified int8 engine and requires the
+    /// model bundle to carry calibration scales (see
+    /// `neurfill_tensor::backend` and `neurfill_nn::quant`).
+    pub backend: neurfill_tensor::BackendKind,
     /// Telemetry handle; the default (disabled) handle records nothing and
     /// leaves every output byte-identical. An enabled handle propagates to
     /// the golden simulator, the synthesis optimizers and the flow's own
@@ -57,6 +63,7 @@ impl Default for FlowConfig {
             beta_time_s: 120.0,
             seed: 0,
             numerics: NumericsTier::Exact,
+            backend: neurfill_tensor::BackendKind::Cpu,
             telemetry: Telemetry::disabled(),
         }
     }

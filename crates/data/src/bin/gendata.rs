@@ -47,16 +47,17 @@ struct Args {
     tile_size: usize,
     explicit_dims: bool,
     numerics: NumericsTier,
+    backend: neurfill_tensor::BackendKind,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: gendata --out <dir> [--num N] [--rows R] [--cols C] [--seed S]\n\
          \x20             [--workers W] [--samples-per-shard K] [--sources <dir>] [--fast]\n\
-         \x20             [--numerics exact|fast] [--metrics-out <file>]\n\
+         \x20             [--numerics exact|fast] [--backend cpu|quant] [--metrics-out <file>]\n\
          \x20      gendata --out <dir> --full-chip [--design A|B|C] [--tile-size N]\n\
          \x20             [--rows R] [--cols C] [--seed S] [--workers W] [--fast]\n\
-         \x20             [--numerics exact|fast] ..."
+         \x20             [--numerics exact|fast] [--backend cpu|quant] ..."
     );
     std::process::exit(2);
 }
@@ -97,6 +98,7 @@ fn parse_args() -> Args {
         tile_size: 32,
         explicit_dims: false,
         numerics: NumericsTier::Exact,
+        backend: neurfill_tensor::BackendKind::Cpu,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -130,6 +132,13 @@ fn parse_args() -> Args {
             "--fast" => args.fast = true,
             "--numerics" => match NumericsTier::parse(&value(&mut it, "--numerics")) {
                 Ok(tier) => args.numerics = tier,
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+            },
+            "--backend" => match neurfill_tensor::BackendKind::parse(&value(&mut it, "--backend")) {
+                Ok(kind) => args.backend = kind,
                 Err(e) => {
                     eprintln!("{e}");
                     usage();
@@ -225,6 +234,10 @@ fn run_full_chip(args: &Args) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args();
+    // Labeling itself runs the golden simulator, but any tensor work the
+    // run touches should honour the requested backend process-wide, the
+    // same way the serving binaries install it.
+    neurfill_tensor::set_backend(args.backend);
     if args.full_chip {
         return run_full_chip(&args);
     }

@@ -127,6 +127,9 @@ impl Dataset {
     ///
     /// Panics when `indices` is empty or out of range.
     #[must_use]
+    // The stacked buffer is sized from the shape it is checked against, so
+    // `from_vec` cannot fail — the expect asserts an internal invariant.
+    #[allow(clippy::expect_used)]
     pub fn batch(&self, indices: &[usize]) -> (NdArray, NdArray) {
         assert!(!indices.is_empty());
         let stack = |items: &[NdArray]| {

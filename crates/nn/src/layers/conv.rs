@@ -59,6 +59,18 @@ impl Conv2d {
     pub fn bias(&self) -> &Tensor {
         &self.bias
     }
+
+    /// The convolution stride.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The convolution padding.
+    #[must_use]
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
 }
 
 impl Module for Conv2d {
@@ -67,7 +79,10 @@ impl Module for Conv2d {
     }
 
     fn infer(&self, input: &NdArray) -> Result<NdArray> {
-        neurfill_tensor::conv2d_forward(
+        // Inference goes through the backend seam; every backend's f32
+        // conv is the same reference kernel, so this dispatch never
+        // changes a bit.
+        neurfill_tensor::backend::active().conv2d(
             input,
             &self.weight.data(),
             Some(&*self.bias.data()),
@@ -110,6 +125,30 @@ impl ConvTranspose2d {
         let bias = Tensor::parameter(NdArray::zeros(&[out_channels]));
         Self { weight, bias, stride, padding }
     }
+
+    /// The weight tensor `[C, O, kh, kw]`.
+    #[must_use]
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias tensor `[O]`.
+    #[must_use]
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// The convolution stride.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The convolution padding.
+    #[must_use]
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
 }
 
 impl Module for ConvTranspose2d {
@@ -118,7 +157,7 @@ impl Module for ConvTranspose2d {
     }
 
     fn infer(&self, input: &NdArray) -> Result<NdArray> {
-        neurfill_tensor::conv_transpose2d_forward(
+        neurfill_tensor::backend::active().conv_transpose2d(
             input,
             &self.weight.data(),
             Some(&*self.bias.data()),

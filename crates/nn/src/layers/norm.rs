@@ -50,6 +50,24 @@ impl BatchNorm2d {
     pub fn running_var(&self) -> NdArray {
         self.running_var.borrow().clone()
     }
+
+    /// The numerical-stability epsilon added to the variance.
+    #[must_use]
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    /// The learned scale `γ` (one value per channel).
+    #[must_use]
+    pub fn gamma(&self) -> NdArray {
+        self.gamma.data().clone()
+    }
+
+    /// The learned shift `β` (one value per channel).
+    #[must_use]
+    pub fn beta(&self) -> NdArray {
+        self.beta.data().clone()
+    }
 }
 
 impl Module for BatchNorm2d {
@@ -94,18 +112,18 @@ impl Module for BatchNorm2d {
         let rv = self.running_var.borrow();
         let g = self.gamma.data();
         let b = self.beta.data();
-        let per = input.shape()[2] * input.shape()[3];
         let mut out = input.clone();
-        for sample in out.as_mut_slice().chunks_mut(self.channels * per) {
-            for (c, block) in sample.chunks_mut(per).enumerate() {
-                let m = rm.as_slice()[c];
-                let d = (rv.as_slice()[c] + self.eps).sqrt();
-                let (gc, bc) = (g.as_slice()[c], b.as_slice()[c]);
-                for x in block {
-                    *x = (*x - m) / d * gc + bc;
-                }
-            }
-        }
+        // The backend contract pins the per-element expression
+        // ((x − m) / d) · g + b with d = (var + eps).sqrt(), so the seam
+        // dispatch keeps outputs bit-identical to `forward`.
+        neurfill_tensor::backend::active().batchnorm_inplace(
+            &mut out,
+            rm.as_slice(),
+            rv.as_slice(),
+            g.as_slice(),
+            b.as_slice(),
+            self.eps,
+        )?;
         Ok(out)
     }
 

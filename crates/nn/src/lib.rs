@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batch;
 pub mod data;
@@ -30,6 +31,7 @@ pub mod loss;
 pub mod metrics;
 mod module;
 pub mod optim;
+pub mod quant;
 pub mod schedule;
 pub mod serialize;
 pub mod trainer;
@@ -39,6 +41,7 @@ pub use batch::forward_batched;
 pub use data::Dataset;
 pub use module::{Buffer, Module};
 pub use optim::{clip_grad_norm, Adam, AdamState, Optimizer, Sgd};
+pub use quant::{calibrate, CalibrationScales, QuantUNet};
 pub use schedule::LrSchedule;
 pub use trainer::{evaluate, fit, EpochStats, TrainConfig};
 pub use unet::{UNet, UNetConfig};

@@ -44,6 +44,9 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
+    // A moment buffer is created with its gradient's shape, so these adds
+    // cannot mismatch — the expects assert an internal invariant.
+    #[allow(clippy::expect_used)]
     fn step(&mut self) {
         for p in &self.params {
             let Some(g) = p.grad() else { continue };
@@ -182,6 +185,9 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
+    // Moment buffers are created with their gradient's shape, so these
+    // combines cannot mismatch — the expects assert an internal invariant.
+    #[allow(clippy::expect_used)]
     fn step(&mut self) {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);

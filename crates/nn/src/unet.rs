@@ -33,11 +33,11 @@ impl Default for UNetConfig {
 
 /// Two (conv 3×3 → batch-norm → ReLU) blocks.
 #[derive(Debug)]
-struct DoubleConv {
-    conv1: Conv2d,
-    bn1: BatchNorm2d,
-    conv2: Conv2d,
-    bn2: BatchNorm2d,
+pub(crate) struct DoubleConv {
+    pub(crate) conv1: Conv2d,
+    pub(crate) bn1: BatchNorm2d,
+    pub(crate) conv2: Conv2d,
+    pub(crate) bn2: BatchNorm2d,
 }
 
 impl DoubleConv {
@@ -57,9 +57,14 @@ impl Module for DoubleConv {
         Ok(self.bn2.forward(&self.conv2.forward(&x)?)?.relu())
     }
     fn infer(&self, input: &NdArray) -> Result<NdArray> {
-        // `map(max(0))` is the same kernel `Tensor::relu` applies.
-        let x = self.bn1.infer(&self.conv1.infer(input)?)?.map(|v| v.max(0.0));
-        Ok(self.bn2.infer(&self.conv2.infer(&x)?)?.map(|v| v.max(0.0)))
+        // The backend's relu_inplace is the same max(0) kernel
+        // `Tensor::relu` applies, run in place to avoid a copy per block.
+        let backend = neurfill_tensor::backend::active();
+        let mut x = self.bn1.infer(&self.conv1.infer(input)?)?;
+        backend.relu_inplace(&mut x);
+        let mut y = self.bn2.infer(&self.conv2.infer(&x)?)?;
+        backend.relu_inplace(&mut y);
+        Ok(y)
     }
     fn parameters(&self) -> Vec<Tensor> {
         let mut p = self.conv1.parameters();
@@ -97,11 +102,11 @@ impl Module for DoubleConv {
 #[derive(Debug)]
 pub struct UNet {
     config: UNetConfig,
-    stem: DoubleConv,
-    downs: Vec<DoubleConv>,
-    ups: Vec<ConvTranspose2d>,
-    up_convs: Vec<DoubleConv>,
-    head: Conv2d,
+    pub(crate) stem: DoubleConv,
+    pub(crate) downs: Vec<DoubleConv>,
+    pub(crate) ups: Vec<ConvTranspose2d>,
+    pub(crate) up_convs: Vec<DoubleConv>,
+    pub(crate) head: Conv2d,
 }
 
 impl UNet {
@@ -138,7 +143,7 @@ impl UNet {
         &self.config
     }
 
-    fn check_input(&self, shape: &[usize]) -> Result<()> {
+    pub(crate) fn check_input(&self, shape: &[usize]) -> Result<()> {
         if shape.len() != 4 {
             return Err(TensorError::RankMismatch { expected: 4, actual: shape.len(), op: "unet" });
         }
@@ -169,8 +174,8 @@ impl Module for UNet {
             skips.push(x.clone());
             x = down.forward(&x.max_pool2d(2, 2)?)?;
         }
-        for (up, up_conv) in self.ups.iter().zip(&self.up_convs) {
-            let skip = skips.pop().expect("one skip per up stage");
+        // One skip per up stage, consumed deepest-first.
+        for ((up, up_conv), skip) in self.ups.iter().zip(&self.up_convs).zip(skips.into_iter().rev()) {
             let upsampled = up.forward(&x)?;
             let cat = Tensor::concat(&[skip, upsampled], 1)?;
             x = up_conv.forward(&cat)?;
@@ -188,8 +193,8 @@ impl Module for UNet {
             skips.push(x.clone());
             x = down.infer(&max_pool2d_forward(&x, 2, 2)?.0)?;
         }
-        for (up, up_conv) in self.ups.iter().zip(&self.up_convs) {
-            let skip = skips.pop().expect("one skip per up stage");
+        // One skip per up stage, consumed deepest-first.
+        for ((up, up_conv), skip) in self.ups.iter().zip(&self.up_convs).zip(skips.into_iter().rev()) {
             let upsampled = up.infer(&x)?;
             let cat = NdArray::concat(&[&skip, &upsampled], 1)?;
             x = up_conv.infer(&cat)?;

@@ -38,7 +38,7 @@ use neurfill_cmpsim::ChipProfile;
 use neurfill_cmpsim::LayerProfile;
 use neurfill_layout::apply_fill;
 use neurfill_obs::{MetricsSnapshot, Telemetry};
-use neurfill_tensor::NumericsTier;
+use neurfill_tensor::{BackendKind, NumericsTier};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -80,6 +80,12 @@ pub struct PoolOptions {
     /// and propagates it to each worker's flow unless the [`FlowConfig`]
     /// already selects `Fast` itself.
     pub numerics: NumericsTier,
+    /// Tensor backend the pool's surrogate inference runs on. `Cpu` (the
+    /// default) is bit-identical to the f32 reference kernels; `QuantCpu`
+    /// opts into the certified int8 engine (the model bundle must carry
+    /// calibration scales). Installed process-wide and propagated to each
+    /// worker's flow, mirroring [`PoolOptions::numerics`].
+    pub backend: BackendKind,
 }
 
 impl Default for PoolOptions {
@@ -93,6 +99,7 @@ impl Default for PoolOptions {
             fault: Arc::new(FaultPlan::disabled()),
             telemetry: Telemetry::disabled(),
             numerics: NumericsTier::Exact,
+            backend: BackendKind::Cpu,
         }
     }
 }
@@ -217,6 +224,12 @@ impl RuntimePool {
             config.numerics = options.numerics;
         }
         neurfill_tensor::set_numerics_tier(config.numerics);
+        // And again for the tensor backend: a quantized pool runs quantized
+        // flows, and the process-global inference dispatch follows the pool.
+        if options.backend.is_quant() && !config.backend.is_quant() {
+            config.backend = options.backend;
+        }
+        neurfill_tensor::set_backend(config.backend);
         let stats = Arc::new(StatsInner::new(&options.telemetry));
         let fault = Arc::clone(&options.fault);
         let supervisor = Arc::new(BatchSupervisor::spawn_with(
@@ -688,6 +701,7 @@ fn run_job(
         evaluations: result.synthesis.evaluations,
         plan: result.plan,
         degraded,
+        backend: neurfill_tensor::backend(),
     })
 }
 

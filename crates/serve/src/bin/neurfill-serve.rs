@@ -7,7 +7,7 @@
 //!                [--canary-samples N] [--canary-sigma-tol T]
 //!                [--drain-timeout-s S] [--metrics-out metrics.jsonl]
 //!                [--journal DIR] [--fault-plan SPEC] [--fault-seed N] [--fast]
-//!                [--numerics exact|fast]
+//!                [--numerics exact|fast] [--backend cpu|quant]
 //! ```
 //!
 //! Runs until `POST /v1/admin/shutdown` drains it; `--metrics-out` then
@@ -49,6 +49,7 @@ struct Args {
     fault_seed: u64,
     fast: bool,
     numerics: NumericsTier,
+    backend: neurfill_tensor::BackendKind,
 }
 
 fn usage() -> ! {
@@ -58,7 +59,8 @@ fn usage() -> ! {
          \x20      [--workers N] [--slots N] [--timeout-s S] [--retries N]\n\
          \x20      [--canary-samples N] [--canary-sigma-tol T] [--drain-timeout-s S]\n\
          \x20      [--metrics-out <file>] [--journal DIR]\n\
-         \x20      [--fault-plan SPEC] [--fault-seed N] [--fast] [--numerics exact|fast]"
+         \x20      [--fault-plan SPEC] [--fault-seed N] [--fast] [--numerics exact|fast]\n\
+         \x20      [--backend cpu|quant]"
     );
     std::process::exit(2);
 }
@@ -89,6 +91,7 @@ fn parse_args() -> Args {
         fault_seed: 0,
         fast: false,
         numerics: NumericsTier::Exact,
+        backend: neurfill_tensor::BackendKind::Cpu,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -148,6 +151,13 @@ fn parse_args() -> Args {
                     usage();
                 }
             },
+            "--backend" => match neurfill_tensor::BackendKind::parse(&value(&mut it, "--backend")) {
+                Ok(kind) => args.backend = kind,
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -180,7 +190,8 @@ fn run() -> Result<(), String> {
     let telemetry = neurfill::telemetry::Telemetry::new();
     neurfill_tensor::telemetry::install(telemetry.clone());
     let process = if args.fast { ProcessParams::fast() } else { ProcessParams::default() };
-    let flow = FlowConfig { process, numerics: args.numerics, ..FlowConfig::default() };
+    let flow =
+        FlowConfig { process, numerics: args.numerics, backend: args.backend, ..FlowConfig::default() };
     let service = FillService::start(
         bundle,
         ServiceConfig {
@@ -202,6 +213,7 @@ fn run() -> Result<(), String> {
                 fault: Arc::new(fault),
                 telemetry,
                 numerics: args.numerics,
+                backend: args.backend,
                 ..PoolOptions::default()
             },
             ..ServiceConfig::default()

@@ -91,6 +91,7 @@ struct Args {
     explicit_dims: bool,
     max_in_flight: usize,
     numerics: NumericsTier,
+    backend: neurfill_tensor::BackendKind,
 }
 
 fn usage() -> ! {
@@ -98,14 +99,14 @@ fn usage() -> ! {
         "usage: runfill --model <bundle> --layouts <dir> [--out <dir>] [--workers N]\n\
          \x20             [--timeout-s S] [--retries N] [--max-batch B] [--linger-ms M]\n\
          \x20             [--fault-plan SPEC] [--fault-seed N] [--fast] [--init-demo N]\n\
-         \x20             [--numerics exact|fast] [--metrics-out <file>]\n\
+         \x20             [--numerics exact|fast] [--backend cpu|quant] [--metrics-out <file>]\n\
          \x20      runfill --connect HOST:PORT --layouts <dir> [--out <dir>]\n\
          \x20             [--tenant NAME] [--priority high|normal|low] [--timeout-s S]\n\
          \x20      runfill --full-chip [--design A|B|C] [--tile-size N] [--rows R]\n\
          \x20             [--cols C] [--seed S] [--out <dir>] [--workers N] [--fast]\n\
          \x20             [--model <bundle> | --connect HOST:PORT] [--max-in-flight K]\n\
          \x20             [--checkpoint <dir>] [--fault-plan SPEC] [--fault-seed N]\n\
-         \x20             [--numerics exact|fast]"
+         \x20             [--numerics exact|fast] [--backend cpu|quant]"
     );
     std::process::exit(2);
 }
@@ -150,6 +151,7 @@ fn parse_args() -> Args {
         explicit_dims: false,
         max_in_flight: 4,
         numerics: NumericsTier::Exact,
+        backend: neurfill_tensor::BackendKind::Cpu,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -207,6 +209,13 @@ fn parse_args() -> Args {
             }
             "--numerics" => match NumericsTier::parse(&value(&mut it, "--numerics")) {
                 Ok(tier) => args.numerics = tier,
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+            },
+            "--backend" => match neurfill_tensor::BackendKind::parse(&value(&mut it, "--backend")) {
+                Ok(kind) => args.backend = kind,
                 Err(e) => {
                     eprintln!("{e}");
                     usage();
@@ -467,6 +476,7 @@ fn run_full_chip_remote(args: &Args, addr: &str, out_dir: &Path) -> Result<bool,
             flow: FlowConfig {
                 process: params.clone(),
                 numerics: args.numerics,
+                backend: args.backend,
                 ..FlowConfig::default()
             },
             pool: PoolOptions {
@@ -476,6 +486,7 @@ fn run_full_chip_remote(args: &Args, addr: &str, out_dir: &Path) -> Result<bool,
                 retry: RetryPolicy::with_retries(args.retries),
                 telemetry: telemetry.clone(),
                 numerics: args.numerics,
+                backend: args.backend,
                 ..PoolOptions::default()
             },
         })
@@ -547,7 +558,12 @@ fn run_full_chip_pool(args: &Args, out_dir: &Path) -> Result<bool, String> {
     println!("model bundle {} (digest {:016x})", args.model.display(), bundle.digest());
     let telemetry = chip_telemetry(args);
     neurfill_tensor::telemetry::install(telemetry.clone());
-    let flow = FlowConfig { process: params, numerics: args.numerics, ..FlowConfig::default() };
+    let flow = FlowConfig {
+        process: params,
+        numerics: args.numerics,
+        backend: args.backend,
+        ..FlowConfig::default()
+    };
     let options = PoolOptions {
         workers: args.workers,
         batch: BatchConfig { max_batch: args.max_batch.max(1), linger: args.linger },
@@ -555,6 +571,7 @@ fn run_full_chip_pool(args: &Args, out_dir: &Path) -> Result<bool, String> {
         retry: RetryPolicy::with_retries(args.retries),
         telemetry: telemetry.clone(),
         numerics: args.numerics,
+        backend: args.backend,
         ..PoolOptions::default()
     };
     let pool = RuntimePool::new(bundle, flow, options).map_err(|e| e.to_string())?;
@@ -655,10 +672,12 @@ fn run_full_chip_golden(args: &Args, out_dir: &Path) -> Result<bool, String> {
 
 fn run() -> Result<bool, String> {
     let args = parse_args();
-    // Install the tier process-wide up front so every path — including
-    // in-process demo training and the golden sharded flow — runs the
-    // selected kernels (the pool re-installs the same value).
+    // Install the tier and tensor backend process-wide up front so every
+    // path — including in-process demo training and the golden sharded
+    // flow — runs the selected kernels (the pool re-installs the same
+    // values).
     neurfill_tensor::set_numerics_tier(args.numerics);
+    neurfill_tensor::set_backend(args.backend);
     if args.full_chip {
         let out_dir = args.out.clone().unwrap_or_else(|| PathBuf::from("chip-reports"));
         std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
@@ -705,8 +724,12 @@ fn run() -> Result<bool, String> {
     };
     // Route GEMM counters/timers (`tensor.gemm*`) into the same snapshot.
     neurfill_tensor::telemetry::install(telemetry.clone());
-    let flow =
-        FlowConfig { process: process_params(&args), numerics: args.numerics, ..FlowConfig::default() };
+    let flow = FlowConfig {
+        process: process_params(&args),
+        numerics: args.numerics,
+        backend: args.backend,
+        ..FlowConfig::default()
+    };
     let options = PoolOptions {
         workers: args.workers,
         batch: BatchConfig { max_batch: args.max_batch.max(1), linger: args.linger },
@@ -715,6 +738,7 @@ fn run() -> Result<bool, String> {
         fault: Arc::new(fault),
         telemetry: telemetry.clone(),
         numerics: args.numerics,
+        backend: args.backend,
         ..PoolOptions::default()
     };
     let pool = RuntimePool::new(bundle, flow, options).map_err(|e| e.to_string())?;

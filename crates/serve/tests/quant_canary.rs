@@ -1,0 +1,176 @@
+//! Quantized-backend service tests, isolated in their own binary: booting
+//! a `QuantCpu` pool installs the process-global tensor backend
+//! (`RuntimePool::new` → `neurfill_tensor::set_backend`), which would
+//! corrupt the `Cpu`-backend expectations of tests running in parallel
+//! inside the `service` binary. A separate integration-test binary is a
+//! separate process, so the global is ours alone.
+//!
+//! Covers the serve-side acceptance criteria of the backend seam:
+//! a quantized service serves live traffic and reports
+//! `serve.backend_quant = 1` on `/metrics`, and the canary rejects (422
+//! over the wire) both a deliberately mis-scaled calibration — caught by
+//! surrogate/golden σ disagreement, since self-consistent symmetric
+//! scales distort rather than explode and thus clear the height health
+//! band — and an uncalibrated bundle, whose canary jobs fail outright.
+
+use neurfill::extraction::{extract_layer_arrays, NUM_CHANNELS};
+use neurfill::pipeline::FlowConfig;
+use neurfill::{CmpNeuralNetwork, CmpNnConfig, HeightNorm, NeurFillConfig};
+use neurfill_cmpsim::ProcessParams;
+use neurfill_layout::{DesignKind, DesignSpec, Layout};
+use neurfill_nn::{calibrate, CalibrationScales, UNet, UNetConfig};
+use neurfill_obs::MetricsSnapshot;
+use neurfill_optim::SqpConfig;
+use neurfill_runtime::{FaultPlan, ModelBundle, PoolOptions};
+use neurfill_serve::{
+    CanaryConfig, Client, FillService, JobRequest, Server, ServerConfig, ServiceConfig, TenantConfig,
+    WireState,
+};
+use neurfill_tensor::BackendKind;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn network(seed: u64) -> CmpNeuralNetwork {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let unet = UNet::new(
+        UNetConfig { in_channels: NUM_CHANNELS, out_channels: 1, base_channels: 4, depth: 2 },
+        &mut rng,
+    );
+    CmpNeuralNetwork::new(unet, HeightNorm::default(), Default::default(), CmpNnConfig::default())
+}
+
+fn layout(seed: u64) -> Layout {
+    let kinds = [DesignKind::CmpTest, DesignKind::Fpga, DesignKind::RiscV];
+    DesignSpec::new(kinds[seed as usize % kinds.len()], 8, 8, seed).generate()
+}
+
+/// Calibrates `net` on extraction planes from the same small designs the
+/// tests submit, so the quantized live pool sees in-range activations.
+fn calibrated(net: CmpNeuralNetwork) -> CmpNeuralNetwork {
+    let mut samples = Vec::new();
+    for seed in 1..=3 {
+        let layout = layout(seed);
+        for l in 0..layout.num_layers() {
+            let planes = extract_layer_arrays(&layout, l, net.extraction());
+            let &[c, h, w] = planes.shape() else { unreachable!("extraction is rank 3") };
+            samples.push(planes.reshape(&[1, c, h, w]).unwrap());
+        }
+    }
+    let scales = calibrate(net.unet(), &samples).unwrap();
+    net.with_calibration(scales)
+}
+
+fn quant_flow_config() -> FlowConfig {
+    FlowConfig {
+        process: ProcessParams::fast(),
+        neurfill: NeurFillConfig {
+            sqp: SqpConfig { max_iterations: 4, ..SqpConfig::default() },
+            ..NeurFillConfig::default()
+        },
+        beta_time_s: 60.0,
+        backend: BackendKind::QuantCpu,
+        ..FlowConfig::default()
+    }
+}
+
+fn quant_config(canary: CanaryConfig) -> ServiceConfig {
+    ServiceConfig {
+        tenants: vec![TenantConfig { name: "default".to_string(), weight: 1, capacity: 16 }],
+        slots: 1,
+        drain_timeout: Duration::from_secs(60),
+        canary,
+        flow: quant_flow_config(),
+        pool: PoolOptions {
+            workers: 1,
+            fault: Arc::new(FaultPlan::disabled()),
+            ..PoolOptions::default()
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+struct Harness {
+    server: Server,
+    run_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Harness {
+    /// Boots a service on an explicit live bundle (the quantized pool
+    /// needs a *calibrated* one) + HTTP front-end on a loopback port.
+    fn start(live: Arc<ModelBundle>, config: ServiceConfig) -> Self {
+        let service = FillService::start(live, config).unwrap();
+        let server = Server::bind(service, &ServerConfig::default()).unwrap();
+        let run_server = server.clone();
+        let run_thread = std::thread::spawn(move || run_server.run().unwrap());
+        Self { server, run_thread: Some(run_thread) }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.server.local_addr().unwrap().to_string())
+    }
+
+    fn stop(mut self) {
+        self.server.service().shutdown();
+        self.server.stop();
+        if let Some(t) = self.run_thread.take() {
+            t.join().unwrap();
+        }
+    }
+}
+
+#[test]
+fn quant_service_serves_and_canary_rejects_mis_scaled_and_uncalibrated_bundles() {
+    let live_net = calibrated(network(42));
+    let live = Arc::new(ModelBundle::from_network(&live_net).unwrap());
+    let canary =
+        CanaryConfig { samples: 2, max_rel_sigma_disagreement: Some(0.5), ..CanaryConfig::default() };
+    let harness = Harness::start(live, quant_config(canary));
+    let mut client = harness.client();
+
+    // The calibrated quantized live pool serves real traffic, and the
+    // job report names the engine that served it (the line is absent on
+    // the default f32 path, keeping those reports byte-identical).
+    let id = client.submit(&JobRequest::new("warm", layout(1))).unwrap();
+    assert_eq!(client.status(id, Some(Duration::from_secs(120))).unwrap().state, WireState::Done);
+    let report = client.result_text(id, None).unwrap();
+    assert!(report.contains("backend quant"), "{report}");
+
+    // `/metrics` exposes the effective inference configuration.
+    let snapshot = MetricsSnapshot::from_jsonl(&client.metrics().unwrap()).unwrap();
+    assert_eq!(snapshot.gauges.get("serve.backend_quant"), Some(&1.0), "{:?}", snapshot.gauges);
+    assert_eq!(snapshot.gauges.get("serve.numerics_fast"), Some(&0.0), "{:?}", snapshot.gauges);
+    let (digest_before, generation_before) = client.model_info().unwrap();
+
+    // A deliberately mis-scaled bundle: same weights, calibration scales
+    // crushed 1e4× so every activation saturates at ±127 and dequantizes
+    // to near zero. The predicted height profile collapses to a constant
+    // — well inside the health band (symmetric quantization is
+    // self-consistent, so nothing explodes) — but the surrogate's
+    // planarity σ collapses with it, and the golden simulator disagrees
+    // at rel ≈ 1 ≫ 0.5. The canary must reject it over the 422 path.
+    let good = live_net.calibration().expect("live network is calibrated").scales().to_vec();
+    let crushed: Vec<f32> = good.iter().map(|s| s * 1e-4).collect();
+    let mis_scaled_net = calibrated(network(42)).with_calibration(CalibrationScales::new(crushed));
+    let mis_scaled = ModelBundle::from_network(&mis_scaled_net).unwrap();
+    let (promoted, report) = client.stage_model(mis_scaled.bytes()).unwrap();
+    assert!(!promoted, "mis-scaled bundle must be rejected:\n{report}");
+    assert!(report.contains("disagreement"), "{report}");
+
+    // An uncalibrated bundle cannot run on a quantized pool at all: its
+    // canary jobs fail with the missing-calibration error.
+    let uncalibrated = ModelBundle::from_network(&network(7)).unwrap();
+    let (promoted, report) = client.stage_model(uncalibrated.bytes()).unwrap();
+    assert!(!promoted, "uncalibrated bundle must be rejected:\n{report}");
+    assert!(report.contains("canary job failed"), "{report}");
+    assert!(report.contains("calibration"), "{report}");
+
+    // The live model is untouched throughout and still serving.
+    let (digest_after, generation_after) = client.model_info().unwrap();
+    assert_eq!(digest_before, digest_after);
+    assert_eq!(generation_before, generation_after);
+    let id = client.submit(&JobRequest::new("after", layout(2))).unwrap();
+    assert_eq!(client.status(id, Some(Duration::from_secs(120))).unwrap().state, WireState::Done);
+
+    harness.stop();
+}

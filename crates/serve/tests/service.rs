@@ -223,6 +223,12 @@ fn fair_share_dispatch_follows_weights_and_priorities() {
     }
 
     let snapshot = MetricsSnapshot::from_jsonl(&client.metrics().unwrap()).unwrap();
+    // The default service advertises its inference configuration on
+    // `/metrics`: f32 backend, exact numerics (the quant side of these
+    // gauges is asserted in the `quant_canary` binary, whose pool owns
+    // the process-global backend for that process).
+    assert_eq!(snapshot.gauges.get("serve.backend_quant"), Some(&0.0), "{:?}", snapshot.gauges);
+    assert_eq!(snapshot.gauges.get("serve.numerics_fast"), Some(&0.0), "{:?}", snapshot.gauges);
     let dispatches: Vec<(String, u64)> = snapshot
         .events
         .iter()

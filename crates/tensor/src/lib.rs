@@ -41,17 +41,20 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod array;
+pub mod backend;
 mod error;
 pub mod gradcheck;
 pub mod init;
 pub mod kernels;
 pub mod numerics;
 pub mod ops;
+pub mod quant;
 pub mod shape;
 pub mod telemetry;
 mod tensor;
 
 pub use array::NdArray;
+pub use backend::{backend, set_backend, BackendKind, TensorBackend};
 pub use error::{Result, TensorError};
 pub use numerics::{numerics_tier, set_numerics_tier, NumericsTier};
 pub use ops::conv::{

@@ -7,6 +7,16 @@
 use crate::array::NdArray;
 use crate::error::{Result, TensorError};
 use crate::tensor::{GradFn, Tensor};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread im2col scratch reused across [`conv2d_forward`] calls.
+    /// The batched inference path used to allocate a fresh patch matrix
+    /// (the largest transient of the whole forward) per convolution; the
+    /// steady-state allocation count of `Module::infer` is pinned by the
+    /// `infer_allocations` integration test.
+    static IM2COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Spatial output extent of a convolution along one axis.
 #[must_use]
@@ -166,12 +176,19 @@ pub fn conv2d_forward(
     // every batch size.
     let per = ho * wo;
     let total_cols = n * per;
-    let mut cols = NdArray::zeros(&[c * kh * kw, total_cols]);
+    // The patch matrix comes from the thread-local scratch instead of a
+    // fresh allocation. It must be re-zeroed: `im2col_into` skips padded
+    // positions, relying on the destination holding zeros.
+    let mut buf = IM2COL_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    buf.resize(c * kh * kw * total_cols, 0.0);
+    buf.fill(0.0);
+    let mut cols = NdArray::from_vec(buf, &[c * kh * kw, total_cols])?;
     for ni in 0..n {
         let img = &input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w];
         im2col_into(img, c, h, w, kh, kw, stride, padding, cols.as_mut_slice(), total_cols, ni * per);
     }
     let res = w2.matmul(&cols)?; // [O, N·Ho·Wo], sample-major column blocks
+    IM2COL_SCRATCH.with(|s| *s.borrow_mut() = cols.into_vec());
     {
         let src = res.as_slice();
         let dst = out.as_mut_slice();

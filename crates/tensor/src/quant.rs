@@ -1,0 +1,792 @@
+//! Int8 weight-quantized convolution kernels for the `QuantCpu` backend.
+//!
+//! Scheme (per convolution layer, inference only):
+//! * **Weights** are quantized offline, per output channel, to symmetric
+//!   int8 `[-127, 127]` (`scale = absmax / 127`, no zero point) and
+//!   pre-packed into k-pair `i32` words for the SIMD inner loop.
+//! * **Activations** are quantized on the fly with a per-layer scale
+//!   computed by offline calibration: one vectorizable pass quantizes the
+//!   whole image to int16 (each pixel is rounded once, not once per
+//!   patch it appears in), then a pure-integer scatter packs the patch
+//!   matrix directly into the k-pair `i32` words the kernel consumes.
+//! * **Accumulation is exact**: products of two values in `[-127, 127]`
+//!   summed pairwise into `i32` cannot round, so the scalar loop, the
+//!   AVX2 `madd` loop and every thread count produce bit-identical
+//!   integer accumulators. The only floating-point arithmetic is the
+//!   final dequantize epilogue (`acc · scale + bias`, optional ReLU),
+//!   which is elementwise and therefore also deterministic. This is what
+//!   makes the quantized backend trivially bit-deterministic — the
+//!   property the f32 kernels have to work for, integers get for free.
+//!
+//! The AVX2 path uses `_mm256_madd_epi16` (i16 × i16 → paired i32 sums),
+//! *not* `maddubs`: the u8×i8 variant saturates its intermediate i16 sum,
+//! which would silently corrupt accumulations near the rails. Values
+//! quantized to `[-127, 127]` give pairwise products bounded by
+//! `2 · 127² = 32258`, so an i32 accumulator is exact up to
+//! `k ≈ 2^31 / 32258 ≈ 66 000` reduction elements — orders of magnitude
+//! above any UNet layer here (a `debug_assert` guards the bound anyway).
+
+use crate::array::NdArray;
+use crate::error::{Result, TensorError};
+use crate::ops::conv::conv_out_extent;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reused per-thread scratch for [`QConvKernel::forward`]: the
+    /// quantized image, the packed patch matrix and the i32 accumulator.
+    /// Same discipline as the f32 conv scratch — workers run one
+    /// inference at a time, so one buffer set per thread suffices.
+    static QCONV_SCRATCH: RefCell<(Vec<i16>, Vec<i32>, Vec<i32>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
+/// Quantized values live in `[-QMAX, QMAX]` (symmetric, no zero point).
+pub const QMAX: f32 = 127.0;
+
+/// Largest reduction length (elements of `k`) the i32 accumulator is
+/// exact for: `floor(i32::MAX / (2 · 127²))` k-pairs, two elements each.
+const MAX_EXACT_K: usize = ((i32::MAX / (2 * 127 * 127)) as usize) * 2;
+
+/// The quantization scale for a tensor whose largest magnitude is
+/// `absmax` (clamped away from zero so all-zero tensors stay finite).
+#[must_use]
+pub fn scale_for(absmax: f32) -> f32 {
+    absmax.max(1e-12) / QMAX
+}
+
+/// Largest absolute value in a slice (0 for an empty slice).
+#[must_use]
+pub fn absmax(values: &[f32]) -> f32 {
+    values.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+}
+
+/// Quantizes one value with the *inverse* scale (round-to-nearest with
+/// ties to even, clamped to the symmetric int8 range, widened to i16 for
+/// `madd`). Ties-to-even is chosen over half-away-from-zero because it is
+/// a single `vroundps` the compiler vectorizes across a whole image —
+/// `f32::round` lowers to a scalar call per element — and the two only
+/// differ on exact `.5` ties, which carry no accuracy signal.
+#[inline]
+fn quantize(v: f32, inv_scale: f32) -> i16 {
+    (v * inv_scale).round_ties_even().clamp(-QMAX, QMAX) as i16
+}
+
+/// Packs one quantized weight row (length `k`, ascending reduction order)
+/// into `ceil(k / 2)` i32 words: low 16 bits hold element `2·i`, high 16
+/// bits element `2·i + 1` (odd `k` zero-padded). This is the exact lane
+/// layout `_mm256_madd_epi16` multiplies against the interleaved
+/// activation pairs.
+fn pack_row(row: &[i16], packed: &mut Vec<i32>) {
+    let mut it = row.chunks(2);
+    for pair in &mut it {
+        let lo = pair[0] as u16 as u32;
+        let hi = pair.get(1).map_or(0, |&v| v as u16 as u32);
+        packed.push((lo | (hi << 16)) as i32);
+    }
+}
+
+/// Integer GEMM on packed operands: `out[r][j] = Σ_p a[r][p] ⊙ b[p][j]`
+/// where both `a` (`m × kp`) and `b` (`kp × n`) hold i32 k-pair words —
+/// low 16 bits the even reduction element, high 16 bits the odd one —
+/// and `⊙` is the paired multiply-add (`lo·lo + hi·hi`). `out` is
+/// `m × n` i32, overwritten (not accumulated into).
+///
+/// Bit-identical across the scalar loop, the AVX2 loop and every thread
+/// count: the arithmetic is exact integer.
+pub fn qgemm_packed(a: &[i32], b: &[i32], out: &mut [i32], m: usize, kp: usize, n: usize) {
+    assert_eq!(a.len(), m * kp, "packed lhs does not match {m}x{kp}");
+    assert_eq!(b.len(), kp * n, "packed rhs does not match {kp}x{n}");
+    assert_eq!(out.len(), m * n, "out buffer does not match {m}x{n}");
+    debug_assert!(2 * kp <= MAX_EXACT_K, "reduction too deep for exact i32 accumulation");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if kp == 0 {
+        out.fill(0);
+        return;
+    }
+    // Thread over disjoint output-row chunks, like the f32 GEMM — not for
+    // determinism (integers are exact regardless) but to keep the same
+    // latency profile under the pool's thread budget.
+    let work = (m as u64) * (kp as u64) * (n as u64);
+    let threads = if work >= 1 << 21 { crate::kernels::gemm_threads().min(m).max(1) } else { 1 };
+    if threads <= 1 {
+        qgemm_rows(a, b, out, 0, kp, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (idx, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+            scope.spawn(move || qgemm_rows(a, b, chunk, idx * rows_per, kp, n));
+        }
+    });
+}
+
+/// One panel of output rows starting at absolute row `row0`, dispatched
+/// to AVX2 when available.
+fn qgemm_rows(a: &[i32], b: &[i32], out_panel: &mut [i32], row0: usize, kp: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if has_avx2() {
+            // SAFETY: has_avx2() verified the required target features.
+            unsafe { qgemm_rows_avx2(a, b, out_panel, row0, kp, n) };
+            return;
+        }
+    }
+    qgemm_rows_scalar(a, b, out_panel, row0, kp, n);
+}
+
+/// Scalar reference loop: unpack each i32 word into its two i16 lanes and
+/// accumulate `lo·lo + hi·hi` per column — the exact operation
+/// `_mm256_madd_epi16` performs, so both paths agree bitwise.
+fn qgemm_rows_scalar(a: &[i32], b: &[i32], out_panel: &mut [i32], row0: usize, kp: usize, n: usize) {
+    for (r, orow) in out_panel.chunks_mut(n).enumerate() {
+        let arow = &a[(row0 + r) * kp..(row0 + r + 1) * kp];
+        orow.fill(0);
+        for (p, &word) in arow.iter().enumerate() {
+            let w0 = (word & 0xffff) as i16 as i32;
+            let w1 = word >> 16;
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bw) in orow.iter_mut().zip(brow) {
+                *o += w0 * ((bw & 0xffff) as i16 as i32) + w1 * (bw >> 16);
+            }
+        }
+    }
+}
+
+/// Returns whether the AVX2 kernel may be called.
+#[cfg(target_arch = "x86_64")]
+fn has_avx2() -> bool {
+    static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// AVX2 panel: output rows two at a time, four 8-column blocks per group.
+/// One 256-bit load grabs the packed i16 pairs of 8 columns and feeds the
+/// `madd_epi16` of *both* rows — the b operand (the large, cache-hungry
+/// side) streams through once per row pair instead of once per row — and
+/// the per-row weight-word broadcast is shared across the four column
+/// blocks. Eight independent i32 accumulator chains give enough ILP to
+/// hide the madd latency. Integer arithmetic — bit-identical to the
+/// scalar loop by construction.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn qgemm_rows_avx2(
+    a: &[i32],
+    b: &[i32],
+    out_panel: &mut [i32],
+    row0: usize,
+    kp: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_set1_epi32,
+        _mm256_setzero_si256, _mm256_storeu_si256,
+    };
+    let groups = n / 32;
+    let rows = out_panel.len() / n;
+    let mut pairs = out_panel.chunks_exact_mut(2 * n);
+    for (pr, orows) in (&mut pairs).enumerate() {
+        let r = row0 + 2 * pr;
+        let a0 = &a[r * kp..(r + 1) * kp];
+        let a1 = &a[(r + 1) * kp..(r + 2) * kp];
+        let (orow0, orow1) = orows.split_at_mut(n);
+        for g in 0..groups {
+            let j = g * 32;
+            let mut acc00 = _mm256_setzero_si256();
+            let mut acc01 = _mm256_setzero_si256();
+            let mut acc02 = _mm256_setzero_si256();
+            let mut acc03 = _mm256_setzero_si256();
+            let mut acc10 = _mm256_setzero_si256();
+            let mut acc11 = _mm256_setzero_si256();
+            let mut acc12 = _mm256_setzero_si256();
+            let mut acc13 = _mm256_setzero_si256();
+            for p in 0..kp {
+                let w0 = _mm256_set1_epi32(a0[p]);
+                let w1 = _mm256_set1_epi32(a1[p]);
+                let base = b.as_ptr().add(p * n + j);
+                let b0 = _mm256_loadu_si256(base.cast::<__m256i>());
+                let b1 = _mm256_loadu_si256(base.add(8).cast::<__m256i>());
+                let b2 = _mm256_loadu_si256(base.add(16).cast::<__m256i>());
+                let b3 = _mm256_loadu_si256(base.add(24).cast::<__m256i>());
+                acc00 = _mm256_add_epi32(acc00, _mm256_madd_epi16(w0, b0));
+                acc01 = _mm256_add_epi32(acc01, _mm256_madd_epi16(w0, b1));
+                acc02 = _mm256_add_epi32(acc02, _mm256_madd_epi16(w0, b2));
+                acc03 = _mm256_add_epi32(acc03, _mm256_madd_epi16(w0, b3));
+                acc10 = _mm256_add_epi32(acc10, _mm256_madd_epi16(w1, b0));
+                acc11 = _mm256_add_epi32(acc11, _mm256_madd_epi16(w1, b1));
+                acc12 = _mm256_add_epi32(acc12, _mm256_madd_epi16(w1, b2));
+                acc13 = _mm256_add_epi32(acc13, _mm256_madd_epi16(w1, b3));
+            }
+            let o0 = orow0.as_mut_ptr().add(j);
+            _mm256_storeu_si256(o0.cast::<__m256i>(), acc00);
+            _mm256_storeu_si256(o0.add(8).cast::<__m256i>(), acc01);
+            _mm256_storeu_si256(o0.add(16).cast::<__m256i>(), acc02);
+            _mm256_storeu_si256(o0.add(24).cast::<__m256i>(), acc03);
+            let o1 = orow1.as_mut_ptr().add(j);
+            _mm256_storeu_si256(o1.cast::<__m256i>(), acc10);
+            _mm256_storeu_si256(o1.add(8).cast::<__m256i>(), acc11);
+            _mm256_storeu_si256(o1.add(16).cast::<__m256i>(), acc12);
+            _mm256_storeu_si256(o1.add(24).cast::<__m256i>(), acc13);
+        }
+        qgemm_row_tail_avx2(a0, b, orow0, n, groups * 32);
+        qgemm_row_tail_avx2(a1, b, orow1, n, groups * 32);
+    }
+    // Odd panel: one leftover row, processed with the single-row blocks.
+    let orow = pairs.into_remainder();
+    if !orow.is_empty() {
+        debug_assert_eq!(orow.len(), n);
+        let r = row0 + rows - 1;
+        let arow = &a[r * kp..(r + 1) * kp];
+        qgemm_row_tail_avx2(arow, b, orow, n, 0);
+    }
+}
+
+/// Columns `[j, n)` of one output row: full 8-column madd blocks, then a
+/// scalar tail — the same exact integer arithmetic as the scalar loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn qgemm_row_tail_avx2(arow: &[i32], b: &[i32], orow: &mut [i32], n: usize, mut j: usize) {
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_set1_epi32,
+        _mm256_setzero_si256, _mm256_storeu_si256,
+    };
+    while j + 8 <= n {
+        let mut acc = _mm256_setzero_si256();
+        for (p, &word) in arow.iter().enumerate() {
+            let bvec = _mm256_loadu_si256(b.as_ptr().add(p * n + j).cast::<__m256i>());
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(_mm256_set1_epi32(word), bvec));
+        }
+        _mm256_storeu_si256(orow.as_mut_ptr().add(j).cast::<__m256i>(), acc);
+        j += 8;
+    }
+    for j in j..n {
+        let mut acc = 0i32;
+        for (p, &word) in arow.iter().enumerate() {
+            let w0 = (word & 0xffff) as i16 as i32;
+            let w1 = word >> 16;
+            let bw = b[p * n + j];
+            acc += w0 * ((bw & 0xffff) as i16 as i32) + w1 * (bw >> 16);
+        }
+        orow[j] = acc;
+    }
+}
+
+/// Quantizes a whole image into the reused i16 buffer — one rounding per
+/// pixel instead of one per patch occurrence in the im2col scatter, and
+/// 16 pixels per iteration on AVX2 (`cvtps_epi32` rounds ties-to-even in
+/// hardware, which is why [`quantize`] uses that rounding mode: the SIMD
+/// and scalar paths agree bitwise on every finite input).
+fn quantize_image(x: &[f32], inv_scale: f32, dst: &mut Vec<i16>) {
+    dst.clear();
+    dst.resize(x.len(), 0);
+    #[cfg(target_arch = "x86_64")]
+    if has_avx2() {
+        // SAFETY: has_avx2() verified the required target features.
+        unsafe { quantize_image_avx2(x, inv_scale, dst) };
+        return;
+    }
+    for (o, &v) in dst.iter_mut().zip(x) {
+        *o = quantize(v, inv_scale);
+    }
+}
+
+/// AVX2 body of [`quantize_image`]: multiply, clamp to `[-QMAX, QMAX]`,
+/// convert (round-to-nearest-even), narrow two 8-lane groups to one i16
+/// vector. Clamping *before* the rounding conversion matches rounding
+/// first and clamping after (the scalar path) on all finite values
+/// because the clamp rails are integers and rounding is monotone.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_image_avx2(x: &[f32], inv_scale: f32, dst: &mut [i16]) {
+    use std::arch::x86_64::{
+        _mm256_cvtps_epi32, _mm256_loadu_ps, _mm256_max_ps, _mm256_min_ps, _mm256_mul_ps,
+        _mm256_packs_epi32, _mm256_permute4x64_epi64, _mm256_set1_ps, _mm256_storeu_si256,
+    };
+    let inv = _mm256_set1_ps(inv_scale);
+    let rail_lo = _mm256_set1_ps(-QMAX);
+    let rail_hi = _mm256_set1_ps(QMAX);
+    let n16 = x.len() / 16 * 16;
+    let mut i = 0;
+    while i < n16 {
+        let t0 = _mm256_mul_ps(_mm256_loadu_ps(x.as_ptr().add(i)), inv);
+        let t1 = _mm256_mul_ps(_mm256_loadu_ps(x.as_ptr().add(i + 8)), inv);
+        let t0 = _mm256_max_ps(_mm256_min_ps(t0, rail_hi), rail_lo);
+        let t1 = _mm256_max_ps(_mm256_min_ps(t1, rail_hi), rail_lo);
+        // packs_epi32 interleaves 128-bit lanes; the permute restores
+        // element order before the contiguous store.
+        let packed = _mm256_packs_epi32(_mm256_cvtps_epi32(t0), _mm256_cvtps_epi32(t1));
+        let packed = _mm256_permute4x64_epi64(packed, 0b1101_1000);
+        _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), packed);
+        i += 16;
+    }
+    for i in n16..x.len() {
+        dst[i] = quantize(x[i], inv_scale);
+    }
+}
+
+/// The `(channel, ky, kx)` a reduction element `p = (c·kh + ky)·kw + kx`
+/// addresses.
+fn decode_p(p: usize, kh: usize, kw: usize) -> (usize, usize, usize) {
+    (p / (kh * kw), (p / kw) % kh, p % kw)
+}
+
+/// Stride-1 packer: writes the patch matrix of one quantized image
+/// straight into the k-pair i32 words [`qgemm_packed`] consumes
+/// (`dest[(p/2)·total_cols + col]`). For each word row and output row the
+/// two lanes come from two *contiguous* runs of the quantized image, so
+/// both inner loops are branch-free, in-order copies the compiler
+/// vectorizes; padded positions stay at the zero fill (zero is the exact
+/// quantization of zero, matching the f32 kernel's zero padding).
+#[allow(clippy::too_many_arguments)]
+fn pack_cols_stride1(
+    q: &[i16],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    dest: &mut [i32],
+    total_cols: usize,
+    col_offset: usize,
+) {
+    let ho = conv_out_extent(h, kh, 1, pad);
+    let wo = conv_out_extent(w, kw, 1, pad);
+    let k = c * kh * kw;
+    for word in 0..k.div_ceil(2) {
+        let lo = decode_p(2 * word, kh, kw);
+        let hi = (2 * word + 1 < k).then(|| decode_p(2 * word + 1, kh, kw));
+        for oy in 0..ho {
+            let row_at = word * total_cols + col_offset + oy * wo;
+            let row = &mut dest[row_at..row_at + wo];
+            row.fill(0);
+            for (lane, &(ci, ky, kx)) in [Some(lo), hi].iter().flatten().enumerate() {
+                let iy = (oy + ky) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                // Valid ox range: ix = ox + kx - pad must land in [0, w).
+                let start = pad.saturating_sub(kx);
+                let end = wo.min((w + pad).saturating_sub(kx));
+                if start >= end {
+                    continue;
+                }
+                let src_at = (ci * h + iy as usize) * w + (start + kx) - pad;
+                let src = &q[src_at..src_at + (end - start)];
+                if lane == 0 {
+                    for (o, &v) in row[start..end].iter_mut().zip(src) {
+                        *o = i32::from(v as u16);
+                    }
+                } else {
+                    for (o, &v) in row[start..end].iter_mut().zip(src) {
+                        *o |= i32::from(v as u16) << 16;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// General-stride packer (same destination layout, scalar scatter). The
+/// destination columns for this image must be zero-filled by the caller.
+#[allow(clippy::too_many_arguments)]
+fn pack_cols_generic(
+    q: &[i16],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    dest: &mut [i32],
+    total_cols: usize,
+    col_offset: usize,
+) {
+    let ho = conv_out_extent(h, kh, stride, pad);
+    let wo = conv_out_extent(w, kw, stride, pad);
+    for p in 0..c * kh * kw {
+        let (ci, ky, kx) = decode_p(p, kh, kw);
+        let base = (p / 2) * total_cols;
+        let shift = 16 * (p % 2) as u32;
+        for oy in 0..ho {
+            let iy = (oy * stride + ky) as isize - pad as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            let src_row = (ci * h + iy as usize) * w;
+            let dst_row = base + col_offset + oy * wo;
+            for ox in 0..wo {
+                let ix = (ox * stride + kx) as isize - pad as isize;
+                if ix >= 0 && ix < w as isize {
+                    dest[dst_row + ox] |= i32::from(q[src_row + ix as usize] as u16) << shift;
+                }
+            }
+        }
+    }
+}
+
+/// One compiled quantized convolution: int8 weights pre-packed for the
+/// `madd` kernel, per-output-channel dequantization scales (already
+/// multiplied by the calibrated input scale), f32 bias, optional fused
+/// ReLU. Built once per layer by the network-level quantization compiler
+/// and reused across every `forward`.
+#[derive(Debug, Clone)]
+pub struct QConvKernel {
+    out_c: usize,
+    in_c: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: usize,
+    /// k-pair packed int8 weights, `out_c × ceil(in_c·kh·kw / 2)` words.
+    packed_w: Vec<i32>,
+    /// `s_in · s_w[o]` — one multiply dequantizes an accumulator.
+    scales: Vec<f32>,
+    /// f32 bias added after dequantization (carries any folded batch-norm).
+    bias: Vec<f32>,
+    relu: bool,
+    inv_in_scale: f32,
+}
+
+impl QConvKernel {
+    /// Compiles an f32 convolution (`weight [O,C,kh,kw]`, `bias [O]`) into
+    /// a quantized kernel for inputs calibrated to scale `in_scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `weight` is not rank 4, `bias` does not match
+    /// its output extent, or `in_scale` is not a positive finite number.
+    pub fn from_f32(
+        weight: &NdArray,
+        bias: &[f32],
+        in_scale: f32,
+        relu: bool,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self> {
+        if weight.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: weight.rank(),
+                op: "quantize(weight)",
+            });
+        }
+        let (o, c, kh, kw) =
+            (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+        if bias.len() != o {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![bias.len()],
+                rhs: vec![o],
+                op: "quantize(bias)",
+            });
+        }
+        if !(in_scale.is_finite() && in_scale > 0.0) {
+            return Err(TensorError::InvalidArgument(format!(
+                "calibration scale must be positive and finite, got {in_scale}"
+            )));
+        }
+        let k = c * kh * kw;
+        if k > MAX_EXACT_K {
+            return Err(TensorError::InvalidArgument(format!(
+                "reduction depth {k} exceeds the exact-i32 bound {MAX_EXACT_K}"
+            )));
+        }
+        let kp = k.div_ceil(2);
+        let mut packed_w = Vec::with_capacity(o * kp);
+        let mut scales = Vec::with_capacity(o);
+        let mut qrow = vec![0i16; k];
+        for oi in 0..o {
+            let row = &weight.as_slice()[oi * k..(oi + 1) * k];
+            let sw = scale_for(absmax(row));
+            let inv = 1.0 / sw;
+            for (q, &v) in qrow.iter_mut().zip(row) {
+                *q = quantize(v, inv);
+            }
+            pack_row(&qrow, &mut packed_w);
+            scales.push(in_scale * sw);
+        }
+        Ok(Self {
+            out_c: o,
+            in_c: c,
+            kh,
+            kw,
+            stride,
+            padding,
+            packed_w,
+            scales,
+            bias: bias.to_vec(),
+            relu,
+            inv_in_scale: 1.0 / in_scale,
+        })
+    }
+
+    /// Output channels of the compiled kernel.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Runs the quantized convolution over a batch `[N, C, H, W]`,
+    /// returning `[N, O, Ho, Wo]` — quantize-im2col, integer GEMM, then
+    /// the dequantize/bias/ReLU epilogue. Bit-deterministic at every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/shape mismatches or a kernel larger than
+    /// the padded input.
+    pub fn forward(&self, input: &NdArray) -> Result<NdArray> {
+        if input.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: input.rank(),
+                op: "qconv(input)",
+            });
+        }
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        if c != self.in_c {
+            return Err(TensorError::ShapeMismatch {
+                lhs: input.shape().to_vec(),
+                rhs: vec![self.out_c, self.in_c, self.kh, self.kw],
+                op: "qconv",
+            });
+        }
+        if h + 2 * self.padding < self.kh || w + 2 * self.padding < self.kw {
+            return Err(TensorError::InvalidArgument(format!(
+                "kernel {}x{} larger than padded input {h}x{w} (pad {})",
+                self.kh, self.kw, self.padding
+            )));
+        }
+        let ho = conv_out_extent(h, self.kh, self.stride, self.padding);
+        let wo = conv_out_extent(w, self.kw, self.stride, self.padding);
+        let per = ho * wo;
+        let k = self.in_c * self.kh * self.kw;
+        let kp = k.div_ceil(2);
+        // Samples go through in chunks sized so the packed patch matrix
+        // stays around the L3 budget (~4 MB of i32 words): the GEMM then
+        // re-reads what the packer just wrote from cache instead of RAM.
+        // Chunking cannot change results — the integer accumulation is
+        // exact and every column is independent — so any chunk size is
+        // bit-identical to one whole-batch GEMM.
+        let max_chunk = ((1usize << 20) / (kp * per).max(1)).max(1);
+        let chunk_n = n.div_ceil(n.div_ceil(max_chunk).max(1)).max(1);
+        // Buffers come from the reused per-thread scratch — inference in
+        // a loop allocates nothing but the output array.
+        let (mut qimg, mut cols, mut acc) = QCONV_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        cols.resize(kp * chunk_n * per, 0);
+        acc.resize(self.out_c * chunk_n * per, 0);
+        let mut out = NdArray::zeros(&[n, self.out_c, ho, wo]);
+        let dst = out.as_mut_slice();
+        let mut start = 0usize;
+        while start < n {
+            let cn = chunk_n.min(n - start);
+            let ccols = cn * per;
+            let cols = &mut cols[..kp * ccols];
+            if self.stride != 1 {
+                // The generic packer ORs lanes into a zero fill; the
+                // stride-1 packer overwrites every word row itself.
+                cols.fill(0);
+            }
+            for ni in 0..cn {
+                let at = (start + ni) * c * h * w;
+                let img = &input.as_slice()[at..at + c * h * w];
+                quantize_image(img, self.inv_in_scale, &mut qimg);
+                if self.stride == 1 {
+                    pack_cols_stride1(
+                        &qimg,
+                        c,
+                        h,
+                        w,
+                        self.kh,
+                        self.kw,
+                        self.padding,
+                        cols,
+                        ccols,
+                        ni * per,
+                    );
+                } else {
+                    pack_cols_generic(
+                        &qimg,
+                        c,
+                        h,
+                        w,
+                        self.kh,
+                        self.kw,
+                        self.stride,
+                        self.padding,
+                        cols,
+                        ccols,
+                        ni * per,
+                    );
+                }
+            }
+            let acc = &mut acc[..self.out_c * ccols];
+            qgemm_packed(&self.packed_w, cols, acc, self.out_c, kp, ccols);
+            // Dequantize epilogue, scattering the sample-major
+            // [O, cn·Ho·Wo] accumulator to [N, O, Ho, Wo].
+            for ni in 0..cn {
+                for oi in 0..self.out_c {
+                    let (scale, bias) = (self.scales[oi], self.bias[oi]);
+                    let src = &acc[oi * ccols + ni * per..oi * ccols + ni * per + per];
+                    let at = ((start + ni) * self.out_c + oi) * per;
+                    let d = &mut dst[at..at + per];
+                    if self.relu {
+                        for (o, &a) in d.iter_mut().zip(src) {
+                            *o = (a as f32 * scale + bias).max(0.0);
+                        }
+                    } else {
+                        for (o, &a) in d.iter_mut().zip(src) {
+                            *o = a as f32 * scale + bias;
+                        }
+                    }
+                }
+            }
+            start += cn;
+        }
+        QCONV_SCRATCH.with(|s| *s.borrow_mut() = (qimg, cols, acc));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::set_gemm_threads;
+    use crate::ops::conv::conv2d_forward;
+
+    #[test]
+    fn quantize_rounds_and_clamps() {
+        assert_eq!(quantize(0.0, 127.0), 0);
+        assert_eq!(quantize(1.0, 127.0), 127);
+        assert_eq!(quantize(-1.0, 127.0), -127);
+        assert_eq!(quantize(10.0, 127.0), 127); // clamp
+        assert_eq!(quantize(-10.0, 127.0), -127);
+        assert_eq!(quantize(0.5, 10.0), 5);
+    }
+
+    #[test]
+    fn pack_row_lane_layout() {
+        let mut packed = Vec::new();
+        pack_row(&[1, -2, 3], &mut packed);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(packed[0] & 0xffff, 1);
+        assert_eq!((packed[0] >> 16) as i16, -2);
+        assert_eq!(packed[1] & 0xffff, 3);
+        assert_eq!((packed[1] >> 16) as i16, 0); // odd-k zero pad
+    }
+
+    /// Naive integer reference for the packed GEMM: same math, no packing
+    /// tricks. The kernel (scalar or AVX2, any thread count) must agree
+    /// bit for bit.
+    fn qgemm_naive(a: &[i32], b: &[i32], m: usize, kp: usize, n: usize) -> Vec<i32> {
+        let mut out = vec![0i32; m * n];
+        for r in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for p in 0..kp {
+                    let word = a[r * kp + p];
+                    let (w0, w1) = ((word & 0xffff) as i16 as i32, (word >> 16));
+                    let bw = b[p * n + j];
+                    acc += w0 * ((bw & 0xffff) as i16 as i32) + w1 * (bw >> 16);
+                }
+                out[r * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn qgemm_matches_naive_across_shapes_and_threads() {
+        for (m, kp, n) in [(1, 1, 1), (3, 5, 7), (4, 9, 16), (8, 33, 100), (16, 72, 129)] {
+            let mut state = 12345u32;
+            let mut next = move || {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                ((state >> 16) as i32 % 255 - 127) as i16
+            };
+            let mut word = move || {
+                let (lo, hi) = (next(), next());
+                ((lo as u16 as u32) | ((hi as u16 as u32) << 16)) as i32
+            };
+            let a: Vec<i32> = (0..m * kp).map(|_| word()).collect();
+            let b: Vec<i32> = (0..kp * n).map(|_| word()).collect();
+            let want = qgemm_naive(&a, &b, m, kp, n);
+            for threads in [1usize, 8] {
+                set_gemm_threads(threads);
+                let mut got = vec![0i32; m * n];
+                qgemm_packed(&a, &b, &mut got, m, kp, n);
+                assert_eq!(want, got, "qgemm differs at {m}x{kp}x{n}, t={threads}");
+            }
+            set_gemm_threads(1);
+        }
+    }
+
+    #[test]
+    fn qconv_tracks_f32_conv_within_quantization_error() {
+        let x = NdArray::from_fn(&[2, 3, 8, 8], |i| (i as f32 * 0.13).sin());
+        let w = NdArray::from_fn(&[4, 3, 3, 3], |i| (i as f32 * 0.07).cos() * 0.2);
+        let bias = [0.1f32, -0.2, 0.05, 0.3];
+        let f32_out = conv2d_forward(&x, &w, Some(&NdArray::from_slice(&bias)), 1, 1).unwrap();
+        let in_scale = scale_for(absmax(x.as_slice()));
+        let q = QConvKernel::from_f32(&w, &bias, in_scale, false, 1, 1).unwrap();
+        let q_out = q.forward(&x).unwrap();
+        assert_eq!(q_out.shape(), f32_out.shape());
+        // Error bound: each of the k=27 products carries at most one
+        // input LSB and one weight LSB of quantization error.
+        let k = 27.0f32;
+        let tol = k * (in_scale + 0.2 / QMAX) * 1.5;
+        for (a, b) in f32_out.as_slice().iter().zip(q_out.as_slice()) {
+            assert!((a - b).abs() <= tol, "qconv drifted: f32={a} quant={b} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn qconv_is_bit_deterministic_across_threads_and_batches() {
+        let x = NdArray::from_fn(&[4, 2, 16, 16], |i| (i as f32 * 0.31).sin());
+        let w = NdArray::from_fn(&[8, 2, 3, 3], |i| (i as f32 * 0.17).cos());
+        let bias = vec![0.05f32; 8];
+        let q = QConvKernel::from_f32(&w, &bias, scale_for(absmax(x.as_slice())), true, 1, 1).unwrap();
+        set_gemm_threads(1);
+        let one = q.forward(&x).unwrap();
+        set_gemm_threads(8);
+        let eight = q.forward(&x).unwrap();
+        set_gemm_threads(1);
+        let same = one.as_slice().iter().zip(eight.as_slice()).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "quantized conv depends on thread count");
+        // Batch composition: samples run one by one bitwise-match the batch.
+        for ni in 0..4 {
+            let sample = NdArray::from_vec(
+                x.as_slice()[ni * 2 * 256..(ni + 1) * 2 * 256].to_vec(),
+                &[1, 2, 16, 16],
+            )
+            .unwrap();
+            let single = q.forward(&sample).unwrap();
+            let batch_slice = &one.as_slice()[ni * 8 * 256..(ni + 1) * 8 * 256];
+            let same =
+                single.as_slice().iter().zip(batch_slice).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "sample {ni}: batched quantized conv differs from single");
+        }
+    }
+
+    #[test]
+    fn qconv_relu_clamps_negative_outputs() {
+        let x = NdArray::ones(&[1, 1, 2, 2]);
+        let w = NdArray::full(&[1, 1, 1, 1], -1.0);
+        let q = QConvKernel::from_f32(&w, &[0.0], scale_for(1.0), true, 1, 0).unwrap();
+        assert!(q.forward(&x).unwrap().as_slice().iter().all(|&v| v == 0.0));
+        let q = QConvKernel::from_f32(&w, &[0.0], scale_for(1.0), false, 1, 0).unwrap();
+        assert!(q.forward(&x).unwrap().as_slice().iter().all(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn qconv_rejects_bad_shapes_and_scales() {
+        let w = NdArray::zeros(&[2, 1, 3, 3]);
+        assert!(QConvKernel::from_f32(&w, &[0.0], 0.01, false, 1, 1).is_err()); // bias len
+        assert!(QConvKernel::from_f32(&w, &[0.0, 0.0], 0.0, false, 1, 1).is_err()); // scale 0
+        assert!(QConvKernel::from_f32(&w, &[0.0, 0.0], f32::NAN, false, 1, 1).is_err());
+        let q = QConvKernel::from_f32(&w, &[0.0, 0.0], 0.01, false, 1, 1).unwrap();
+        assert!(q.forward(&NdArray::zeros(&[1, 2, 4, 4])).is_err()); // channel mismatch
+        assert!(q.forward(&NdArray::zeros(&[1, 1])).is_err()); // rank
+    }
+}
